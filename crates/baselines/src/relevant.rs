@@ -1,0 +1,90 @@
+//! Relevance-restricted semi-naive: compute only predicates reachable
+//! from `goal`, each in full — the McKay–Shapiro comparison point of
+//! §1.1: "intermediate relations that are needed tend to be entirely
+//! computed, even if only a small part is actually useful for answering
+//! the query". The contrast with sideways information passing (class-`d`
+//! restriction) is what experiments E1 and E6 measure.
+
+use crate::common::EvalStats;
+use crate::seminaive::evaluate_stratified;
+use crate::{EvalResult, Evaluator};
+use mp_datalog::analysis::DependencyAnalysis;
+use mp_datalog::{Database, DatalogError, Program, Rule};
+
+/// The relevance-restricted evaluator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Relevant;
+
+impl Evaluator for Relevant {
+    fn name(&self) -> &'static str {
+        "relevant"
+    }
+
+    fn evaluate(&self, program: &Program, db: &Database) -> Result<EvalResult, DatalogError> {
+        let mut db = db.clone();
+        program.load_facts(&mut db)?;
+        program.validate(&db)?;
+        let analysis = DependencyAnalysis::of(program);
+        let relevant = analysis.relevant_to_goal();
+        let rules: Vec<Rule> = program
+            .rules
+            .iter()
+            .filter(|r| relevant.contains(&r.head.pred))
+            .cloned()
+            .collect();
+        let mut stats = EvalStats::default();
+        let store = evaluate_stratified(&rules, &db, &mut stats);
+        stats.stored_tuples = store.total_tuples();
+        Ok(EvalResult {
+            answers: store.goal_relation(program),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datalog::parser::parse_program;
+    use mp_storage::tuple;
+
+    #[test]
+    fn skips_unreachable_predicates() {
+        let program = parse_program(
+            "p(X) :- e(X).
+             junk(X, Y) :- big(X, Y), big(Y, X).
+             ?- p(Z).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert("e", tuple![1]).unwrap();
+        for i in 0..50 {
+            db.insert("big", tuple![i, i]).unwrap();
+        }
+        let rel = Relevant.evaluate(&program, &db).unwrap();
+        let semi = crate::SemiNaive.evaluate(&program, &db).unwrap();
+        assert_eq!(rel.answers, semi.answers);
+        // `junk` was never computed.
+        assert!(rel.stats.stored_tuples < semi.stats.stored_tuples);
+    }
+
+    #[test]
+    fn still_computes_whole_relevant_relations() {
+        // Unlike magic sets, relevance does not use the query constant:
+        // the full path relation is materialized.
+        let program = parse_program(
+            "path(X, Y) :- edge(X, Y).
+             path(X, Z) :- path(X, Y), edge(Y, Z).
+             ?- path(9, Z).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.insert("edge", tuple![i, i + 1]).unwrap();
+        }
+        let r = Relevant.evaluate(&program, &db).unwrap();
+        assert_eq!(r.answers.rows(), &[tuple![10]]);
+        // 55 path tuples + 10 edges + 1 goal.
+        assert_eq!(r.stats.stored_tuples, 55 + 10 + 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Ablation benches for the implemented extensions: packaged tuple
+//! requests (§3.1 footnote 2) and the statistics-driven SIP (§1.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_engine::Engine;
+use mp_rulegoal::SipKind;
+use mp_workloads::scenarios;
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("a_extensions");
+    g.sample_size(10);
+
+    let w = scenarios::tc_random(80, 400, 3);
+    g.bench_with_input(BenchmarkId::new("batching", "off"), &w, |b, w| {
+        b.iter(|| {
+            Engine::new(w.program.clone(), w.db.clone())
+                .evaluate()
+                .unwrap()
+                .stats
+                .total_messages()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("batching", "on"), &w, |b, w| {
+        b.iter(|| {
+            Engine::new(w.program.clone(), w.db.clone())
+                .with_batching(true)
+                .evaluate()
+                .unwrap()
+                .stats
+                .total_messages()
+        })
+    });
+
+    for sip in [SipKind::Greedy, SipKind::CostBased] {
+        g.bench_with_input(
+            BenchmarkId::new("sip_on_skewed", sip.name()),
+            &sip,
+            |b, &sip| {
+                let (program, db) = skewed(256);
+                b.iter(|| {
+                    Engine::new(program.clone(), db.clone())
+                        .with_sip(sip)
+                        .evaluate()
+                        .unwrap()
+                        .stats
+                        .stored_tuples
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn skewed(n: usize) -> (mp_datalog::Program, mp_datalog::Database) {
+    let program = mp_datalog::parser::parse_program(
+        "p(X, Z) :- big(X, Y), tiny(X, W), link(Y, W, Z).
+         ?- p(0, Z).",
+    )
+    .unwrap();
+    let mut db = mp_datalog::Database::new();
+    for x in 0..4i64 {
+        db.insert("tiny", mp_storage::tuple![x, x + 5000]).unwrap();
+        for y in 0..n as i64 {
+            db.insert("big", mp_storage::tuple![x, y + 1000]).unwrap();
+        }
+    }
+    for y in 0..n as i64 {
+        for x in 0..4i64 {
+            db.insert("link", mp_storage::tuple![y + 1000, x + 5000, y])
+                .unwrap();
+        }
+    }
+    (program, db)
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

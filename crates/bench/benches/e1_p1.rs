@@ -1,0 +1,47 @@
+//! E1 (Fig 1): the paper's P1 under message passing vs the baselines,
+//! over chain EDBs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_baselines::{Evaluator, MagicSets, Naive, SemiNaive};
+use mp_engine::Engine;
+use mp_rulegoal::SipKind;
+use mp_workloads::scenarios;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_p1");
+    g.sample_size(10);
+    for n in [32usize, 128] {
+        let w = scenarios::p1_chain(n);
+        g.bench_with_input(BenchmarkId::new("engine_greedy", n), &w, |b, w| {
+            b.iter(|| {
+                Engine::new(w.program.clone(), w.db.clone())
+                    .with_sip(SipKind::Greedy)
+                    .evaluate()
+                    .unwrap()
+                    .answers
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", n), &w, |b, w| {
+            b.iter(|| SemiNaive.evaluate(&w.program, &w.db).unwrap().answers.len())
+        });
+        g.bench_with_input(BenchmarkId::new("magic", n), &w, |b, w| {
+            b.iter(|| {
+                MagicSets::default()
+                    .evaluate(&w.program, &w.db)
+                    .unwrap()
+                    .answers
+                    .len()
+            })
+        });
+        if n <= 32 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &w, |b, w| {
+                b.iter(|| Naive.evaluate(&w.program, &w.db).unwrap().answers.len())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

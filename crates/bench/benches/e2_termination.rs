@@ -1,0 +1,37 @@
+//! E2 (Fig 2, Thm 3.1): cost of running the distributed termination
+//! protocol across strong-component sizes and schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_engine::{Engine, RuntimeKind, Schedule};
+use mp_workloads::scenarios;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_termination");
+    g.sample_size(10);
+    for n in [16usize, 64] {
+        let w = scenarios::tc_cycle(n);
+        g.bench_with_input(BenchmarkId::new("fifo", n), &w, |b, w| {
+            b.iter(|| {
+                Engine::new(w.program.clone(), w.db.clone())
+                    .evaluate()
+                    .unwrap()
+                    .stats
+                    .protocol_messages
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("random_schedule", n), &w, |b, w| {
+            b.iter(|| {
+                Engine::new(w.program.clone(), w.db.clone())
+                    .with_runtime(RuntimeKind::Sim(Schedule::Random(7)))
+                    .evaluate()
+                    .unwrap()
+                    .stats
+                    .protocol_messages
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

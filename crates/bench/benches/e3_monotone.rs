@@ -1,0 +1,39 @@
+//! E3 (Figs 3–4, Example 4.1): monotone R2 vs cyclic R3, with and
+//! without sideways restriction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_engine::Engine;
+use mp_rulegoal::SipKind;
+use mp_workloads::scenarios;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_monotone");
+    g.sample_size(10);
+    for n in [64usize, 256] {
+        for (label, w) in [
+            ("r2", scenarios::r2(n, 4, 1)),
+            ("r3_ov10", scenarios::r3(n, 4, 0.1, 1)),
+        ] {
+            for sip in [SipKind::Greedy, SipKind::AllFree] {
+                g.bench_with_input(
+                    BenchmarkId::new(format!("{label}_{}", sip.name()), n),
+                    &w,
+                    |b, w| {
+                        b.iter(|| {
+                            Engine::new(w.program.clone(), w.db.clone())
+                                .with_sip(sip)
+                                .evaluate()
+                                .unwrap()
+                                .stats
+                                .max_relation_size
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! E4 (Fig 5, Thm 4.2): qual-tree composition speed vs testing the
+//! extended rule's acyclicity from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_datalog::{parser::parse_rule, Var};
+use mp_hypergraph::compose::compose;
+use mp_hypergraph::{examples, monotone_flow, MonotoneFlow};
+use std::collections::BTreeSet;
+
+fn extend(depth: usize) -> (mp_datalog::Rule, mp_hypergraph::QualTree) {
+    let bound: BTreeSet<Var> = BTreeSet::from([Var::new("X")]);
+    let inner = parse_rule("c(X, Z) :- a(X, Y), b(Y, U), c(U, Z).").unwrap();
+    let mut rule = examples::r1();
+    let mut qt = match monotone_flow(&rule, &bound) {
+        MonotoneFlow::Monotone(qt) => qt,
+        MonotoneFlow::Cyclic(_) => unreachable!(),
+    };
+    for _ in 0..depth {
+        let qi = match monotone_flow(&inner, &bound) {
+            MonotoneFlow::Monotone(qt) => qt,
+            MonotoneFlow::Cyclic(_) => unreachable!(),
+        };
+        let last = rule.body.len() - 1;
+        let comp = compose(&rule, &qt, last, &inner, &qi).unwrap();
+        rule = comp.rule;
+        qt = comp.qual_tree;
+    }
+    (rule, qt)
+}
+
+fn bench_e4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_compose");
+    for depth in [8usize, 32] {
+        let (rule, qt) = extend(depth);
+        let bound: BTreeSet<Var> = BTreeSet::from([Var::new("X")]);
+        let inner = parse_rule("c(X, Z) :- a(X, Y), b(Y, U), c(U, Z).").unwrap();
+        let qi = match monotone_flow(&inner, &bound) {
+            MonotoneFlow::Monotone(qt) => qt,
+            MonotoneFlow::Cyclic(_) => unreachable!(),
+        };
+        // Incremental: one composition step at this depth (Thm 4.2).
+        g.bench_with_input(BenchmarkId::new("compose_step", depth), &depth, |b, _| {
+            b.iter(|| {
+                compose(&rule, &qt, rule.body.len() - 1, &inner, &qi)
+                    .unwrap()
+                    .rule
+                    .body
+                    .len()
+            })
+        });
+        // From scratch: full Graham reduction of the extended rule.
+        g.bench_with_input(BenchmarkId::new("gyo_from_scratch", depth), &depth, |b, _| {
+            b.iter(|| monotone_flow(&rule, &bound).is_monotone())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 (§1.2): nonlinear recursion (divide-and-conquer transitive
+//! closure, same-generation) across methods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_baselines::{Evaluator, MagicSets, SemiNaive};
+use mp_engine::Engine;
+use mp_workloads::scenarios;
+
+fn bench_e5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_nonlinear");
+    g.sample_size(10);
+    for (label, w) in [
+        ("tc_nonlinear_32", scenarios::tc_nonlinear_chain(32)),
+        ("sg_tree_d4f2", scenarios::sg_tree(4, 2, 3)),
+    ] {
+        g.bench_with_input(BenchmarkId::new("engine", label), &w, |b, w| {
+            b.iter(|| {
+                Engine::new(w.program.clone(), w.db.clone())
+                    .evaluate()
+                    .unwrap()
+                    .answers
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("semi_naive", label), &w, |b, w| {
+            b.iter(|| SemiNaive.evaluate(&w.program, &w.db).unwrap().answers.len())
+        });
+        g.bench_with_input(BenchmarkId::new("magic", label), &w, |b, w| {
+            b.iter(|| {
+                MagicSets::default()
+                    .evaluate(&w.program, &w.db)
+                    .unwrap()
+                    .answers
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E6 (Def 2.4): sideways information passing strategies on a join rule
+//! written against the flow direction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_datalog::{parser::parse_program, Database};
+use mp_engine::Engine;
+use mp_rulegoal::SipKind;
+use mp_storage::tuple;
+
+fn workload(n: usize) -> (mp_datalog::Program, Database) {
+    let program = parse_program(
+        "p(X, Z) :- c(U, Z), b(Y, U), a(X, Y).
+         ?- p(0, Z).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    for i in 0..n as i64 {
+        db.insert("a", tuple![i, i + 1]).unwrap();
+        db.insert("b", tuple![i + 1, i + 2]).unwrap();
+        db.insert("c", tuple![i + 2, i + 3]).unwrap();
+    }
+    (program, db)
+}
+
+fn bench_e6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_sip");
+    g.sample_size(10);
+    for n in [256usize, 2048] {
+        let (program, db) = workload(n);
+        for sip in SipKind::ALL {
+            g.bench_with_input(BenchmarkId::new(sip.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    Engine::new(program.clone(), db.clone())
+                        .with_sip(sip)
+                        .evaluate()
+                        .unwrap()
+                        .stats
+                        .stored_tuples
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

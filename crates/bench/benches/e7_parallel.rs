@@ -1,0 +1,51 @@
+//! E7 (§1.2): the threaded runtime on independent recursive branches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_datalog::{parser::parse_program, Database};
+use mp_engine::{Engine, RuntimeKind};
+use mp_workloads::graphs;
+
+fn workload(k: usize, n: usize) -> (mp_datalog::Program, Database) {
+    let mut src = String::new();
+    let mut db = Database::new();
+    for b in 0..k {
+        src.push_str(&format!(
+            "p{b}(X, Y) :- e{b}(X, Y).
+             p{b}(X, Z) :- p{b}(X, Y), p{b}(Y, Z).
+             goal(X) :- p{b}(0, X).\n"
+        ));
+        graphs::chain(&mut db, &format!("e{b}"), n);
+    }
+    (parse_program(&src).unwrap(), db)
+}
+
+fn bench_e7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_parallel");
+    g.sample_size(10);
+    for k in [1usize, 4, 8] {
+        let (program, db) = workload(k, 48);
+        g.bench_with_input(BenchmarkId::new("sim", k), &k, |b, _| {
+            b.iter(|| {
+                Engine::new(program.clone(), db.clone())
+                    .evaluate()
+                    .unwrap()
+                    .answers
+                    .len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("threads", k), &k, |b, _| {
+            b.iter(|| {
+                Engine::new(program.clone(), db.clone())
+                    .with_runtime(RuntimeKind::Threads)
+                    .evaluate()
+                    .unwrap()
+                    .answers
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E8 (Thm 2.1): rule/goal graph construction time and size are
+//! independent of the EDB.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mp_rulegoal::{RuleGoalGraph, SipKind};
+use mp_workloads::scenarios;
+
+fn bench_e8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_graphsize");
+    for n in [16usize, 1024, 16384] {
+        let w = scenarios::p1_chain(n);
+        g.bench_with_input(BenchmarkId::new("build_p1", n), &w, |b, w| {
+            b.iter(|| {
+                RuleGoalGraph::build(&w.program, &w.db, SipKind::Greedy)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

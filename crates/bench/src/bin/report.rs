@@ -1,0 +1,39 @@
+//! Regenerate the EXPERIMENTS.md tables.
+//!
+//! ```sh
+//! cargo run -p mp-bench --release --bin report           # full scale
+//! cargo run -p mp-bench --release --bin report -- quick  # smoke scale
+//! cargo run -p mp-bench --release --bin report -- e3     # one experiment
+//! ```
+
+use mp_bench::experiments;
+use mp_bench::{markdown_table, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    let only: Option<&str> = args
+        .iter()
+        .find(|a| (a.starts_with('e') || a.starts_with('a')) && a.len() == 2)
+        .map(String::as_str);
+
+    match only {
+        None => print!("{}", experiments::full_report(scale)),
+        Some("e1") => print!("{}", markdown_table(&experiments::e1(scale))),
+        Some("e2") => print!("{}", markdown_table(&experiments::e2(scale))),
+        Some("e3") => print!("{}", markdown_table(&experiments::e3(scale))),
+        Some("e4") => print!("{}", markdown_table(&experiments::e4(scale))),
+        Some("e5") => print!("{}", markdown_table(&experiments::e5(scale))),
+        Some("e6") => print!("{}", markdown_table(&experiments::e6(scale))),
+        Some("e7") => print!("{}", markdown_table(&experiments::e7(scale))),
+        Some("e8") => print!("{}", markdown_table(&experiments::e8(scale))),
+        Some("e9") => print!("{}", markdown_table(&experiments::e9(scale))),
+        Some("a1") => print!("{}", markdown_table(&experiments::a1(scale))),
+        Some("a2") => print!("{}", markdown_table(&experiments::a2(scale))),
+        Some(other) => eprintln!("unknown experiment {other}; use e1..e9, a1, a2"),
+    }
+}

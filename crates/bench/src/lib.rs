@@ -1,0 +1,188 @@
+#![warn(missing_docs)]
+
+//! # mp-bench
+//!
+//! The experiment harness. Every figure/theorem/claim of the paper maps
+//! to one experiment (E1–E9, see EXPERIMENTS.md); each experiment is a
+//! plain function returning serializable rows, consumed by
+//!
+//! * the `report` binary (`cargo run -p mp-bench --release --bin report`),
+//!   which prints the EXPERIMENTS.md tables, and
+//! * the Criterion benches in `benches/` (`cargo bench`), which measure
+//!   wall time on representative points.
+
+pub mod experiments;
+
+use mp_baselines::Evaluator;
+use mp_datalog::{Database, Program};
+use mp_engine::{Engine, RuntimeKind, Schedule};
+use mp_rulegoal::SipKind;
+use serde::Serialize;
+use std::time::Instant;
+
+/// How big to run the sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small: seconds in total (CI, tests).
+    Quick,
+    /// The EXPERIMENTS.md scale.
+    Full,
+}
+
+impl Scale {
+    /// Pick a size list by scale.
+    pub fn sizes<'a>(&self, quick: &'a [usize], full: &'a [usize]) -> &'a [usize] {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// One engine measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct EngineRun {
+    /// Method label (`engine/greedy`, …).
+    pub method: String,
+    /// Answer count.
+    pub answers: usize,
+    /// Total messages sent.
+    pub messages: u64,
+    /// §3.2 protocol messages.
+    pub protocol_messages: u64,
+    /// Tuples stored in node-local relations (all copies; §3.1 trades
+    /// space for communication).
+    pub stored: u64,
+    /// Distinct tuples at goal-node answer relations (comparable with a
+    /// bottom-up evaluator's IDB store).
+    pub goal_stored: u64,
+    /// Largest single node-local relation.
+    pub max_relation: u64,
+    /// Largest rule-node stage relation (intermediate join results).
+    pub max_stage: u64,
+    /// Join probes.
+    pub join_probes: u64,
+    /// Probe waves completed.
+    pub probe_waves: u64,
+    /// Wall time in milliseconds.
+    pub millis: f64,
+}
+
+/// Run the engine and collect an [`EngineRun`].
+pub fn run_engine(program: &Program, db: &Database, sip: SipKind) -> EngineRun {
+    run_engine_with(program, db, sip, RuntimeKind::Sim(Schedule::Fifo))
+}
+
+/// Run the engine with an explicit runtime.
+pub fn run_engine_with(
+    program: &Program,
+    db: &Database,
+    sip: SipKind,
+    runtime: RuntimeKind,
+) -> EngineRun {
+    let t0 = Instant::now();
+    let r = Engine::new(program.clone(), db.clone())
+        .with_sip(sip)
+        .with_runtime(runtime)
+        .evaluate()
+        .expect("engine run");
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    EngineRun {
+        method: format!("engine/{}", sip.name()),
+        answers: r.answers.len(),
+        messages: r.stats.total_messages(),
+        protocol_messages: r.stats.protocol_messages,
+        stored: r.stats.stored_tuples,
+        goal_stored: r.stats.goal_stored,
+        max_relation: r.stats.max_relation_size,
+        max_stage: r.stats.max_stage_relation,
+        join_probes: r.stats.join_probes,
+        probe_waves: r.stats.probe_waves,
+        millis,
+    }
+}
+
+/// One baseline measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct BaselineRun {
+    /// Method label.
+    pub method: String,
+    /// Answer count.
+    pub answers: usize,
+    /// Head tuples derived (before dedup).
+    pub derived: u64,
+    /// Tuples stored.
+    pub stored: u64,
+    /// Join probes.
+    pub join_probes: u64,
+    /// Fixpoint iterations.
+    pub iterations: u64,
+    /// Wall time in milliseconds.
+    pub millis: f64,
+}
+
+/// Run one baseline evaluator.
+pub fn run_baseline(ev: &dyn Evaluator, program: &Program, db: &Database) -> BaselineRun {
+    let t0 = Instant::now();
+    let r = ev.evaluate(program, db).expect("baseline run");
+    let millis = t0.elapsed().as_secs_f64() * 1e3;
+    BaselineRun {
+        method: ev.name().to_string(),
+        answers: r.answers.len(),
+        derived: r.stats.derived_tuples,
+        stored: r.stats.stored_tuples,
+        join_probes: r.stats.join_probes,
+        iterations: r.stats.iterations,
+        millis,
+    }
+}
+
+/// Render rows as a GitHub-flavoured markdown table from serde_json
+/// field order.
+pub fn markdown_table<T: Serialize>(rows: &[T]) -> String {
+    if rows.is_empty() {
+        return String::from("(no rows)\n");
+    }
+    let values: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| serde_json::to_value(r).expect("serializable row"))
+        .collect();
+    let headers: Vec<String> = match &values[0] {
+        serde_json::Value::Object(m) => m.keys().cloned().collect(),
+        _ => return String::from("(unsupported row type)\n"),
+    };
+    let mut out = String::new();
+    out.push('|');
+    for h in &headers {
+        out.push_str(&format!(" {h} |"));
+    }
+    out.push_str("\n|");
+    for _ in &headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for v in &values {
+        out.push('|');
+        for h in &headers {
+            let cell = match &v[h] {
+                serde_json::Value::Number(n) => {
+                    if let Some(f) = n.as_f64() {
+                        if n.is_f64() {
+                            format!("{f:.2}")
+                        } else {
+                            n.to_string()
+                        }
+                    } else {
+                        n.to_string()
+                    }
+                }
+                serde_json::Value::String(s) => s.clone(),
+                serde_json::Value::Bool(b) => b.to_string(),
+                other => other.to_string(),
+            };
+            out.push_str(&format!(" {cell} |"));
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,190 @@
+//! The message set (§3.1 and §3.2).
+
+use mp_rulegoal::NodeId;
+use mp_storage::Tuple;
+use std::fmt;
+
+/// A message endpoint: a graph node or the engine itself (the top-level
+/// goal node's customer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// A rule/goal graph node.
+    Node(NodeId),
+    /// The engine driving the query.
+    Engine,
+}
+
+impl Endpoint {
+    /// The node id, if this endpoint is a node.
+    pub fn node(self) -> Option<NodeId> {
+        match self {
+            Endpoint::Node(n) => Some(n),
+            Endpoint::Engine => None,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Node(n) => write!(f, "#{n}"),
+            Endpoint::Engine => write!(f, "engine"),
+        }
+    }
+}
+
+/// Message payloads. Since every subgoal occurrence has its own node, the
+/// `(from, to)` pair identifies the arc a message travels on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    // ---- downward: customer → feeder (against the arcs) ----
+    /// Open the stream on this arc; "triggers the beginning of
+    /// computation and identifies the classes of the arguments" (§3.1).
+    /// Classes are static here, so the message carries nothing.
+    RelationRequest,
+    /// One binding for all the feeder's class-`d` arguments. The unit
+    /// tuple when the feeder's adornment has no `d` positions.
+    TupleRequest {
+        /// Values aligned with the feeder label's `d` positions.
+        binding: Tuple,
+    },
+    /// A packaged set of tuple requests (§3.1 footnote 2: "a further
+    /// enhancement would be to 'package' a set of related tuple
+    /// requests, in case the node servicing the request can gain some
+    /// efficiency of volume"). Semantically identical to sending each
+    /// binding separately; sent when batching is enabled and one message
+    /// produced several requests for the same arc.
+    TupleRequestBatch {
+        /// The bindings, each aligned with the feeder's `d` positions.
+        bindings: Vec<Tuple>,
+    },
+    /// No further tuple requests will ever be sent on this arc.
+    EndOfRequests,
+
+    // ---- upward: feeder → customer (with the arcs) ----
+    /// A derived tuple, aligned with the feeder label's transmitted
+    /// (non-`e`) positions.
+    Answer {
+        /// The tuple.
+        tuple: Tuple,
+    },
+    /// All answers for one previously sent tuple request have been
+    /// delivered ("it can produce no more tuples for a particular tuple
+    /// request", §3.2).
+    EndTupleRequest {
+        /// The binding being completed.
+        binding: Tuple,
+    },
+    /// The whole stream on this arc is complete.
+    End,
+
+    // ---- §3.2 termination protocol, within one strong component ----
+    /// Probe wave sent down the BFST by the leader.
+    EndRequest {
+        /// Wave number (diagnostics; the protocol serializes waves).
+        wave: u64,
+    },
+    /// A subtree is not yet confirmably idle.
+    EndNegative {
+        /// Wave number.
+        wave: u64,
+    },
+    /// A subtree has been idle through two consecutive waves. Carries
+    /// Mattern-style counters of intra-component work messages as a
+    /// hardening check for the threaded runtime (the 1986 atomic-mailbox
+    /// model needs none; see DESIGN.md).
+    EndConfirmed {
+        /// Wave number.
+        wave: u64,
+        /// Total intra-component work messages sent by the subtree.
+        sent: u64,
+        /// Total intra-component work messages received by the subtree.
+        received: u64,
+    },
+    /// Broadcast down the BFST after the leader concludes: the component
+    /// is finished; members release their external feeders.
+    SccFinished,
+
+    /// Engine → node: exit (threaded runtime only).
+    Shutdown,
+}
+
+impl Payload {
+    /// True for the §3.2 protocol messages (excluded from the "work
+    /// message" counters that the protocol itself aggregates).
+    pub fn is_protocol(&self) -> bool {
+        matches!(
+            self,
+            Payload::EndRequest { .. }
+                | Payload::EndNegative { .. }
+                | Payload::EndConfirmed { .. }
+                | Payload::SccFinished
+        )
+    }
+
+    /// Short name for stats buckets.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Payload::RelationRequest => "relation_request",
+            Payload::TupleRequest { .. } => "tuple_request",
+            Payload::TupleRequestBatch { .. } => "tuple_request_batch",
+            Payload::EndOfRequests => "end_of_requests",
+            Payload::Answer { .. } => "answer",
+            Payload::EndTupleRequest { .. } => "end_tuple_request",
+            Payload::End => "end",
+            Payload::EndRequest { .. } => "end_request",
+            Payload::EndNegative { .. } => "end_negative",
+            Payload::EndConfirmed { .. } => "end_confirmed",
+            Payload::SccFinished => "scc_finished",
+            Payload::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A routed message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Msg {
+    /// Sender.
+    pub from: Endpoint,
+    /// Recipient.
+    pub to: Endpoint,
+    /// Payload.
+    pub payload: Payload,
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}: {:?}", self.from, self.to, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_storage::tuple;
+
+    #[test]
+    fn protocol_classification() {
+        assert!(Payload::EndRequest { wave: 1 }.is_protocol());
+        assert!(Payload::SccFinished.is_protocol());
+        assert!(!Payload::Answer { tuple: tuple![1] }.is_protocol());
+        assert!(!Payload::End.is_protocol());
+    }
+
+    #[test]
+    fn endpoint_helpers() {
+        assert_eq!(Endpoint::Node(3).node(), Some(3));
+        assert_eq!(Endpoint::Engine.node(), None);
+        assert_eq!(format!("{}", Endpoint::Node(3)), "#3");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let m = Msg {
+            from: Endpoint::Node(1),
+            to: Endpoint::Node(2),
+            payload: Payload::TupleRequest { binding: tuple![5] },
+        };
+        assert_eq!(format!("{m}"), "#1 -> #2: TupleRequest { binding: (5) }");
+    }
+}

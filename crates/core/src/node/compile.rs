@@ -1,0 +1,581 @@
+//! Compilation of a rule/goal graph into a process network.
+//!
+//! All schema work happens here, once, before any message flows: stage
+//! schemas with liveness projection, join column maps, request
+//! construction maps, head output maps, EDB pre-filtering and indexing.
+//! The per-message handlers in `process.rs` then only move tuples.
+
+use crate::msg::Endpoint;
+use crate::termination::TermState;
+use mp_datalog::{Database, Term, Var};
+use mp_rulegoal::{GoalKind, LabelArg, Node, NodeId, RuleGoalGraph};
+use mp_storage::{IndexedRelation, KeyIndex, Relation, Tuple, Value};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A customer arc's static configuration plus per-stream state.
+#[derive(Clone, Debug)]
+pub struct CustState {
+    /// The customer endpoint.
+    pub ep: Endpoint,
+    /// True when both ends are in the same nontrivial strong component
+    /// (no per-binding/stream ends travel such arcs; the §3.2 protocol
+    /// covers them).
+    pub intra: bool,
+    /// Bindings received on this arc.
+    pub subs: HashSet<Tuple>,
+    /// Bindings whose end-tuple-request has been sent.
+    pub ended: HashSet<Tuple>,
+    /// End-of-requests received.
+    pub eor: bool,
+    /// Stream end sent.
+    pub end_sent: bool,
+}
+
+impl CustState {
+    fn new(ep: Endpoint, intra: bool) -> Self {
+        CustState {
+            ep,
+            intra,
+            subs: HashSet::new(),
+            ended: HashSet::new(),
+            eor: false,
+            end_sent: false,
+        }
+    }
+}
+
+/// A feeder arc's static configuration.
+#[derive(Clone, Debug)]
+pub struct FeederCfg {
+    /// The feeder node.
+    pub node: NodeId,
+    /// Same-nontrivial-SCC flag (see [`CustState::intra`]).
+    pub intra: bool,
+}
+
+/// Static configuration of an IDB goal node.
+#[derive(Clone, Debug)]
+pub struct GoalCfg {
+    /// Positions of the label's `d` arguments *within* the transmitted
+    /// (non-`e`) schema — the columns customers' bindings address.
+    pub d_in_transmitted: Vec<usize>,
+    /// Transmitted schema width.
+    pub transmitted_len: usize,
+}
+
+/// Static configuration of an EDB leaf.
+#[derive(Clone, Debug)]
+pub struct EdbCfg {
+    /// The base relation, pre-filtered by the label's constants and
+    /// repeated-variable equalities, with full arity.
+    pub filtered: Relation,
+    /// Hash index of `filtered` on the label's `d` positions.
+    pub index: KeyIndex,
+    /// Transmitted (non-`e`) positions, full-arity space.
+    pub transmitted: Vec<usize>,
+}
+
+/// Static configuration of a cycle-reference node: a relay that performs
+/// the ancestor's "selection" by subscription.
+#[derive(Clone, Debug)]
+pub struct CycleCfg {
+    /// The ancestor goal node (feeder index 0).
+    pub ancestor: NodeId,
+}
+
+/// Where a head output column comes from.
+#[derive(Clone, Debug)]
+pub enum HeadSource {
+    /// A constant in the instance head.
+    Const(Value),
+    /// A column of the final stage schema.
+    Var(usize),
+}
+
+/// One pipeline stage: joining the next subgoal's answers into the
+/// accumulated bindings.
+#[derive(Clone, Debug)]
+pub struct StageCfg {
+    /// Feeder index of the subgoal's goal node.
+    pub feeder_idx: usize,
+    /// Stage schema *after* this join (liveness-projected).
+    pub schema: Vec<Var>,
+    /// For each `d` position of the subgoal (in position order): the
+    /// supplying column of the previous stage schema.
+    pub request_from_prev: Vec<usize>,
+    /// Join key columns in the previous stage schema.
+    pub join_prev_cols: Vec<usize>,
+    /// Join key columns in the subgoal's answer (transmitted space),
+    /// aligned with `join_prev_cols`.
+    pub join_answer_cols: Vec<usize>,
+    /// Pairs of answer columns that must be equal (repeated variables).
+    pub answer_eq_checks: Vec<(usize, usize)>,
+    /// How to build a stage tuple from (previous stage tuple, answer).
+    pub build: Vec<StageSource>,
+    /// The subgoal's transmitted arity (width of its answer tuples).
+    pub answer_arity: usize,
+}
+
+/// Source of one stage-schema column.
+#[derive(Clone, Copy, Debug)]
+pub enum StageSource {
+    /// Column of the previous stage tuple.
+    Prev(usize),
+    /// Column of the incoming answer.
+    Ans(usize),
+}
+
+/// Static configuration of a rule node's staged pipeline.
+#[derive(Clone, Debug)]
+pub struct RuleCfg {
+    /// Instance head terms at the label's `d` positions (constants filter
+    /// incoming bindings; variables seed stage 0).
+    pub head_d_terms: Vec<Term>,
+    /// Stage-0 schema: the distinct bound head variables.
+    pub stage0_schema: Vec<Var>,
+    /// The subgoal stages, in SIP order.
+    pub stages: Vec<StageCfg>,
+    /// Output map for the head label's transmitted positions.
+    pub head_out: Vec<HeadSource>,
+}
+
+/// Per-rule-node mutable state.
+#[derive(Clone, Debug, Default)]
+pub struct RuleState {
+    /// `stage_bindings[l]` = accumulated bindings after stage `l`
+    /// (0 = head seeds), indexed for the next stage's join.
+    pub stage_bindings: Vec<IndexedRelation>,
+    /// Stored subgoal answers per stage (§3.1's temporary relations),
+    /// indexed on the join key.
+    pub ans_store: Vec<IndexedRelation>,
+    /// Requests already sent per stage.
+    pub requested: Vec<HashSet<Tuple>>,
+    /// `stage_closed[l]`: no more stage-`l` bindings will be derived
+    /// (trivial-component nodes only).
+    pub stage_closed: Vec<bool>,
+}
+
+/// Per-goal-node mutable state.
+#[derive(Clone, Debug, Default)]
+pub struct GoalState {
+    /// The node's answer relation (transmitted schema), indexed on the
+    /// `d` columns.
+    pub answers: IndexedRelation,
+    /// Globally seen bindings (deduplicates forwarding to rule children).
+    pub bindings: HashSet<Tuple>,
+    /// binding → customer indices subscribed to it.
+    pub subs_by_binding: HashMap<Tuple, Vec<usize>>,
+}
+
+/// Behavior + state of one process.
+#[derive(Clone, Debug)]
+pub enum Behavior {
+    /// Expanded IDB goal node: unions its rule children, stores answers,
+    /// streams per subscription.
+    Goal {
+        /// Static config.
+        cfg: GoalCfg,
+        /// Mutable state.
+        st: GoalState,
+    },
+    /// EDB leaf.
+    Edb {
+        /// Static config.
+        cfg: EdbCfg,
+    },
+    /// Rule node pipeline.
+    Rule {
+        /// Static config.
+        cfg: RuleCfg,
+        /// Mutable state.
+        st: RuleState,
+    },
+    /// Cycle-reference relay.
+    CycleRef {
+        /// Static config.
+        cfg: CycleCfg,
+    },
+}
+
+/// State shared by all process kinds.
+#[derive(Clone, Debug)]
+pub struct Common {
+    /// This node's id.
+    pub id: NodeId,
+    /// Customer arcs.
+    pub customers: Vec<CustState>,
+    /// Feeder arcs.
+    pub feeders: Vec<FeederCfg>,
+    /// Stream-end received per feeder.
+    pub feeder_end: Vec<bool>,
+    /// Outstanding (feeder, binding) tuple requests on cross arcs.
+    pub pending: HashSet<(usize, Tuple)>,
+    /// Relation request already forwarded to feeders.
+    pub relreq_forwarded: bool,
+    /// End-of-requests already sent to feeders.
+    pub eor_sent_to_feeders: bool,
+    /// §3.2 protocol state (members of nontrivial components only).
+    pub term: Option<TermState>,
+    /// Package tuple requests produced while handling one message into
+    /// one batch per arc (§3.1 footnote 2).
+    pub batching: bool,
+    /// Per-feeder buffer of requests awaiting the end-of-handle flush
+    /// (only used when `batching` is set).
+    pub batch_buf: Vec<Vec<Tuple>>,
+}
+
+/// One compiled process.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// Shared plumbing.
+    pub common: Common,
+    /// Kind-specific behavior.
+    pub behavior: Behavior,
+}
+
+/// The compiled network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// Processes indexed by [`NodeId`].
+    pub processes: Vec<Process>,
+    /// The root goal node (its customer is the engine).
+    pub root: NodeId,
+    /// Answer arity (the goal predicate's transmitted width).
+    pub answer_arity: usize,
+}
+
+impl Network {
+    /// Enable request batching (§3.1 footnote 2) on every process.
+    pub fn set_batching(&mut self, on: bool) {
+        for p in &mut self.processes {
+            p.common.batching = on;
+        }
+    }
+
+    /// Compile `graph` over `db`.
+    pub fn compile(graph: &RuleGoalGraph, db: &Database) -> Network {
+        let scc = graph.scc();
+        let intra = |a: NodeId, b: NodeId| -> bool {
+            scc.component_of(a) == scc.component_of(b) && scc.in_nontrivial(a)
+        };
+
+        let mut processes = Vec::with_capacity(graph.len());
+        for (id, node) in graph.nodes() {
+            let mut customers: Vec<CustState> = graph
+                .customers(id)
+                .iter()
+                .map(|&(c, _)| CustState::new(Endpoint::Node(c), intra(id, c)))
+                .collect();
+            if id == graph.root() {
+                customers.push(CustState::new(Endpoint::Engine, false));
+            }
+            let feeders: Vec<FeederCfg> = graph
+                .feeders(id)
+                .iter()
+                .map(|&(f, _)| FeederCfg {
+                    node: f,
+                    intra: intra(id, f),
+                })
+                .collect();
+            let term = if scc.in_nontrivial(id) {
+                let comp = scc.component_of(id);
+                let leader = scc.leader_of(comp).expect("nontrivial SCC has a leader");
+                Some(TermState::new(
+                    leader == id,
+                    scc.bfst_parent(id),
+                    scc.bfst_children(id).to_vec(),
+                ))
+            } else {
+                None
+            };
+
+            let behavior = match node {
+                Node::Goal { label, kind, .. } => match kind {
+                    GoalKind::Idb => {
+                        let ad = label.adornment();
+                        let transmitted = ad.transmitted_positions();
+                        let d_in_transmitted = ad
+                            .d_positions()
+                            .iter()
+                            .map(|p| {
+                                transmitted
+                                    .iter()
+                                    .position(|t| t == p)
+                                    .expect("d positions are transmitted")
+                            })
+                            .collect();
+                        let mut st = GoalState {
+                            answers: IndexedRelation::new(transmitted.len()),
+                            ..GoalState::default()
+                        };
+                        let cfg = GoalCfg {
+                            d_in_transmitted,
+                            transmitted_len: transmitted.len(),
+                        };
+                        st.answers
+                            .ensure_index(&cfg.d_in_transmitted)
+                            .expect("columns in range");
+                        Behavior::Goal { cfg, st }
+                    }
+                    GoalKind::Edb => Behavior::Edb {
+                        cfg: compile_edb(label, db),
+                    },
+                    GoalKind::CycleRef { ancestor } => Behavior::CycleRef {
+                        cfg: CycleCfg { ancestor: *ancestor },
+                    },
+                },
+                Node::Rule {
+                    rule,
+                    plan,
+                    head_label,
+                    ..
+                } => {
+                    let (cfg, st) = compile_rule(rule, plan, head_label);
+                    Behavior::Rule { cfg, st }
+                }
+            };
+
+            let feeder_count = feeders.len();
+            processes.push(Process {
+                common: Common {
+                    id,
+                    customers,
+                    feeders,
+                    feeder_end: vec![false; graph.feeders(id).len()],
+                    pending: HashSet::new(),
+                    relreq_forwarded: false,
+                    eor_sent_to_feeders: false,
+                    term,
+                    batching: false,
+                    batch_buf: vec![Vec::new(); feeder_count],
+                },
+                behavior,
+            });
+        }
+
+        let root_label = graph
+            .node(graph.root())
+            .goal_label()
+            .expect("root is a goal node");
+        Network {
+            processes,
+            root: graph.root(),
+            answer_arity: root_label.adornment().transmitted_positions().len(),
+        }
+    }
+}
+
+/// Pre-filter and index an EDB relation for a leaf's label.
+fn compile_edb(label: &mp_rulegoal::GoalLabel, db: &Database) -> EdbCfg {
+    let ad = label.adornment();
+    let base = db
+        .relation(&label.pred)
+        .cloned()
+        .unwrap_or_else(|| Relation::new(label.arity()));
+
+    // Constant checks and repeated-variable groups from the label.
+    let mut const_checks: Vec<(usize, Value)> = Vec::new();
+    let mut group_positions: HashMap<u16, Vec<usize>> = HashMap::new();
+    for (i, arg) in label.args.iter().enumerate() {
+        match arg {
+            LabelArg::Const(v) => const_checks.push((i, v.clone())),
+            LabelArg::Var { group, .. } => {
+                group_positions.entry(*group).or_default().push(i)
+            }
+        }
+    }
+    let eq_groups: Vec<Vec<usize>> = group_positions
+        .into_values()
+        .filter(|g| g.len() > 1)
+        .collect();
+
+    let mut filtered = Relation::new(base.arity());
+    for t in base.iter() {
+        let consts_ok = const_checks.iter().all(|(i, v)| &t[*i] == v);
+        let eq_ok = eq_groups
+            .iter()
+            .all(|g| g.iter().all(|&p| t[p] == t[g[0]]));
+        if consts_ok && eq_ok {
+            filtered
+                .insert(t.clone())
+                .expect("same arity as the base relation");
+        }
+    }
+    let d_positions = ad.d_positions();
+    let index = KeyIndex::build(&filtered, &d_positions).expect("d positions in range");
+    EdbCfg {
+        filtered,
+        index,
+        transmitted: ad.transmitted_positions(),
+    }
+}
+
+/// Compile a rule node's staged pipeline.
+fn compile_rule(
+    rule: &mp_datalog::Rule,
+    plan: &mp_rulegoal::SipPlan,
+    head_label: &mp_rulegoal::GoalLabel,
+) -> (RuleCfg, RuleState) {
+    let head_ad = head_label.adornment();
+    let head_d = head_ad.d_positions();
+    let head_t = head_ad.transmitted_positions();
+
+    let head_d_terms: Vec<Term> = head_d.iter().map(|&p| rule.head.terms[p].clone()).collect();
+    let mut stage0_schema: Vec<Var> = Vec::new();
+    for t in &head_d_terms {
+        if let Term::Var(v) = t {
+            if !stage0_schema.contains(v) {
+                stage0_schema.push(v.clone());
+            }
+        }
+    }
+
+    // Head transmitted variables are live through every stage.
+    let head_live: BTreeSet<Var> = head_t
+        .iter()
+        .filter_map(|&p| rule.head.terms[p].as_var().cloned())
+        .collect();
+
+    let k = plan.order.len();
+    let mut stages = Vec::with_capacity(k);
+    let mut prev_schema = stage0_schema.clone();
+
+    for (i, &sg_idx) in plan.order.iter().enumerate() {
+        let atom = &rule.body[sg_idx];
+        let ad = &plan.adornments[sg_idx];
+        let tp = ad.transmitted_positions();
+
+        // Answer-space variable map and equality checks.
+        let mut ans_first: HashMap<Var, usize> = HashMap::new();
+        let mut answer_eq_checks = Vec::new();
+        let mut ans_vars_in_order: Vec<Var> = Vec::new();
+        for (ai, &p) in tp.iter().enumerate() {
+            if let Term::Var(v) = &atom.terms[p] {
+                match ans_first.get(v) {
+                    Some(&first) => answer_eq_checks.push((first, ai)),
+                    None => {
+                        ans_first.insert(v.clone(), ai);
+                        ans_vars_in_order.push(v.clone());
+                    }
+                }
+            }
+        }
+
+        // Liveness: variables needed after this stage.
+        let mut live: BTreeSet<Var> = head_live.clone();
+        for &later in &plan.order[i + 1..] {
+            live.extend(rule.body[later].vars());
+        }
+
+        let prev_set: BTreeSet<Var> = prev_schema.iter().cloned().collect();
+        let mut schema: Vec<Var> = prev_schema
+            .iter()
+            .filter(|v| live.contains(*v))
+            .cloned()
+            .collect();
+        for v in &ans_vars_in_order {
+            if live.contains(v) && !prev_set.contains(v) && !schema.contains(v) {
+                schema.push(v.clone());
+            }
+        }
+
+        // Join key: answer vars already present in the previous schema.
+        let mut join_prev_cols = Vec::new();
+        let mut join_answer_cols = Vec::new();
+        for (pi, v) in prev_schema.iter().enumerate() {
+            if let Some(&ai) = ans_first.get(v) {
+                join_prev_cols.push(pi);
+                join_answer_cols.push(ai);
+            }
+        }
+
+        // Requests: the subgoal's d positions supplied from the previous
+        // stage.
+        let request_from_prev = ad
+            .d_positions()
+            .iter()
+            .map(|&p| {
+                let v = atom.terms[p]
+                    .as_var()
+                    .expect("class-d arguments are variables");
+                prev_schema
+                    .iter()
+                    .position(|pv| pv == v)
+                    .expect("d variables are bound by earlier stages")
+            })
+            .collect();
+
+        let build = schema
+            .iter()
+            .map(|v| match prev_schema.iter().position(|pv| pv == v) {
+                Some(pi) => StageSource::Prev(pi),
+                None => StageSource::Ans(ans_first[v]),
+            })
+            .collect();
+
+        stages.push(StageCfg {
+            feeder_idx: i,
+            schema: schema.clone(),
+            request_from_prev,
+            join_prev_cols,
+            join_answer_cols,
+            answer_eq_checks,
+            build,
+            answer_arity: tp.len(),
+        });
+        prev_schema = schema;
+    }
+
+    let head_out = head_t
+        .iter()
+        .map(|&p| match &rule.head.terms[p] {
+            Term::Const(v) => HeadSource::Const(v.clone()),
+            Term::Var(v) => HeadSource::Var(
+                prev_schema
+                    .iter()
+                    .position(|pv| pv == v)
+                    .expect("transmitted head variables survive liveness"),
+            ),
+        })
+        .collect();
+
+    // Mutable state with indexes prepared.
+    let mut stage_bindings = Vec::with_capacity(k + 1);
+    let mut first = IndexedRelation::new(stage0_schema.len());
+    if let Some(s) = stages.first() {
+        first.ensure_index(&s.join_prev_cols).expect("in range");
+    }
+    stage_bindings.push(first);
+    for (i, s) in stages.iter().enumerate() {
+        let mut rel = IndexedRelation::new(s.schema.len());
+        if let Some(next) = stages.get(i + 1) {
+            rel.ensure_index(&next.join_prev_cols).expect("in range");
+        }
+        stage_bindings.push(rel);
+    }
+    let ans_store = stages
+        .iter()
+        .map(|s| {
+            let mut rel = IndexedRelation::new(s.answer_arity);
+            rel.ensure_index(&s.join_answer_cols).expect("in range");
+            rel
+        })
+        .collect();
+
+    let st = RuleState {
+        stage_bindings,
+        ans_store,
+        requested: vec![HashSet::new(); k],
+        stage_closed: vec![false; k + 1],
+    };
+    (
+        RuleCfg {
+            head_d_terms,
+            stage0_schema,
+            stages,
+            head_out,
+        },
+        st,
+    )
+}
+

@@ -1,0 +1,14 @@
+//! Node processes: each rule/goal graph node compiled into a process
+//! with its own temporary relations (§2.2: "we interpret each node as a
+//! processor that performs a relational computation"; §3.1: "it is
+//! appropriate for rule nodes to store their subgoals' temporary
+//! relations, assuming no shared memory").
+
+mod compile;
+mod process;
+
+pub use compile::{
+    Behavior, Common, CustState, CycleCfg, EdbCfg, FeederCfg, GoalCfg, GoalState, HeadSource,
+    Network, Process, RuleCfg, RuleState, StageCfg, StageSource,
+};
+pub use process::Ctx;

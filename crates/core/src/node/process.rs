@@ -1,0 +1,793 @@
+//! Per-message process logic (§3.1) and its interaction with the §3.2
+//! termination protocol.
+//!
+//! Completion has two granularities:
+//!
+//! * **per binding** — a feeder sends `EndTupleRequest(b)` once `b`'s
+//!   answers are certainly complete. EDB leaves end each binding
+//!   immediately; trivial-component nodes flush ends whenever they are
+//!   *settled* (every tuple request they themselves issued on cross-
+//!   component arcs has been ended — at that point everything derivable
+//!   has been derived and forwarded, because per-arc delivery is FIFO);
+//!   leaders of recursive components flush at probe conclusion (Thm 3.1).
+//! * **per stream** — `EndOfRequests` cascades down (a customer promises
+//!   no further bindings), `End` cascades up. Rule nodes close stage by
+//!   stage: stage *l* closes when stage *l−1* is closed and subgoal *l*'s
+//!   stream has ended; closing stage *l* releases `EndOfRequests` to
+//!   subgoal *l+1*; closing the last stage ends the head stream. Inside
+//!   a nontrivial strong component the cascade is impossible (cycles), so
+//!   streams there are closed by the probe protocol instead.
+
+use super::compile::{
+    Behavior, Common, EdbCfg, GoalCfg, GoalState, HeadSource, Process, RuleCfg,
+    RuleState, StageSource,
+};
+use crate::msg::{Endpoint, Msg, Payload};
+use crate::stats::Stats;
+use crate::termination::TermAction;
+use mp_datalog::Term;
+use mp_storage::{Tuple, Value};
+
+/// Per-message context handed to a process by the runtime.
+pub struct Ctx<'a> {
+    /// Outbound message buffer (routed by the runtime afterwards).
+    pub out: &'a mut Vec<Msg>,
+    /// Shared stats sink.
+    pub stats: &'a mut Stats,
+    /// True if the node's mailbox is empty (not counting the message
+    /// being processed) — the `empty_queues()` input of Fig 2.
+    pub mailbox_empty: bool,
+}
+
+impl Common {
+    /// `empty_queues()` (Fig 2): mailbox drained and every tuple request
+    /// issued on cross-component arcs has been ended.
+    pub fn empty_queues(&self, mailbox_empty: bool) -> bool {
+        mailbox_empty && self.pending.is_empty()
+    }
+
+    /// Business left on external customer arcs: un-ended bindings, or an
+    /// end-of-requests we have not yet answered with a stream end.
+    pub fn unfinished_business(&self) -> bool {
+        self.customers.iter().any(|c| {
+            !c.intra && (c.subs.len() > c.ended.len() || (c.eor && !c.end_sent))
+        })
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_>, to: Endpoint, payload: Payload, intra: bool) {
+        // Message-kind stats are counted once, by the runtime, when the
+        // message is routed.
+        if intra && !payload.is_protocol() {
+            if let Some(t) = self.term.as_mut() {
+                t.intra_sent += 1;
+            }
+        }
+        ctx.out.push(Msg {
+            from: Endpoint::Node(self.id),
+            to,
+            payload,
+        });
+    }
+
+    fn customer_idx(&self, ep: Endpoint) -> usize {
+        self.customers
+            .iter()
+            .position(|c| c.ep == ep)
+            .expect("message from a non-customer")
+    }
+
+    fn feeder_idx(&self, ep: Endpoint) -> usize {
+        let node = ep.node().expect("feeders are nodes");
+        self.feeders
+            .iter()
+            .position(|f| f.node == node)
+            .expect("message from a non-feeder")
+    }
+
+    /// Forward the relation request to all feeders, once.
+    fn forward_relreq(&mut self, ctx: &mut Ctx<'_>) {
+        if self.relreq_forwarded {
+            return;
+        }
+        self.relreq_forwarded = true;
+        for i in 0..self.feeders.len() {
+            let (node, intra) = (self.feeders[i].node, self.feeders[i].intra);
+            self.send(ctx, Endpoint::Node(node), Payload::RelationRequest, intra);
+        }
+    }
+
+    /// Send a tuple request to feeder `i`, tracking cross-arc pendings.
+    /// With batching enabled the request is buffered and flushed (as one
+    /// packaged message per arc) when the current message finishes.
+    fn request_feeder(&mut self, ctx: &mut Ctx<'_>, i: usize, binding: Tuple) {
+        let intra = self.feeders[i].intra;
+        if !intra {
+            self.pending.insert((i, binding.clone()));
+        }
+        if self.batching {
+            self.batch_buf[i].push(binding);
+            return;
+        }
+        let node = self.feeders[i].node;
+        self.send(ctx, Endpoint::Node(node), Payload::TupleRequest { binding }, intra);
+    }
+
+    /// Flush buffered requests when the node is about to go idle (its
+    /// mailbox is drained) or a buffer overflows: one `TupleRequest` for
+    /// a single binding, one `TupleRequestBatch` for several. Buffering
+    /// across messages is what gives the §3.1-footnote-2 packaging its
+    /// volume; pending-tracking happens at buffer time, so the §3.2
+    /// protocol can never declare a node idle while it holds unsent
+    /// requests.
+    fn flush_batches(&mut self, ctx: &mut Ctx<'_>) {
+        const OVERFLOW: usize = 64;
+        if !self.batching {
+            return;
+        }
+        if !ctx.mailbox_empty && self.batch_buf.iter().all(|b| b.len() < OVERFLOW) {
+            return;
+        }
+        self.flush_batches_now(ctx);
+    }
+
+    /// Unconditionally flush every buffer (used before releasing feeders
+    /// so an `EndOfRequests` can never overtake buffered requests).
+    fn flush_batches_now(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.batch_buf.len() {
+            if self.batch_buf[i].is_empty() {
+                continue;
+            }
+            let bindings = std::mem::take(&mut self.batch_buf[i]);
+            let (node, intra) = (self.feeders[i].node, self.feeders[i].intra);
+            let payload = if bindings.len() == 1 {
+                Payload::TupleRequest {
+                    binding: bindings.into_iter().next().expect("one binding"),
+                }
+            } else {
+                Payload::TupleRequestBatch { bindings }
+            };
+            self.send(ctx, Endpoint::Node(node), payload, intra);
+        }
+    }
+
+    /// Flush per-binding ends on all cross customer arcs.
+    fn flush_etrs(&mut self, ctx: &mut Ctx<'_>) {
+        for ci in 0..self.customers.len() {
+            if self.customers[ci].intra {
+                continue;
+            }
+            if self.customers[ci].subs.len() == self.customers[ci].ended.len() {
+                continue;
+            }
+            let to_end: Vec<Tuple> = self.customers[ci]
+                .subs
+                .iter()
+                .filter(|b| !self.customers[ci].ended.contains(*b))
+                .cloned()
+                .collect();
+            let ep = self.customers[ci].ep;
+            for b in to_end {
+                self.customers[ci].ended.insert(b.clone());
+                self.send(ctx, ep, Payload::EndTupleRequest { binding: b }, false);
+            }
+        }
+    }
+
+    /// Send `EndOfRequests` to every cross feeder, once.
+    fn release_feeders(&mut self, ctx: &mut Ctx<'_>) {
+        if self.eor_sent_to_feeders {
+            return;
+        }
+        self.flush_batches_now(ctx);
+        self.eor_sent_to_feeders = true;
+        for i in 0..self.feeders.len() {
+            if !self.feeders[i].intra {
+                let node = self.feeders[i].node;
+                self.send(ctx, Endpoint::Node(node), Payload::EndOfRequests, false);
+            }
+        }
+    }
+
+    /// Send the stream end on every cross customer arc whose customer has
+    /// sent end-of-requests.
+    fn end_streams(&mut self, ctx: &mut Ctx<'_>) {
+        for ci in 0..self.customers.len() {
+            let c = &self.customers[ci];
+            if c.intra || !c.eor || c.end_sent {
+                continue;
+            }
+            let ep = c.ep;
+            self.customers[ci].end_sent = true;
+            self.send(ctx, ep, Payload::End, false);
+        }
+    }
+
+    /// All cross customers have sent end-of-requests.
+    fn all_customers_released(&self) -> bool {
+        self.customers.iter().filter(|c| !c.intra).all(|c| c.eor)
+    }
+}
+
+impl Process {
+    /// Handle one message. The runtime routes `ctx.out` afterwards.
+    pub fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        ctx.stats.messages_processed += 1;
+        let from = msg.from;
+        match msg.payload {
+            Payload::Shutdown => return,
+            Payload::EndRequest { wave } => {
+                let empty = self.common.empty_queues(ctx.mailbox_empty);
+                let id = self.common.id;
+                if let Some(t) = self.common.term.as_mut() {
+                    t.on_end_request(id, wave, empty, ctx.out);
+                }
+            }
+            Payload::EndNegative { .. } => {
+                let empty = self.common.empty_queues(ctx.mailbox_empty);
+                let unfinished = self.common.unfinished_business();
+                let id = self.common.id;
+                let action = self
+                    .common
+                    .term
+                    .as_mut()
+                    .map(|t| t.on_end_negative(id, empty, unfinished, ctx.out))
+                    .unwrap_or(TermAction::None);
+                if action == TermAction::Conclude {
+                    self.conclude(ctx);
+                }
+            }
+            Payload::EndConfirmed { sent, received, .. } => {
+                let empty = self.common.empty_queues(ctx.mailbox_empty);
+                let unfinished = self.common.unfinished_business();
+                let id = self.common.id;
+                let action = self
+                    .common
+                    .term
+                    .as_mut()
+                    .map(|t| t.on_end_confirmed(id, sent, received, empty, unfinished, ctx.out))
+                    .unwrap_or(TermAction::None);
+                if action == TermAction::Conclude {
+                    self.conclude(ctx);
+                }
+            }
+            Payload::SccFinished => {
+                self.on_scc_finished(ctx);
+            }
+            work => {
+                // Any non-protocol message is work: it resets idleness and
+                // counts toward the intra-component receive counter.
+                let from_intra = match from {
+                    Endpoint::Engine => false,
+                    Endpoint::Node(n) => {
+                        self.common
+                            .customers
+                            .iter()
+                            .find(|c| c.ep == Endpoint::Node(n))
+                            .map(|c| c.intra)
+                            .or_else(|| {
+                                self.common
+                                    .feeders
+                                    .iter()
+                                    .find(|f| f.node == n)
+                                    .map(|f| f.intra)
+                            })
+                            .unwrap_or(false)
+                    }
+                };
+                if let Some(t) = self.common.term.as_mut() {
+                    t.on_work();
+                    if from_intra {
+                        t.intra_recv += 1;
+                    }
+                }
+                self.handle_work(from, work, ctx);
+            }
+        }
+        self.common.flush_batches(ctx);
+        self.post_step(ctx);
+    }
+
+    fn handle_work(&mut self, from: Endpoint, payload: Payload, ctx: &mut Ctx<'_>) {
+        match payload {
+            Payload::RelationRequest => {
+                let ci = self.common.customer_idx(from);
+                let _ = ci;
+                self.common.forward_relreq(ctx);
+            }
+            Payload::TupleRequest { binding } => {
+                let ci = self.common.customer_idx(from);
+                self.on_tuple_request(ci, binding, ctx);
+            }
+            Payload::TupleRequestBatch { bindings } => {
+                let ci = self.common.customer_idx(from);
+                for binding in bindings {
+                    self.on_tuple_request(ci, binding, ctx);
+                }
+            }
+            Payload::Answer { tuple } => {
+                let fi = self.common.feeder_idx(from);
+                match &mut self.behavior {
+                    Behavior::Goal { cfg, st } => goal_on_answer(cfg, st, &mut self.common, tuple, ctx),
+                    Behavior::Rule { cfg, st } => {
+                        rule_on_answer(cfg, st, &mut self.common, fi, tuple, ctx)
+                    }
+                    Behavior::CycleRef { .. } => {
+                        // Relay to the rule parent; the ancestor already
+                        // performed the selection by subscription.
+                        let ep = self.common.customers[0].ep;
+                        let intra = self.common.customers[0].intra;
+                        self.common.send(ctx, ep, Payload::Answer { tuple }, intra);
+                    }
+                    Behavior::Edb { .. } => unreachable!("EDB leaves have no feeders"),
+                }
+            }
+            Payload::EndTupleRequest { binding } => {
+                let fi = self.common.feeder_idx(from);
+                self.common.pending.remove(&(fi, binding));
+            }
+            Payload::End => {
+                let fi = self.common.feeder_idx(from);
+                self.common.feeder_end[fi] = true;
+                if self.common.term.is_none() {
+                    match &mut self.behavior {
+                        Behavior::Rule { cfg, st } => {
+                            // Stream end from the stage-(fi+1) subgoal.
+                            rule_close_stage(cfg, st, &mut self.common, fi + 1, ctx);
+                        }
+                        Behavior::Goal { .. } => {
+                            goal_maybe_end(&mut self.common, ctx);
+                        }
+                        Behavior::CycleRef { .. } | Behavior::Edb { .. } => {}
+                    }
+                }
+                // Members of nontrivial components receive post-finish
+                // stream ends from released feeders; nothing to do.
+            }
+            Payload::EndOfRequests => {
+                let ci = self.common.customer_idx(from);
+                self.common.customers[ci].eor = true;
+                if self.common.term.is_none() {
+                    match &mut self.behavior {
+                        Behavior::Edb { .. } => {
+                            // Settled by construction: end the stream.
+                            self.common.end_streams(ctx);
+                        }
+                        Behavior::Goal { .. } => {
+                            if self.common.all_customers_released() {
+                                self.common.release_feeders(ctx);
+                                goal_maybe_end(&mut self.common, ctx);
+                            }
+                        }
+                        Behavior::Rule { cfg, st } => {
+                            rule_close_stage(cfg, st, &mut self.common, 0, ctx);
+                        }
+                        Behavior::CycleRef { .. } => {
+                            unreachable!("cycle-ref customers are intra-component")
+                        }
+                    }
+                }
+                // For a component leader the end-of-requests is recorded;
+                // the probe protocol concludes the stream.
+            }
+            other => unreachable!("unhandled work payload: {other:?}"),
+        }
+    }
+
+    /// Dispatch one tuple request binding to the behavior.
+    fn on_tuple_request(&mut self, ci: usize, binding: Tuple, ctx: &mut Ctx<'_>) {
+        match &mut self.behavior {
+            Behavior::Goal { cfg, st } => {
+                goal_on_request(cfg, st, &mut self.common, ci, binding, ctx)
+            }
+            Behavior::Edb { cfg } => edb_on_request(cfg, &mut self.common, ci, binding, ctx),
+            Behavior::Rule { cfg, st } => {
+                rule_on_request(cfg, st, &mut self.common, ci, binding, ctx)
+            }
+            Behavior::CycleRef { cfg } => {
+                let _ = cfg;
+                self.common.customers[ci].subs.insert(binding.clone());
+                self.common.request_feeder(ctx, 0, binding);
+            }
+        }
+    }
+
+    /// After every message: flush per-binding ends when settled (trivial
+    /// nodes), or give the leader a chance to originate a probe.
+    fn post_step(&mut self, ctx: &mut Ctx<'_>) {
+        match &self.common.term {
+            None => {
+                if self.common.pending.is_empty() {
+                    self.common.flush_etrs(ctx);
+                }
+            }
+            Some(_) => {
+                let empty = self.common.empty_queues(ctx.mailbox_empty);
+                let unfinished = self.common.unfinished_business();
+                let id = self.common.id;
+                if let Some(t) = self.common.term.as_mut() {
+                    t.maybe_originate(id, empty, unfinished, ctx.out);
+                }
+            }
+        }
+    }
+
+    /// Leader probe conclusion: the whole component is idle (Thm 3.1), so
+    /// every binding received so far is complete.
+    fn conclude(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.stats.probe_waves += self
+            .common
+            .term
+            .as_ref()
+            .map(|t| t.waves_completed)
+            .unwrap_or(0);
+        if let Some(t) = self.common.term.as_mut() {
+            t.waves_completed = 0;
+        }
+        self.common.flush_etrs(ctx);
+        if self.common.all_customers_released() {
+            self.common.end_streams(ctx);
+            self.common.release_feeders(ctx);
+            // Broadcast SccFinished down the BFST.
+            let children: Vec<_> = self
+                .common
+                .term
+                .as_ref()
+                .map(|t| t.bfst_children.clone())
+                .unwrap_or_default();
+            if let Some(t) = self.common.term.as_mut() {
+                t.finished = true;
+            }
+            for c in children {
+                self.common.send(ctx, Endpoint::Node(c), Payload::SccFinished, true);
+            }
+        }
+    }
+
+    /// Member cleanup after the leader concluded.
+    fn on_scc_finished(&mut self, ctx: &mut Ctx<'_>) {
+        let children: Vec<_> = self
+            .common
+            .term
+            .as_ref()
+            .map(|t| t.bfst_children.clone())
+            .unwrap_or_default();
+        if let Some(t) = self.common.term.as_mut() {
+            if t.finished {
+                return;
+            }
+            t.finished = true;
+        }
+        for c in children {
+            self.common.send(ctx, Endpoint::Node(c), Payload::SccFinished, true);
+        }
+        self.common.release_feeders(ctx);
+    }
+}
+
+// --------------------------------------------------------------------
+// Goal nodes
+// --------------------------------------------------------------------
+
+fn goal_on_request(
+    cfg: &GoalCfg,
+    st: &mut GoalState,
+    common: &mut Common,
+    ci: usize,
+    binding: Tuple,
+    ctx: &mut Ctx<'_>,
+) {
+    if !common.customers[ci].subs.insert(binding.clone()) {
+        return; // duplicate subscription (customers deduplicate; defensive)
+    }
+    st.subs_by_binding
+        .entry(binding.clone())
+        .or_default()
+        .push(ci);
+
+    // Backfill already-stored answers matching this binding.
+    let matching: Vec<Tuple> = st
+        .answers
+        .lookup(&cfg.d_in_transmitted, &binding)
+        .into_iter()
+        .cloned()
+        .collect();
+    let ep = common.customers[ci].ep;
+    let intra = common.customers[ci].intra;
+    for t in matching {
+        common.send(ctx, ep, Payload::Answer { tuple: t }, intra);
+    }
+
+    // First sight of this binding anywhere: fan out to the rule children.
+    if st.bindings.insert(binding.clone()) {
+        for i in 0..common.feeders.len() {
+            common.request_feeder(ctx, i, binding.clone());
+        }
+    }
+}
+
+fn goal_on_answer(
+    cfg: &GoalCfg,
+    st: &mut GoalState,
+    common: &mut Common,
+    tuple: Tuple,
+    ctx: &mut Ctx<'_>,
+) {
+    debug_assert_eq!(tuple.arity(), cfg.transmitted_len);
+    match st.answers.insert(tuple.clone()) {
+        Ok(true) => {}
+        Ok(false) => return, // duplicate: "deletion of duplicates in cycles
+        // ensures that nodes become idle when the computation is
+        // complete" (§1.2)
+        Err(e) => unreachable!("schema checked at compile time: {e}"),
+    }
+    ctx.stats.stored_tuples += 1;
+    ctx.stats.goal_stored += 1;
+    ctx.stats.max_relation_size = ctx.stats.max_relation_size.max(st.answers.len() as u64);
+    let key = tuple.project(&cfg.d_in_transmitted);
+    if let Some(subscribers) = st.subs_by_binding.get(&key) {
+        for &ci in subscribers.clone().iter() {
+            let ep = common.customers[ci].ep;
+            let intra = common.customers[ci].intra;
+            common.send(ctx, ep, Payload::Answer { tuple: tuple.clone() }, intra);
+        }
+    }
+}
+
+/// Trivial goal node: end the stream once all feeders ended and the
+/// customer released us.
+fn goal_maybe_end(common: &mut Common, ctx: &mut Ctx<'_>) {
+    if common.all_customers_released()
+        && common.feeder_end.iter().all(|&e| e)
+        && common.pending.is_empty()
+    {
+        common.flush_etrs(ctx);
+        common.end_streams(ctx);
+    }
+}
+
+// --------------------------------------------------------------------
+// EDB leaves
+// --------------------------------------------------------------------
+
+fn edb_on_request(
+    cfg: &EdbCfg,
+    common: &mut Common,
+    ci: usize,
+    binding: Tuple,
+    ctx: &mut Ctx<'_>,
+) {
+    common.customers[ci].subs.insert(binding.clone());
+    ctx.stats.edb_lookups += 1;
+    let mut seen = mp_storage::Relation::new(cfg.transmitted.len());
+    let rows: Vec<&Tuple> = cfg
+        .index
+        .get(&binding)
+        .iter()
+        .map(|&r| &cfg.filtered.rows()[r as usize])
+        .collect();
+    let ep = common.customers[ci].ep;
+    let intra = common.customers[ci].intra;
+    for row in rows {
+        let t = row.project(&cfg.transmitted);
+        if seen.insert(t.clone()).expect("projection arity") {
+            common.send(ctx, ep, Payload::Answer { tuple: t }, intra);
+        }
+    }
+    // The EDB is static: the binding is complete immediately.
+    common.customers[ci].ended.insert(binding.clone());
+    common.send(ctx, ep, Payload::EndTupleRequest { binding }, intra);
+}
+
+// --------------------------------------------------------------------
+// Rule nodes
+// --------------------------------------------------------------------
+
+fn rule_on_request(
+    cfg: &RuleCfg,
+    st: &mut RuleState,
+    common: &mut Common,
+    ci: usize,
+    binding: Tuple,
+    ctx: &mut Ctx<'_>,
+) {
+    common.customers[ci].subs.insert(binding.clone());
+    // Unify the binding with the instance head's d-position terms.
+    let Some(seed) = unify_binding(&cfg.head_d_terms, &cfg.stage0_schema, &binding) else {
+        return; // head constants reject this binding
+    };
+    if st.stage_bindings[0].insert(seed.clone()).expect("stage-0 arity") {
+        ctx.stats.stored_tuples += 1;
+        rule_propagate(cfg, st, common, 0, seed, ctx);
+    }
+}
+
+/// Match a binding (values for the head label's `d` positions) against
+/// the instance head terms; produce the stage-0 tuple.
+fn unify_binding(head_d_terms: &[Term], schema: &[mp_datalog::Var], binding: &Tuple) -> Option<Tuple> {
+    debug_assert_eq!(head_d_terms.len(), binding.arity());
+    let mut values: Vec<Option<Value>> = vec![None; schema.len()];
+    for (t, v) in head_d_terms.iter().zip(binding.values()) {
+        match t {
+            Term::Const(c) => {
+                if c != v {
+                    return None;
+                }
+            }
+            Term::Var(var) => {
+                let i = schema
+                    .iter()
+                    .position(|s| s == var)
+                    .expect("stage-0 schema covers bound head vars");
+                match &values[i] {
+                    Some(existing) if existing != v => return None,
+                    _ => values[i] = Some(v.clone()),
+                }
+            }
+        }
+    }
+    Some(values.into_iter().map(|v| v.expect("all bound")).collect())
+}
+
+/// A new tuple landed in stage `level`; push it through the pipeline.
+fn rule_propagate(
+    cfg: &RuleCfg,
+    st: &mut RuleState,
+    common: &mut Common,
+    level: usize,
+    tuple: Tuple,
+    ctx: &mut Ctx<'_>,
+) {
+    let k = cfg.stages.len();
+    if level == k {
+        emit_head(cfg, common, &tuple, ctx);
+        return;
+    }
+    let stage = &cfg.stages[level];
+
+    // Issue the tuple request for the next subgoal.
+    let req = tuple.project(&stage.request_from_prev);
+    if st.requested[level].insert(req.clone()) {
+        common.request_feeder(ctx, stage.feeder_idx, req);
+    }
+
+    // Join against the already-stored answers of that subgoal.
+    let key = tuple.project(&stage.join_prev_cols);
+    ctx.stats.join_probes += 1;
+    let matches: Vec<Tuple> = st.ans_store[level]
+        .lookup(&stage.join_answer_cols, &key)
+        .into_iter()
+        .cloned()
+        .collect();
+    for ans in matches {
+        let new_tuple: Tuple = stage
+            .build
+            .iter()
+            .map(|src| match src {
+                StageSource::Prev(i) => tuple[*i].clone(),
+                StageSource::Ans(i) => ans[*i].clone(),
+            })
+            .collect();
+        if st.stage_bindings[level + 1]
+            .insert(new_tuple.clone())
+            .expect("stage arity")
+        {
+            ctx.stats.stored_tuples += 1;
+            let sz = st.stage_bindings[level + 1].len() as u64;
+            ctx.stats.max_relation_size = ctx.stats.max_relation_size.max(sz);
+            ctx.stats.max_stage_relation = ctx.stats.max_stage_relation.max(sz);
+            rule_propagate(cfg, st, common, level + 1, new_tuple, ctx);
+        }
+    }
+}
+
+fn rule_on_answer(
+    cfg: &RuleCfg,
+    st: &mut RuleState,
+    common: &mut Common,
+    feeder_idx: usize,
+    tuple: Tuple,
+    ctx: &mut Ctx<'_>,
+) {
+    let level = feeder_idx; // stage cfg i consumes feeder i
+    let stage = &cfg.stages[level];
+    debug_assert_eq!(tuple.arity(), stage.answer_arity);
+    // Repeated-variable consistency (feeders guarantee this; checked
+    // defensively because a violation would silently corrupt joins).
+    for &(a, b) in &stage.answer_eq_checks {
+        if tuple[a] != tuple[b] {
+            debug_assert!(false, "inconsistent answer from feeder");
+            return;
+        }
+    }
+    if !st.ans_store[level].insert(tuple.clone()).expect("answer arity") {
+        return;
+    }
+    ctx.stats.stored_tuples += 1;
+    ctx.stats.max_relation_size = ctx
+        .stats
+        .max_relation_size
+        .max(st.ans_store[level].len() as u64);
+
+    // Join with the previous stage's accumulated bindings.
+    let key = tuple.project(&stage.join_answer_cols);
+    ctx.stats.join_probes += 1;
+    let prevs: Vec<Tuple> = st.stage_bindings[level]
+        .lookup(&stage.join_prev_cols, &key)
+        .into_iter()
+        .cloned()
+        .collect();
+    for prev in prevs {
+        let new_tuple: Tuple = stage
+            .build
+            .iter()
+            .map(|src| match src {
+                StageSource::Prev(i) => prev[*i].clone(),
+                StageSource::Ans(i) => tuple[*i].clone(),
+            })
+            .collect();
+        if st.stage_bindings[level + 1]
+            .insert(new_tuple.clone())
+            .expect("stage arity")
+        {
+            ctx.stats.stored_tuples += 1;
+            let sz = st.stage_bindings[level + 1].len() as u64;
+            ctx.stats.max_relation_size = ctx.stats.max_relation_size.max(sz);
+            ctx.stats.max_stage_relation = ctx.stats.max_stage_relation.max(sz);
+            rule_propagate(cfg, st, common, level + 1, new_tuple, ctx);
+        }
+    }
+}
+
+fn emit_head(cfg: &RuleCfg, common: &mut Common, final_tuple: &Tuple, ctx: &mut Ctx<'_>) {
+    let answer: Tuple = cfg
+        .head_out
+        .iter()
+        .map(|src| match src {
+            HeadSource::Const(v) => v.clone(),
+            HeadSource::Var(i) => final_tuple[*i].clone(),
+        })
+        .collect();
+    ctx.stats.derived_tuples += 1;
+    let ep = common.customers[0].ep;
+    let intra = common.customers[0].intra;
+    common.send(ctx, ep, Payload::Answer { tuple: answer }, intra);
+}
+
+/// Close stage `level` (0 = the head's end-of-requests; `l` = subgoal
+/// `l`'s stream ended), releasing the next subgoal or ending the head
+/// stream. Only runs on trivial-component rule nodes — recursive rule
+/// nodes are closed by the probe protocol.
+fn rule_close_stage(
+    cfg: &RuleCfg,
+    st: &mut RuleState,
+    common: &mut Common,
+    level: usize,
+    ctx: &mut Ctx<'_>,
+) {
+    debug_assert!(
+        level == 0 || st.stage_closed[level - 1],
+        "a subgoal can only end after we released it, which required the \
+         previous stage to be closed"
+    );
+    if st.stage_closed[level] {
+        return;
+    }
+    st.stage_closed[level] = true;
+    let k = cfg.stages.len();
+    if level < k {
+        // All requests to subgoal `level+1` have been issued; flush any
+        // buffered ones so the release cannot overtake them.
+        common.flush_batches_now(ctx);
+        let stage_feeder = cfg.stages[level].feeder_idx;
+        let (node, intra) = (
+            common.feeders[stage_feeder].node,
+            common.feeders[stage_feeder].intra,
+        );
+        debug_assert!(!intra, "trivial rule nodes have only cross feeders");
+        common.send(ctx, Endpoint::Node(node), Payload::EndOfRequests, intra);
+    } else {
+        // Head stream complete.
+        common.flush_etrs(ctx);
+        common.end_streams(ctx);
+    }
+}

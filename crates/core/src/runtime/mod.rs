@@ -1,0 +1,45 @@
+//! Runtimes executing the process network.
+
+mod sim;
+mod thread;
+
+pub use sim::{Schedule, SimOutcome, SimRuntime};
+pub use thread::{ThreadOutcome, ThreadRuntime};
+
+/// Errors raised while running a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The step budget was exhausted (runaway computation guard).
+    Diverged {
+        /// Steps executed.
+        steps: u64,
+    },
+    /// The network went quiescent without delivering the final `End` —
+    /// a termination-protocol failure (should be impossible; kept as a
+    /// first-class error so tests can assert it never happens).
+    NoTermination,
+    /// The threaded runtime timed out waiting for the final `End`.
+    Timeout {
+        /// The configured timeout in milliseconds.
+        millis: u64,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Diverged { steps } => {
+                write!(f, "evaluation exceeded {steps} steps")
+            }
+            RuntimeError::NoTermination => write!(
+                f,
+                "network quiescent without end message: termination protocol failure"
+            ),
+            RuntimeError::Timeout { millis } => {
+                write!(f, "threaded evaluation timed out after {millis} ms")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

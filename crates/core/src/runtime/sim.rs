@@ -1,0 +1,203 @@
+//! The deterministic simulated network.
+//!
+//! Per-node FIFO mailboxes with atomic enqueue — exactly the 1986 model
+//! of processes with operating-system message queues. Scheduling is
+//! pluggable: global-FIFO (fully deterministic) or seeded-random node
+//! activation (still deterministic given the seed, and per-sender FIFO is
+//! preserved because each node's mailbox is a queue). The random schedule
+//! is how the tests adversarially exercise Thm 3.1.
+
+use crate::msg::{Endpoint, Msg, Payload};
+use crate::node::{Ctx, Network};
+use crate::runtime::RuntimeError;
+use crate::stats::Stats;
+use mp_storage::{Relation, Tuple};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::collections::VecDeque;
+
+/// Message scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Global FIFO: messages delivered in send order.
+    Fifo,
+    /// Seeded random node activation (per-node mailboxes stay FIFO).
+    Random(u64),
+}
+
+/// Result of a simulated run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// The answer relation collected at the engine endpoint.
+    pub answers: Relation,
+    /// Instrumentation counters.
+    pub stats: Stats,
+    /// Full message trace, if requested.
+    pub trace: Option<Vec<Msg>>,
+}
+
+/// The simulator.
+#[derive(Clone, Debug)]
+pub struct SimRuntime {
+    /// Scheduling policy.
+    pub schedule: Schedule,
+    /// Step budget (messages processed) before declaring divergence.
+    pub max_steps: u64,
+    /// Record every routed message.
+    pub trace: bool,
+}
+
+impl Default for SimRuntime {
+    fn default() -> Self {
+        SimRuntime {
+            schedule: Schedule::Fifo,
+            max_steps: 200_000_000,
+            trace: false,
+        }
+    }
+}
+
+impl SimRuntime {
+    /// Run the network to completion: inject the top-level relation
+    /// request, one (unit or given) tuple request, and end-of-requests;
+    /// drive messages until quiescence; require the final `End`.
+    pub fn run(&self, network: &mut Network) -> Result<SimOutcome, RuntimeError> {
+        self.run_with_requests(network, std::iter::once(Tuple::unit()))
+    }
+
+    /// Like [`SimRuntime::run`] with explicit top-level tuple requests
+    /// (bindings for the goal's `d` arguments — the standard query has
+    /// none, hence a single unit request).
+    pub fn run_with_requests(
+        &self,
+        network: &mut Network,
+        requests: impl IntoIterator<Item = Tuple>,
+    ) -> Result<SimOutcome, RuntimeError> {
+        let n = network.processes.len();
+        let mut mailboxes: Vec<VecDeque<Msg>> = vec![VecDeque::new(); n];
+        let mut fifo_tokens: VecDeque<usize> = VecDeque::new();
+        let mut rng = match self.schedule {
+            Schedule::Fifo => None,
+            Schedule::Random(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+        };
+        let mut stats = Stats::default();
+        let mut trace: Option<Vec<Msg>> = if self.trace { Some(Vec::new()) } else { None };
+        let mut engine_answers = Relation::new(network.answer_arity);
+        let mut end_seen = false;
+
+        let root = Endpoint::Node(network.root);
+        let mut initial = vec![Msg {
+            from: Endpoint::Engine,
+            to: root,
+            payload: Payload::RelationRequest,
+        }];
+        for b in requests {
+            initial.push(Msg {
+                from: Endpoint::Engine,
+                to: root,
+                payload: Payload::TupleRequest { binding: b },
+            });
+        }
+        initial.push(Msg {
+            from: Endpoint::Engine,
+            to: root,
+            payload: Payload::EndOfRequests,
+        });
+
+        let route = |msg: Msg,
+                         mailboxes: &mut Vec<VecDeque<Msg>>,
+                         fifo_tokens: &mut VecDeque<usize>,
+                         stats: &mut Stats,
+                         trace: &mut Option<Vec<Msg>>,
+                         engine_answers: &mut Relation,
+                         end_seen: &mut bool| {
+            stats.count_send(&msg.payload);
+            if let Some(t) = trace.as_mut() {
+                t.push(msg.clone());
+            }
+            match msg.to {
+                Endpoint::Engine => match msg.payload {
+                    Payload::Answer { tuple } => {
+                        engine_answers
+                            .insert(tuple)
+                            .expect("answers match the goal arity");
+                    }
+                    Payload::End => *end_seen = true,
+                    Payload::EndTupleRequest { .. } => {}
+                    other => unreachable!("unexpected message to engine: {other:?}"),
+                },
+                Endpoint::Node(id) => {
+                    mailboxes[id].push_back(msg);
+                    fifo_tokens.push_back(id);
+                }
+            }
+        };
+
+        for m in initial {
+            route(
+                m,
+                &mut mailboxes,
+                &mut fifo_tokens,
+                &mut stats,
+                &mut trace,
+                &mut engine_answers,
+                &mut end_seen,
+            );
+        }
+
+        let mut out: Vec<Msg> = Vec::new();
+        let mut steps: u64 = 0;
+        loop {
+            let next = match &mut rng {
+                None => loop {
+                    match fifo_tokens.pop_front() {
+                        Some(id) if !mailboxes[id].is_empty() => break Some(id),
+                        Some(_) => continue,
+                        None => break None,
+                    }
+                },
+                Some(rng) => {
+                    let nonempty: Vec<usize> =
+                        (0..n).filter(|&i| !mailboxes[i].is_empty()).collect();
+                    if nonempty.is_empty() {
+                        None
+                    } else {
+                        Some(nonempty[rng.gen_range(0..nonempty.len())])
+                    }
+                }
+            };
+            let Some(id) = next else { break };
+            let msg = mailboxes[id].pop_front().expect("token implies a message");
+            steps += 1;
+            if steps > self.max_steps {
+                return Err(RuntimeError::Diverged { steps });
+            }
+            let mut ctx = Ctx {
+                out: &mut out,
+                stats: &mut stats,
+                mailbox_empty: mailboxes[id].is_empty(),
+            };
+            network.processes[id].handle(msg, &mut ctx);
+            for m in out.drain(..) {
+                route(
+                    m,
+                    &mut mailboxes,
+                    &mut fifo_tokens,
+                    &mut stats,
+                    &mut trace,
+                    &mut engine_answers,
+                    &mut end_seen,
+                );
+            }
+        }
+
+        if !end_seen {
+            return Err(RuntimeError::NoTermination);
+        }
+        Ok(SimOutcome {
+            answers: engine_answers,
+            stats,
+            trace,
+        })
+    }
+}

@@ -1,0 +1,162 @@
+//! The threaded runtime: one OS thread per node over crossbeam channels.
+//!
+//! This realizes the paper's deployment claim directly: "No shared memory
+//! is required … this formulation is amenable to parallel computation"
+//! (§1.2). Each node owns its temporary relations; the only communication
+//! is message passing. Channel sends are atomic enqueues, so the Fig 2
+//! protocol's `empty_queues()` check (`Receiver::is_empty`) retains the
+//! semantics it has in the simulator; the Mattern-style counters carried
+//! on confirm waves add a defence-in-depth consistency check.
+
+use crate::msg::{Endpoint, Msg, Payload};
+use crate::node::{Ctx, Network};
+use crate::runtime::RuntimeError;
+use crate::stats::Stats;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use mp_storage::{Relation, Tuple};
+use std::time::{Duration, Instant};
+
+/// Result of a threaded run (same shape as the simulator's, no trace).
+#[derive(Clone, Debug)]
+pub struct ThreadOutcome {
+    /// The answer relation.
+    pub answers: Relation,
+    /// Merged per-node stats.
+    pub stats: Stats,
+}
+
+/// The threaded runtime.
+#[derive(Clone, Debug)]
+pub struct ThreadRuntime {
+    /// Wall-clock budget for the whole evaluation.
+    pub timeout: Duration,
+}
+
+impl Default for ThreadRuntime {
+    fn default() -> Self {
+        ThreadRuntime {
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ThreadRuntime {
+    /// Run the network to completion on one thread per node.
+    pub fn run(&self, network: Network) -> Result<ThreadOutcome, RuntimeError> {
+        self.run_with_requests(network, std::iter::once(Tuple::unit()))
+    }
+
+    /// [`ThreadRuntime::run`] with explicit top-level tuple requests.
+    pub fn run_with_requests(
+        &self,
+        network: Network,
+        requests: impl IntoIterator<Item = Tuple>,
+    ) -> Result<ThreadOutcome, RuntimeError> {
+        let n = network.processes.len();
+        let answer_arity = network.answer_arity;
+        let root = network.root;
+        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
+        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        let (engine_tx, engine_rx) = unbounded::<Msg>();
+
+        let mut handles = Vec::with_capacity(n);
+        for (id, mut process) in network.processes.into_iter().enumerate() {
+            let rx = receivers[id].take().expect("receiver unclaimed");
+            let senders = senders.clone();
+            let engine_tx = engine_tx.clone();
+            handles.push(std::thread::spawn(move || -> Stats {
+                let mut stats = Stats::default();
+                let mut out: Vec<Msg> = Vec::new();
+                while let Ok(msg) = rx.recv() {
+                    if msg.payload == Payload::Shutdown {
+                        break;
+                    }
+                    let mut ctx = Ctx {
+                        out: &mut out,
+                        stats: &mut stats,
+                        mailbox_empty: rx.is_empty(),
+                    };
+                    process.handle(msg, &mut ctx);
+                    for m in out.drain(..) {
+                        stats.count_send(&m.payload);
+                        match m.to {
+                            Endpoint::Engine => {
+                                let _ = engine_tx.send(m);
+                            }
+                            Endpoint::Node(t) => {
+                                let _ = senders[t].send(m);
+                            }
+                        }
+                    }
+                }
+                stats
+            }));
+        }
+
+        // Inject the query.
+        let mut engine_stats = Stats::default();
+        let inject = |payload: Payload, engine_stats: &mut Stats| {
+            engine_stats.count_send(&payload);
+            senders[root]
+                .send(Msg {
+                    from: Endpoint::Engine,
+                    to: Endpoint::Node(root),
+                    payload,
+                })
+                .expect("root thread alive");
+        };
+        inject(Payload::RelationRequest, &mut engine_stats);
+        for b in requests {
+            inject(Payload::TupleRequest { binding: b }, &mut engine_stats);
+        }
+        inject(Payload::EndOfRequests, &mut engine_stats);
+
+        // Collect until the final End (or timeout).
+        let deadline = Instant::now() + self.timeout;
+        let mut answers = Relation::new(answer_arity);
+        let result = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break Err(RuntimeError::Timeout {
+                    millis: self.timeout.as_millis() as u64,
+                });
+            }
+            match engine_rx.recv_timeout(remaining) {
+                Ok(msg) => match msg.payload {
+                    Payload::Answer { tuple } => {
+                        answers.insert(tuple).expect("goal arity");
+                    }
+                    Payload::End => break Ok(()),
+                    Payload::EndTupleRequest { .. } => {}
+                    other => unreachable!("unexpected message to engine: {other:?}"),
+                },
+                Err(_) => {
+                    break Err(RuntimeError::Timeout {
+                        millis: self.timeout.as_millis() as u64,
+                    })
+                }
+            }
+        };
+
+        // Shut everything down and merge stats.
+        for tx in &senders {
+            let _ = tx.send(Msg {
+                from: Endpoint::Engine,
+                to: Endpoint::Engine, // routing field unused by Shutdown
+                payload: Payload::Shutdown,
+            });
+        }
+        let mut stats = engine_stats;
+        for h in handles {
+            if let Ok(s) = h.join() {
+                stats.merge(&s);
+            }
+        }
+        result.map(|()| ThreadOutcome { answers, stats })
+    }
+}

@@ -1,0 +1,162 @@
+//! Instrumentation: the communication- and work-volume observables the
+//! paper's efficiency arguments are stated in ("there are various
+//! trade-offs between … the amount of communication between processes and
+//! the amount of redundant computation in the form of joins and database
+//! retrievals", §3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters collected over one evaluation.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Stats {
+    /// Relation-request messages.
+    pub relation_requests: u64,
+    /// Tuple-request messages.
+    pub tuple_requests: u64,
+    /// Packaged tuple-request messages (batching enabled; each counts as
+    /// one message regardless of how many bindings it carries).
+    pub tuple_request_batches: u64,
+    /// Answer (tuple) messages.
+    pub answers: u64,
+    /// Per-binding end messages.
+    pub end_tuple_requests: u64,
+    /// Stream end / end-of-requests messages.
+    pub stream_ends: u64,
+    /// §3.2 protocol messages (end request / negative / confirmed /
+    /// finished).
+    pub protocol_messages: u64,
+    /// Completed probe waves (each wave = one end-request flood).
+    pub probe_waves: u64,
+    /// Distinct tuples stored across all node-local temporary relations.
+    pub stored_tuples: u64,
+    /// Distinct tuples stored at goal-node answer relations only — the
+    /// direct analogue of a bottom-up evaluator's IDB store (total
+    /// storage is larger because rule nodes also keep their subgoals'
+    /// temporary relations, the space-for-communication trade of §3.1).
+    pub goal_stored: u64,
+    /// Join probe operations inside rule nodes.
+    pub join_probes: u64,
+    /// Tuples produced by rule-node pipelines (head answers before
+    /// goal-node deduplication).
+    pub derived_tuples: u64,
+    /// Largest single node-local relation observed.
+    pub max_relation_size: u64,
+    /// Largest rule-node *stage* relation (intermediate join results) —
+    /// the quantity the monotone flow property bounds (§4.3).
+    pub max_stage_relation: u64,
+    /// EDB index lookups.
+    pub edb_lookups: u64,
+    /// Messages processed in total.
+    pub messages_processed: u64,
+}
+
+impl Stats {
+    /// Total messages sent, by summing the per-kind counters.
+    pub fn total_messages(&self) -> u64 {
+        self.relation_requests
+            + self.tuple_requests
+            + self.tuple_request_batches
+            + self.answers
+            + self.end_tuple_requests
+            + self.stream_ends
+            + self.protocol_messages
+    }
+
+    /// Work messages (everything except the termination protocol).
+    pub fn work_messages(&self) -> u64 {
+        self.total_messages() - self.protocol_messages
+    }
+
+    /// Protocol overhead ratio: protocol messages per work message.
+    pub fn protocol_overhead(&self) -> f64 {
+        if self.work_messages() == 0 {
+            0.0
+        } else {
+            self.protocol_messages as f64 / self.work_messages() as f64
+        }
+    }
+
+    /// Merge another stats block into this one (used by the threaded
+    /// runtime to sum per-node counters).
+    pub fn merge(&mut self, other: &Stats) {
+        self.relation_requests += other.relation_requests;
+        self.tuple_requests += other.tuple_requests;
+        self.tuple_request_batches += other.tuple_request_batches;
+        self.answers += other.answers;
+        self.end_tuple_requests += other.end_tuple_requests;
+        self.stream_ends += other.stream_ends;
+        self.protocol_messages += other.protocol_messages;
+        self.probe_waves += other.probe_waves;
+        self.stored_tuples += other.stored_tuples;
+        self.goal_stored += other.goal_stored;
+        self.join_probes += other.join_probes;
+        self.derived_tuples += other.derived_tuples;
+        self.max_relation_size = self.max_relation_size.max(other.max_relation_size);
+        self.max_stage_relation = self.max_stage_relation.max(other.max_stage_relation);
+        self.edb_lookups += other.edb_lookups;
+        self.messages_processed += other.messages_processed;
+    }
+
+    /// Record an outgoing message.
+    pub fn count_send(&mut self, payload: &crate::msg::Payload) {
+        use crate::msg::Payload as P;
+        match payload {
+            P::RelationRequest => self.relation_requests += 1,
+            P::TupleRequest { .. } => self.tuple_requests += 1,
+            P::TupleRequestBatch { .. } => self.tuple_request_batches += 1,
+            P::Answer { .. } => self.answers += 1,
+            P::EndTupleRequest { .. } => self.end_tuple_requests += 1,
+            P::End | P::EndOfRequests => self.stream_ends += 1,
+            P::EndRequest { .. }
+            | P::EndNegative { .. }
+            | P::EndConfirmed { .. }
+            | P::SccFinished => self.protocol_messages += 1,
+            P::Shutdown => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Payload;
+    use mp_storage::tuple;
+
+    #[test]
+    fn count_send_buckets() {
+        let mut s = Stats::default();
+        s.count_send(&Payload::TupleRequest { binding: tuple![1] });
+        s.count_send(&Payload::Answer { tuple: tuple![1] });
+        s.count_send(&Payload::End);
+        s.count_send(&Payload::EndRequest { wave: 0 });
+        assert_eq!(s.tuple_requests, 1);
+        assert_eq!(s.answers, 1);
+        assert_eq!(s.stream_ends, 1);
+        assert_eq!(s.protocol_messages, 1);
+        assert_eq!(s.total_messages(), 4);
+        assert_eq!(s.work_messages(), 3);
+        assert!((s.protocol_overhead() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = Stats {
+            answers: 2,
+            max_relation_size: 10,
+            ..Stats::default()
+        };
+        let b = Stats {
+            answers: 3,
+            max_relation_size: 7,
+            ..Stats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.answers, 5);
+        assert_eq!(a.max_relation_size, 10);
+    }
+
+    #[test]
+    fn zero_work_has_zero_overhead() {
+        assert_eq!(Stats::default().protocol_overhead(), 0.0);
+    }
+}

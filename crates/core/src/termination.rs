@@ -1,0 +1,379 @@
+//! The §3.2 distributed termination protocol (Fig 2, Thm 3.1).
+//!
+//! Each nontrivial strong component elects its unique exit node as "BFST
+//! leader" and spans the component with a breadth-first spanning tree
+//! (which, absent cross and forward edges, coincides with the DFS tree —
+//! footnote 3). When the leader's queues are empty it floods an *end
+//! request* down the BFST. A node that has been idle for the entire
+//! period between two consecutive end requests — `idleness ≥ 2` — and
+//! whose BFST children all confirmed, answers *end confirmed*; anything
+//! else answers *end negative*, and the leader re-probes. When every node
+//! confirms, all members were simultaneously idle (Thm 3.1) and the
+//! component's answer streams are complete.
+//!
+//! Deviations from the paper's pseudocode, both recorded in DESIGN.md:
+//! the stray `idleness := empty_queues()` assignment inside Fig 2's child
+//! loop (a boolean assigned to an integer — evidently a typo) is dropped;
+//! and *end confirmed* messages carry Mattern-style counters of
+//! intra-component work messages, which the leader checks at conclusion —
+//! redundant under the simulator's atomic-mailbox delivery, a cheap
+//! safety net under real threads.
+
+use crate::msg::{Endpoint, Msg, Payload};
+use mp_rulegoal::NodeId;
+
+/// Per-node protocol state; present only for members of nontrivial
+/// strong components.
+#[derive(Clone, Debug)]
+pub struct TermState {
+    /// True for the component's BFST leader.
+    pub leader: bool,
+    /// BFST parent (None for the leader).
+    pub bfst_parent: Option<NodeId>,
+    /// BFST children.
+    pub bfst_children: Vec<NodeId>,
+    /// Consecutive end requests received while idle (Fig 2's counter).
+    pub idleness: u32,
+    /// Outstanding child answers for the current wave.
+    pub waiting_for: usize,
+    /// Leader only: a wave is in flight.
+    pub inflight: bool,
+    /// No child answered negative in the current wave.
+    pub all_confirmed: bool,
+    /// Current wave number.
+    pub wave: u64,
+    /// Aggregated intra-component sends (this subtree, current wave).
+    pub agg_sent: u64,
+    /// Aggregated intra-component receives (this subtree, current wave).
+    pub agg_recv: u64,
+    /// This node's intra-component work messages sent.
+    pub intra_sent: u64,
+    /// This node's intra-component work messages received.
+    pub intra_recv: u64,
+    /// Set once the component has concluded and `SccFinished` was seen.
+    pub finished: bool,
+    /// Completed waves (for stats).
+    pub waves_completed: u64,
+}
+
+/// What the caller must do after a protocol event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TermAction {
+    /// Nothing further.
+    None,
+    /// The leader's probe concluded: the component is idle. The node
+    /// behavior must flush per-binding ends, and if end-of-requests was
+    /// received, finish the stream and broadcast `SccFinished`.
+    Conclude,
+}
+
+impl TermState {
+    /// Create protocol state for a component member.
+    pub fn new(leader: bool, bfst_parent: Option<NodeId>, bfst_children: Vec<NodeId>) -> Self {
+        TermState {
+            leader,
+            bfst_parent,
+            bfst_children,
+            idleness: 0,
+            waiting_for: 0,
+            inflight: false,
+            all_confirmed: true,
+            wave: 0,
+            agg_sent: 0,
+            agg_recv: 0,
+            intra_sent: 0,
+            intra_recv: 0,
+            finished: false,
+            waves_completed: 0,
+        }
+    }
+
+    /// Record a non-protocol message: the node is (or just was) busy.
+    pub fn on_work(&mut self) {
+        self.idleness = 0;
+    }
+
+    /// Leader: originate a probe wave if eligible. `empty` is
+    /// `empty_queues()`; `unfinished` means there is business left (un-
+    /// ended bindings or an un-answered end-of-requests).
+    pub fn maybe_originate(
+        &mut self,
+        self_id: NodeId,
+        empty: bool,
+        unfinished: bool,
+        out: &mut Vec<Msg>,
+    ) {
+        if !self.leader || self.inflight || self.finished || !empty || !unfinished {
+            return;
+        }
+        self.originate(self_id, out);
+    }
+
+    fn originate(&mut self, self_id: NodeId, out: &mut Vec<Msg>) {
+        debug_assert!(self.leader && !self.inflight);
+        self.wave += 1;
+        self.inflight = true;
+        self.all_confirmed = true;
+        // The leader's own "end request": it is empty by precondition, and
+        // per Fig 2 its idleness is set and then incremented, i.e. it
+        // counts itself as twice-idle for this wave unless work arrives.
+        self.idleness = 2;
+        self.agg_sent = self.intra_sent;
+        self.agg_recv = self.intra_recv;
+        self.waiting_for = self.bfst_children.len();
+        debug_assert!(
+            self.waiting_for > 0,
+            "a nontrivial component's leader has BFST children"
+        );
+        for &c in &self.bfst_children {
+            out.push(Msg {
+                from: Endpoint::Node(self_id),
+                to: Endpoint::Node(c),
+                payload: Payload::EndRequest { wave: self.wave },
+            });
+        }
+    }
+
+    /// Member: handle an end request from the BFST parent.
+    pub fn on_end_request(
+        &mut self,
+        self_id: NodeId,
+        wave: u64,
+        empty: bool,
+        out: &mut Vec<Msg>,
+    ) {
+        debug_assert!(!self.leader, "the leader originates, it is never probed");
+        self.wave = wave;
+        if empty {
+            self.idleness += 1;
+        } else {
+            self.idleness = 0;
+        }
+        self.all_confirmed = true;
+        self.agg_sent = self.intra_sent;
+        self.agg_recv = self.intra_recv;
+        self.waiting_for = self.bfst_children.len();
+        if self.waiting_for == 0 {
+            self.reply(self_id, out);
+        } else {
+            for &c in &self.bfst_children {
+                out.push(Msg {
+                    from: Endpoint::Node(self_id),
+                    to: Endpoint::Node(c),
+                    payload: Payload::EndRequest { wave },
+                });
+            }
+        }
+    }
+
+    /// Handle a child's negative answer.
+    pub fn on_end_negative(
+        &mut self,
+        self_id: NodeId,
+        empty: bool,
+        unfinished: bool,
+        out: &mut Vec<Msg>,
+    ) -> TermAction {
+        self.all_confirmed = false;
+        self.waiting_for -= 1;
+        if self.waiting_for == 0 {
+            return self.complete_wave(self_id, empty, unfinished, out);
+        }
+        TermAction::None
+    }
+
+    /// Handle a child's confirmed answer (with its subtree counters).
+    pub fn on_end_confirmed(
+        &mut self,
+        self_id: NodeId,
+        sent: u64,
+        received: u64,
+        empty: bool,
+        unfinished: bool,
+        out: &mut Vec<Msg>,
+    ) -> TermAction {
+        self.agg_sent += sent;
+        self.agg_recv += received;
+        self.waiting_for -= 1;
+        if self.waiting_for == 0 {
+            return self.complete_wave(self_id, empty, unfinished, out);
+        }
+        TermAction::None
+    }
+
+    fn complete_wave(
+        &mut self,
+        self_id: NodeId,
+        empty: bool,
+        unfinished: bool,
+        out: &mut Vec<Msg>,
+    ) -> TermAction {
+        if self.leader {
+            self.inflight = false;
+            self.waves_completed += 1;
+            let counters_match = self.agg_sent == self.agg_recv;
+            if self.all_confirmed && self.idleness >= 2 && counters_match {
+                return TermAction::Conclude;
+            }
+            // Fig 2: "the BFST leader starts another end request message
+            // down the BFST, and repeats this after each end negative
+            // answer", provided its own queues are still empty.
+            if empty && unfinished {
+                self.originate(self_id, out);
+            }
+            TermAction::None
+        } else {
+            self.reply(self_id, out);
+            TermAction::None
+        }
+    }
+
+    fn reply(&mut self, self_id: NodeId, out: &mut Vec<Msg>) {
+        let parent = Endpoint::Node(self.bfst_parent.expect("non-leader has a BFST parent"));
+        let payload = if self.all_confirmed && self.idleness >= 2 {
+            Payload::EndConfirmed {
+                wave: self.wave,
+                sent: self.agg_sent,
+                received: self.agg_recv,
+            }
+        } else {
+            Payload::EndNegative { wave: self.wave }
+        };
+        out.push(Msg {
+            from: Endpoint::Node(self_id),
+            to: parent,
+            payload,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(out: &mut Vec<Msg>) -> Vec<Payload> {
+        out.drain(..).map(|m| m.payload).collect()
+    }
+
+    #[test]
+    fn leader_needs_two_waves_minimum() {
+        // Leader 0 with one child 1 (a leaf).
+        let mut leader = TermState::new(true, None, vec![1]);
+        let mut leaf = TermState::new(false, Some(0), vec![]);
+        let mut out = Vec::new();
+
+        leader.maybe_originate(0, true, true, &mut out);
+        assert!(matches!(drain(&mut out)[0], Payload::EndRequest { wave: 1 }));
+
+        // Wave 1: leaf idle but idleness becomes 1 → negative.
+        leaf.on_end_request(1, 1, true, &mut out);
+        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 1 }));
+        let act = leader.on_end_negative(0, true, true, &mut out);
+        assert_eq!(act, TermAction::None);
+        // Leader immediately re-probes (wave 2).
+        assert!(matches!(drain(&mut out)[0], Payload::EndRequest { wave: 2 }));
+
+        // Wave 2: leaf idle again → idleness 2 → confirmed.
+        leaf.on_end_request(1, 2, true, &mut out);
+        let msgs = drain(&mut out);
+        assert!(matches!(msgs[0], Payload::EndConfirmed { wave: 2, .. }));
+        let act = leader.on_end_confirmed(0, 0, 0, true, true, &mut out);
+        assert_eq!(act, TermAction::Conclude);
+    }
+
+    #[test]
+    fn work_between_waves_resets_idleness() {
+        let mut leaf = TermState::new(false, Some(0), vec![]);
+        let mut out = Vec::new();
+        leaf.on_end_request(1, 1, true, &mut out);
+        drain(&mut out);
+        leaf.on_work(); // a tuple arrived between waves
+        leaf.on_end_request(1, 2, true, &mut out);
+        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 2 }));
+        // Two more idle waves then confirm.
+        leaf.on_end_request(1, 3, true, &mut out);
+        drain(&mut out);
+        leaf.on_end_request(1, 4, true, &mut out);
+        assert!(matches!(
+            drain(&mut out)[0],
+            Payload::EndConfirmed { wave: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn busy_node_answers_negative() {
+        let mut leaf = TermState::new(false, Some(0), vec![]);
+        let mut out = Vec::new();
+        leaf.on_end_request(1, 1, false, &mut out); // mailbox not empty
+        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 1 }));
+        assert_eq!(leaf.idleness, 0);
+    }
+
+    #[test]
+    fn interior_node_aggregates_children() {
+        // Node 1 with children 2 and 3; parent 0.
+        let mut mid = TermState::new(false, Some(0), vec![2, 3]);
+        let mut out = Vec::new();
+        // First wave primes idleness to 1; it forwards to children.
+        mid.on_end_request(1, 1, true, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        // Both children confirm with counters, but mid's idleness is 1 →
+        // negative up.
+        mid.on_end_confirmed(1, 5, 5, true, true, &mut out);
+        assert!(out.is_empty());
+        mid.on_end_confirmed(1, 3, 3, true, true, &mut out);
+        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 1 }));
+        // Second wave, still idle: children confirm → confirmed up with
+        // summed counters (mid's own are 0).
+        mid.on_end_request(1, 2, true, &mut out);
+        out.clear();
+        mid.on_end_confirmed(1, 5, 5, true, true, &mut out);
+        mid.on_end_confirmed(1, 3, 3, true, true, &mut out);
+        match drain(&mut out).pop().unwrap() {
+            Payload::EndConfirmed { wave, sent, received } => {
+                assert_eq!(wave, 2);
+                assert_eq!(sent, 8);
+                assert_eq!(received, 8);
+            }
+            other => panic!("expected confirmed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counter_mismatch_blocks_conclusion() {
+        let mut leader = TermState::new(true, None, vec![1]);
+        leader.intra_sent = 4;
+        leader.intra_recv = 3; // one message unaccounted for
+        let mut out = Vec::new();
+        leader.maybe_originate(0, true, true, &mut out);
+        out.clear();
+        leader.idleness = 2;
+        let act = leader.on_end_confirmed(0, 0, 0, true, true, &mut out);
+        assert_eq!(act, TermAction::None);
+        // It re-probed instead.
+        assert!(matches!(out[0].payload, Payload::EndRequest { wave: 2 }));
+    }
+
+    #[test]
+    fn negative_child_forces_reprobe() {
+        let mut leader = TermState::new(true, None, vec![1, 2]);
+        let mut out = Vec::new();
+        leader.maybe_originate(0, true, true, &mut out);
+        out.clear();
+        leader.on_end_confirmed(0, 0, 0, true, true, &mut out);
+        let act = leader.on_end_negative(0, true, true, &mut out);
+        assert_eq!(act, TermAction::None);
+        assert!(matches!(out[0].payload, Payload::EndRequest { wave: 2 }));
+    }
+
+    #[test]
+    fn leader_does_not_originate_without_business() {
+        let mut leader = TermState::new(true, None, vec![1]);
+        let mut out = Vec::new();
+        leader.maybe_originate(0, true, false, &mut out);
+        assert!(out.is_empty());
+        leader.maybe_originate(0, false, true, &mut out);
+        assert!(out.is_empty());
+    }
+}

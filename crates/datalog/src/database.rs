@@ -1,0 +1,139 @@
+//! The extensional database (EDB): named, fixed-arity relations of ground
+//! facts, "viewed as a conventional relational database" (§1).
+
+use crate::{Atom, DatalogError, Predicate};
+use mp_storage::{Relation, Tuple};
+use std::collections::BTreeMap;
+
+/// The EDB: a map from predicate name to relation.
+///
+/// Iteration over predicates is in name order (BTreeMap), keeping
+/// everything downstream deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    relations: BTreeMap<Predicate, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Declare a relation with the given arity (idempotent; errors on
+    /// conflicting arity).
+    pub fn declare(&mut self, pred: impl Into<Predicate>, arity: usize) -> Result<(), DatalogError> {
+        let pred = pred.into();
+        match self.relations.get(&pred) {
+            Some(r) if r.arity() != arity => Err(DatalogError::ArityConflict {
+                pred: pred.name().to_string(),
+                a: r.arity(),
+                b: arity,
+            }),
+            Some(_) => Ok(()),
+            None => {
+                self.relations.insert(pred, Relation::new(arity));
+                Ok(())
+            }
+        }
+    }
+
+    /// Insert a fact tuple, declaring the relation if needed.
+    /// Returns whether the tuple was new.
+    pub fn insert(
+        &mut self,
+        pred: impl Into<Predicate>,
+        tuple: Tuple,
+    ) -> Result<bool, DatalogError> {
+        let pred = pred.into();
+        self.declare(pred.clone(), tuple.arity())?;
+        let rel = self.relations.get_mut(&pred).expect("just declared");
+        rel.insert(tuple).map_err(|e| match e {
+            mp_storage::StorageError::ArityMismatch { expected, got } => {
+                DatalogError::ArityConflict {
+                    pred: pred.name().to_string(),
+                    a: expected,
+                    b: got,
+                }
+            }
+            _ => unreachable!("insert only raises arity errors"),
+        })
+    }
+
+    /// Insert a ground atom as a fact.
+    pub fn insert_atom(&mut self, atom: &Atom) -> Result<bool, DatalogError> {
+        let tuple = atom.to_tuple().ok_or_else(|| DatalogError::NonGroundFact {
+            atom: atom.to_string(),
+        })?;
+        self.insert(atom.pred.clone(), tuple)
+    }
+
+    /// The relation for a predicate, if present.
+    pub fn relation(&self, pred: &Predicate) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// True if the predicate is an EDB predicate of this database.
+    pub fn contains_pred(&self, pred: &Predicate) -> bool {
+        self.relations.contains_key(pred)
+    }
+
+    /// Iterate (predicate, relation) pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Predicate, &Relation)> + '_ {
+        self.relations.iter()
+    }
+
+    /// All EDB predicate names, in order.
+    pub fn predicates(&self) -> impl Iterator<Item = &Predicate> + '_ {
+        self.relations.keys()
+    }
+
+    /// Total number of facts across all relations.
+    pub fn fact_count(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+    use mp_storage::tuple;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = Database::new();
+        assert!(db.insert("edge", tuple![1, 2]).unwrap());
+        assert!(!db.insert("edge", tuple![1, 2]).unwrap());
+        assert!(db.insert("edge", tuple![2, 3]).unwrap());
+        let rel = db.relation(&Predicate::new("edge")).unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(db.fact_count(), 2);
+        assert!(db.contains_pred(&Predicate::new("edge")));
+        assert!(!db.contains_pred(&Predicate::new("nope")));
+    }
+
+    #[test]
+    fn arity_conflicts_rejected() {
+        let mut db = Database::new();
+        db.insert("p", tuple![1, 2]).unwrap();
+        assert!(matches!(
+            db.insert("p", tuple![1]),
+            Err(DatalogError::ArityConflict { .. })
+        ));
+        assert!(db.declare("p", 2).is_ok());
+        assert!(db.declare("p", 3).is_err());
+    }
+
+    #[test]
+    fn insert_atom_requires_ground() {
+        let mut db = Database::new();
+        let ok = Atom::new("p", vec![Term::val(1)]);
+        assert!(db.insert_atom(&ok).unwrap());
+        let bad = Atom::new("p", vec![Term::var("X")]);
+        assert!(matches!(
+            db.insert_atom(&bad),
+            Err(DatalogError::NonGroundFact { .. })
+        ));
+    }
+}

@@ -1,0 +1,116 @@
+//! EDB statistics: cardinalities and per-column distinct counts.
+//!
+//! §1.2: "The basic set can be extended in order to pass optimization
+//! information, offering the possibility of taking advantage of
+//! statistics on the EDB and using various heuristics." These statistics
+//! feed the cost-based sideways-information-passing strategy in
+//! `mp-rulegoal` and the §4.3 cost model's calibrated variant.
+
+use crate::{Database, Predicate};
+use std::collections::{BTreeMap, HashSet};
+
+/// Statistics for one relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationStats {
+    /// Row count.
+    pub rows: usize,
+    /// Distinct values per column.
+    pub distinct: Vec<usize>,
+}
+
+impl RelationStats {
+    /// Estimated rows matching an equality selection on `bound_cols`,
+    /// under the uniformity assumption: each bound column divides the
+    /// relation by its distinct count.
+    pub fn selected_rows(&self, bound_cols: &[usize]) -> f64 {
+        let mut est = self.rows as f64;
+        for &c in bound_cols {
+            let d = self.distinct.get(c).copied().unwrap_or(1).max(1);
+            est /= d as f64;
+        }
+        est
+    }
+}
+
+/// Statistics for a whole database.
+#[derive(Clone, Debug, Default)]
+pub struct DbStats {
+    per_relation: BTreeMap<Predicate, RelationStats>,
+}
+
+impl DbStats {
+    /// Collect statistics with one pass per relation.
+    pub fn of(db: &Database) -> DbStats {
+        let mut per_relation = BTreeMap::new();
+        for (pred, rel) in db.iter() {
+            let arity = rel.arity();
+            let mut seen: Vec<HashSet<&mp_storage::Value>> = vec![HashSet::new(); arity];
+            for t in rel.iter() {
+                for (c, s) in seen.iter_mut().enumerate() {
+                    s.insert(&t[c]);
+                }
+            }
+            per_relation.insert(
+                pred.clone(),
+                RelationStats {
+                    rows: rel.len(),
+                    distinct: seen.iter().map(HashSet::len).collect(),
+                },
+            );
+        }
+        DbStats { per_relation }
+    }
+
+    /// Statistics for one predicate, if it is an EDB relation.
+    pub fn relation(&self, pred: &Predicate) -> Option<&RelationStats> {
+        self.per_relation.get(pred)
+    }
+
+    /// Number of relations covered.
+    pub fn len(&self) -> usize {
+        self.per_relation.len()
+    }
+
+    /// True when no relations are covered.
+    pub fn is_empty(&self) -> bool {
+        self.per_relation.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_storage::tuple;
+
+    #[test]
+    fn collects_rows_and_distincts() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 10), (1, 11), (2, 10), (3, 12)] {
+            db.insert("e", tuple![a, b]).unwrap();
+        }
+        let stats = DbStats::of(&db);
+        let rs = stats.relation(&Predicate::new("e")).unwrap();
+        assert_eq!(rs.rows, 4);
+        assert_eq!(rs.distinct, vec![3, 3]);
+        assert!(stats.relation(&Predicate::new("nope")).is_none());
+        assert_eq!(stats.len(), 1);
+    }
+
+    #[test]
+    fn selection_estimates_divide_by_distincts() {
+        let rs = RelationStats {
+            rows: 100,
+            distinct: vec![10, 50],
+        };
+        assert_eq!(rs.selected_rows(&[]), 100.0);
+        assert_eq!(rs.selected_rows(&[0]), 10.0);
+        assert_eq!(rs.selected_rows(&[1]), 2.0);
+        assert_eq!(rs.selected_rows(&[0, 1]), 0.2);
+    }
+
+    #[test]
+    fn empty_database() {
+        let stats = DbStats::of(&Database::new());
+        assert!(stats.is_empty());
+    }
+}

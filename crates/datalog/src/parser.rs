@@ -1,0 +1,393 @@
+//! A hand-written recursive-descent parser for Prolog-style Datalog text.
+//!
+//! Grammar (whitespace and `%`-to-end-of-line comments allowed anywhere):
+//!
+//! ```text
+//! program   := clause*
+//! clause    := atom ( (":-" | "<-") atom ("," atom)* )? "."
+//!            | "?-" atom ("," atom)* "."
+//! atom      := ident ( "(" term ("," term)* ")" )?
+//! term      := VARIABLE | ident | INTEGER | STRING
+//! VARIABLE  := [A-Z_][A-Za-z0-9_]*
+//! ident     := [a-z][A-Za-z0-9_]*          (lower-case: constant or predicate)
+//! INTEGER   := -?[0-9]+
+//! STRING    := '"' ... '"'
+//! ```
+//!
+//! A `?- q1, ..., qk.` query clause is desugared into the paper's §1 form:
+//! a rule `goal(V1, ..., Vn) :- q1, ..., qk.` where `V1..Vn` are the
+//! distinct variables of the query atoms in order of first occurrence.
+
+use crate::{Atom, DatalogError, Program, Rule, Term, GOAL};
+use mp_storage::Value;
+
+/// Parse a program from source text.
+pub fn parse_program(src: &str) -> Result<Program, DatalogError> {
+    Parser::new(src).program()
+}
+
+/// Parse a single atom (useful in tests and tools).
+pub fn parse_atom(src: &str) -> Result<Atom, DatalogError> {
+    let mut p = Parser::new(src);
+    let a = p.atom()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after atom"));
+    }
+    Ok(a)
+}
+
+/// Parse a single rule or fact terminated by `.`.
+pub fn parse_rule(src: &str) -> Result<Rule, DatalogError> {
+    let mut p = Parser::new(src);
+    let r = p.clause()?.ok_or_else(|| p.err("expected a clause"))?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing input after clause"));
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    line_start: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DatalogError {
+        DatalogError::Parse {
+            line: self.line,
+            col: self.pos - self.line_start + 1,
+            msg: msg.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(c) = self.bump() {
+                        if c == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(token.as_bytes()) {
+            for _ in 0..token.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), DatalogError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                self.bump();
+            }
+            _ => return None,
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn integer(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        let digits_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == digits_start {
+            self.pos = start;
+            return None;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+    }
+
+    fn string(&mut self) -> Result<Option<String>, DatalogError> {
+        self.skip_ws();
+        if self.peek() != Some(b'"') {
+            return Ok(None);
+        }
+        self.bump();
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(Some(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(c) => out.push(c as char),
+                    None => return Err(self.err("unterminated escape")),
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, DatalogError> {
+        self.skip_ws();
+        if let Some(i) = self.integer() {
+            return Ok(Term::val(i));
+        }
+        if let Some(s) = self.string()? {
+            return Ok(Term::val(Value::str(s)));
+        }
+        let start_pos = self.pos;
+        match self.ident() {
+            Some(name) => {
+                let first = name.as_bytes()[0];
+                if first.is_ascii_uppercase() || first == b'_' {
+                    Ok(Term::var(name))
+                } else {
+                    // Lower-case identifier in term position: a symbolic
+                    // constant.
+                    Ok(Term::val(Value::str(name)))
+                }
+            }
+            None => {
+                self.pos = start_pos;
+                Err(self.err("expected a term"))
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, DatalogError> {
+        self.skip_ws();
+        let name = self.ident().ok_or_else(|| self.err("expected predicate name"))?;
+        if name.as_bytes()[0].is_ascii_uppercase() {
+            return Err(self.err("predicate names must start lower-case"));
+        }
+        let mut terms = Vec::new();
+        if self.eat("(") {
+            loop {
+                terms.push(self.term()?);
+                if self.eat(",") {
+                    continue;
+                }
+                self.expect(")")?;
+                break;
+            }
+        }
+        Ok(Atom::new(name.as_str(), terms))
+    }
+
+    fn body(&mut self) -> Result<Vec<Atom>, DatalogError> {
+        let mut atoms = vec![self.atom()?];
+        while self.eat(",") {
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    /// Parse one clause; `None` at end of input.
+    fn clause(&mut self) -> Result<Option<Rule>, DatalogError> {
+        self.skip_ws();
+        if self.at_end() {
+            return Ok(None);
+        }
+        if self.eat("?-") {
+            let body = self.body()?;
+            self.expect(".")?;
+            // Desugar: goal(V1..Vn) :- body, over distinct body variables
+            // in order of first occurrence.
+            let mut vars = Vec::new();
+            for a in &body {
+                for v in a.vars() {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+            }
+            let head = Atom::new(GOAL, vars.into_iter().map(Term::Var).collect());
+            return Ok(Some(Rule::new(head, body)));
+        }
+        let head = self.atom()?;
+        if self.eat(":-") || self.eat("<-") {
+            let body = self.body()?;
+            self.expect(".")?;
+            Ok(Some(Rule::new(head, body)))
+        } else {
+            self.expect(".")?;
+            Ok(Some(Rule::fact(head)))
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, DatalogError> {
+        let mut rules = Vec::new();
+        while let Some(r) = self.clause()? {
+            rules.push(r);
+        }
+        Ok(Program::new(rules))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, Var};
+
+    #[test]
+    fn parses_facts_rules_and_query() {
+        let p = parse_program(
+            r#"
+            % the paper's P1, with an EDB sample
+            r(1, 2).
+            r(2, 3).
+            p(X, Y) :- r(X, Y).
+            p(X, Y) :- p(X, V), q(V, W), p(W, Y).
+            ?- p(1, Z).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.facts.len(), 2);
+        assert_eq!(p.rules.len(), 3);
+        let q: Vec<_> = p.query_rules().collect();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].head, atom!("goal"; var "Z"));
+        assert_eq!(q[0].body[0], atom!("p"; val 1, var "Z"));
+    }
+
+    #[test]
+    fn query_head_vars_in_first_occurrence_order() {
+        let p = parse_program("?- a(Y, X), b(X, Z).").unwrap();
+        let q = p.query_rules().next().unwrap();
+        assert_eq!(
+            q.head.vars(),
+            vec![Var::new("Y"), Var::new("X"), Var::new("Z")]
+        );
+    }
+
+    #[test]
+    fn term_kinds() {
+        let a = parse_atom(r#"p(X, _anon, foo, -12, "hi there")"#).unwrap();
+        assert_eq!(a.terms[0], Term::var("X"));
+        assert_eq!(a.terms[1], Term::var("_anon"));
+        assert_eq!(a.terms[2], Term::val(Value::str("foo")));
+        assert_eq!(a.terms[3], Term::val(-12));
+        assert_eq!(a.terms[4], Term::val(Value::str("hi there")));
+    }
+
+    #[test]
+    fn nullary_atoms() {
+        let p = parse_program("yes. win :- yes. ?- win.").unwrap();
+        assert_eq!(p.facts[0].arity(), 0);
+        assert_eq!(p.rules[0].head, atom!("win"));
+    }
+
+    #[test]
+    fn alternative_arrow() {
+        let r = parse_rule("p(X) <- e(X).").unwrap();
+        assert_eq!(r.body.len(), 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let a = parse_atom(r#"p("a\nb\"c")"#).unwrap();
+        assert_eq!(a.terms[0], Term::val(Value::str("a\nb\"c")));
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_program("p(X :- q(X).").unwrap_err();
+        match e {
+            DatalogError::Parse { line, col, .. } => {
+                assert_eq!(line, 1);
+                assert!(col > 1);
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_uppercase_predicate() {
+        assert!(parse_program("Pred(x).").is_err());
+    }
+
+    #[test]
+    fn comments_anywhere() {
+        let p = parse_program("p(1). % trailing\n% full line\nq(2).").unwrap();
+        assert_eq!(p.facts.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_atom(r#"p("oops)"#).is_err());
+    }
+
+    #[test]
+    fn round_trip_display_parse() {
+        let src = "p(X, Z) :- a(X, Y), b(Y, Z).";
+        let r = parse_rule(src).unwrap();
+        let r2 = parse_rule(&r.to_string()).unwrap();
+        assert_eq!(r, r2);
+    }
+}

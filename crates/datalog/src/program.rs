@@ -1,0 +1,264 @@
+//! Programs: the IDB (PIDB ∪ query rules) plus §1 well-formedness checks.
+
+use crate::{Atom, Database, DatalogError, Predicate, Rule, GOAL};
+use std::collections::BTreeMap;
+
+/// An intentional database: the union of the permanent IDB and the query
+/// rules (§1). Facts encountered in source text are kept separately so
+/// they can be loaded into a [`Database`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Proper rules (nonempty body).
+    pub rules: Vec<Rule>,
+    /// Ground facts parsed alongside the rules.
+    pub facts: Vec<Atom>,
+}
+
+impl Program {
+    /// Build a program from rules, separating out facts.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let mut prog = Program::default();
+        for r in rules {
+            if r.is_fact() {
+                prog.facts.push(r.head);
+            } else {
+                prog.rules.push(r);
+            }
+        }
+        prog
+    }
+
+    /// The goal predicate.
+    pub fn goal_pred() -> Predicate {
+        Predicate::new(GOAL)
+    }
+
+    /// Rules whose head is `goal` (the query, §1).
+    pub fn query_rules(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.iter().filter(|r| r.head.pred.name() == GOAL)
+    }
+
+    /// Rules whose head is not `goal` (the PIDB, §1).
+    pub fn pidb_rules(&self) -> impl Iterator<Item = &Rule> + '_ {
+        self.rules.iter().filter(|r| r.head.pred.name() != GOAL)
+    }
+
+    /// All rules defining `pred` (by name and arity).
+    pub fn rules_for(&self, pred: &Predicate, arity: usize) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| r.head.pred == *pred && r.head.arity() == arity)
+            .collect()
+    }
+
+    /// Predicates appearing in rule heads (the IDB predicates), in name
+    /// order with their arities.
+    pub fn idb_predicates(&self) -> BTreeMap<Predicate, usize> {
+        let mut out = BTreeMap::new();
+        for r in &self.rules {
+            out.entry(r.head.pred.clone()).or_insert_with(|| r.head.arity());
+        }
+        out
+    }
+
+    /// Load this program's inline facts into a database.
+    pub fn load_facts(&self, db: &mut Database) -> Result<(), DatalogError> {
+        for f in &self.facts {
+            db.insert_atom(f)?;
+        }
+        Ok(())
+    }
+
+    /// Validate the program against the §1 conditions relative to `db`:
+    ///
+    /// 1. every rule is range-restricted (safe);
+    /// 2. no EDB predicate occurs positively (in a head) in the IDB;
+    /// 3. `goal` occurs in no rule body;
+    /// 4. at least one `goal` rule exists;
+    /// 5. every predicate has a single arity across the program and EDB;
+    /// 6. facts are ground (enforced structurally by [`Database`]).
+    pub fn validate(&self, db: &Database) -> Result<(), DatalogError> {
+        let mut arities: BTreeMap<Predicate, usize> = BTreeMap::new();
+        for (p, r) in db.iter() {
+            arities.insert(p.clone(), r.arity());
+        }
+        let mut check_arity = |a: &Atom| -> Result<(), DatalogError> {
+            match arities.get(&a.pred) {
+                Some(&n) if n != a.arity() => Err(DatalogError::ArityConflict {
+                    pred: a.pred.name().to_string(),
+                    a: n,
+                    b: a.arity(),
+                }),
+                Some(_) => Ok(()),
+                None => {
+                    arities.insert(a.pred.clone(), a.arity());
+                    Ok(())
+                }
+            }
+        };
+
+        let mut has_query = false;
+        for r in &self.rules {
+            check_arity(&r.head)?;
+            for b in &r.body {
+                check_arity(b)?;
+                if b.pred.name() == GOAL {
+                    return Err(DatalogError::GoalInBody);
+                }
+            }
+            if let Some(v) = r.unsafe_var() {
+                return Err(DatalogError::UnsafeRule {
+                    rule: r.to_string(),
+                    var: v.name().to_string(),
+                });
+            }
+            if db.contains_pred(&r.head.pred) {
+                return Err(DatalogError::EdbPredicateInHead {
+                    pred: r.head.pred.name().to_string(),
+                });
+            }
+            if r.head.pred.name() == GOAL {
+                has_query = true;
+            }
+        }
+        for f in &self.facts {
+            check_arity(f)?;
+            if !f.is_ground() {
+                return Err(DatalogError::NonGroundFact {
+                    atom: f.to_string(),
+                });
+            }
+        }
+        if !has_query {
+            return Err(DatalogError::NoQuery);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for fact in &self.facts {
+            writeln!(f, "{fact}.")?;
+        }
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, Term};
+    use mp_storage::tuple;
+
+    fn tc_program() -> Program {
+        Program::new(vec![
+            Rule::new(
+                atom!("goal"; var "Z"),
+                vec![atom!("path"; val 1, var "Z")],
+            ),
+            Rule::new(
+                atom!("path"; var "X", var "Y"),
+                vec![atom!("edge"; var "X", var "Y")],
+            ),
+            Rule::new(
+                atom!("path"; var "X", var "Z"),
+                vec![atom!("path"; var "X", var "Y"), atom!("edge"; var "Y", var "Z")],
+            ),
+        ])
+    }
+
+    fn edb() -> Database {
+        let mut db = Database::new();
+        db.insert("edge", tuple![1, 2]).unwrap();
+        db
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        tc_program().validate(&edb()).unwrap();
+    }
+
+    #[test]
+    fn query_and_pidb_split() {
+        let p = tc_program();
+        assert_eq!(p.query_rules().count(), 1);
+        assert_eq!(p.pidb_rules().count(), 2);
+        assert_eq!(p.rules_for(&Predicate::new("path"), 2).len(), 2);
+        assert_eq!(p.rules_for(&Predicate::new("path"), 3).len(), 0);
+    }
+
+    #[test]
+    fn rejects_edb_head() {
+        let mut p = tc_program();
+        p.rules.push(Rule::new(
+            atom!("edge"; var "X", var "X"),
+            vec![atom!("path"; var "X", var "X")],
+        ));
+        assert!(matches!(
+            p.validate(&edb()),
+            Err(DatalogError::EdbPredicateInHead { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_goal_in_body() {
+        let mut p = tc_program();
+        p.rules.push(Rule::new(
+            atom!("q"; var "X"),
+            vec![atom!("goal"; var "X")],
+        ));
+        assert_eq!(p.validate(&edb()), Err(DatalogError::GoalInBody));
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        let mut p = tc_program();
+        p.rules.push(Rule::new(
+            atom!("q"; var "X", var "W"),
+            vec![atom!("path"; var "X", var "X")],
+        ));
+        assert!(matches!(
+            p.validate(&edb()),
+            Err(DatalogError::UnsafeRule { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_query() {
+        let p = Program::new(vec![Rule::new(
+            atom!("p"; var "X"),
+            vec![atom!("e"; var "X")],
+        )]);
+        assert_eq!(p.validate(&Database::new()), Err(DatalogError::NoQuery));
+    }
+
+    #[test]
+    fn rejects_arity_conflict() {
+        let mut p = tc_program();
+        p.rules.push(Rule::new(
+            atom!("q"; var "X"),
+            vec![atom!("path"; var "X", var "X", var "X")],
+        ));
+        assert!(matches!(
+            p.validate(&edb()),
+            Err(DatalogError::ArityConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn facts_are_separated_and_loadable() {
+        let p = Program::new(vec![
+            Rule::fact(Atom::new("edge", vec![Term::val(1), Term::val(2)])),
+            Rule::new(atom!("goal"; var "X"), vec![atom!("edge"; var "X", var "X")]),
+        ]);
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.rules.len(), 1);
+        let mut db = Database::new();
+        p.load_facts(&mut db).unwrap();
+        assert_eq!(db.fact_count(), 1);
+    }
+}

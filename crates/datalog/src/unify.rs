@@ -1,0 +1,251 @@
+//! Substitutions, most general unifiers, renaming, and variant testing.
+//!
+//! Rule/goal graph construction (§2.1) creates rule nodes holding "a copy
+//! of the rule that began with all new variables, then had the most
+//! general unifier (mgu) applied", and stops expansion "whenever an IDB
+//! subgoal is a variant of one of its ancestors". This module supplies
+//! exactly those operations for the function-free term language.
+
+use crate::{Atom, Rule, Term, Var};
+use std::collections::HashMap;
+
+/// A substitution: a finite map from variables to terms.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: HashMap<Var, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Bind a variable, resolving the term through the current bindings.
+    fn bind(&mut self, v: Var, t: Term) {
+        let t = self.apply_term(&t);
+        // Normalize existing bindings that mention `v`.
+        let resolved: Vec<(Var, Term)> = self
+            .map
+            .iter()
+            .filter_map(|(k, old)| match old {
+                Term::Var(w) if *w == v => Some((k.clone(), t.clone())),
+                _ => None,
+            })
+            .collect();
+        for (k, nt) in resolved {
+            self.map.insert(k, nt);
+        }
+        self.map.insert(v, t);
+    }
+
+    /// Look up a variable's binding.
+    pub fn get(&self, v: &Var) -> Option<&Term> {
+        self.map.get(v)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no variables are bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Apply to a term (following chains).
+    pub fn apply_term(&self, t: &Term) -> Term {
+        match t {
+            Term::Const(_) => t.clone(),
+            Term::Var(v) => match self.map.get(v) {
+                None => t.clone(),
+                Some(Term::Const(c)) => Term::Const(c.clone()),
+                Some(Term::Var(w)) if w == v => t.clone(),
+                Some(next @ Term::Var(_)) => self.apply_term(&next.clone()),
+            },
+        }
+    }
+
+    /// Apply to an atom.
+    pub fn apply_atom(&self, a: &Atom) -> Atom {
+        Atom {
+            pred: a.pred.clone(),
+            terms: a.terms.iter().map(|t| self.apply_term(t)).collect(),
+        }
+    }
+
+    /// Apply to a rule.
+    pub fn apply_rule(&self, r: &Rule) -> Rule {
+        Rule {
+            head: self.apply_atom(&r.head),
+            body: r.body.iter().map(|a| self.apply_atom(a)).collect(),
+        }
+    }
+}
+
+/// Compute the most general unifier of two atoms, if one exists.
+///
+/// Function-free unification: no occurs-check is needed because terms are
+/// flat (a variable can only be bound to a constant or another variable).
+pub fn mgu(a: &Atom, b: &Atom) -> Option<Subst> {
+    if a.pred != b.pred || a.arity() != b.arity() {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (ta, tb) in a.terms.iter().zip(b.terms.iter()) {
+        let ta = s.apply_term(ta);
+        let tb = s.apply_term(tb);
+        match (ta, tb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                if Term::Var(v.clone()) != t {
+                    s.bind(v, t);
+                }
+            }
+        }
+    }
+    Some(s)
+}
+
+/// Rename a rule so that all its variables are fresh: each variable `X`
+/// becomes `X~<n>` for a caller-supplied counter. Returns the renamed rule.
+pub fn rename_apart(rule: &Rule, counter: &mut u64) -> Rule {
+    let n = *counter;
+    *counter += 1;
+    let mut s = Subst::new();
+    for v in rule.vars() {
+        s.bind(v.clone(), Term::var(format!("{}~{}", v.name(), n)));
+    }
+    s.apply_rule(rule)
+}
+
+/// Test whether two atoms are variants: identical up to a consistent
+/// renaming of variables (a bijection between their variables).
+///
+/// Repeated-variable patterns matter — `p(X, X, Z)` and `p(V, V, V)` are
+/// *not* variants (Thm 2.1's proof calls this out) — and constants must
+/// match exactly.
+pub fn variants(a: &Atom, b: &Atom) -> bool {
+    if a.pred != b.pred || a.arity() != b.arity() {
+        return false;
+    }
+    let mut fwd: HashMap<&Var, &Var> = HashMap::new();
+    let mut bwd: HashMap<&Var, &Var> = HashMap::new();
+    for (ta, tb) in a.terms.iter().zip(b.terms.iter()) {
+        match (ta, tb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return false;
+                }
+            }
+            (Term::Var(x), Term::Var(y)) => {
+                if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom;
+
+    #[test]
+    fn mgu_constants_must_match() {
+        let a = atom!("p"; val 1, var "X");
+        let b = atom!("p"; val 1, val 2);
+        let s = mgu(&a, &b).unwrap();
+        assert_eq!(s.apply_atom(&a), atom!("p"; val 1, val 2));
+        let c = atom!("p"; val 9, var "X");
+        assert!(mgu(&c, &b).is_none());
+    }
+
+    #[test]
+    fn mgu_different_predicates_fail() {
+        assert!(mgu(&atom!("p"; var "X"), &atom!("q"; var "X")).is_none());
+        assert!(mgu(&atom!("p"; var "X"), &atom!("p"; var "X", var "Y")).is_none());
+    }
+
+    #[test]
+    fn mgu_var_to_var_chains() {
+        // p(X, X) with p(Y, 3) must bind both X and Y to 3.
+        let a = atom!("p"; var "X", var "X");
+        let b = atom!("p"; var "Y", val 3);
+        let s = mgu(&a, &b).unwrap();
+        assert_eq!(s.apply_atom(&a), atom!("p"; val 3, val 3));
+        assert_eq!(s.apply_atom(&b), atom!("p"; val 3, val 3));
+    }
+
+    #[test]
+    fn mgu_repeated_vars_conflicting_constants_fail() {
+        let a = atom!("p"; var "X", var "X");
+        let b = atom!("p"; val 1, val 2);
+        assert!(mgu(&a, &b).is_none());
+    }
+
+    #[test]
+    fn mgu_is_most_general() {
+        // p(X, Y) with p(U, V): all four stay variables, consistently.
+        let a = atom!("p"; var "X", var "Y");
+        let b = atom!("p"; var "U", var "V");
+        let s = mgu(&a, &b).unwrap();
+        let ra = s.apply_atom(&a);
+        let rb = s.apply_atom(&b);
+        assert_eq!(ra, rb);
+        assert!(ra.terms.iter().all(Term::is_var));
+    }
+
+    #[test]
+    fn rename_apart_freshens() {
+        let r = Rule::new(
+            atom!("p"; var "X", var "Y"),
+            vec![atom!("e"; var "X", var "Y")],
+        );
+        let mut c = 0;
+        let r1 = rename_apart(&r, &mut c);
+        let r2 = rename_apart(&r, &mut c);
+        assert_eq!(c, 2);
+        let v1 = r1.vars();
+        let v2 = r2.vars();
+        assert!(v1.iter().all(|v| !v2.contains(v)));
+        // Structure is preserved.
+        assert!(variants(&r1.head, &r2.head));
+    }
+
+    #[test]
+    fn variants_bijection_required() {
+        assert!(variants(
+            &atom!("p"; var "X", var "Y"),
+            &atom!("p"; var "A", var "B")
+        ));
+        // Repeated variable patterns must match (Thm 2.1).
+        assert!(!variants(
+            &atom!("p"; var "X", var "X", var "Z"),
+            &atom!("p"; var "V", var "V", var "V")
+        ));
+        assert!(variants(
+            &atom!("p"; var "X", var "X", var "Z"),
+            &atom!("p"; var "V", var "V", var "W")
+        ));
+        // Constants must match positionally.
+        assert!(!variants(&atom!("p"; val 1, var "X"), &atom!("p"; var "Y", var "X")));
+        assert!(variants(&atom!("p"; val 1, var "X"), &atom!("p"; val 1, var "Q")));
+    }
+
+    #[test]
+    fn subst_apply_follows_chains() {
+        let mut s = Subst::new();
+        s.bind(Var::new("X"), Term::var("Y"));
+        s.bind(Var::new("Y"), Term::val(5));
+        assert_eq!(s.apply_term(&Term::var("X")), Term::val(5));
+    }
+}

@@ -1,0 +1,294 @@
+//! Qual tree composition under resolution (Theorem 4.2, Fig 5).
+//!
+//! Let rule `Rv` have a qual tree in which subgoal `p` is a leaf, and let
+//! rule `Rw`'s head unify with `p`. Resolving (replacing `p` by `Rw`'s
+//! subgoals after applying the mgu) produces an extended rule, and the two
+//! qual trees *compose* into a qual tree for it: attach the neighbours of
+//! the root `p^b` of `Rw`'s tree to the parent of the leaf `p` in `Rv`'s
+//! tree, removing both `p^b` and `p`.
+//!
+//! This matters for recursion: "the property might be transmitted to all
+//! recursive extensions of the rule" (§4.2).
+
+use crate::{EdgeLabel, QualTree};
+use mp_datalog::unify::{mgu, rename_apart};
+use mp_datalog::{Rule, Var};
+use std::collections::BTreeSet;
+
+/// Why a composition attempt failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ComposeError {
+    /// The subgoal index is out of range for `rv`.
+    NoSuchSubgoal(usize),
+    /// `rw`'s head does not unify with the selected subgoal.
+    NotUnifiable,
+    /// The selected subgoal is not a leaf of `rv`'s qual tree (Thm 4.2
+    /// requires a leaf).
+    SubgoalNotLeaf(usize),
+}
+
+impl std::fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComposeError::NoSuchSubgoal(i) => write!(f, "no subgoal {i} in the outer rule"),
+            ComposeError::NotUnifiable => write!(f, "inner head does not unify with the subgoal"),
+            ComposeError::SubgoalNotLeaf(i) => {
+                write!(f, "subgoal {i} is not a leaf of the outer qual tree")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComposeError {}
+
+/// The result of resolving two rules and composing their qual trees.
+#[derive(Clone, Debug)]
+pub struct Composition {
+    /// The extended rule: `rv` with subgoal `p` replaced by `rw`'s body
+    /// (mgu applied throughout).
+    pub rule: Rule,
+    /// The composed qual tree over the extended rule's head and subgoals.
+    pub qual_tree: QualTree,
+}
+
+/// Resolve `rv`'s subgoal `p` with `rw` and compose their qual trees per
+/// Theorem 4.2. `qt_v` and `qt_w` must be the qual trees of `rv` (with its
+/// binding) and `rw` (with the matching binding for its head).
+///
+/// `rw` is renamed apart internally, so callers may pass rules sharing
+/// variable names (including `rv == rw`, the recursive self-extension).
+pub fn compose(
+    rv: &Rule,
+    qt_v: &QualTree,
+    p: usize,
+    rw: &Rule,
+    qt_w: &QualTree,
+) -> Result<Composition, ComposeError> {
+    if p >= rv.body.len() {
+        return Err(ComposeError::NoSuchSubgoal(p));
+    }
+    // Node ids in qt_v: by construction (evaluation_hypergraph) node 0 is
+    // the head and node i+1 is subgoal i.
+    let p_node = qt_v
+        .labels
+        .iter()
+        .position(|&l| l == EdgeLabel::Subgoal(p))
+        .expect("qual tree covers every subgoal");
+    if qt_v.neighbours(p_node).len() != 1 {
+        return Err(ComposeError::SubgoalNotLeaf(p));
+    }
+    let p_parent = qt_v.neighbours(p_node)[0];
+
+    // Rename rw apart using a counter past any `~k` suffix already present
+    // in rv (rename_apart suffixes with `~n`; a fresh large counter avoids
+    // collisions without tracking global state).
+    let mut counter = next_fresh_counter(rv);
+    let rw_fresh = rename_apart(rw, &mut counter);
+
+    let sigma = mgu(&rv.body[p], &rw_fresh.head).ok_or(ComposeError::NotUnifiable)?;
+
+    // Extended rule.
+    let mut body = Vec::with_capacity(rv.body.len() - 1 + rw_fresh.body.len());
+    for (i, sg) in rv.body.iter().enumerate() {
+        if i == p {
+            for inner in &rw_fresh.body {
+                body.push(sigma.apply_atom(inner));
+            }
+        } else {
+            body.push(sigma.apply_atom(sg));
+        }
+    }
+    let rule = Rule::new(sigma.apply_atom(&rv.head), body);
+
+    // Node mapping into the composed tree: 0 = head, then subgoals in the
+    // extended rule's order.
+    let w_body = rw_fresh.body.len();
+    let map_v = |node: usize| -> Option<usize> {
+        match qt_v.labels[node] {
+            EdgeLabel::Head => Some(0),
+            EdgeLabel::Subgoal(j) if j < p => Some(j + 1),
+            EdgeLabel::Subgoal(j) if j > p => Some(j - 1 + w_body + 1),
+            EdgeLabel::Subgoal(_) => None, // the resolved leaf p
+        }
+    };
+    let w_root = qt_w.root;
+    let map_w = |node: usize| -> Option<usize> {
+        match qt_w.labels[node] {
+            EdgeLabel::Head => None, // p^b, removed
+            EdgeLabel::Subgoal(j) => Some(p + j + 1),
+        }
+    };
+    debug_assert_eq!(qt_w.labels[w_root], EdgeLabel::Head);
+
+    let mut edges = Vec::new();
+    for &(a, b) in &qt_v.edges {
+        if let (Some(a2), Some(b2)) = (map_v(a), map_v(b)) {
+            edges.push((a2, b2));
+        }
+    }
+    for &(a, b) in &qt_w.edges {
+        match (map_w(a), map_w(b)) {
+            (Some(a2), Some(b2)) => edges.push((a2, b2)),
+            // An edge touching qt_w's root: reattach the surviving
+            // endpoint to p's former parent.
+            (Some(a2), None) => edges.push((a2, map_v(p_parent).expect("parent survives"))),
+            (None, Some(b2)) => edges.push((b2, map_v(p_parent).expect("parent survives"))),
+            (None, None) => unreachable!("tree has no self-loop at the root"),
+        }
+    }
+
+    // Rebuild node var sets from the *extended rule* (post-substitution),
+    // preserving qt_v's head-edge binding semantics: the composed head
+    // node keeps rv's bound head vars, imaged through sigma and the
+    // renaming is irrelevant for the head (head vars come from rv).
+    let head_bound: BTreeSet<Var> = qt_v.vars[qt_v.root]
+        .iter()
+        .flat_map(|v| sigma.apply_term(&mp_datalog::Term::Var(v.clone())).as_var().cloned())
+        .collect();
+    let mut labels = vec![EdgeLabel::Head];
+    let mut vars = vec![head_bound];
+    for (i, sg) in rule.body.iter().enumerate() {
+        labels.push(EdgeLabel::Subgoal(i));
+        vars.push(sg.vars().into_iter().collect());
+    }
+
+    Ok(Composition {
+        rule,
+        qual_tree: QualTree {
+            labels,
+            vars,
+            edges,
+            root: 0,
+        },
+    })
+}
+
+/// Find a counter value guaranteed to produce variable names not already
+/// present in `r` (rename_apart uses `name~counter`).
+fn next_fresh_counter(r: &Rule) -> u64 {
+    let mut max = 0u64;
+    for v in r.vars() {
+        if let Some(idx) = v.name().rfind('~') {
+            if let Ok(n) = v.name()[idx + 1..].parse::<u64>() {
+                max = max.max(n + 1);
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monotone::examples::{r1, r3};
+    use crate::{monotone_flow, MonotoneFlow};
+    use mp_datalog::parser::parse_rule;
+
+    fn bound_x() -> BTreeSet<Var> {
+        BTreeSet::from([Var::new("X")])
+    }
+
+    fn qt_of(r: &Rule) -> QualTree {
+        match monotone_flow(r, &bound_x()) {
+            MonotoneFlow::Monotone(qt) => qt,
+            MonotoneFlow::Cyclic(core) => panic!("expected monotone rule, core = {core:?}"),
+        }
+    }
+
+    #[test]
+    fn fig5_style_composition() {
+        // Outer: r(X, Z) :- s(X, Y), p(Y, Z).   p is a leaf.
+        // Inner: p(X, Z) :- a(X, Y), b(Y, Z).
+        let rv = parse_rule("r(X, Z) :- s(X, Y), p(Y, Z).").unwrap();
+        let rw = parse_rule("p(X, Z) :- a(X, Y), b(Y, Z).").unwrap();
+        let qv = qt_of(&rv);
+        let qw = qt_of(&rw);
+        let comp = compose(&rv, &qv, 1, &rw, &qw).unwrap();
+        // Extended rule: r(X,Z) :- s(X,Y), a(Y,..), b(..,Z).
+        assert_eq!(comp.rule.body.len(), 3);
+        assert_eq!(comp.rule.body[0].pred.name(), "s");
+        assert_eq!(comp.rule.body[1].pred.name(), "a");
+        assert_eq!(comp.rule.body[2].pred.name(), "b");
+        // Theorem 4.2: the composed tree IS a qual tree.
+        comp.qual_tree.verify().unwrap();
+        assert_eq!(comp.qual_tree.len(), 4);
+    }
+
+    #[test]
+    fn recursive_self_extension_preserves_monotone_flow() {
+        // R1 extended on its own recursive form: use a chain rule whose
+        // middle subgoal is p itself.
+        let rv = parse_rule("p(X, Z) :- a(X, Y), p(Y, U), c(U, Z).").unwrap();
+        // In rv's qual tree (head bound {X}), p(Y,U) is a chain node, not
+        // a leaf — but c(U,Z) IS a leaf; compose there with R1 instead.
+        let qv = qt_of(&rv);
+        let rw = parse_rule("c(X, Z) :- g(X, Y), h(Y, Z).").unwrap();
+        let qw = qt_of(&rw);
+        let comp = compose(&rv, &qv, 2, &rw, &qw).unwrap();
+        comp.qual_tree.verify().unwrap();
+        // The composed rule still has monotone flow when re-tested from
+        // scratch.
+        let mf = monotone_flow(&comp.rule, &bound_x());
+        assert!(mf.is_monotone());
+    }
+
+    #[test]
+    fn repeated_composition_models_recursive_expansion() {
+        // Repeatedly expanding R1's trailing subgoal keeps monotone flow,
+        // mirroring §4.2's remark about recursive extensions.
+        let mut rule = r1();
+        let mut qt = qt_of(&rule);
+        for _ in 0..5 {
+            let inner = parse_rule("c(X, Z) :- a(X, Y), b(Y, U), c(U, Z).").unwrap();
+            let qi = qt_of(&inner);
+            let last = rule.body.len() - 1;
+            let comp = compose(&rule, &qt, last, &inner, &qi).unwrap();
+            comp.qual_tree.verify().unwrap();
+            rule = comp.rule;
+            qt = comp.qual_tree;
+        }
+        assert_eq!(rule.body.len(), 3 + 5 * 2);
+        assert!(monotone_flow(&rule, &bound_x()).is_monotone());
+    }
+
+    #[test]
+    fn non_leaf_subgoal_rejected() {
+        let rv = r1(); // a(X,Y), b(Y,U), c(U,Z): b is interior.
+        let qv = qt_of(&rv);
+        let rw = parse_rule("b(X, Z) :- g(X, Z).").unwrap();
+        let qw = qt_of(&rw);
+        assert_eq!(
+            compose(&rv, &qv, 1, &rw, &qw).unwrap_err(),
+            ComposeError::SubgoalNotLeaf(1)
+        );
+    }
+
+    #[test]
+    fn ununifiable_heads_rejected() {
+        let rv = r1();
+        let qv = qt_of(&rv);
+        let rw = parse_rule("zzz(X) :- g(X).").unwrap();
+        let qw = qt_of(&rw);
+        assert_eq!(
+            compose(&rv, &qv, 2, &rw, &qw).unwrap_err(),
+            ComposeError::NotUnifiable
+        );
+    }
+
+    #[test]
+    fn out_of_range_subgoal_rejected() {
+        let rv = r1();
+        let qv = qt_of(&rv);
+        assert_eq!(
+            compose(&rv, &qv, 9, &rv, &qv).unwrap_err(),
+            ComposeError::NoSuchSubgoal(9)
+        );
+    }
+
+    #[test]
+    fn composing_into_cyclic_outer_is_prevented_by_construction() {
+        // A cyclic rule has no qual tree, so there is nothing to pass to
+        // compose — the API makes the misuse unrepresentable.
+        assert!(monotone_flow(&r3(), &bound_x()).qual_tree().is_none());
+    }
+}

@@ -1,0 +1,231 @@
+//! The Graham (GYO) reduction: decides α-acyclicity and emits qual-tree
+//! edges (§4.1 of the paper).
+//!
+//! The procedure applies two reductions as long as possible:
+//!
+//! 1. if a variable is currently in only one hyperedge, delete it;
+//! 2. if a hyperedge `h1` is a subset of another hyperedge `h2`, add the
+//!    edge `(h1, h2)` to the qual tree and delete `h1`.
+//!
+//! "A hypergraph is acyclic if and only if this procedure reduces it to
+//! one empty edge."
+
+use crate::Hypergraph;
+use mp_datalog::Var;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Outcome of running the Graham reduction.
+#[derive(Clone, Debug)]
+pub struct GyoOutcome {
+    /// True iff the hypergraph is α-acyclic.
+    pub acyclic: bool,
+    /// Undirected qual-tree edges between original hyperedge indices,
+    /// recorded as `(absorbed, witness)` in absorption order. Complete
+    /// (spans all edges) only when `acyclic`.
+    pub tree_edges: Vec<(usize, usize)>,
+    /// Index of the last surviving hyperedge (the final absorption
+    /// witness); `None` for an empty hypergraph.
+    pub survivor: Option<usize>,
+    /// For a cyclic hypergraph: the edge indices of the irreducible core
+    /// (empty when acyclic).
+    pub core: Vec<usize>,
+}
+
+/// Run the Graham reduction on `h`.
+pub fn gyo_reduce(h: &Hypergraph) -> GyoOutcome {
+    // Working copy: var sets per original edge index; `alive` tracks
+    // which edges remain.
+    let mut vars: Vec<BTreeSet<Var>> = h.edges().iter().map(|e| e.vars.clone()).collect();
+    let n = vars.len();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut tree_edges = Vec::new();
+
+    if n == 0 {
+        return GyoOutcome {
+            acyclic: true,
+            tree_edges,
+            survivor: None,
+            core: Vec::new(),
+        };
+    }
+
+    loop {
+        let mut changed = false;
+
+        // Rule 1: delete variables occurring in exactly one live edge.
+        let mut occurrences: BTreeMap<&Var, usize> = BTreeMap::new();
+        for (i, vs) in vars.iter().enumerate() {
+            if alive[i] {
+                for v in vs {
+                    *occurrences.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        let solitary: BTreeSet<Var> = occurrences
+            .iter()
+            .filter(|&(_, &c)| c == 1)
+            .map(|(v, _)| (*v).clone())
+            .collect();
+        if !solitary.is_empty() {
+            for (i, vs) in vars.iter_mut().enumerate() {
+                if alive[i] {
+                    let before = vs.len();
+                    vs.retain(|v| !solitary.contains(v));
+                    if vs.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Rule 2: absorb subset edges. Scan pairs in index order so the
+        // outcome is deterministic; absorb at most one edge per pass to
+        // keep occurrence counts fresh.
+        'subset: for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || !alive[j] {
+                    continue;
+                }
+                // For equal sets, absorb the higher index into the lower
+                // so ties are deterministic and never cyclic.
+                let absorb = if vars[i].len() == vars[j].len() {
+                    vars[i] == vars[j] && i < j
+                } else {
+                    vars[j].is_subset(&vars[i])
+                };
+                if !absorb {
+                    continue;
+                }
+                alive[j] = false;
+                tree_edges.push((j, i));
+                changed = true;
+                break 'subset;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    let live: Vec<usize> = (0..n).filter(|&i| alive[i]).collect();
+    let acyclic = live.len() == 1 && vars[live[0]].is_empty();
+    GyoOutcome {
+        acyclic,
+        survivor: if live.len() == 1 { Some(live[0]) } else { None },
+        core: if acyclic { Vec::new() } else { live },
+        tree_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeLabel;
+    use mp_datalog::Var;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    fn hg(edges: &[&[&str]]) -> Hypergraph {
+        let mut h = Hypergraph::new();
+        for (i, e) in edges.iter().enumerate() {
+            h.add_edge(EdgeLabel::Subgoal(i), e.iter().map(|s| v(s)));
+        }
+        h
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        // R1 of Example 4.1 with head {X}: a(X,Y), b(Y,U), c(U,Z).
+        let h = hg(&[&["X"], &["X", "Y"], &["Y", "U"], &["U", "Z"]]);
+        let out = gyo_reduce(&h);
+        assert!(out.acyclic);
+        assert_eq!(out.tree_edges.len(), 3);
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        // The classic cyclic example: pairwise-overlapping edges.
+        let h = hg(&[&["X", "Y"], &["Y", "Z"], &["Z", "X"]]);
+        let out = gyo_reduce(&h);
+        assert!(!out.acyclic);
+        assert_eq!(out.core.len(), 3);
+    }
+
+    #[test]
+    fn paper_rule_r2_is_acyclic() {
+        // R2: p(X,Z) :- a(X,Y,V), b(Y,U), c(V,T), d(T), e(U,Z); head {X}.
+        // (Fig 3 of the paper.)
+        let h = hg(&[
+            &["X"],
+            &["X", "Y", "V"],
+            &["Y", "U"],
+            &["V", "T"],
+            &["T"],
+            &["U", "Z"],
+        ]);
+        assert!(gyo_reduce(&h).acyclic);
+    }
+
+    #[test]
+    fn paper_rule_r3_is_cyclic() {
+        // R3: p(X,Z) :- a(X,Y,V), b(Y,W), c(V,W,T), d(T), e(W,Z); head
+        // {X}. Fig 4's cycle involves Y, V, and W across a, b, c.
+        let h = hg(&[
+            &["X"],
+            &["X", "Y", "V"],
+            &["Y", "W"],
+            &["V", "W", "T"],
+            &["T"],
+            &["W", "Z"],
+        ]);
+        let out = gyo_reduce(&h);
+        assert!(!out.acyclic);
+        // The irreducible core is the a, b, c triangle on {Y, V, W}.
+        assert_eq!(out.core, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_edge_and_empty() {
+        assert!(gyo_reduce(&hg(&[&["X", "Y"]])).acyclic);
+        assert!(gyo_reduce(&hg(&[])).acyclic);
+        assert!(gyo_reduce(&hg(&[&[]])).acyclic);
+    }
+
+    #[test]
+    fn duplicate_edges_absorb_deterministically() {
+        let h = hg(&[&["X", "Y"], &["X", "Y"]]);
+        let out = gyo_reduce(&h);
+        assert!(out.acyclic);
+        assert_eq!(out.tree_edges[0], (1, 0));
+    }
+
+    #[test]
+    fn disconnected_components_reduce_via_empty_edges() {
+        // p(X,Y) :- a(X), b(Y) with head {X}: b's Y is solitary, b becomes
+        // empty, then absorbs into a survivor.
+        let h = hg(&[&["X"], &["X"], &["Y"]]);
+        let out = gyo_reduce(&h);
+        assert!(out.acyclic);
+    }
+
+    #[test]
+    fn tree_edges_span_all_edges_when_acyclic() {
+        let h = hg(&[&["X"], &["X", "Y"], &["Y", "Z"], &["Z", "W"], &["W"]]);
+        let out = gyo_reduce(&h);
+        assert!(out.acyclic);
+        // n-1 tree edges over n hyperedges.
+        assert_eq!(out.tree_edges.len(), h.len() - 1);
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for &(a, b) in &out.tree_edges {
+            touched.insert(a);
+            touched.insert(b);
+        }
+        assert_eq!(touched.len(), h.len());
+    }
+}

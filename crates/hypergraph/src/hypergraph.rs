@@ -1,0 +1,110 @@
+//! Hypergraphs over rule variables.
+
+use mp_datalog::Var;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// What a hyperedge stands for in an evaluation hypergraph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeLabel {
+    /// The bound (`c`/`d`) variables of the rule head — the paper writes
+    /// this hyperedge with a superscript `b`.
+    Head,
+    /// The `i`-th subgoal of the rule (0-based).
+    Subgoal(usize),
+}
+
+impl fmt::Display for EdgeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeLabel::Head => write!(f, "head^b"),
+            EdgeLabel::Subgoal(i) => write!(f, "subgoal[{i}]"),
+        }
+    }
+}
+
+/// A hyperedge: a labelled set of variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperEdge {
+    /// The edge's identity.
+    pub label: EdgeLabel,
+    /// Its variables.
+    pub vars: BTreeSet<Var>,
+}
+
+/// A hypergraph: "a generalization of a graph in which hyperedges are
+/// arbitrary sets of nodes instead of just pairs of nodes" (§4).
+#[derive(Clone, Debug, Default)]
+pub struct Hypergraph {
+    edges: Vec<HyperEdge>,
+}
+
+impl Hypergraph {
+    /// Create an empty hypergraph.
+    pub fn new() -> Self {
+        Hypergraph::default()
+    }
+
+    /// Add a hyperedge; returns its index.
+    pub fn add_edge(&mut self, label: EdgeLabel, vars: impl IntoIterator<Item = Var>) -> usize {
+        self.edges.push(HyperEdge {
+            label,
+            vars: vars.into_iter().collect(),
+        });
+        self.edges.len() - 1
+    }
+
+    /// The hyperedges, in insertion order.
+    pub fn edges(&self) -> &[HyperEdge] {
+        &self.edges
+    }
+
+    /// Number of hyperedges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the hypergraph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// All distinct vertices (variables).
+    pub fn vertices(&self) -> BTreeSet<Var> {
+        self.edges.iter().flat_map(|e| e.vars.iter().cloned()).collect()
+    }
+
+    /// Index of the edge with the given label, if present.
+    pub fn edge_index(&self, label: EdgeLabel) -> Option<usize> {
+        self.edges.iter().position(|e| e.label == label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    #[test]
+    fn build_and_inspect() {
+        let mut h = Hypergraph::new();
+        let e0 = h.add_edge(EdgeLabel::Head, [v("X")]);
+        let e1 = h.add_edge(EdgeLabel::Subgoal(0), [v("X"), v("Y")]);
+        assert_eq!(e0, 0);
+        assert_eq!(e1, 1);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.vertices().len(), 2);
+        assert_eq!(h.edge_index(EdgeLabel::Head), Some(0));
+        assert_eq!(h.edge_index(EdgeLabel::Subgoal(7)), None);
+    }
+
+    #[test]
+    fn duplicate_vars_in_edge_collapse() {
+        let mut h = Hypergraph::new();
+        h.add_edge(EdgeLabel::Subgoal(0), [v("X"), v("X")]);
+        assert_eq!(h.edges()[0].vars.len(), 1);
+    }
+}

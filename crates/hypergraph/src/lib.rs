@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! # mp-hypergraph
+//!
+//! Evaluation hypergraphs, Graham (GYO) reduction, qual trees, and the
+//! **monotone flow property** — §4 of Van Gelder, "A Message Passing
+//! Framework for Logical Query Evaluation" (SIGMOD 1986).
+//!
+//! A rule with given head binding classes has an *evaluation hypergraph*
+//! (Def 4.1): one vertex per variable, a hyperedge of the bound (`c`/`d`)
+//! head variables, and a hyperedge per subgoal. The rule has the
+//! *monotone flow property* (Def 4.2) iff that hypergraph is α-acyclic,
+//! which the Graham reduction both decides and witnesses with a *qual
+//! tree* rooted at the head. Directing qual-tree edges away from the root
+//! yields a greedy sideways-information-passing strategy (Thm 4.1), and
+//! qual trees compose under resolution on leaf subgoals (Thm 4.2).
+//!
+//! The [`cost`] module implements the paper's §4.3 "reasonable
+//! assumptions" cost model, used by experiment E9.
+
+pub mod compose;
+pub mod cost;
+mod gyo;
+mod hypergraph;
+mod monotone;
+mod qualtree;
+
+pub use gyo::{gyo_reduce, GyoOutcome};
+pub use monotone::examples;
+pub use hypergraph::{EdgeLabel, HyperEdge, Hypergraph};
+pub use monotone::{evaluation_hypergraph, monotone_flow, MonotoneFlow};
+pub use qualtree::QualTree;

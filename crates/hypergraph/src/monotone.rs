@@ -1,0 +1,162 @@
+//! The monotone flow property (Defs 4.1–4.2).
+
+use crate::{EdgeLabel, Hypergraph, QualTree};
+use mp_datalog::{Rule, Var};
+use std::collections::BTreeSet;
+
+/// Build the evaluation hypergraph of a rule (Def 4.1): one vertex per
+/// rule variable; a hyperedge of the head's **bound** variables (the
+/// `c`/`d` classes, given here as `bound_head_vars`); one hyperedge per
+/// subgoal containing all of that subgoal's variables.
+///
+/// Constants contribute no vertices: they are local selections, not
+/// cross-subgoal flow. One consequence is that a rule whose only initial
+/// binding is a constant (e.g. a top goal `p(0, Z)`) has an *empty* head
+/// edge, so its qual tree roots arbitrarily and carries no flow
+/// direction — the qual-tree SIP strategy therefore falls back to the
+/// greedy order in that case (`mp-rulegoal`).
+pub fn evaluation_hypergraph(rule: &Rule, bound_head_vars: &BTreeSet<Var>) -> Hypergraph {
+    let mut h = Hypergraph::new();
+    let head_vars: BTreeSet<Var> = rule.head.vars().into_iter().collect();
+    h.add_edge(
+        EdgeLabel::Head,
+        head_vars.intersection(bound_head_vars).cloned(),
+    );
+    for (i, sg) in rule.body.iter().enumerate() {
+        h.add_edge(EdgeLabel::Subgoal(i), sg.vars());
+    }
+    h
+}
+
+/// Outcome of testing a rule for monotone flow.
+#[derive(Clone, Debug)]
+pub enum MonotoneFlow {
+    /// The evaluation hypergraph is α-acyclic; the witness qual tree is
+    /// attached (Def 4.2).
+    Monotone(QualTree),
+    /// The hypergraph is cyclic; the subgoal indices of the irreducible
+    /// core are attached (the "inherently cyclic structure" of §1.2).
+    Cyclic(Vec<usize>),
+}
+
+impl MonotoneFlow {
+    /// True for the monotone case.
+    pub fn is_monotone(&self) -> bool {
+        matches!(self, MonotoneFlow::Monotone(_))
+    }
+
+    /// The qual tree, if monotone.
+    pub fn qual_tree(&self) -> Option<&QualTree> {
+        match self {
+            MonotoneFlow::Monotone(qt) => Some(qt),
+            MonotoneFlow::Cyclic(_) => None,
+        }
+    }
+}
+
+/// Test whether `rule`, with the given bound head variables, has the
+/// monotone flow property (Def 4.2).
+pub fn monotone_flow(rule: &Rule, bound_head_vars: &BTreeSet<Var>) -> MonotoneFlow {
+    let h = evaluation_hypergraph(rule, bound_head_vars);
+    match QualTree::build(&h) {
+        Some(qt) => MonotoneFlow::Monotone(qt),
+        None => {
+            let core = crate::gyo_reduce(&h)
+                .core
+                .into_iter()
+                .filter_map(|i| match h.edges()[i].label {
+                    EdgeLabel::Subgoal(s) => Some(s),
+                    EdgeLabel::Head => None,
+                })
+                .collect();
+            MonotoneFlow::Cyclic(core)
+        }
+    }
+}
+
+/// The paper's three running example rules (Example 4.1), reconstructed
+/// from the prose (the OCR of the rule bodies is partially garbled; the
+/// reconstruction is the unique reading consistent with the flow
+/// descriptions and with Figs 3–4 — see DESIGN.md).
+pub mod examples {
+    use mp_datalog::parser::parse_rule;
+    use mp_datalog::Rule;
+
+    /// R1: `p(X,Z) :- a(X,Y), b(Y,U), c(U,Z).` — "information flows from
+    /// X to Y to U to Z quite naturally."
+    pub fn r1() -> Rule {
+        parse_rule("p(X, Z) :- a(X, Y), b(Y, U), c(U, Z).").expect("valid R1")
+    }
+
+    /// R2: `p(X,Z) :- a(X,Y,V), b(Y,U), c(V,T), d(T), e(U,Z).` — flow
+    /// from X to both Y and V; extending to U (via b) or T (via c) is
+    /// independent. Fig 3's hypergraph; monotone.
+    pub fn r2() -> Rule {
+        parse_rule("p(X, Z) :- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).").expect("valid R2")
+    }
+
+    /// R3: `p(X,Z) :- a(X,Y,V), b(Y,W), c(V,W,T), d(T), e(W,Z).` — after
+    /// a, evaluating b yields W bindings that restrict c and vice versa;
+    /// doing both in parallel risks "two large relations that are nearly
+    /// unjoinable due to mismatches on W". Fig 4's cycle on Y, V, W; not
+    /// monotone.
+    pub fn r3() -> Rule {
+        parse_rule("p(X, Z) :- a(X, Y, V), b(Y, W), c(V, W, T), d(T), e(W, Z).").expect("valid R3")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::examples::{r1, r2, r3};
+    use super::*;
+
+    fn bound_x() -> BTreeSet<Var> {
+        BTreeSet::from([Var::new("X")])
+    }
+
+    #[test]
+    fn r1_is_monotone() {
+        let mf = monotone_flow(&r1(), &bound_x());
+        assert!(mf.is_monotone());
+        let qt = mf.qual_tree().unwrap();
+        qt.verify().unwrap();
+        // Chain: a, then b, then c.
+        assert_eq!(qt.bfs_subgoal_order(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn r2_is_monotone() {
+        let mf = monotone_flow(&r2(), &bound_x());
+        assert!(mf.is_monotone());
+        mf.qual_tree().unwrap().verify().unwrap();
+    }
+
+    #[test]
+    fn r3_is_cyclic_on_abc() {
+        let mf = monotone_flow(&r3(), &bound_x());
+        assert!(!mf.is_monotone());
+        match mf {
+            MonotoneFlow::Cyclic(core) => assert_eq!(core, vec![0, 1, 2]),
+            MonotoneFlow::Monotone(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn binding_pattern_changes_the_answer() {
+        // R3 with *both* head variables bound stays cyclic (the Y-V-W
+        // cycle does not involve head vars)...
+        let both = BTreeSet::from([Var::new("X"), Var::new("Z")]);
+        assert!(!monotone_flow(&r3(), &both).is_monotone());
+        // ...while a fully-free head on R1 is still monotone: the empty
+        // head edge absorbs into anything.
+        assert!(monotone_flow(&r1(), &BTreeSet::new()).is_monotone());
+    }
+
+    #[test]
+    fn head_edge_only_keeps_bound_vars_that_exist_in_head() {
+        // A bound set mentioning a variable not in the head is ignored.
+        let odd = BTreeSet::from([Var::new("Nope")]);
+        let h = evaluation_hypergraph(&r1(), &odd);
+        assert!(h.edges()[0].vars.is_empty());
+    }
+}

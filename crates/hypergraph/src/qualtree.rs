@@ -1,0 +1,234 @@
+//! Qual trees (§4.1).
+//!
+//! "The important qual tree property that makes a tree a qual tree is the
+//! following: for any variable in the rule, and any two hyperedges (rule
+//! head or subgoals) containing that variable, the path between those
+//! hyperedges in the qual tree only involves hyperedges (qual tree nodes)
+//! that also contain that variable."
+
+use crate::{gyo_reduce, EdgeLabel, Hypergraph};
+use mp_datalog::Var;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A qual tree over the hyperedges of an (acyclic) evaluation hypergraph,
+/// rooted at the rule-head node.
+#[derive(Clone, Debug)]
+pub struct QualTree {
+    /// Node labels, indexed like the source hypergraph's edges.
+    pub labels: Vec<EdgeLabel>,
+    /// Each node's variable set (the *original* hyperedge contents).
+    pub vars: Vec<BTreeSet<Var>>,
+    /// Undirected tree edges between node indices.
+    pub edges: Vec<(usize, usize)>,
+    /// The root node index (the head hyperedge).
+    pub root: usize,
+}
+
+impl QualTree {
+    /// Build a qual tree for `h` by Graham reduction, rooted at the `Head`
+    /// edge. Returns `None` if `h` is cyclic or has no head edge.
+    pub fn build(h: &Hypergraph) -> Option<QualTree> {
+        let root = h.edge_index(EdgeLabel::Head)?;
+        let out = gyo_reduce(h);
+        if !out.acyclic {
+            return None;
+        }
+        Some(QualTree {
+            labels: h.edges().iter().map(|e| e.label).collect(),
+            vars: h.edges().iter().map(|e| e.vars.clone()).collect(),
+            edges: out.tree_edges,
+            root,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Neighbours of a node.
+    pub fn neighbours(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.edges {
+            if a == node {
+                out.push(b);
+            } else if b == node {
+                out.push(a);
+            }
+        }
+        out
+    }
+
+    /// The parent of each node when edges are directed away from the root
+    /// (`parent[root]` is `usize::MAX`). Panics if the tree is
+    /// disconnected — `build` never produces such a tree.
+    pub fn parents(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut parent = vec![usize::MAX; n];
+        let mut seen = vec![false; n];
+        let mut queue = VecDeque::from([self.root]);
+        seen[self.root] = true;
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbours(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "qual tree is disconnected: {:?}",
+            self.edges
+        );
+        parent
+    }
+
+    /// Subgoal indices in breadth-first order from the root — the order in
+    /// which Theorem 4.1's greedy information passing strategy schedules
+    /// them (edges directed away from the root).
+    pub fn bfs_subgoal_order(&self) -> Vec<usize> {
+        let mut order = Vec::new();
+        let mut seen = vec![false; self.len()];
+        let mut queue = VecDeque::from([self.root]);
+        seen[self.root] = true;
+        while let Some(u) = queue.pop_front() {
+            if let EdgeLabel::Subgoal(i) = self.labels[u] {
+                order.push(i);
+            }
+            let mut nb = self.neighbours(u);
+            nb.sort_unstable();
+            for v in nb {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// Check the qual tree property: for every variable, the set of nodes
+    /// containing it forms a connected subtree. Returns the first
+    /// offending variable if the property fails.
+    pub fn verify(&self) -> Result<(), Var> {
+        let n = self.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let all_vars: BTreeSet<&Var> = self.vars.iter().flatten().collect();
+        for var in all_vars {
+            let holders: Vec<usize> =
+                (0..n).filter(|&i| self.vars[i].contains(var)).collect();
+            if holders.len() <= 1 {
+                continue;
+            }
+            // BFS within the induced subgraph of holders.
+            let holder_set: BTreeSet<usize> = holders.iter().copied().collect();
+            let mut seen = BTreeSet::from([holders[0]]);
+            let mut queue = VecDeque::from([holders[0]]);
+            while let Some(u) = queue.pop_front() {
+                for v in self.neighbours(u) {
+                    if holder_set.contains(&v) && seen.insert(v) {
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if seen.len() != holders.len() {
+                return Err(var.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    /// The paper's R2 with head binding {X}: qual tree of Example 4.2.
+    fn r2_hypergraph() -> Hypergraph {
+        let mut h = Hypergraph::new();
+        h.add_edge(EdgeLabel::Head, [v("X")]);
+        h.add_edge(EdgeLabel::Subgoal(0), [v("X"), v("Y"), v("V")]); // a
+        h.add_edge(EdgeLabel::Subgoal(1), [v("Y"), v("U")]); // b
+        h.add_edge(EdgeLabel::Subgoal(2), [v("V"), v("T")]); // c
+        h.add_edge(EdgeLabel::Subgoal(3), [v("T")]); // d
+        h.add_edge(EdgeLabel::Subgoal(4), [v("U"), v("Z")]); // e
+        h
+    }
+
+    #[test]
+    fn r2_qual_tree_matches_example_4_2() {
+        let qt = QualTree::build(&r2_hypergraph()).unwrap();
+        qt.verify().unwrap();
+        let parents = qt.parents();
+        // Example 4.2: root p^b — a; a — b, a — c; b — e; c — d.
+        assert_eq!(parents[1], 0); // a's parent is the head
+        assert_eq!(parents[2], 1); // b under a
+        assert_eq!(parents[3], 1); // c under a
+        assert_eq!(parents[4], 3); // d under c
+        assert_eq!(parents[5], 2); // e under b
+    }
+
+    #[test]
+    fn r2_bfs_order_is_the_greedy_strategy() {
+        let qt = QualTree::build(&r2_hypergraph()).unwrap();
+        let order = qt.bfs_subgoal_order();
+        // a first; then b and c (independent, "can be done in parallel");
+        // then d and e.
+        assert_eq!(order[0], 0);
+        assert_eq!(
+            BTreeSet::from([order[1], order[2]]),
+            BTreeSet::from([1, 2])
+        );
+        assert_eq!(
+            BTreeSet::from([order[3], order[4]]),
+            BTreeSet::from([3, 4])
+        );
+    }
+
+    #[test]
+    fn cyclic_hypergraph_has_no_qual_tree() {
+        let mut h = Hypergraph::new();
+        h.add_edge(EdgeLabel::Head, [v("X")]);
+        h.add_edge(EdgeLabel::Subgoal(0), [v("X"), v("Y")]);
+        h.add_edge(EdgeLabel::Subgoal(1), [v("Y"), v("Z")]);
+        h.add_edge(EdgeLabel::Subgoal(2), [v("Z"), v("X")]);
+        assert!(QualTree::build(&h).is_none());
+    }
+
+    #[test]
+    fn verify_detects_broken_property() {
+        // Hand-build a tree violating the property: X in nodes 0 and 2,
+        // but the path goes through node 1 which lacks X.
+        let qt = QualTree {
+            labels: vec![EdgeLabel::Head, EdgeLabel::Subgoal(0), EdgeLabel::Subgoal(1)],
+            vars: vec![
+                BTreeSet::from([v("X")]),
+                BTreeSet::from([v("Y")]),
+                BTreeSet::from([v("X"), v("Y")]),
+            ],
+            edges: vec![(0, 1), (1, 2)],
+            root: 0,
+        };
+        assert_eq!(qt.verify(), Err(v("X")));
+    }
+
+    #[test]
+    fn missing_head_edge_yields_none() {
+        let mut h = Hypergraph::new();
+        h.add_edge(EdgeLabel::Subgoal(0), [v("X")]);
+        assert!(QualTree::build(&h).is_none());
+    }
+}

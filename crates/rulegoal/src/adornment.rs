@@ -1,0 +1,284 @@
+//! Argument classes, adornments, and canonical goal-node labels.
+
+use mp_datalog::{Atom, Predicate, Term, Var};
+use mp_storage::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The four argument classes of §1.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ArgClass {
+    /// Constant, known at graph-construction time.
+    C,
+    /// Dynamically bound to a set of needed values during computation.
+    D,
+    /// Existential: only the existence of a value matters; not transmitted.
+    E,
+    /// Free: bindings are to be found and returned.
+    F,
+}
+
+impl ArgClass {
+    /// The superscript letter used in the paper's figures.
+    pub fn letter(self) -> char {
+        match self {
+            ArgClass::C => 'c',
+            ArgClass::D => 'd',
+            ArgClass::E => 'e',
+            ArgClass::F => 'f',
+        }
+    }
+
+    /// True for classes whose values are known *before* a relation is
+    /// evaluated (constants and dynamic bindings).
+    pub fn is_bound(self) -> bool {
+        matches!(self, ArgClass::C | ArgClass::D)
+    }
+}
+
+/// A per-argument-position assignment of classes for one atom.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Adornment(pub Vec<ArgClass>);
+
+impl Adornment {
+    /// The adornment's arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Class at a position.
+    pub fn class(&self, i: usize) -> ArgClass {
+        self.0[i]
+    }
+
+    /// Positions with class `d` — the semijoin input columns.
+    pub fn d_positions(&self) -> Vec<usize> {
+        self.positions(ArgClass::D)
+    }
+
+    /// Positions whose values are shipped in answer tuples: everything
+    /// except class `e` ("its value will not be transmitted", §2.2).
+    pub fn transmitted_positions(&self) -> Vec<usize> {
+        (0..self.0.len()).filter(|&i| self.0[i] != ArgClass::E).collect()
+    }
+
+    /// Positions with the given class.
+    pub fn positions(&self, c: ArgClass) -> Vec<usize> {
+        (0..self.0.len()).filter(|&i| self.0[i] == c).collect()
+    }
+
+    /// Number of bound (c/d) positions.
+    pub fn bound_count(&self) -> usize {
+        self.0.iter().filter(|c| c.is_bound()).count()
+    }
+
+    /// Compact string such as `"cdff"` (used in magic-set predicate names
+    /// and reports).
+    pub fn as_string(&self) -> String {
+        self.0.iter().map(|c| c.letter()).collect()
+    }
+}
+
+impl fmt::Display for Adornment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_string())
+    }
+}
+
+/// One argument of a canonical goal-node label.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LabelArg {
+    /// A class-`c` argument with its constant.
+    Const(Value),
+    /// A variable argument with its class and repeated-variable group
+    /// (variables are numbered by first occurrence, so two atoms that are
+    /// variants of each other — Def 2.2, including the repeated-variable
+    /// patterns of Thm 2.1's proof — get identical labels).
+    Var {
+        /// `d`, `e`, or `f`.
+        class: ArgClass,
+        /// Equal-variable group index, by first occurrence.
+        group: u16,
+    },
+}
+
+/// The canonical label of a goal node: predicate, constants, classes, and
+/// repeated-variable pattern. Two goal nodes are variants in the sense of
+/// Def 2.2 **iff** their labels are equal.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GoalLabel {
+    /// The predicate.
+    pub pred: Predicate,
+    /// Canonicalized arguments.
+    pub args: Vec<LabelArg>,
+}
+
+impl GoalLabel {
+    /// Build the label of `atom` under `adornment`.
+    ///
+    /// # Panics
+    /// Panics if a constant argument is not classed `c` or vice versa —
+    /// adornments are always derived from the atom, so a mismatch is a
+    /// bug in the caller.
+    pub fn new(atom: &Atom, adornment: &Adornment) -> Self {
+        assert_eq!(atom.arity(), adornment.arity(), "adornment arity mismatch");
+        let mut groups: HashMap<&Var, u16> = HashMap::new();
+        let mut args = Vec::with_capacity(atom.arity());
+        for (i, t) in atom.terms.iter().enumerate() {
+            match t {
+                Term::Const(v) => {
+                    assert_eq!(
+                        adornment.class(i),
+                        ArgClass::C,
+                        "constant argument must be class c"
+                    );
+                    args.push(LabelArg::Const(v.clone()));
+                }
+                Term::Var(v) => {
+                    assert_ne!(
+                        adornment.class(i),
+                        ArgClass::C,
+                        "variable argument cannot be class c"
+                    );
+                    let next = groups.len() as u16;
+                    let g = *groups.entry(v).or_insert(next);
+                    args.push(LabelArg::Var {
+                        class: adornment.class(i),
+                        group: g,
+                    });
+                }
+            }
+        }
+        GoalLabel {
+            pred: atom.pred.clone(),
+            args,
+        }
+    }
+
+    /// The label's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// The adornment (classes only) of this label.
+    pub fn adornment(&self) -> Adornment {
+        Adornment(
+            self.args
+                .iter()
+                .map(|a| match a {
+                    LabelArg::Const(_) => ArgClass::C,
+                    LabelArg::Var { class, .. } => *class,
+                })
+                .collect(),
+        )
+    }
+
+    /// Render like the paper's figures: `p(a^c, Z^f)` becomes
+    /// `p(a^c,V0^f)` with canonical variable names.
+    pub fn render(&self) -> String {
+        let mut s = format!("{}(", self.pred);
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            match a {
+                LabelArg::Const(v) => s.push_str(&format!("{v}^c")),
+                LabelArg::Var { class, group } => {
+                    s.push_str(&format!("V{group}^{}", class.letter()));
+                }
+            }
+        }
+        s.push(')');
+        s
+    }
+}
+
+impl fmt::Display for GoalLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datalog::atom;
+
+    fn ad(s: &str) -> Adornment {
+        Adornment(
+            s.chars()
+                .map(|c| match c {
+                    'c' => ArgClass::C,
+                    'd' => ArgClass::D,
+                    'e' => ArgClass::E,
+                    'f' => ArgClass::F,
+                    _ => panic!("bad class"),
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn adornment_positions() {
+        let a = ad("cdef");
+        assert_eq!(a.d_positions(), vec![1]);
+        assert_eq!(a.transmitted_positions(), vec![0, 1, 3]);
+        assert_eq!(a.bound_count(), 2);
+        assert_eq!(a.as_string(), "cdef");
+    }
+
+    #[test]
+    fn variants_get_equal_labels() {
+        // p(V^d, Z^f) and p(W^d, Y^f) are variants (Fig 1's cycle test).
+        let l1 = GoalLabel::new(&atom!("p"; var "V", var "Z"), &ad("df"));
+        let l2 = GoalLabel::new(&atom!("p"; var "W", var "Y"), &ad("df"));
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn different_classes_differ() {
+        let l1 = GoalLabel::new(&atom!("p"; var "V", var "Z"), &ad("df"));
+        let l2 = GoalLabel::new(&atom!("p"; var "V", var "Z"), &ad("ff"));
+        assert_ne!(l1, l2);
+    }
+
+    #[test]
+    fn repeated_variable_patterns_differ() {
+        // p(X, X, Z) vs p(V, V, V): Thm 2.1's technicality.
+        let l1 = GoalLabel::new(&atom!("p"; var "X", var "X", var "Z"), &ad("dff"));
+        let l2 = GoalLabel::new(&atom!("p"; var "V", var "V", var "V"), &ad("dff"));
+        assert_ne!(l1, l2);
+        // But p(A, A, B) matches p(X, X, Z).
+        let l3 = GoalLabel::new(&atom!("p"; var "A", var "A", var "B"), &ad("dff"));
+        assert_eq!(l1, l3);
+    }
+
+    #[test]
+    fn constants_must_match() {
+        let l1 = GoalLabel::new(&atom!("p"; val 1, var "Z"), &ad("cf"));
+        let l2 = GoalLabel::new(&atom!("p"; val 2, var "Z"), &ad("cf"));
+        assert_ne!(l1, l2);
+        let l3 = GoalLabel::new(&atom!("p"; val 1, var "Q"), &ad("cf"));
+        assert_eq!(l1, l3);
+    }
+
+    #[test]
+    fn render_matches_paper_style() {
+        let l = GoalLabel::new(&atom!("p"; val 7, var "Z"), &ad("cf"));
+        assert_eq!(l.render(), "p(7^c,V0^f)");
+    }
+
+    #[test]
+    #[should_panic(expected = "constant argument must be class c")]
+    fn misclassified_constant_panics() {
+        GoalLabel::new(&atom!("p"; val 1), &ad("f"));
+    }
+
+    #[test]
+    fn label_round_trips_adornment() {
+        let a = ad("def");
+        let l = GoalLabel::new(&atom!("p"; var "X", var "Y", var "Z"), &a);
+        assert_eq!(l.adornment(), a);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # mp-rulegoal
+//!
+//! Information-passing rule/goal graphs (§2 of Van Gelder, SIGMOD 1986).
+//!
+//! The graph is built top-down from the query by depth-first expansion:
+//! goal nodes expand into one rule node per unifying rule; rule nodes
+//! expand into goal nodes for their subgoals; EDB subgoals remain leaves;
+//! and an IDB subgoal that is a *variant of an ancestor* (matching on
+//! argument classes, Def 2.2) gets a **cycle edge** from that ancestor
+//! instead of being expanded. Construction always terminates and the
+//! graph's size is independent of the EDB size (Thm 2.1).
+//!
+//! Predicate arguments carry one of four classes (§1.2):
+//!
+//! * `c` — constants known at graph-construction time,
+//! * `d` — dynamically bound to a set of needed values (semi-join
+//!   operands, delivered as tuple-request messages),
+//! * `e` — existential: only existence matters, the value is never
+//!   transmitted,
+//! * `f` — free: the job is to find bindings for them.
+//!
+//! How `d`/`f` are assigned to subgoal arguments is the *sideways
+//! information passing strategy* ([`sip`]): greedy (Def 2.4), Prolog
+//! left-to-right, all-free (no sideways passing), or qual-tree driven
+//! (Thm 4.1).
+
+mod adornment;
+pub mod dot;
+mod graph;
+mod scc;
+pub mod sip;
+
+pub use adornment::{Adornment, ArgClass, GoalLabel, LabelArg};
+pub use graph::{ArcKind, GoalKind, GraphError, Node, NodeId, RuleGoalGraph};
+pub use scc::{SccId, SccInfo};
+pub use sip::{SipKind, SipPlan, SipSource};

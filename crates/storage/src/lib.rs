@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! # mp-storage
+//!
+//! In-memory relational storage substrate for the message-passing logical
+//! query evaluation framework (Van Gelder, SIGMOD 1986).
+//!
+//! The paper's processes each "compute an intermediate relation, more or
+//! less by standard relational algebra methods" (§1.2). This crate provides
+//! exactly that substrate:
+//!
+//! * [`Value`] — the scalar domain (integers and shared strings),
+//! * [`Tuple`] — fixed-arity rows,
+//! * [`Relation`] — duplicate-free, insertion-ordered sets of tuples,
+//! * [`KeyIndex`] / [`IndexedRelation`] — hash indexes on column subsets
+//!   (the semi-join operands that class-`d` arguments require),
+//! * [`ops`] — select / project / join / semijoin / union / difference.
+//!
+//! Everything is deterministic: relations iterate in insertion order, and
+//! all operators produce insertion-ordered output, so two runs over the
+//! same inputs yield identical results. The simulated message-passing
+//! runtime builds its reproducibility on that determinism.
+
+pub mod ops;
+mod relation;
+mod tuple;
+mod value;
+
+pub use relation::{IndexedRelation, KeyIndex, Relation};
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Errors produced by storage operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple's arity did not match the relation's arity.
+    ArityMismatch {
+        /// Arity the relation expects.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A column index was out of bounds for the relation's arity.
+    ColumnOutOfBounds {
+        /// The offending column index.
+        column: usize,
+        /// The relation's arity.
+        arity: usize,
+    },
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::ArityMismatch { expected, got } => {
+                write!(f, "arity mismatch: expected {expected}, got {got}")
+            }
+            StorageError::ColumnOutOfBounds { column, arity } => {
+                write!(f, "column {column} out of bounds for arity {arity}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,293 @@
+//! Relational algebra operators.
+//!
+//! "Rule nodes combine their subgoal relations using join, select, and
+//! project" (§2.2 of the paper); class-`d` arguments "function as a
+//! semi-join operand" (§1.2). These operators are the batch forms; the
+//! engine's pipelined per-tuple forms live in `mp-engine` and are tested
+//! against these as oracles.
+//!
+//! All operators preserve determinism: outputs are produced in the
+//! insertion order induced by scanning the left operand.
+
+use crate::{KeyIndex, Relation, StorageError, Tuple, Value};
+
+/// Select rows where column `col` equals `value`.
+pub fn select_eq(rel: &Relation, col: usize, value: &Value) -> Result<Relation, StorageError> {
+    if col >= rel.arity() && !(rel.arity() == 0 && col == 0) {
+        return Err(StorageError::ColumnOutOfBounds {
+            column: col,
+            arity: rel.arity(),
+        });
+    }
+    let mut out = Relation::new(rel.arity());
+    for t in rel.iter() {
+        if &t[col] == value {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Select rows matching `key` on `cols`.
+pub fn select_on(rel: &Relation, cols: &[usize], key: &Tuple) -> Result<Relation, StorageError> {
+    for &c in cols {
+        if c >= rel.arity() {
+            return Err(StorageError::ColumnOutOfBounds {
+                column: c,
+                arity: rel.arity(),
+            });
+        }
+    }
+    let mut out = Relation::new(rel.arity());
+    for t in rel.iter() {
+        if t.matches_on(cols, key) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Select rows satisfying an arbitrary predicate.
+pub fn select_where(rel: &Relation, pred: impl Fn(&Tuple) -> bool) -> Relation {
+    let mut out = Relation::new(rel.arity());
+    for t in rel.iter() {
+        if pred(t) {
+            out.insert(t.clone()).expect("same arity");
+        }
+    }
+    out
+}
+
+/// Project onto `cols` (deduplicating).
+pub fn project(rel: &Relation, cols: &[usize]) -> Result<Relation, StorageError> {
+    for &c in cols {
+        if c >= rel.arity() {
+            return Err(StorageError::ColumnOutOfBounds {
+                column: c,
+                arity: rel.arity(),
+            });
+        }
+    }
+    let mut out = Relation::new(cols.len());
+    for t in rel.iter() {
+        out.insert(t.project(cols))?;
+    }
+    Ok(out)
+}
+
+/// Equi-join on column pairs `(left_col, right_col)`.
+///
+/// Output schema is the concatenation of the left and right schemas (the
+/// right join columns are retained; callers project afterwards). Uses a
+/// hash index on the right operand.
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+) -> Result<Relation, StorageError> {
+    let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    for &c in &lcols {
+        if c >= left.arity() {
+            return Err(StorageError::ColumnOutOfBounds {
+                column: c,
+                arity: left.arity(),
+            });
+        }
+    }
+    let idx = KeyIndex::build(right, &rcols)?;
+    let mut out = Relation::new(left.arity() + right.arity());
+    for lt in left.iter() {
+        let key = lt.project(&lcols);
+        for &rid in idx.get(&key) {
+            let rt = &right.rows()[rid as usize];
+            out.insert(lt.concat(rt))?;
+        }
+    }
+    Ok(out)
+}
+
+/// Semi-join: rows of `left` that match at least one row of `right` on the
+/// column pairs.
+pub fn semijoin(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+) -> Result<Relation, StorageError> {
+    let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    for &c in &lcols {
+        if c >= left.arity() {
+            return Err(StorageError::ColumnOutOfBounds {
+                column: c,
+                arity: left.arity(),
+            });
+        }
+    }
+    let idx = KeyIndex::build(right, &rcols)?;
+    let mut out = Relation::new(left.arity());
+    for lt in left.iter() {
+        if !idx.get(&lt.project(&lcols)).is_empty() {
+            out.insert(lt.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Anti-join: rows of `left` with no match in `right`.
+pub fn antijoin(
+    left: &Relation,
+    right: &Relation,
+    on: &[(usize, usize)],
+) -> Result<Relation, StorageError> {
+    let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+    let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+    for &c in &lcols {
+        if c >= left.arity() {
+            return Err(StorageError::ColumnOutOfBounds {
+                column: c,
+                arity: left.arity(),
+            });
+        }
+    }
+    let idx = KeyIndex::build(right, &rcols)?;
+    let mut out = Relation::new(left.arity());
+    for lt in left.iter() {
+        if idx.get(&lt.project(&lcols)).is_empty() {
+            out.insert(lt.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Union (deduplicating, left rows first).
+pub fn union(left: &Relation, right: &Relation) -> Result<Relation, StorageError> {
+    if left.arity() != right.arity() {
+        return Err(StorageError::ArityMismatch {
+            expected: left.arity(),
+            got: right.arity(),
+        });
+    }
+    let mut out = Relation::new(left.arity());
+    for t in left.iter().chain(right.iter()) {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Set difference `left − right`.
+pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, StorageError> {
+    if left.arity() != right.arity() {
+        return Err(StorageError::ArityMismatch {
+            expected: left.arity(),
+            got: right.arity(),
+        });
+    }
+    let mut out = Relation::new(left.arity());
+    for t in left.iter() {
+        if !right.contains(t) {
+            out.insert(t.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Cartesian product.
+pub fn cross(left: &Relation, right: &Relation) -> Relation {
+    let mut out = Relation::new(left.arity() + right.arity());
+    for lt in left.iter() {
+        for rt in right.iter() {
+            out.insert(lt.concat(rt)).expect("same arity");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn r(rows: Vec<Tuple>) -> Relation {
+        rows.into_iter().collect()
+    }
+
+    #[test]
+    fn select_eq_filters() {
+        let rel = r(vec![tuple![1, 10], tuple![2, 20], tuple![1, 11]]);
+        let out = select_eq(&rel, 0, &Value::int(1)).unwrap();
+        assert_eq!(out.rows(), &[tuple![1, 10], tuple![1, 11]]);
+        assert!(select_eq(&rel, 7, &Value::int(1)).is_err());
+    }
+
+    #[test]
+    fn select_on_multi_column() {
+        let rel = r(vec![tuple![1, 10, 5], tuple![1, 11, 5], tuple![1, 10, 6]]);
+        let out = select_on(&rel, &[0, 2], &tuple![1, 5]).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn select_where_predicate() {
+        let rel = r(vec![tuple![1], tuple![2], tuple![3]]);
+        let out = select_where(&rel, |t| t[0].as_int().unwrap() > 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let rel = r(vec![tuple![1, 10], tuple![1, 11], tuple![2, 20]]);
+        let out = project(&rel, &[0]).unwrap();
+        assert_eq!(out.rows(), &[tuple![1], tuple![2]]);
+        assert!(project(&rel, &[9]).is_err());
+    }
+
+    #[test]
+    fn join_basic() {
+        let l = r(vec![tuple![1, 2], tuple![2, 3]]);
+        let rr = r(vec![tuple![2, 30], tuple![3, 40], tuple![3, 41]]);
+        let out = join(&l, &rr, &[(1, 0)]).unwrap();
+        assert_eq!(
+            out.sorted_rows(),
+            vec![
+                tuple![1, 2, 2, 30],
+                tuple![2, 3, 3, 40],
+                tuple![2, 3, 3, 41]
+            ]
+        );
+    }
+
+    #[test]
+    fn join_on_no_columns_is_cross() {
+        let l = r(vec![tuple![1], tuple![2]]);
+        let rr = r(vec![tuple![10], tuple![20]]);
+        let out = join(&l, &rr, &[]).unwrap();
+        assert_eq!(out.len(), 4);
+        assert_eq!(out, cross(&l, &rr));
+    }
+
+    #[test]
+    fn semijoin_and_antijoin_partition() {
+        let l = r(vec![tuple![1, 2], tuple![2, 3], tuple![4, 5]]);
+        let rr = r(vec![tuple![2], tuple![5]]);
+        let semi = semijoin(&l, &rr, &[(1, 0)]).unwrap();
+        let anti = antijoin(&l, &rr, &[(1, 0)]).unwrap();
+        assert_eq!(semi.rows(), &[tuple![1, 2], tuple![4, 5]]);
+        assert_eq!(anti.rows(), &[tuple![2, 3]]);
+        assert_eq!(union(&semi, &anti).unwrap(), l);
+    }
+
+    #[test]
+    fn union_requires_same_arity() {
+        let a = r(vec![tuple![1]]);
+        let b = r(vec![tuple![1, 2]]);
+        assert!(union(&a, &b).is_err());
+    }
+
+    #[test]
+    fn difference_removes() {
+        let a = r(vec![tuple![1], tuple![2], tuple![3]]);
+        let b = r(vec![tuple![2]]);
+        assert_eq!(difference(&a, &b).unwrap().rows(), &[tuple![1], tuple![3]]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Duplicate-free, insertion-ordered relations with optional hash indexes.
+//!
+//! Deletion of duplicates is load-bearing in the paper: "Detection of
+//! duplicates is necessary to allow loops to terminate" (§3.1). Every
+//! relation here is a set; [`Relation::insert`] reports whether the tuple
+//! was genuinely new, which is exactly the signal nodes use to decide
+//! whether to forward an answer tuple.
+
+use crate::{StorageError, Tuple, Value};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// A set of same-arity tuples, iterated in insertion order.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    rows: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// Create an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Create a relation from an iterator of tuples, deduplicating.
+    ///
+    /// # Panics
+    /// Panics if tuples disagree on arity (a programming error — schemas
+    /// are validated before data flows).
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut rel = Relation::new(arity);
+        for t in tuples {
+            rel.insert(t).expect("from_tuples: arity mismatch");
+        }
+        rel
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if the tuple was new, `Ok(false)`
+    /// if it was a duplicate.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, StorageError> {
+        if t.arity() != self.arity {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity,
+                got: t.arity(),
+            });
+        }
+        if self.seen.insert(t.clone()) {
+            self.rows.push(t);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Iterate in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows.iter()
+    }
+
+    /// The rows as a slice (insertion order).
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// A canonically sorted copy of the rows, for order-insensitive
+    /// comparisons in tests and reports.
+    pub fn sorted_rows(&self) -> Vec<Tuple> {
+        let mut v = self.rows.clone();
+        v.sort();
+        v
+    }
+
+    /// Set equality (ignores insertion order).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.seen == other.seen
+    }
+}
+
+impl FromIterator<Tuple> for Relation {
+    /// Collect tuples into a relation, inferring arity from the first
+    /// tuple (arity 0 if the iterator is empty).
+    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map_or(0, Tuple::arity);
+        Relation::from_tuples(arity, it)
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+impl Eq for Relation {}
+
+/// A hash index from values of a column subset to row ids.
+#[derive(Clone, Debug, Default)]
+pub struct KeyIndex {
+    cols: Vec<usize>,
+    map: HashMap<Tuple, Vec<u32>>,
+}
+
+impl KeyIndex {
+    /// Build an index over `cols` for all rows of `rel`.
+    pub fn build(rel: &Relation, cols: &[usize]) -> Result<Self, StorageError> {
+        for &c in cols {
+            if c >= rel.arity() {
+                return Err(StorageError::ColumnOutOfBounds {
+                    column: c,
+                    arity: rel.arity(),
+                });
+            }
+        }
+        let mut idx = KeyIndex {
+            cols: cols.to_vec(),
+            map: HashMap::new(),
+        };
+        for (i, t) in rel.iter().enumerate() {
+            idx.add(i as u32, t);
+        }
+        Ok(idx)
+    }
+
+    /// The indexed columns.
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Register a row in the index.
+    pub fn add(&mut self, row_id: u32, t: &Tuple) {
+        let key = t.project(&self.cols);
+        match self.map.entry(key) {
+            Entry::Occupied(mut e) => e.get_mut().push(row_id),
+            Entry::Vacant(e) => {
+                e.insert(vec![row_id]);
+            }
+        }
+    }
+
+    /// Row ids whose projection onto the indexed columns equals `key`.
+    pub fn get(&self, key: &Tuple) -> &[u32] {
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A relation bundled with incrementally-maintained indexes.
+///
+/// Rule nodes store their subgoals' temporary relations (§3.1) and probe
+/// them by `d`-column values on every arriving tuple; this wrapper keeps
+/// those probes O(1) amortized as tuples trickle in.
+#[derive(Clone, Debug, Default)]
+pub struct IndexedRelation {
+    rel: Relation,
+    indexes: HashMap<Vec<usize>, KeyIndex>,
+}
+
+impl IndexedRelation {
+    /// Create an empty indexed relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        IndexedRelation {
+            rel: Relation::new(arity),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.rel.arity()
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// True if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Ensure an index exists on `cols` (builds it over existing rows).
+    pub fn ensure_index(&mut self, cols: &[usize]) -> Result<(), StorageError> {
+        if !self.indexes.contains_key(cols) {
+            let idx = KeyIndex::build(&self.rel, cols)?;
+            self.indexes.insert(cols.to_vec(), idx);
+        }
+        Ok(())
+    }
+
+    /// Insert a tuple, updating all indexes. Returns whether it was new.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, StorageError> {
+        let new = self.rel.insert(t.clone())?;
+        if new {
+            let row_id = (self.rel.len() - 1) as u32;
+            for idx in self.indexes.values_mut() {
+                idx.add(row_id, &t);
+            }
+        }
+        Ok(new)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.rel.contains(t)
+    }
+
+    /// Iterate all tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rel.iter()
+    }
+
+    /// Tuples whose projection onto `cols` equals `key`, using an index if
+    /// one exists on exactly those columns, else scanning.
+    ///
+    /// Call [`IndexedRelation::ensure_index`] up front on hot column sets.
+    pub fn lookup<'a>(&'a self, cols: &[usize], key: &Tuple) -> Vec<&'a Tuple> {
+        if let Some(idx) = self.indexes.get(cols) {
+            idx.get(key)
+                .iter()
+                .map(|&i| &self.rel.rows()[i as usize])
+                .collect()
+        } else {
+            self.rel.iter().filter(|t| t.matches_on(cols, key)).collect()
+        }
+    }
+
+    /// Distinct values of a single column (insertion order of first sight).
+    pub fn distinct_column(&self, col: usize) -> Vec<Value> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for t in self.rel.iter() {
+            let v = t[col].clone();
+            if seen.insert(v.clone()) {
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rel(rows: &[Tuple]) -> Relation {
+        Relation::from_tuples(rows.first().map_or(0, Tuple::arity), rows.iter().cloned())
+    }
+
+    #[test]
+    fn insert_deduplicates_and_preserves_order() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(tuple![1, 2]).unwrap());
+        assert!(r.insert(tuple![3, 4]).unwrap());
+        assert!(!r.insert(tuple![1, 2]).unwrap());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows(), &[tuple![1, 2], tuple![3, 4]]);
+    }
+
+    #[test]
+    fn insert_rejects_wrong_arity() {
+        let mut r = Relation::new(2);
+        assert_eq!(
+            r.insert(tuple![1]),
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn set_eq_ignores_order() {
+        let a = rel(&[tuple![1, 2], tuple![3, 4]]);
+        let b = rel(&[tuple![3, 4], tuple![1, 2]]);
+        assert_eq!(a, b);
+        let c = rel(&[tuple![1, 2]]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn key_index_lookup() {
+        let r = rel(&[tuple![1, 10], tuple![1, 11], tuple![2, 20]]);
+        let idx = KeyIndex::build(&r, &[0]).unwrap();
+        assert_eq!(idx.get(&tuple![1]).len(), 2);
+        assert_eq!(idx.get(&tuple![2]), &[2]);
+        assert_eq!(idx.get(&tuple![9]), &[] as &[u32]);
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn key_index_rejects_bad_column() {
+        let r = rel(&[tuple![1, 2]]);
+        assert!(matches!(
+            KeyIndex::build(&r, &[5]),
+            Err(StorageError::ColumnOutOfBounds { column: 5, arity: 2 })
+        ));
+    }
+
+    #[test]
+    fn indexed_relation_incremental_maintenance() {
+        let mut r = IndexedRelation::new(2);
+        r.ensure_index(&[0]).unwrap();
+        r.insert(tuple![1, 10]).unwrap();
+        r.insert(tuple![1, 11]).unwrap();
+        r.insert(tuple![2, 20]).unwrap();
+        assert!(!r.insert(tuple![2, 20]).unwrap());
+        let hits = r.lookup(&[0], &tuple![1]);
+        assert_eq!(hits.len(), 2);
+        // Lookup without a prepared index falls back to scanning.
+        let hits2 = r.lookup(&[1], &tuple![20]);
+        assert_eq!(hits2, vec![&tuple![2, 20]]);
+    }
+
+    #[test]
+    fn distinct_column_orders_by_first_sight() {
+        let mut r = IndexedRelation::new(2);
+        for t in [tuple![2, 0], tuple![1, 0], tuple![2, 1]] {
+            r.insert(t).unwrap();
+        }
+        assert_eq!(r.distinct_column(0), vec![Value::int(2), Value::int(1)]);
+    }
+
+    #[test]
+    fn from_iterator_infers_arity() {
+        let r: Relation = vec![tuple![1, 2], tuple![1, 2], tuple![2, 3]]
+            .into_iter()
+            .collect();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 2);
+        let empty: Relation = Vec::<Tuple>::new().into_iter().collect();
+        assert_eq!(empty.arity(), 0);
+    }
+}

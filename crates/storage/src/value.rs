@@ -1,0 +1,144 @@
+//! Scalar values: the constant domain of the logical system.
+//!
+//! The paper's system is function-free, so the Herbrand universe is just
+//! the finite set of constants appearing in the EDB and IDB (§1). We model
+//! constants as 64-bit integers or shared strings; strings are stored as
+//! `Arc<str>` so tuples clone cheaply as they flow through message queues.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant of the logical system.
+///
+/// `Value` is the element type of [`crate::Tuple`]. It is totally ordered
+/// (integers sort before strings) so relations can be canonically sorted
+/// for comparison in tests and reports.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A symbolic (string) constant, shared to make clones cheap.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Return the integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Return the string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Int(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(i: usize) -> Self {
+        Value::Int(i as i64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        let v = Value::int(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.as_str(), None);
+    }
+
+    #[test]
+    fn str_round_trip() {
+        let v = Value::str("alice");
+        assert_eq!(v.as_str(), Some("alice"));
+        assert_eq!(v.as_int(), None);
+    }
+
+    #[test]
+    fn ordering_ints_before_strings() {
+        assert!(Value::int(999) < Value::str("a"));
+        assert!(Value::int(1) < Value::int(2));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Value::str("x"), Value::str("x"));
+        assert_ne!(Value::str("x"), Value::str("y"));
+        assert_ne!(Value::int(1), Value::str("1"));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(3usize), Value::Int(3));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("s")), Value::str("s"));
+    }
+
+    #[test]
+    fn display_matches_debug() {
+        assert_eq!(format!("{}", Value::int(7)), "7");
+        assert_eq!(format!("{:?}", Value::str("n")), "n");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the storage substrate: index/scan equivalence,
+//! dedup and ordering invariants, operator laws that the engine's
+//! pipelined joins rely on.
+
+use mp_storage::{ops, tuple, IndexedRelation, KeyIndex, Relation, Tuple, Value};
+use proptest::prelude::*;
+
+fn rel3(rows: &[(i64, i64, i64)]) -> Relation {
+    let mut r = Relation::new(3);
+    for &(a, b, c) in rows {
+        r.insert(tuple![a, b, c]).unwrap();
+    }
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn index_lookup_equals_scan(
+        rows in prop::collection::vec((0i64..5, 0i64..5, 0i64..5), 0..40),
+        key in (0i64..5, 0i64..5),
+        cols in prop::sample::subsequence(vec![0usize, 1, 2], 2),
+    ) {
+        let r = rel3(&rows);
+        let idx = KeyIndex::build(&r, &cols).unwrap();
+        let key_t: Tuple = vec![Value::from(key.0), Value::from(key.1)]
+            .into_iter().collect();
+        let via_index: Vec<&Tuple> = idx
+            .get(&key_t)
+            .iter()
+            .map(|&i| &r.rows()[i as usize])
+            .collect();
+        let via_scan: Vec<&Tuple> =
+            r.iter().filter(|t| t.matches_on(&cols, &key_t)).collect();
+        prop_assert_eq!(via_index, via_scan);
+    }
+
+    #[test]
+    fn incremental_index_equals_batch_index(
+        rows in prop::collection::vec((0i64..5, 0i64..5, 0i64..5), 0..40),
+        key in 0i64..5,
+    ) {
+        // Maintain the index while inserting vs building it afterwards.
+        let mut inc = IndexedRelation::new(3);
+        inc.ensure_index(&[1]).unwrap();
+        for &(a, b, c) in &rows {
+            inc.insert(tuple![a, b, c]).unwrap();
+        }
+        let batch = rel3(&rows);
+        let idx = KeyIndex::build(&batch, &[1]).unwrap();
+        let k = tuple![key];
+        let mut from_inc: Vec<Tuple> =
+            inc.lookup(&[1], &k).into_iter().cloned().collect();
+        let mut from_batch: Vec<Tuple> = idx
+            .get(&k)
+            .iter()
+            .map(|&i| batch.rows()[i as usize].clone())
+            .collect();
+        from_inc.sort();
+        from_batch.sort();
+        prop_assert_eq!(from_inc, from_batch);
+    }
+
+    #[test]
+    fn insertion_order_is_first_occurrence_order(
+        rows in prop::collection::vec((0i64..4, 0i64..4), 0..30),
+    ) {
+        let mut r = Relation::new(2);
+        let mut expected: Vec<Tuple> = Vec::new();
+        for &(a, b) in &rows {
+            let t = tuple![a, b];
+            if r.insert(t.clone()).unwrap() {
+                expected.push(t);
+            }
+        }
+        prop_assert_eq!(r.rows(), expected.as_slice());
+        prop_assert_eq!(r.len(), expected.len());
+    }
+
+    #[test]
+    fn join_then_project_is_semijoin(
+        xs in prop::collection::vec((0i64..5, 0i64..5), 0..25),
+        ys in prop::collection::vec((0i64..5, 0i64..5), 0..25),
+    ) {
+        let mut l = Relation::new(2);
+        for &(a, b) in &xs { l.insert(tuple![a, b]).unwrap(); }
+        let mut r = Relation::new(2);
+        for &(a, b) in &ys { r.insert(tuple![a, b]).unwrap(); }
+        let j = ops::join(&l, &r, &[(0, 1)]).unwrap();
+        let p = ops::project(&j, &[0, 1]).unwrap();
+        let s = ops::semijoin(&l, &r, &[(0, 1)]).unwrap();
+        prop_assert!(p.set_eq(&s));
+    }
+
+    #[test]
+    fn cross_size_is_product(
+        xs in prop::collection::vec(0i64..10, 0..12),
+        ys in prop::collection::vec(0i64..10, 0..12),
+    ) {
+        let mut l = Relation::new(1);
+        for &a in &xs { l.insert(tuple![a]).unwrap(); }
+        let mut r = Relation::new(1);
+        for &a in &ys { r.insert(tuple![a]).unwrap(); }
+        let c = ops::cross(&l, &r);
+        prop_assert_eq!(c.len(), l.len() * r.len());
+    }
+
+    #[test]
+    fn distinct_column_matches_projection(
+        rows in prop::collection::vec((0i64..5, 0i64..5), 0..30),
+    ) {
+        let mut ir = IndexedRelation::new(2);
+        for &(a, b) in &rows { ir.insert(tuple![a, b]).unwrap(); }
+        let direct: Vec<Value> = ir.distinct_column(0);
+        let mut via_project: Vec<Value> = Vec::new();
+        let mut base = Relation::new(2);
+        for &(a, b) in &rows { base.insert(tuple![a, b]).unwrap(); }
+        for t in ops::project(&base, &[0]).unwrap().iter() {
+            via_project.push(t[0].clone());
+        }
+        prop_assert_eq!(direct, via_project);
+    }
+}

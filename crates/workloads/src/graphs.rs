@@ -1,0 +1,242 @@
+//! EDB generators. Nodes are integer values; every generator is
+//! deterministic (seeded where randomized).
+
+use mp_datalog::Database;
+use mp_storage::tuple;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A chain 0 → 1 → … → n under predicate `pred`.
+pub fn chain(db: &mut Database, pred: &str, n: usize) {
+    for i in 0..n {
+        db.insert(pred, tuple![i, i + 1]).expect("arity 2");
+    }
+}
+
+/// A cycle 0 → 1 → … → n−1 → 0.
+pub fn cycle(db: &mut Database, pred: &str, n: usize) {
+    for i in 0..n {
+        db.insert(pred, tuple![i, (i + 1) % n]).expect("arity 2");
+    }
+}
+
+/// A complete binary tree of the given depth, edges parent → child,
+/// nodes numbered heap-style from 1.
+pub fn binary_tree(db: &mut Database, pred: &str, depth: u32) {
+    let last_parent = (1usize << depth) - 1;
+    for p in 1..=last_parent {
+        db.insert(pred, tuple![p, 2 * p]).expect("arity 2");
+        db.insert(pred, tuple![p, 2 * p + 1]).expect("arity 2");
+    }
+}
+
+/// A w×h grid with right- and down-edges; node (x, y) is numbered
+/// `y * w + x`.
+pub fn grid(db: &mut Database, pred: &str, w: usize, h: usize) {
+    for y in 0..h {
+        for x in 0..w {
+            let id = y * w + x;
+            if x + 1 < w {
+                db.insert(pred, tuple![id, id + 1]).expect("arity 2");
+            }
+            if y + 1 < h {
+                db.insert(pred, tuple![id, id + w]).expect("arity 2");
+            }
+        }
+    }
+}
+
+/// A random digraph with `n` nodes and `m` distinct edges (no
+/// self-loops), seeded.
+pub fn random_graph(db: &mut Database, pred: &str, n: usize, m: usize, seed: u64) {
+    assert!(n >= 2, "need at least two nodes");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut inserted = 0usize;
+    let cap = m.min(n * (n - 1));
+    let mut guard = 0usize;
+    while inserted < cap {
+        guard += 1;
+        assert!(guard < 100 * cap + 1000, "edge sampling stalled");
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        if db.insert(pred, tuple![a, b]).expect("arity 2") {
+            inserted += 1;
+        }
+    }
+}
+
+/// A same-generation forest: a balanced tree of the given depth and
+/// fanout with `up(child, parent)` and `down(parent, child)` edges, plus
+/// `flat` edges among a fraction of sibling pairs. Leaves are the
+/// youngest generation. Returns the id of one leaf (a natural query
+/// subject).
+pub fn same_generation(
+    db: &mut Database,
+    depth: u32,
+    fanout: usize,
+    flat_fraction: f64,
+    seed: u64,
+) -> i64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Level l has fanout^l nodes; number nodes level by level.
+    let mut first_of_level = vec![0i64];
+    let mut count = 1i64;
+    for l in 1..=depth {
+        first_of_level.push(count);
+        count += (fanout as i64).pow(l);
+    }
+    for l in 1..=depth as usize {
+        let parents = (fanout as i64).pow(l as u32 - 1);
+        for p in 0..parents {
+            let parent = first_of_level[l - 1] + p;
+            let mut children = Vec::with_capacity(fanout);
+            for c in 0..fanout as i64 {
+                let child = first_of_level[l] + p * fanout as i64 + c;
+                db.insert("up", tuple![child, parent]).expect("arity 2");
+                db.insert("down", tuple![parent, child]).expect("arity 2");
+                children.push(child);
+            }
+            for i in 0..children.len() {
+                for j in 0..children.len() {
+                    if i != j && rng.gen_bool(flat_fraction) {
+                        db.insert("flat", tuple![children[i], children[j]])
+                            .expect("arity 2");
+                    }
+                }
+            }
+        }
+    }
+    // Make sure the relations exist even when empty.
+    db.declare("up", 2).expect("fresh");
+    db.declare("down", 2).expect("fresh");
+    db.declare("flat", 2).expect("fresh");
+    first_of_level[depth as usize]
+}
+
+/// A bill-of-materials DAG: `parts` parts, each non-leaf using up to
+/// `max_uses` strictly-higher-numbered parts (so the graph is acyclic),
+/// under `uses(assembly, component)`. Part 0 is the top assembly.
+pub fn bom(db: &mut Database, parts: usize, max_uses: usize, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    db.declare("uses", 2).expect("fresh");
+    for p in 0..parts.saturating_sub(1) {
+        let k = rng.gen_range(1..=max_uses);
+        let mut pool: Vec<usize> = (p + 1..parts).collect();
+        pool.shuffle(&mut rng);
+        for &c in pool.iter().take(k) {
+            db.insert("uses", tuple![p, c]).expect("arity 2");
+        }
+    }
+}
+
+/// Relations for the paper's Example 4.1 rules (experiment E3): `a/3`,
+/// `b/2`, `c/3` (for R3), `c2/2` (for R2), `d/1`, `e/2`.
+///
+/// The construction realizes the §1.2/§4 blowup condition exactly:
+/// relations that are **pairwise consistent** (no dangling tuples between
+/// any pair) yet whose R3 triangle join is nearly empty. For each of `n`
+/// `(Y, V)` pairs produced by `a`, `b` fans out to `fanout` W-values and
+/// `c` holds the same W-*values* but attached to a cyclically shifted
+/// `V` — so every b-tuple joins some c-tuple on W (pairwise consistent),
+/// while the three-way join on (V, W) succeeds only for the `overlap`
+/// fraction. R2's chain (`b(Y,U)`, `c2(V,T)`) over the same data grows
+/// monotonically.
+pub fn example41(db: &mut Database, n: usize, fanout: usize, overlap: f64, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let f = fanout as i64;
+    let shift = |i: i64| (i + 1) % n as i64;
+    for i in 0..n as i64 {
+        // a(X, Y, V): source 0 fans out to n (Y_i, V_i) pairs.
+        db.insert("a", tuple![0, i, i + 10_000]).expect("arity 3");
+        for k in 0..f {
+            let w_i = 20_000 + i * f + k; // "W belonging to index i"
+            db.insert("b", tuple![i, w_i]).expect("arity 2");
+            // c(V, W, T): same W values, but paired with V of index i+1
+            // (unless this index is in the overlap fraction).
+            let c_owner = if rng.gen_bool(overlap) { i } else { shift(i) };
+            db.insert("c", tuple![c_owner + 10_000, w_i, i * f + k + 30_000])
+                .expect("arity 3");
+            db.insert("d", tuple![i * f + k + 30_000]).expect("arity 1");
+            // e(W, Z) for R3 / e(U, Z) for R2 (U ranges over b's W column).
+            db.insert("e", tuple![w_i, i * f + k + 40_000]).expect("arity 2");
+        }
+        // R2's two-column c: V_i → T_i (chain shape, fully consistent).
+        db.insert("c2", tuple![i + 10_000, i * f + 30_000]).expect("arity 2");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datalog::Predicate;
+
+    #[test]
+    fn chain_and_cycle_sizes() {
+        let mut db = Database::new();
+        chain(&mut db, "e", 10);
+        assert_eq!(db.relation(&Predicate::new("e")).unwrap().len(), 10);
+        let mut db2 = Database::new();
+        cycle(&mut db2, "e", 10);
+        assert_eq!(db2.relation(&Predicate::new("e")).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn tree_and_grid_sizes() {
+        let mut db = Database::new();
+        binary_tree(&mut db, "e", 3);
+        // 2^3 - 1 parents × 2 children.
+        assert_eq!(db.relation(&Predicate::new("e")).unwrap().len(), 14);
+        let mut db2 = Database::new();
+        grid(&mut db2, "e", 3, 4);
+        // Right edges: 2×4; down edges: 3×3.
+        assert_eq!(db2.relation(&Predicate::new("e")).unwrap().len(), 8 + 9);
+    }
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let mut a = Database::new();
+        let mut b = Database::new();
+        random_graph(&mut a, "e", 20, 50, 7);
+        random_graph(&mut b, "e", 20, 50, 7);
+        assert_eq!(
+            a.relation(&Predicate::new("e")).unwrap().sorted_rows(),
+            b.relation(&Predicate::new("e")).unwrap().sorted_rows()
+        );
+        assert_eq!(a.relation(&Predicate::new("e")).unwrap().len(), 50);
+    }
+
+    #[test]
+    fn same_generation_structure() {
+        let mut db = Database::new();
+        let leaf = same_generation(&mut db, 2, 2, 1.0, 1);
+        // Levels: 1 + 2 + 4 nodes; leaf level starts at 3.
+        assert_eq!(leaf, 3);
+        assert_eq!(db.relation(&Predicate::new("up")).unwrap().len(), 6);
+        // All sibling pairs flat: level1 2 ordered pairs + level2 2
+        // groups × 2 = 6.
+        assert_eq!(db.relation(&Predicate::new("flat")).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn bom_is_acyclic() {
+        let mut db = Database::new();
+        bom(&mut db, 30, 3, 42);
+        let uses = db.relation(&Predicate::new("uses")).unwrap();
+        for t in uses.iter() {
+            assert!(t[0].as_int().unwrap() < t[1].as_int().unwrap());
+        }
+    }
+
+    #[test]
+    fn example41_relations_present() {
+        let mut db = Database::new();
+        example41(&mut db, 5, 2, 0.5, 3);
+        for p in ["a", "b", "c", "c2", "d", "e"] {
+            assert!(db.contains_pred(&Predicate::new(p)), "missing {p}");
+        }
+    }
+}

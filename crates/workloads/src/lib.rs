@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! # mp-workloads
+//!
+//! Seeded, deterministic EDB generators and the canonical programs used
+//! across the experiment suite (EXPERIMENTS.md): the paper's P1
+//! (Example 2.1), R1–R3 (Example 4.1), transitive closure in its linear,
+//! right-linear and nonlinear forms, same-generation, ancestor, and a
+//! bill-of-materials hierarchy.
+//!
+//! All generators take explicit sizes and (where randomized) a seed, and
+//! produce identical databases on every run and platform (ChaCha-based
+//! streams).
+
+pub mod graphs;
+pub mod random_programs;
+pub mod programs;
+pub mod scenarios;
+
+pub use scenarios::Workload;

@@ -1,0 +1,146 @@
+//! Canonical programs.
+
+use mp_datalog::parser::parse_program;
+use mp_datalog::Program;
+
+fn parse(src: &str) -> Program {
+    parse_program(src).expect("canonical program parses")
+}
+
+/// The paper's P1 (Example 2.1): nonlinear recursion through `q`, with
+/// query `p(start, Z)`.
+pub fn p1(start: i64) -> Program {
+    parse(&format!(
+        "p(X, Y) :- p(X, V), q(V, W), p(W, Y).
+         p(X, Y) :- r(X, Y).
+         ?- p({start}, Z)."
+    ))
+}
+
+/// Left-linear transitive closure from a constant.
+pub fn tc_linear(start: i64) -> Program {
+    parse(&format!(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Z) :- path(X, Y), edge(Y, Z).
+         ?- path({start}, Z)."
+    ))
+}
+
+/// Right-linear transitive closure (binding flows into the recursive
+/// call's first argument — the favourable shape for top-down methods).
+pub fn tc_right_linear(start: i64) -> Program {
+    parse(&format!(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Z) :- edge(X, Y), path(Y, Z).
+         ?- path({start}, Z)."
+    ))
+}
+
+/// Nonlinear ("divide-and-conquer") transitive closure — the recursion
+/// class Henschen–Naqvi cannot compile (§1.1) and the framework handles
+/// (§1.2).
+pub fn tc_nonlinear(start: i64) -> Program {
+    parse(&format!(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Z) :- path(X, Y), path(Y, Z).
+         ?- path({start}, Z)."
+    ))
+}
+
+/// Same-generation (nonlinear in structure, the classic sideways-
+/// information-passing showcase) from a leaf node.
+pub fn same_generation(subject: i64) -> Program {
+    parse(&format!(
+        "sg(X, Y) :- flat(X, Y).
+         sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+         ?- sg({subject}, Y)."
+    ))
+}
+
+/// Ancestor over `parent`, from a constant.
+pub fn ancestor(person: i64) -> Program {
+    parse(&format!(
+        "anc(X, Y) :- parent(X, Y).
+         anc(X, Z) :- parent(X, Y), anc(Y, Z).
+         ?- anc({person}, Z)."
+    ))
+}
+
+/// Transitive bill-of-materials: all components (direct or indirect) of
+/// an assembly.
+pub fn bom_components(assembly: i64) -> Program {
+    parse(&format!(
+        "component(A, C) :- uses(A, C).
+         component(A, C) :- uses(A, M), component(M, C).
+         ?- component({assembly}, C)."
+    ))
+}
+
+/// Example 4.1's R1 as a complete query program (monotone chain).
+pub fn r1_query(x: i64) -> Program {
+    parse(&format!(
+        "p(X, Z) :- a(X, Y), b(Y, U), c(U, Z).
+         ?- p({x}, Z)."
+    ))
+}
+
+/// Example 4.1's R2 as a query program (monotone, branching qual tree).
+/// Uses `c2/2` for the two-column `c` relation.
+pub fn r2_query(x: i64) -> Program {
+    parse(&format!(
+        "p(X, Z) :- a(X, Y, V), b(Y, U), c2(V, T), d(T), e(U, Z).
+         ?- p({x}, Z)."
+    ))
+}
+
+/// Example 4.1's R3 as a query program (cyclic hypergraph: the Y–V–W
+/// triangle of Fig 4).
+pub fn r3_query(x: i64) -> Program {
+    parse(&format!(
+        "p(X, Z) :- a(X, Y, V), b(Y, W), c(V, W, T), d(T), e(W, Z).
+         ?- p({x}, Z)."
+    ))
+}
+
+/// Mutually recursive odd/even reachability.
+pub fn odd_even(start: i64) -> Program {
+    parse(&format!(
+        "odd(X, Y) :- edge(X, Y).
+         odd(X, Y) :- edge(X, U), even(U, Y).
+         even(X, Y) :- edge(X, U), odd(U, Y).
+         ?- odd({start}, Z)."
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_parse_and_have_queries() {
+        let programs = [
+            p1(1),
+            tc_linear(0),
+            tc_right_linear(0),
+            tc_nonlinear(0),
+            same_generation(3),
+            ancestor(1),
+            bom_components(0),
+            r1_query(0),
+            r2_query(0),
+            r3_query(0),
+            odd_even(0),
+        ];
+        for p in &programs {
+            assert_eq!(p.query_rules().count(), 1);
+            assert!(!p.rules.is_empty());
+        }
+    }
+
+    #[test]
+    fn constants_are_embedded() {
+        let p = tc_linear(42);
+        let q = p.query_rules().next().unwrap();
+        assert_eq!(q.body[0].terms[0], mp_datalog::Term::val(42));
+    }
+}

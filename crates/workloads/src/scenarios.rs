@@ -1,0 +1,164 @@
+//! Packaged workloads: a program + database + descriptive name, ready
+//! for an evaluator or the engine. These are the units the experiment
+//! harness sweeps over.
+
+use crate::{graphs, programs};
+use mp_datalog::{Database, Program};
+
+/// A named, fully materialized workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Identifier used in reports (e.g. `tc-chain-256`).
+    pub name: String,
+    /// The program including its query.
+    pub program: Program,
+    /// The EDB.
+    pub db: Database,
+}
+
+impl Workload {
+    fn new(name: impl Into<String>, program: Program, db: Database) -> Workload {
+        Workload {
+            name: name.into(),
+            program,
+            db,
+        }
+    }
+}
+
+/// Linear transitive closure over a chain of `n`, queried from node 0.
+pub fn tc_chain(n: usize) -> Workload {
+    let mut db = Database::new();
+    graphs::chain(&mut db, "edge", n);
+    Workload::new(format!("tc-chain-{n}"), programs::tc_linear(0), db)
+}
+
+/// Linear transitive closure over a cycle of `n` (tests duplicate
+/// deletion and the termination protocol under saturation).
+pub fn tc_cycle(n: usize) -> Workload {
+    let mut db = Database::new();
+    graphs::cycle(&mut db, "edge", n);
+    Workload::new(format!("tc-cycle-{n}"), programs::tc_linear(0), db)
+}
+
+/// Linear transitive closure over a seeded random graph.
+pub fn tc_random(n: usize, m: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    graphs::random_graph(&mut db, "edge", n, m, seed);
+    Workload::new(
+        format!("tc-random-{n}x{m}-s{seed}"),
+        programs::tc_linear(0),
+        db,
+    )
+}
+
+/// Nonlinear transitive closure over a chain.
+pub fn tc_nonlinear_chain(n: usize) -> Workload {
+    let mut db = Database::new();
+    graphs::chain(&mut db, "edge", n);
+    Workload::new(
+        format!("tc-nonlinear-chain-{n}"),
+        programs::tc_nonlinear(0),
+        db,
+    )
+}
+
+/// The paper's P1 over a chain `r` with `q` self-links everywhere, so
+/// `p` is the chain's full transitive closure — but the query asks from
+/// three quarters down the chain. The minimum model has Θ(n²) tuples
+/// while only the Θ((n/4)²) suffix slice is relevant: exactly the
+/// relevance structure sideways information passing exploits (§1).
+pub fn p1_chain(n: usize) -> Workload {
+    let mut db = Database::new();
+    graphs::chain(&mut db, "r", n);
+    for i in 1..=n {
+        db.insert("q", mp_storage::tuple![i, i]).expect("arity 2");
+    }
+    let start = (3 * n / 4) as i64;
+    Workload::new(format!("p1-chain-{n}"), programs::p1(start), db)
+}
+
+/// Same-generation on a balanced tree, queried from one leaf.
+pub fn sg_tree(depth: u32, fanout: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    let leaf = graphs::same_generation(&mut db, depth, fanout, 0.5, seed);
+    Workload::new(
+        format!("sg-tree-d{depth}f{fanout}-s{seed}"),
+        programs::same_generation(leaf),
+        db,
+    )
+}
+
+/// Bill of materials, components of the top assembly.
+pub fn bom(parts: usize, max_uses: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    graphs::bom(&mut db, parts, max_uses, seed);
+    Workload::new(
+        format!("bom-{parts}p{max_uses}u-s{seed}"),
+        programs::bom_components(0),
+        db,
+    )
+}
+
+/// Example 4.1's R2 (monotone) over generated relations with the given
+/// `b` fanout.
+pub fn r2(n: usize, fanout: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    graphs::example41(&mut db, n, fanout, 0.1, seed);
+    Workload::new(format!("r2-{n}f{fanout}-s{seed}"), programs::r2_query(0), db)
+}
+
+/// Example 4.1's R3 (cyclic hypergraph) over pairwise-consistent
+/// relations whose triangle join succeeds only for the `overlap`
+/// fraction — §4's "nearly unjoinable due to mismatches on W".
+pub fn r3(n: usize, fanout: usize, overlap: f64, seed: u64) -> Workload {
+    let mut db = Database::new();
+    graphs::example41(&mut db, n, fanout, overlap, seed);
+    Workload::new(
+        format!("r3-{n}f{fanout}-ov{:.0}pct-s{seed}", overlap * 100.0),
+        programs::r3_query(0),
+        db,
+    )
+}
+
+/// Mutual odd/even recursion over a chain.
+pub fn odd_even_chain(n: usize) -> Workload {
+    let mut db = Database::new();
+    graphs::chain(&mut db, "edge", n);
+    Workload::new(format!("odd-even-chain-{n}"), programs::odd_even(0), db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_materialize() {
+        for w in [
+            tc_chain(16),
+            tc_cycle(8),
+            tc_random(16, 32, 1),
+            tc_nonlinear_chain(8),
+            p1_chain(9),
+            sg_tree(3, 2, 1),
+            bom(20, 3, 1),
+            r2(10, 2, 1),
+            r3(10, 2, 0.5, 1),
+            odd_even_chain(10),
+        ] {
+            assert!(!w.name.is_empty());
+            assert!(w.db.fact_count() > 0, "{} has facts", w.name);
+            assert_eq!(w.program.query_rules().count(), 1, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn workloads_are_reproducible() {
+        let a = tc_random(20, 40, 9);
+        let b = tc_random(20, 40, 9);
+        assert_eq!(a.db.fact_count(), b.db.fact_count());
+        let pa = a.db.relation(&mp_datalog::Predicate::new("edge")).unwrap();
+        let pb = b.db.relation(&mp_datalog::Predicate::new("edge")).unwrap();
+        assert_eq!(pa.sorted_rows(), pb.sorted_rows());
+    }
+}

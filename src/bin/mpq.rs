@@ -1,0 +1,205 @@
+//! `mpq` — evaluate Datalog queries with the message passing framework.
+//!
+//! ```text
+//! mpq [OPTIONS] [FILE]            read a program (facts + rules + ?- query)
+//!                                 from FILE, or stdin when omitted
+//!
+//!   --sip <greedy|left-to-right|all-free|qual-tree|cost-based>
+//!   --schedule <fifo|random:SEED> simulator delivery order
+//!   --threads                     one OS thread per graph node
+//!   --batching                    package tuple requests (§3.1 fn 2)
+//!   --stats                       print instrumentation counters
+//!   --dot                         print the rule/goal graph (Graphviz)
+//!                                 instead of evaluating
+//!   --trace                       print the full message log
+//!   --baseline <naive|semi-naive|relevant|magic|top-down>
+//!                                 evaluate with a baseline instead
+//! ```
+
+use mp_framework::baselines::all_baselines;
+use mp_framework::engine::{Engine, RuntimeKind, Schedule};
+use mp_framework::rulegoal::{dot, RuleGoalGraph, SipKind};
+use mp_datalog::{parser::parse_program, Database};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    file: Option<String>,
+    sip: SipKind,
+    runtime: RuntimeKind,
+    batching: bool,
+    stats: bool,
+    dot: bool,
+    trace: bool,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        file: None,
+        sip: SipKind::Greedy,
+        runtime: RuntimeKind::Sim(Schedule::Fifo),
+        batching: false,
+        stats: false,
+        dot: false,
+        trace: false,
+        baseline: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sip" => {
+                let v = args.next().ok_or("--sip needs a value")?;
+                opts.sip = SipKind::ALL
+                    .into_iter()
+                    .find(|s| s.name() == v)
+                    .ok_or_else(|| format!("unknown sip strategy `{v}`"))?;
+            }
+            "--schedule" => {
+                let v = args.next().ok_or("--schedule needs a value")?;
+                let schedule = if v == "fifo" {
+                    Schedule::Fifo
+                } else if let Some(seed) = v.strip_prefix("random:") {
+                    Schedule::Random(seed.parse().map_err(|_| "bad seed")?)
+                } else {
+                    return Err(format!("unknown schedule `{v}`"));
+                };
+                opts.runtime = RuntimeKind::Sim(schedule);
+            }
+            "--threads" => opts.runtime = RuntimeKind::Threads,
+            "--batching" => opts.batching = true,
+            "--stats" => opts.stats = true,
+            "--dot" => opts.dot = true,
+            "--trace" => opts.trace = true,
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(String::new()); // triggers usage
+            }
+            other if !other.starts_with('-') && opts.file.is_none() => {
+                opts.file = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
+[--batching] [--stats] [--dot] [--trace] [--baseline B] [FILE]";
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("mpq: {msg}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let source = match &opts.file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mpq: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("mpq: cannot read stdin");
+                return ExitCode::FAILURE;
+            }
+            s
+        }
+    };
+
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("mpq: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut db = Database::new();
+    if let Err(e) = program.load_facts(&mut db) {
+        eprintln!("mpq: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    if opts.dot {
+        match RuleGoalGraph::build(&program, &db, opts.sip) {
+            Ok(g) => {
+                print!("{}", dot::to_dot(&g));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("mpq: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(name) = &opts.baseline {
+        let Some(ev) = all_baselines().into_iter().find(|b| b.name() == name) else {
+            eprintln!("mpq: unknown baseline `{name}`");
+            return ExitCode::FAILURE;
+        };
+        match ev.evaluate(&program, &db) {
+            Ok(r) => {
+                for t in r.answers.sorted_rows() {
+                    println!("{t}");
+                }
+                if opts.stats {
+                    eprintln!("-- {name}: {:?}", r.stats);
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("mpq: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let engine = Engine::new(program, db)
+        .with_sip(opts.sip)
+        .with_runtime(opts.runtime)
+        .with_batching(opts.batching)
+        .with_trace(opts.trace);
+    match engine.evaluate() {
+        Ok(r) => {
+            for t in r.answers.sorted_rows() {
+                println!("{t}");
+            }
+            if let Some(trace) = &r.trace {
+                for m in trace {
+                    eprintln!("{m}");
+                }
+            }
+            if opts.stats {
+                let s = &r.stats;
+                eprintln!("-- graph nodes        : {}", r.graph_nodes);
+                eprintln!("-- messages           : {}", s.total_messages());
+                eprintln!("--   tuple requests   : {}", s.tuple_requests);
+                eprintln!("--   request packages : {}", s.tuple_request_batches);
+                eprintln!("--   answers          : {}", s.answers);
+                eprintln!("--   protocol         : {}", s.protocol_messages);
+                eprintln!("-- probe waves        : {}", s.probe_waves);
+                eprintln!("-- stored tuples      : {}", s.stored_tuples);
+                eprintln!("--   at goal nodes    : {}", s.goal_stored);
+                eprintln!("-- join probes        : {}", s.join_probes);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mpq: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

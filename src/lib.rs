@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! # mp-framework
+//!
+//! A message passing framework for logical query evaluation — a
+//! production-quality Rust reproduction of Allen Van Gelder's SIGMOD 1986
+//! paper of the same name.
+//!
+//! This facade crate re-exports the workspace members; see the README for
+//! an architecture overview and `examples/quickstart.rs` for a tour.
+
+pub use mp_baselines as baselines;
+pub use mp_datalog as datalog;
+pub use mp_engine as engine;
+pub use mp_hypergraph as hypergraph;
+pub use mp_rulegoal as rulegoal;
+pub use mp_storage as storage;
+pub use mp_workloads as workloads;

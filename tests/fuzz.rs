@@ -1,0 +1,121 @@
+//! Differential fuzzing: random safe Datalog programs (recursion,
+//! mutual recursion, constants, repeated variables all arise from the
+//! generator) evaluated by every method. The naive bottom-up evaluator
+//! defines the semantics (§1: the goal portion of the minimum model);
+//! everything else must agree — the engine under every SIP strategy and
+//! under adversarial random delivery, and every baseline.
+
+use mp_framework::baselines::{all_baselines, Evaluator, Naive};
+use mp_framework::engine::{Engine, RuntimeKind, Schedule};
+use mp_framework::rulegoal::SipKind;
+use mp_framework::workloads::random_programs::{generate, is_interesting, ProgramSpec};
+
+#[test]
+fn engine_agrees_with_naive_on_random_programs() {
+    let spec = ProgramSpec::default();
+    let mut tested = 0;
+    for seed in 0..600 {
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            continue;
+        }
+        tested += 1;
+        let expect = Naive
+            .evaluate(&program, &db)
+            .unwrap_or_else(|e| panic!("naive failed on seed {seed}: {e}\n{program}"))
+            .answers
+            .sorted_rows();
+        let sip = SipKind::ALL[(seed % 4) as usize];
+        let got = Engine::new(program.clone(), db.clone())
+            .with_sip(sip)
+            .evaluate()
+            .unwrap_or_else(|e| panic!("engine failed on seed {seed} ({}): {e}\n{program}", sip.name()))
+            .answers
+            .sorted_rows();
+        assert_eq!(got, expect, "seed {seed} under {}\n{program}", sip.name());
+    }
+    assert!(tested > 300, "only {tested} interesting programs out of 600");
+}
+
+#[test]
+fn random_schedules_agree_on_random_programs() {
+    let spec = ProgramSpec {
+        idb_preds: 2,
+        max_body: 2,
+        ..ProgramSpec::default()
+    };
+    for seed in 0..60 {
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            continue;
+        }
+        let expect = Engine::new(program.clone(), db.clone())
+            .evaluate()
+            .unwrap_or_else(|e| panic!("fifo failed on seed {seed}: {e}\n{program}"))
+            .answers
+            .sorted_rows();
+        for sched_seed in [1u64, 2, 3] {
+            let got = Engine::new(program.clone(), db.clone())
+                .with_runtime(RuntimeKind::Sim(Schedule::Random(sched_seed)))
+                .evaluate()
+                .unwrap_or_else(|e| {
+                    panic!("random schedule failed on seed {seed}/{sched_seed}: {e}\n{program}")
+                })
+                .answers
+                .sorted_rows();
+            assert_eq!(got, expect, "seed {seed} schedule {sched_seed}\n{program}");
+        }
+    }
+}
+
+#[test]
+fn baselines_agree_on_random_programs() {
+    let spec = ProgramSpec::default();
+    for seed in 600..800 {
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            continue;
+        }
+        let expect = Naive
+            .evaluate(&program, &db)
+            .unwrap()
+            .answers
+            .sorted_rows();
+        for ev in all_baselines() {
+            let got = ev
+                .evaluate(&program, &db)
+                .unwrap_or_else(|e| panic!("{} failed on seed {seed}: {e}\n{program}", ev.name()))
+                .answers
+                .sorted_rows();
+            assert_eq!(got, expect, "{} on seed {seed}\n{program}", ev.name());
+        }
+    }
+}
+
+#[test]
+fn threaded_runtime_agrees_on_random_programs() {
+    let spec = ProgramSpec {
+        idb_preds: 2,
+        max_body: 2,
+        facts_per_relation: 8,
+        ..ProgramSpec::default()
+    };
+    for seed in 0..25 {
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            continue;
+        }
+        let expect = Engine::new(program.clone(), db.clone())
+            .evaluate()
+            .unwrap()
+            .answers
+            .sorted_rows();
+        let got = Engine::new(program.clone(), db.clone())
+            .with_runtime(RuntimeKind::Threads)
+            .evaluate()
+            .unwrap_or_else(|e| panic!("threads failed on seed {seed}: {e}\n{program}"))
+            .answers
+            .sorted_rows();
+        assert_eq!(got, expect, "seed {seed}\n{program}");
+    }
+}

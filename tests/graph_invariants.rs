@@ -1,0 +1,144 @@
+//! Structural invariants of rule/goal graphs, fuzzed over random
+//! programs:
+//!
+//! * every nontrivial strong component has exactly one leader, whose
+//!   BFST spans the component (footnote 3 of §3.2);
+//! * cycle-reference nodes are genuine variants of their ancestors
+//!   (Def 2.2), and the cycle arc exists;
+//! * graph size never depends on the EDB contents (Thm 2.1);
+//! * the Datalog pretty-printer and parser round-trip.
+
+use mp_framework::rulegoal::{ArcKind, GoalKind, Node, RuleGoalGraph, SipKind};
+use mp_framework::workloads::random_programs::{generate, is_interesting, ProgramSpec};
+use mp_datalog::parser::parse_program;
+use mp_storage::tuple;
+
+#[test]
+fn scc_leaders_and_bfsts_on_random_programs() {
+    let spec = ProgramSpec::default();
+    let mut nontrivial_seen = 0;
+    for seed in 0..150 {
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            continue;
+        }
+        let Ok(g) = RuleGoalGraph::build(&program, &db, SipKind::Greedy) else {
+            continue; // node budget (adversarial shapes) — not under test
+        };
+        let scc = g.scc();
+        for &comp in scc.nontrivial_components() {
+            nontrivial_seen += 1;
+            let leader = scc.leader_of(comp).expect("leader exists");
+            // Exactly one member has an external customer.
+            let exits: Vec<_> = scc
+                .members(comp)
+                .iter()
+                .filter(|&&m| {
+                    g.customers(m)
+                        .iter()
+                        .any(|&(c, _)| scc.component_of(c) != comp)
+                })
+                .collect();
+            assert_eq!(exits.len(), 1, "seed {seed}: multiple exits");
+            assert_eq!(*exits[0], leader);
+            // BFST spans the component: every non-leader member has a
+            // parent, and parents chain to the leader.
+            for &m in scc.members(comp) {
+                if m == leader {
+                    assert!(scc.bfst_parent(m).is_none());
+                    continue;
+                }
+                let mut cur = m;
+                let mut hops = 0;
+                while let Some(p) = scc.bfst_parent(cur) {
+                    cur = p;
+                    hops += 1;
+                    assert!(hops <= scc.members(comp).len(), "seed {seed}: BFST cycle");
+                }
+                assert_eq!(cur, leader, "seed {seed}: BFST not rooted at leader");
+            }
+        }
+    }
+    assert!(nontrivial_seen > 20, "only {nontrivial_seen} recursive components seen");
+}
+
+#[test]
+fn cycle_refs_are_variants_with_arcs() {
+    let spec = ProgramSpec::default();
+    for seed in 150..300 {
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            continue;
+        }
+        let Ok(g) = RuleGoalGraph::build(&program, &db, SipKind::Greedy) else {
+            continue;
+        };
+        for (id, node) in g.nodes() {
+            if let Node::Goal {
+                label,
+                kind: GoalKind::CycleRef { ancestor },
+                ..
+            } = node
+            {
+                let anc = g.node(*ancestor).goal_label().expect("ancestor is a goal");
+                assert_eq!(label, anc, "seed {seed}: ref label mismatch");
+                assert!(
+                    g.customers(*ancestor)
+                        .iter()
+                        .any(|&(c, k)| c == id && k == ArcKind::Cycle),
+                    "seed {seed}: missing cycle arc"
+                );
+                // Ref and ancestor share a nontrivial component.
+                assert_eq!(
+                    g.scc().component_of(id),
+                    g.scc().component_of(*ancestor),
+                    "seed {seed}"
+                );
+                assert!(g.scc().in_nontrivial(id), "seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_size_edb_independent_on_random_programs() {
+    let spec = ProgramSpec::default();
+    for seed in 300..360 {
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            continue;
+        }
+        let Ok(g1) = RuleGoalGraph::build(&program, &db, SipKind::Greedy) else {
+            continue;
+        };
+        // Blow the EDB up 20× with fresh constants.
+        let mut big = db.clone();
+        for (pred, rel) in db.iter() {
+            let arity = rel.arity();
+            for i in 0..200i64 {
+                let t = match arity {
+                    1 => tuple![1000 + i],
+                    _ => tuple![1000 + i, 2000 + i],
+                };
+                let _ = big.insert(pred.clone(), t);
+            }
+        }
+        let g2 = RuleGoalGraph::build(&program, &big, SipKind::Greedy).unwrap();
+        assert_eq!(g1.len(), g2.len(), "seed {seed}: Thm 2.1 violated");
+    }
+}
+
+#[test]
+fn pretty_printer_parser_round_trip() {
+    let spec = ProgramSpec::default();
+    for seed in 0..200 {
+        let (program, _) = generate(&spec, seed);
+        let text = program.to_string();
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{text}"));
+        assert_eq!(
+            program, reparsed,
+            "seed {seed}: round trip changed the program\n{text}"
+        );
+    }
+}
