@@ -3,12 +3,11 @@
 
 use mp_datalog::{Atom, Database, Predicate, Program, Rule, Term, Var};
 use mp_storage::{IndexedRelation, Relation, Tuple, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
 /// Work counters comparable across evaluators (and loosely with the
 /// engine's [`mp_engine` stats]).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Fixpoint iterations (passes / waves / outer loops).
     pub iterations: u64,

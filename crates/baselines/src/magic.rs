@@ -33,7 +33,13 @@ impl Default for MagicSets {
 fn canon(ad: &Adornment) -> Adornment {
     Adornment(
         ad.0.iter()
-            .map(|c| if c.is_bound() { ArgClass::D } else { ArgClass::F })
+            .map(|c| {
+                if c.is_bound() {
+                    ArgClass::D
+                } else {
+                    ArgClass::F
+                }
+            })
             .collect(),
     )
 }
@@ -92,10 +98,8 @@ impl MagicSets {
         while let Some((p, ad)) = worklist.pop_front() {
             for rule in program.rules.iter().filter(|r| r.head.pred == p) {
                 let plan = mp_rulegoal::sip::plan(rule, &ad, self.sip);
-                let mut new_body = vec![Atom::new(
-                    magic_pred(&p, &ad),
-                    bound_terms(&rule.head, &ad),
-                )];
+                let mut new_body =
+                    vec![Atom::new(magic_pred(&p, &ad), bound_terms(&rule.head, &ad))];
                 for &i in &plan.order {
                     let sub = &rule.body[i];
                     if is_idb(&sub.pred) {
@@ -109,10 +113,7 @@ impl MagicSets {
                         if seen.insert((sub.pred.clone(), bf_string(&adq))) {
                             worklist.push_back((sub.pred.clone(), adq.clone()));
                         }
-                        new_body.push(Atom::new(
-                            adorned_pred(&sub.pred, &adq),
-                            sub.terms.clone(),
-                        ));
+                        new_body.push(Atom::new(adorned_pred(&sub.pred, &adq), sub.terms.clone()));
                     } else {
                         new_body.push(sub.clone());
                     }
@@ -139,8 +140,7 @@ impl Evaluator for MagicSets {
         program.validate(&db)?;
         let (rules, adorned_goal) = self.transform(program, &db);
         // The transformed program carries its own seed fact.
-        let (facts, rules): (Vec<Rule>, Vec<Rule>) =
-            rules.into_iter().partition(Rule::is_fact);
+        let (facts, rules): (Vec<Rule>, Vec<Rule>) = rules.into_iter().partition(Rule::is_fact);
         for f in &facts {
             db.insert_atom(&f.head)?;
         }
@@ -184,7 +184,10 @@ mod tests {
         };
         let (rules, adorned_goal) = MagicSets::default().transform(&program, &db);
         assert_eq!(adorned_goal.name(), "goal#f");
-        let heads: Vec<String> = rules.iter().map(|r| r.head.pred.name().to_string()).collect();
+        let heads: Vec<String> = rules
+            .iter()
+            .map(|r| r.head.pred.name().to_string())
+            .collect();
         assert!(heads.iter().any(|h| h == "m_goal#f"));
         assert!(heads.iter().any(|h| h == "m_path#bf"));
         assert!(heads.iter().any(|h| h == "path#bf"));
@@ -211,7 +214,10 @@ mod tests {
             db.insert("edge", tuple![i, i + 1]).unwrap();
         }
         let magic = MagicSets::default().evaluate(&program, &db).unwrap();
-        assert_eq!(magic.answers.sorted_rows(), (96..=100).map(|i| tuple![i]).collect::<Vec<_>>());
+        assert_eq!(
+            magic.answers.sorted_rows(),
+            (96..=100).map(|i| tuple![i]).collect::<Vec<_>>()
+        );
         // Only the suffix from 95 was computed: 5 path tuples (+ magic
         // seeds + edges) rather than ~5000.
         assert!(
@@ -250,9 +256,11 @@ mod tests {
         db.insert("up", tuple!["a", "m1"]).unwrap();
         db.insert("flat", tuple!["m1", "m2"]).unwrap();
         db.insert("down", tuple!["m2", "c"]).unwrap();
-        let greedy = MagicSets { sip: SipKind::Greedy }
-            .evaluate(&program, &db)
-            .unwrap();
+        let greedy = MagicSets {
+            sip: SipKind::Greedy,
+        }
+        .evaluate(&program, &db)
+        .unwrap();
         let ltr = MagicSets {
             sip: SipKind::LeftToRight,
         }

@@ -160,7 +160,10 @@ mod tests {
             db.insert("edge", tuple![i, i + 1]).unwrap();
         }
         let r = SemiNaive.evaluate(&program, &db).unwrap();
-        assert_eq!(r.answers.sorted_rows(), vec![tuple![2], tuple![4], tuple![6]]);
+        assert_eq!(
+            r.answers.sorted_rows(),
+            vec![tuple![2], tuple![4], tuple![6]]
+        );
     }
 
     #[test]

@@ -291,11 +291,7 @@ impl Evaluator for TopDown {
                 break a;
             }
         };
-        solver.stats.stored_tuples = solver
-            .memo
-            .values()
-            .map(|r| r.len() as u64)
-            .sum::<u64>();
+        solver.stats.stored_tuples = solver.memo.values().map(|r| r.len() as u64).sum::<u64>();
         Ok(EvalResult {
             answers,
             stats: solver.stats,

@@ -49,9 +49,11 @@ fn bench_e4(c: &mut Criterion) {
             })
         });
         // From scratch: full Graham reduction of the extended rule.
-        g.bench_with_input(BenchmarkId::new("gyo_from_scratch", depth), &depth, |b, _| {
-            b.iter(|| monotone_flow(&rule, &bound).is_monotone())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("gyo_from_scratch", depth),
+            &depth,
+            |b, _| b.iter(|| monotone_flow(&rule, &bound).is_monotone()),
+        );
     }
     g.finish();
 }

@@ -11,14 +11,20 @@ fn bench_e9(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_costmodel");
     let model = CostModel::new(0.3, 1.0e6);
     let bound: BTreeSet<Var> = BTreeSet::from([Var::new("X")]);
-    for (label, rule) in [("r1", examples::r1()), ("r2", examples::r2()), ("r3", examples::r3())] {
+    for (label, rule) in [
+        ("r1", examples::r1()),
+        ("r2", examples::r2()),
+        ("r3", examples::r3()),
+    ] {
         let order: Vec<usize> = (0..rule.body.len()).collect();
         g.bench_with_input(BenchmarkId::new("predict", label), &rule, |b, rule| {
             b.iter(|| predict(&model, rule, &order, &bound).total_cost)
         });
-        g.bench_with_input(BenchmarkId::new("optimal_order", label), &rule, |b, rule| {
-            b.iter(|| optimal_order(&model, rule, &bound).1.total_cost)
-        });
+        g.bench_with_input(
+            BenchmarkId::new("optimal_order", label),
+            &rule,
+            |b, rule| b.iter(|| optimal_order(&model, rule, &bound).1.total_cost),
+        );
     }
     g.finish();
 }

@@ -11,12 +11,96 @@ use mp_hypergraph::cost::{optimal_order, predict, CostModel};
 use mp_hypergraph::{monotone_flow, MonotoneFlow};
 use mp_rulegoal::{RuleGoalGraph, SipKind};
 use mp_workloads::{graphs, programs, scenarios};
-use serde::Serialize;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
+crate::impl_row!(E1Row {
+    n,
+    method,
+    answers,
+    idb_tuples,
+    stored,
+    messages,
+    millis
+});
+crate::impl_row!(E2Row {
+    workload,
+    work_messages,
+    protocol_messages,
+    overhead,
+    probe_waves,
+    schedules_tried,
+    schedules_agreeing,
+});
+crate::impl_row!(E3Row {
+    rule,
+    n,
+    overlap,
+    sip,
+    answers,
+    max_stage,
+    blowup,
+    stored
+});
+crate::impl_row!(E4Row {
+    depth,
+    body_len,
+    composed_valid,
+    monotone_preserved,
+    micros_per_compose
+});
+crate::impl_row!(E5Row {
+    workload,
+    linear_method_applicable,
+    method,
+    answers,
+    stored,
+    millis
+});
+crate::impl_row!(E6Row {
+    n,
+    sip,
+    answers,
+    stored,
+    messages,
+    join_probes
+});
+crate::impl_row!(E7Row {
+    branches,
+    runtime,
+    answers,
+    millis
+});
+crate::impl_row!(E8Row {
+    program,
+    edb_facts,
+    graph_nodes,
+    coalescible
+});
+crate::impl_row!(E9Row {
+    rule,
+    order,
+    measured_stored,
+    model_optimal
+});
+crate::impl_row!(A1Row {
+    workload,
+    plain_requests,
+    batched_requests,
+    packages,
+    plain_total,
+    batched_total,
+});
+crate::impl_row!(A2Row {
+    n,
+    sip,
+    answers,
+    messages,
+    stored
+});
+
 /// E1 row: P1 (Fig 1) across methods and sizes.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E1Row {
     /// Chain length.
     pub n: usize,
@@ -70,7 +154,7 @@ pub fn e1(scale: Scale) -> Vec<E1Row> {
 }
 
 /// E2 row: termination protocol overhead and robustness (Fig 2, Thm 3.1).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E2Row {
     /// Workload name.
     pub workload: String,
@@ -99,7 +183,9 @@ pub fn e2(scale: Scale) -> Vec<E2Row> {
     let mut rows = Vec::new();
     let mut workloads: Vec<_> = sizes.iter().map(|&n| scenarios::tc_cycle(n)).collect();
     workloads.push(scenarios::sg_tree(3, 3, 1));
-    workloads.push(scenarios::tc_nonlinear_chain(sizes[sizes.len() - 1].min(48)));
+    workloads.push(scenarios::tc_nonlinear_chain(
+        sizes[sizes.len() - 1].min(48),
+    ));
     for w in workloads {
         let fifo = run_engine(&w.program, &w.db, SipKind::Greedy);
         let expect = Engine::new(w.program.clone(), w.db.clone())
@@ -134,7 +220,7 @@ pub fn e2(scale: Scale) -> Vec<E2Row> {
 }
 
 /// E3 row: monotone flow vs the cyclic rule (Figs 3–4, Example 4.1).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E3Row {
     /// `r2` (monotone) or `r3` (cyclic).
     pub rule: String,
@@ -189,7 +275,7 @@ pub fn e3(scale: Scale) -> Vec<E3Row> {
 }
 
 /// E4 row: qual tree composition (Fig 5, Thm 4.2).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E4Row {
     /// Composition depth (number of resolutions applied).
     pub depth: usize,
@@ -242,7 +328,7 @@ pub fn e4(scale: Scale) -> Vec<E4Row> {
 }
 
 /// E5 row: nonlinear recursion (§1.2 vs Henschen–Naqvi's restriction).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E5Row {
     /// Workload.
     pub workload: String,
@@ -282,7 +368,10 @@ pub fn e5(scale: Scale) -> Vec<E5Row> {
             stored: er.stored,
             millis: er.millis,
         });
-        for ev in [&SemiNaive as &dyn mp_baselines::Evaluator, &MagicSets::default()] {
+        for ev in [
+            &SemiNaive as &dyn mp_baselines::Evaluator,
+            &MagicSets::default(),
+        ] {
             let br = run_baseline(ev, &w.program, &w.db);
             rows.push(E5Row {
                 workload: w.name.clone(),
@@ -298,7 +387,7 @@ pub fn e5(scale: Scale) -> Vec<E5Row> {
 }
 
 /// E6 row: SIP strategy comparison (Def 2.4).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E6Row {
     /// Relation size.
     pub n: usize,
@@ -357,7 +446,7 @@ pub fn e6(scale: Scale) -> Vec<E6Row> {
 }
 
 /// E7 row: parallel execution (§1.2's parallelism claim).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E7Row {
     /// Independent branches in the query.
     pub branches: usize,
@@ -418,7 +507,7 @@ pub fn e7(scale: Scale) -> Vec<E7Row> {
 }
 
 /// E8 row: graph size independence (Thm 2.1).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E8Row {
     /// Program.
     pub program: String,
@@ -465,7 +554,7 @@ pub fn e8(scale: Scale) -> Vec<E8Row> {
 }
 
 /// E9 row: the §4.3 cost model against measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct E9Row {
     /// Rule under test.
     pub rule: String,
@@ -550,7 +639,7 @@ pub fn e9(scale: Scale) -> Vec<E9Row> {
 }
 
 /// A1 row: packaged tuple requests (§3.1 footnote 2).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct A1Row {
     /// Workload.
     pub workload: String,
@@ -590,8 +679,7 @@ pub fn a1(scale: Scale) -> Vec<A1Row> {
         rows.push(A1Row {
             workload: w.name,
             plain_requests: plain.stats.tuple_requests,
-            batched_requests: batched.stats.tuple_requests
-                + batched.stats.tuple_request_batches,
+            batched_requests: batched.stats.tuple_requests + batched.stats.tuple_request_batches,
             packages: batched.stats.tuple_request_batches,
             plain_total: plain.stats.total_messages(),
             batched_total: batched.stats.total_messages(),
@@ -601,7 +689,7 @@ pub fn a1(scale: Scale) -> Vec<A1Row> {
 }
 
 /// A2 row: cost-based SIP from EDB statistics (§1.2 extension).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct A2Row {
     /// Relation size parameter.
     pub n: usize,
@@ -775,7 +863,11 @@ mod tests {
             assert!(!r.linear_method_applicable, "{}", r.workload);
         }
         // All methods agree on answers per workload.
-        for w in rows.iter().map(|r| r.workload.clone()).collect::<BTreeSet<_>>() {
+        for w in rows
+            .iter()
+            .map(|r| r.workload.clone())
+            .collect::<BTreeSet<_>>()
+        {
             let answers: BTreeSet<usize> = rows
                 .iter()
                 .filter(|r| r.workload == w)
@@ -803,7 +895,10 @@ mod tests {
     fn e7_runtimes_agree() {
         let rows = e7(Scale::Quick);
         for k in [1usize, 4] {
-            let sim = rows.iter().find(|r| r.branches == k && r.runtime == "sim").unwrap();
+            let sim = rows
+                .iter()
+                .find(|r| r.branches == k && r.runtime == "sim")
+                .unwrap();
             let thr = rows
                 .iter()
                 .find(|r| r.branches == k && r.runtime == "threads")
@@ -843,10 +938,16 @@ mod tests {
     #[test]
     fn a1_batching_helps_fanout_not_chains() {
         let rows = a1(Scale::Quick);
-        let random = rows.iter().find(|r| r.workload.starts_with("tc-random")).unwrap();
+        let random = rows
+            .iter()
+            .find(|r| r.workload.starts_with("tc-random"))
+            .unwrap();
         assert!(random.packages > 0);
         assert!(random.batched_requests < random.plain_requests);
-        let chain = rows.iter().find(|r| r.workload.starts_with("tc-chain")).unwrap();
+        let chain = rows
+            .iter()
+            .find(|r| r.workload.starts_with("tc-chain"))
+            .unwrap();
         assert_eq!(chain.packages, 0, "chains have nothing to package");
     }
 

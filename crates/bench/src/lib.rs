@@ -4,7 +4,7 @@
 //!
 //! The experiment harness. Every figure/theorem/claim of the paper maps
 //! to one experiment (E1–E9, see EXPERIMENTS.md); each experiment is a
-//! plain function returning serializable rows, consumed by
+//! plain function returning table rows, consumed by
 //!
 //! * the `report` binary (`cargo run -p mp-bench --release --bin report`),
 //!   which prints the EXPERIMENTS.md tables, and
@@ -17,8 +17,81 @@ use mp_baselines::Evaluator;
 use mp_datalog::{Database, Program};
 use mp_engine::{Engine, RuntimeKind, Schedule};
 use mp_rulegoal::SipKind;
-use serde::Serialize;
+use std::fmt;
 use std::time::Instant;
+
+/// One rendered table cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Cell {
+    /// Integer-valued counter.
+    Int(i128),
+    /// Measurement, rendered with two decimals.
+    Float(f64),
+    /// Label.
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cell::Int(v) => write!(f, "{v}"),
+            Cell::Float(v) => write!(f, "{v:.2}"),
+            Cell::Str(s) => f.write_str(s),
+            Cell::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+macro_rules! impl_cell_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Cell {
+            fn from(v: $t) -> Cell { Cell::Int(v as i128) }
+        }
+    )*};
+}
+impl_cell_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Cell {
+    fn from(v: f64) -> Cell {
+        Cell::Float(v)
+    }
+}
+impl From<String> for Cell {
+    fn from(v: String) -> Cell {
+        Cell::Str(v)
+    }
+}
+impl From<&str> for Cell {
+    fn from(v: &str) -> Cell {
+        Cell::Str(v.to_string())
+    }
+}
+impl From<bool> for Cell {
+    fn from(v: bool) -> Cell {
+        Cell::Bool(v)
+    }
+}
+
+/// A table row: ordered `(header, cell)` pairs. Replaces the serde-based
+/// reflection the harness used when it could link against `serde_json`.
+pub trait Row {
+    /// The row's columns in display order.
+    fn cells(&self) -> Vec<(&'static str, Cell)>;
+}
+
+/// Implement [`Row`] for a struct by listing its fields in column order.
+#[macro_export]
+macro_rules! impl_row {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::Row for $ty {
+            fn cells(&self) -> Vec<(&'static str, $crate::Cell)> {
+                vec![$((stringify!($field), $crate::Cell::from(self.$field.clone())),)+]
+            }
+        }
+    };
+}
 
 /// How big to run the sweeps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -40,7 +113,7 @@ impl Scale {
 }
 
 /// One engine measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct EngineRun {
     /// Method label (`engine/greedy`, …).
     pub method: String,
@@ -103,7 +176,7 @@ pub fn run_engine_with(
 }
 
 /// One baseline measurement.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BaselineRun {
     /// Method label.
     pub method: String,
@@ -137,52 +210,53 @@ pub fn run_baseline(ev: &dyn Evaluator, program: &Program, db: &Database) -> Bas
     }
 }
 
-/// Render rows as a GitHub-flavoured markdown table from serde_json
-/// field order.
-pub fn markdown_table<T: Serialize>(rows: &[T]) -> String {
+/// Render rows as a GitHub-flavoured markdown table in [`Row`] column
+/// order.
+pub fn markdown_table<T: Row>(rows: &[T]) -> String {
     if rows.is_empty() {
         return String::from("(no rows)\n");
     }
-    let values: Vec<serde_json::Value> = rows
-        .iter()
-        .map(|r| serde_json::to_value(r).expect("serializable row"))
-        .collect();
-    let headers: Vec<String> = match &values[0] {
-        serde_json::Value::Object(m) => m.keys().cloned().collect(),
-        _ => return String::from("(unsupported row type)\n"),
-    };
+    let first = rows[0].cells();
     let mut out = String::new();
     out.push('|');
-    for h in &headers {
+    for (h, _) in &first {
         out.push_str(&format!(" {h} |"));
     }
     out.push_str("\n|");
-    for _ in &headers {
+    for _ in &first {
         out.push_str("---|");
     }
     out.push('\n');
-    for v in &values {
+    for row in rows {
         out.push('|');
-        for h in &headers {
-            let cell = match &v[h] {
-                serde_json::Value::Number(n) => {
-                    if let Some(f) = n.as_f64() {
-                        if n.is_f64() {
-                            format!("{f:.2}")
-                        } else {
-                            n.to_string()
-                        }
-                    } else {
-                        n.to_string()
-                    }
-                }
-                serde_json::Value::String(s) => s.clone(),
-                serde_json::Value::Bool(b) => b.to_string(),
-                other => other.to_string(),
-            };
+        for (_, cell) in row.cells() {
             out.push_str(&format!(" {cell} |"));
         }
         out.push('\n');
     }
     out
 }
+
+impl_row!(EngineRun {
+    method,
+    answers,
+    messages,
+    protocol_messages,
+    stored,
+    goal_stored,
+    max_relation,
+    max_stage,
+    join_probes,
+    probe_waves,
+    millis,
+});
+
+impl_row!(BaselineRun {
+    method,
+    answers,
+    derived,
+    stored,
+    join_probes,
+    iterations,
+    millis,
+});

@@ -4,6 +4,8 @@ use crate::node::Network;
 use crate::runtime::{RuntimeError, Schedule, SimRuntime, ThreadRuntime};
 use crate::stats::Stats;
 use mp_datalog::{Database, DatalogError, Program};
+use mp_lint::protocol::ProtocolView;
+use mp_lint::Diagnostic;
 use mp_rulegoal::{GraphError, RuleGoalGraph, SipKind};
 use mp_storage::Relation;
 use std::time::Duration;
@@ -20,6 +22,10 @@ pub enum RuntimeKind {
 /// Errors from engine construction or evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EngineError {
+    /// Static verification rejected the program or a compiled artifact.
+    /// Holds *all* diagnostics from the run (at least one deny-level),
+    /// sorted most severe first.
+    Lint(Vec<Diagnostic>),
     /// Program/graph construction failure.
     Graph(GraphError),
     /// Runtime failure.
@@ -29,6 +35,14 @@ pub enum EngineError {
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            EngineError::Lint(diags) => {
+                let denies = diags.iter().filter(|d| d.is_deny()).count();
+                write!(f, "static verification failed with {denies} error(s)")?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
             EngineError::Graph(e) => write!(f, "{e}"),
             EngineError::Runtime(e) => write!(f, "{e}"),
         }
@@ -53,6 +67,17 @@ impl From<RuntimeError> for EngineError {
     fn from(e: RuntimeError) -> Self {
         EngineError::Runtime(e)
     }
+}
+
+/// A statically verified, compiled query: the rule/goal graph plus any
+/// advisory diagnostics that survived the deny gate.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The verified rule/goal graph.
+    pub graph: RuleGoalGraph,
+    /// Warn-level diagnostics (e.g. unreachable predicates, singleton
+    /// variables). Never contains a deny-level entry.
+    pub warnings: Vec<Diagnostic>,
 }
 
 /// The result of evaluating a query.
@@ -172,9 +197,40 @@ impl Engine {
         Ok(RuleGoalGraph::build(&self.program, &self.db, self.sip)?)
     }
 
+    /// Statically verify and compile the program: run the program lints
+    /// against the EDB, build the rule/goal graph, then run the graph and
+    /// protocol lints over the compiled artifact. Any deny-level
+    /// diagnostic aborts with [`EngineError::Lint`] — compilation returns
+    /// typed errors, never panics. Surviving warnings ride along in
+    /// [`Compiled::warnings`].
+    pub fn compile(&self) -> Result<Compiled, EngineError> {
+        let mut diags = mp_lint::program::lint_program(&self.program, Some(&self.db), None);
+        mp_lint::sort_diagnostics(&mut diags);
+        if diags.iter().any(Diagnostic::is_deny) {
+            return Err(EngineError::Lint(diags));
+        }
+        // The deny-level program lints subsume `validate`, so `build`
+        // only fails on resource limits past this point.
+        let graph = self.build_graph()?;
+        // Defense in depth: the compiled artifact itself must satisfy the
+        // paper's structural theorems. On a correct compiler these passes
+        // are silent; a regression surfaces as a typed error here instead
+        // of a wrong answer or a hang at runtime.
+        diags.extend(mp_lint::graph::lint_graph(&graph));
+        diags.extend(mp_lint::protocol::lint_protocol(&ProtocolView::of(&graph)));
+        mp_lint::sort_diagnostics(&mut diags);
+        if diags.iter().any(Diagnostic::is_deny) {
+            return Err(EngineError::Lint(diags));
+        }
+        Ok(Compiled {
+            graph,
+            warnings: diags,
+        })
+    }
+
     /// Evaluate the query.
     pub fn evaluate(&self) -> Result<QueryResult, EngineError> {
-        let graph = self.build_graph()?;
+        let graph = self.compile()?.graph;
         let graph_nodes = graph.len();
         let mut network = Network::compile(&graph, &self.db);
         network.set_batching(self.batching);
@@ -385,10 +441,7 @@ mod tests {
              ?- special(X, N).",
         )
         .unwrap();
-        assert_eq!(
-            rows(&out.answers),
-            vec![tuple![1, "one"], tuple![2, "two"]]
-        );
+        assert_eq!(rows(&out.answers), vec![tuple![1, "one"], tuple![2, "two"]]);
     }
 
     #[test]
@@ -538,6 +591,64 @@ mod tests {
         assert!(s.messages_processed > 0);
         assert!(s.total_messages() >= s.work_messages());
         assert!(out.graph_nodes > 4);
+    }
+
+    #[test]
+    fn compile_rejects_unsafe_program_with_typed_diagnostics() {
+        let program = parse_program("p(X, Y) :- e(X). e(1). ?- p(1, Z).").unwrap();
+        let err = Engine::new(program, Database::new()).compile().unwrap_err();
+        match err {
+            EngineError::Lint(diags) => {
+                assert!(diags.iter().any(|d| d.code == mp_lint::Code::UnsafeRule));
+                assert!(diags[0].is_deny(), "denies sort first");
+            }
+            other => panic!("expected a lint error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn evaluate_returns_lint_error_instead_of_panicking() {
+        // Facts asserted for an IDB predicate: before the lint layer this
+        // surfaced as a GraphError from validate; now it is a structured
+        // diagnostic either way, and evaluation never panics.
+        let program = parse_program("p(1). p(X) :- e(X). e(2). ?- p(X).").unwrap();
+        let err = Engine::new(program, Database::new())
+            .evaluate()
+            .unwrap_err();
+        let EngineError::Lint(diags) = err else {
+            panic!("expected a lint error, got {err}");
+        };
+        assert!(diags.iter().any(|d| d.code == mp_lint::Code::EdbIdbOverlap));
+    }
+
+    #[test]
+    fn compile_surfaces_warnings_on_clean_programs() {
+        let program = parse_program(
+            "p(X) :- e(X).
+             dead(X) :- e(X).
+             e(1).
+             ?- p(X).",
+        )
+        .unwrap();
+        let compiled = Engine::new(program, Database::new()).compile().unwrap();
+        assert!(compiled
+            .warnings
+            .iter()
+            .any(|d| d.code == mp_lint::Code::UnreachablePredicate));
+        assert!(compiled.warnings.iter().all(|d| !d.is_deny()));
+        assert!(!compiled.graph.is_empty());
+    }
+
+    #[test]
+    fn compiled_graphs_pass_their_own_lints() {
+        // End-to-end: the artifacts the compiler emits satisfy the very
+        // theorems the lints encode, on a recursive program with a
+        // nontrivial strong component.
+        let engine = tc_engine(&[(0, 1), (1, 0)], 0);
+        let compiled = engine.compile().unwrap();
+        assert!(mp_lint::graph::lint_graph(&compiled.graph).is_empty());
+        let view = mp_lint::protocol::ProtocolView::of(&compiled.graph);
+        assert!(mp_lint::protocol::lint_protocol(&view).is_empty());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod runtime;
 mod stats;
 pub mod termination;
 
-pub use engine::{evaluate_str, Engine, EngineError, QueryResult, RuntimeKind};
+pub use engine::{evaluate_str, Compiled, Engine, EngineError, QueryResult, RuntimeKind};
 pub use msg::{Endpoint, Msg, Payload};
 pub use runtime::Schedule;
 pub use stats::Stats;

@@ -321,7 +321,9 @@ impl Network {
                         cfg: compile_edb(label, db),
                     },
                     GoalKind::CycleRef { ancestor } => Behavior::CycleRef {
-                        cfg: CycleCfg { ancestor: *ancestor },
+                        cfg: CycleCfg {
+                            ancestor: *ancestor,
+                        },
                     },
                 },
                 Node::Rule {
@@ -379,9 +381,7 @@ fn compile_edb(label: &mp_rulegoal::GoalLabel, db: &Database) -> EdbCfg {
     for (i, arg) in label.args.iter().enumerate() {
         match arg {
             LabelArg::Const(v) => const_checks.push((i, v.clone())),
-            LabelArg::Var { group, .. } => {
-                group_positions.entry(*group).or_default().push(i)
-            }
+            LabelArg::Var { group, .. } => group_positions.entry(*group).or_default().push(i),
         }
     }
     let eq_groups: Vec<Vec<usize>> = group_positions
@@ -392,9 +392,7 @@ fn compile_edb(label: &mp_rulegoal::GoalLabel, db: &Database) -> EdbCfg {
     let mut filtered = Relation::new(base.arity());
     for t in base.iter() {
         let consts_ok = const_checks.iter().all(|(i, v)| &t[*i] == v);
-        let eq_ok = eq_groups
-            .iter()
-            .all(|g| g.iter().all(|&p| t[p] == t[g[0]]));
+        let eq_ok = eq_groups.iter().all(|g| g.iter().all(|&p| t[p] == t[g[0]]));
         if consts_ok && eq_ok {
             filtered
                 .insert(t.clone())
@@ -578,4 +576,3 @@ fn compile_rule(
         st,
     )
 }
-

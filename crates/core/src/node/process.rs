@@ -19,8 +19,8 @@
 //!   streams there are closed by the probe protocol instead.
 
 use super::compile::{
-    Behavior, Common, EdbCfg, GoalCfg, GoalState, HeadSource, Process, RuleCfg,
-    RuleState, StageSource,
+    Behavior, Common, EdbCfg, GoalCfg, GoalState, HeadSource, Process, RuleCfg, RuleState,
+    StageSource,
 };
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::stats::Stats;
@@ -49,9 +49,9 @@ impl Common {
     /// Business left on external customer arcs: un-ended bindings, or an
     /// end-of-requests we have not yet answered with a stream end.
     pub fn unfinished_business(&self) -> bool {
-        self.customers.iter().any(|c| {
-            !c.intra && (c.subs.len() > c.ended.len() || (c.eor && !c.end_sent))
-        })
+        self.customers
+            .iter()
+            .any(|c| !c.intra && (c.subs.len() > c.ended.len() || (c.eor && !c.end_sent)))
     }
 
     fn send(&mut self, ctx: &mut Ctx<'_>, to: Endpoint, payload: Payload, intra: bool) {
@@ -109,7 +109,12 @@ impl Common {
             return;
         }
         let node = self.feeders[i].node;
-        self.send(ctx, Endpoint::Node(node), Payload::TupleRequest { binding }, intra);
+        self.send(
+            ctx,
+            Endpoint::Node(node),
+            Payload::TupleRequest { binding },
+            intra,
+        );
     }
 
     /// Flush buffered requests when the node is about to go idle (its
@@ -258,21 +263,20 @@ impl Process {
                 // counts toward the intra-component receive counter.
                 let from_intra = match from {
                     Endpoint::Engine => false,
-                    Endpoint::Node(n) => {
-                        self.common
-                            .customers
-                            .iter()
-                            .find(|c| c.ep == Endpoint::Node(n))
-                            .map(|c| c.intra)
-                            .or_else(|| {
-                                self.common
-                                    .feeders
-                                    .iter()
-                                    .find(|f| f.node == n)
-                                    .map(|f| f.intra)
-                            })
-                            .unwrap_or(false)
-                    }
+                    Endpoint::Node(n) => self
+                        .common
+                        .customers
+                        .iter()
+                        .find(|c| c.ep == Endpoint::Node(n))
+                        .map(|c| c.intra)
+                        .or_else(|| {
+                            self.common
+                                .feeders
+                                .iter()
+                                .find(|f| f.node == n)
+                                .map(|f| f.intra)
+                        })
+                        .unwrap_or(false),
                 };
                 if let Some(t) = self.common.term.as_mut() {
                     t.on_work();
@@ -307,7 +311,9 @@ impl Process {
             Payload::Answer { tuple } => {
                 let fi = self.common.feeder_idx(from);
                 match &mut self.behavior {
-                    Behavior::Goal { cfg, st } => goal_on_answer(cfg, st, &mut self.common, tuple, ctx),
+                    Behavior::Goal { cfg, st } => {
+                        goal_on_answer(cfg, st, &mut self.common, tuple, ctx)
+                    }
                     Behavior::Rule { cfg, st } => {
                         rule_on_answer(cfg, st, &mut self.common, fi, tuple, ctx)
                     }
@@ -438,7 +444,8 @@ impl Process {
                 t.finished = true;
             }
             for c in children {
-                self.common.send(ctx, Endpoint::Node(c), Payload::SccFinished, true);
+                self.common
+                    .send(ctx, Endpoint::Node(c), Payload::SccFinished, true);
             }
         }
     }
@@ -458,7 +465,8 @@ impl Process {
             t.finished = true;
         }
         for c in children {
-            self.common.send(ctx, Endpoint::Node(c), Payload::SccFinished, true);
+            self.common
+                .send(ctx, Endpoint::Node(c), Payload::SccFinished, true);
         }
         self.common.release_feeders(ctx);
     }
@@ -528,7 +536,14 @@ fn goal_on_answer(
         for &ci in subscribers.clone().iter() {
             let ep = common.customers[ci].ep;
             let intra = common.customers[ci].intra;
-            common.send(ctx, ep, Payload::Answer { tuple: tuple.clone() }, intra);
+            common.send(
+                ctx,
+                ep,
+                Payload::Answer {
+                    tuple: tuple.clone(),
+                },
+                intra,
+            );
         }
     }
 }
@@ -549,13 +564,7 @@ fn goal_maybe_end(common: &mut Common, ctx: &mut Ctx<'_>) {
 // EDB leaves
 // --------------------------------------------------------------------
 
-fn edb_on_request(
-    cfg: &EdbCfg,
-    common: &mut Common,
-    ci: usize,
-    binding: Tuple,
-    ctx: &mut Ctx<'_>,
-) {
+fn edb_on_request(cfg: &EdbCfg, common: &mut Common, ci: usize, binding: Tuple, ctx: &mut Ctx<'_>) {
     common.customers[ci].subs.insert(binding.clone());
     ctx.stats.edb_lookups += 1;
     let mut seen = mp_storage::Relation::new(cfg.transmitted.len());
@@ -595,7 +604,10 @@ fn rule_on_request(
     let Some(seed) = unify_binding(&cfg.head_d_terms, &cfg.stage0_schema, &binding) else {
         return; // head constants reject this binding
     };
-    if st.stage_bindings[0].insert(seed.clone()).expect("stage-0 arity") {
+    if st.stage_bindings[0]
+        .insert(seed.clone())
+        .expect("stage-0 arity")
+    {
         ctx.stats.stored_tuples += 1;
         rule_propagate(cfg, st, common, 0, seed, ctx);
     }
@@ -603,7 +615,11 @@ fn rule_on_request(
 
 /// Match a binding (values for the head label's `d` positions) against
 /// the instance head terms; produce the stage-0 tuple.
-fn unify_binding(head_d_terms: &[Term], schema: &[mp_datalog::Var], binding: &Tuple) -> Option<Tuple> {
+fn unify_binding(
+    head_d_terms: &[Term],
+    schema: &[mp_datalog::Var],
+    binding: &Tuple,
+) -> Option<Tuple> {
     debug_assert_eq!(head_d_terms.len(), binding.arity());
     let mut values: Vec<Option<Value>> = vec![None; schema.len()];
     for (t, v) in head_d_terms.iter().zip(binding.values()) {
@@ -699,7 +715,10 @@ fn rule_on_answer(
             return;
         }
     }
-    if !st.ans_store[level].insert(tuple.clone()).expect("answer arity") {
+    if !st.ans_store[level]
+        .insert(tuple.clone())
+        .expect("answer arity")
+    {
         return;
     }
     ctx.stats.stored_tuples += 1;

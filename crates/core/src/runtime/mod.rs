@@ -1,8 +1,10 @@
 //! Runtimes executing the process network.
 
+pub mod explore;
 mod sim;
 mod thread;
 
+pub use explore::{explore, ExploreConfig, ExploreReport, ScheduleViolation};
 pub use sim::{Schedule, SimOutcome, SimRuntime};
 pub use thread::{ThreadOutcome, ThreadRuntime};
 

@@ -105,12 +105,12 @@ impl SimRuntime {
         });
 
         let route = |msg: Msg,
-                         mailboxes: &mut Vec<VecDeque<Msg>>,
-                         fifo_tokens: &mut VecDeque<usize>,
-                         stats: &mut Stats,
-                         trace: &mut Option<Vec<Msg>>,
-                         engine_answers: &mut Relation,
-                         end_seen: &mut bool| {
+                     mailboxes: &mut Vec<VecDeque<Msg>>,
+                     fifo_tokens: &mut VecDeque<usize>,
+                     stats: &mut Stats,
+                     trace: &mut Option<Vec<Msg>>,
+                     engine_answers: &mut Relation,
+                     end_seen: &mut bool| {
             stats.count_send(&msg.payload);
             if let Some(t) = trace.as_mut() {
                 t.push(msg.clone());

@@ -4,10 +4,8 @@
 //! the amount of redundant computation in the form of joins and database
 //! retrievals", §3.1).
 
-use serde::{Deserialize, Serialize};
-
 /// Counters collected over one evaluation.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Relation-request messages.
     pub relation_requests: u64,

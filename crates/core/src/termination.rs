@@ -135,13 +135,7 @@ impl TermState {
     }
 
     /// Member: handle an end request from the BFST parent.
-    pub fn on_end_request(
-        &mut self,
-        self_id: NodeId,
-        wave: u64,
-        empty: bool,
-        out: &mut Vec<Msg>,
-    ) {
+    pub fn on_end_request(&mut self, self_id: NodeId, wave: u64, empty: bool, out: &mut Vec<Msg>) {
         debug_assert!(!self.leader, "the leader originates, it is never probed");
         self.wave = wave;
         if empty {
@@ -263,15 +257,24 @@ mod tests {
         let mut out = Vec::new();
 
         leader.maybe_originate(0, true, true, &mut out);
-        assert!(matches!(drain(&mut out)[0], Payload::EndRequest { wave: 1 }));
+        assert!(matches!(
+            drain(&mut out)[0],
+            Payload::EndRequest { wave: 1 }
+        ));
 
         // Wave 1: leaf idle but idleness becomes 1 → negative.
         leaf.on_end_request(1, 1, true, &mut out);
-        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 1 }));
+        assert!(matches!(
+            drain(&mut out)[0],
+            Payload::EndNegative { wave: 1 }
+        ));
         let act = leader.on_end_negative(0, true, true, &mut out);
         assert_eq!(act, TermAction::None);
         // Leader immediately re-probes (wave 2).
-        assert!(matches!(drain(&mut out)[0], Payload::EndRequest { wave: 2 }));
+        assert!(matches!(
+            drain(&mut out)[0],
+            Payload::EndRequest { wave: 2 }
+        ));
 
         // Wave 2: leaf idle again → idleness 2 → confirmed.
         leaf.on_end_request(1, 2, true, &mut out);
@@ -289,7 +292,10 @@ mod tests {
         drain(&mut out);
         leaf.on_work(); // a tuple arrived between waves
         leaf.on_end_request(1, 2, true, &mut out);
-        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 2 }));
+        assert!(matches!(
+            drain(&mut out)[0],
+            Payload::EndNegative { wave: 2 }
+        ));
         // Two more idle waves then confirm.
         leaf.on_end_request(1, 3, true, &mut out);
         drain(&mut out);
@@ -305,7 +311,10 @@ mod tests {
         let mut leaf = TermState::new(false, Some(0), vec![]);
         let mut out = Vec::new();
         leaf.on_end_request(1, 1, false, &mut out); // mailbox not empty
-        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 1 }));
+        assert!(matches!(
+            drain(&mut out)[0],
+            Payload::EndNegative { wave: 1 }
+        ));
         assert_eq!(leaf.idleness, 0);
     }
 
@@ -323,7 +332,10 @@ mod tests {
         mid.on_end_confirmed(1, 5, 5, true, true, &mut out);
         assert!(out.is_empty());
         mid.on_end_confirmed(1, 3, 3, true, true, &mut out);
-        assert!(matches!(drain(&mut out)[0], Payload::EndNegative { wave: 1 }));
+        assert!(matches!(
+            drain(&mut out)[0],
+            Payload::EndNegative { wave: 1 }
+        ));
         // Second wave, still idle: children confirm → confirmed up with
         // summed counters (mid's own are 0).
         mid.on_end_request(1, 2, true, &mut out);
@@ -331,7 +343,11 @@ mod tests {
         mid.on_end_confirmed(1, 5, 5, true, true, &mut out);
         mid.on_end_confirmed(1, 3, 3, true, true, &mut out);
         match drain(&mut out).pop().unwrap() {
-            Payload::EndConfirmed { wave, sent, received } => {
+            Payload::EndConfirmed {
+                wave,
+                sent,
+                received,
+            } => {
                 assert_eq!(wave, 2);
                 assert_eq!(sent, 8);
                 assert_eq!(received, 8);

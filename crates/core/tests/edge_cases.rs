@@ -1,8 +1,8 @@
 //! Engine edge cases: program shapes at the boundary of the §1 model.
 
-use mp_engine::{evaluate_str, Engine, EngineError};
 use mp_datalog::parser::parse_program;
 use mp_datalog::Database;
+use mp_engine::{evaluate_str, Engine, EngineError};
 use mp_storage::{tuple, Tuple};
 
 #[test]
@@ -116,10 +116,7 @@ fn self_join_on_both_columns() {
          ?- mutual(X, Y).",
     )
     .unwrap();
-    assert_eq!(
-        out.answers.sorted_rows(),
-        vec![tuple![1, 2], tuple![2, 1]]
-    );
+    assert_eq!(out.answers.sorted_rows(), vec![tuple![1, 2], tuple![2, 1]]);
 }
 
 #[test]

@@ -11,9 +11,9 @@
 //! 6. nonrecursive programs never exchange protocol messages — the
 //!    Fig 2 machinery only runs inside nontrivial strong components.
 
-use mp_engine::{Endpoint, Engine, Msg, Payload};
 use mp_datalog::parser::parse_program;
 use mp_datalog::Database;
+use mp_engine::{Endpoint, Engine, Msg, Payload};
 use mp_storage::{tuple, Tuple};
 use std::collections::{HashMap, HashSet};
 
@@ -46,7 +46,10 @@ fn check_invariants(trace: &[Msg]) {
             }
             Payload::TupleRequestBatch { bindings } => {
                 assert!(!eor_seen.contains(&arc), "msg {i}: batch after EOR");
-                requested.entry(arc).or_default().extend(bindings.iter().cloned());
+                requested
+                    .entry(arc)
+                    .or_default()
+                    .extend(bindings.iter().cloned());
             }
             Payload::EndOfRequests => {
                 eor_seen.insert(arc);
@@ -62,15 +65,16 @@ fn check_invariants(trace: &[Msg]) {
                     !end_seen.contains(&arc),
                     "msg {i}: binding end after stream end on {arc:?}"
                 );
-                let asked = requested
-                    .get(&rev)
-                    .is_some_and(|s| s.contains(binding));
+                let asked = requested.get(&rev).is_some_and(|s| s.contains(binding));
                 assert!(
                     asked,
                     "msg {i}: end for a binding never requested: {binding:?} on {arc:?}"
                 );
                 let fresh = etrs.entry(arc).or_default().insert(binding.clone());
-                assert!(fresh, "msg {i}: duplicate binding end {binding:?} on {arc:?}");
+                assert!(
+                    fresh,
+                    "msg {i}: duplicate binding end {binding:?} on {arc:?}"
+                );
             }
             Payload::End => {
                 end_seen.insert(arc);
@@ -205,7 +209,8 @@ fn invariants_hold_with_batching() {
     for i in 0..6i64 {
         for j in 0..4i64 {
             db.insert("edge", tuple![i, 10 + i * 4 + j]).unwrap();
-            db.insert("edge", tuple![10 + i * 4 + j, (i + 1) % 6]).unwrap();
+            db.insert("edge", tuple![10 + i * 4 + j, (i + 1) % 6])
+                .unwrap();
         }
     }
     let r = Engine::new(program, db)

@@ -47,10 +47,8 @@ impl DependencyAnalysis {
         let sccs = tarjan_sccs(&predicates, &depends);
         let mut recursive = BTreeSet::new();
         for scc in &sccs {
-            let self_loop = scc.len() == 1
-                && depends
-                    .get(&scc[0])
-                    .is_some_and(|d| d.contains(&scc[0]));
+            let self_loop =
+                scc.len() == 1 && depends.get(&scc[0]).is_some_and(|d| d.contains(&scc[0]));
             if scc.len() > 1 || self_loop {
                 recursive.extend(scc.iter().cloned());
             }
@@ -217,11 +215,7 @@ mod tests {
              ?- path(1,Z).",
         );
         assert!(!a.program_is_linear(&p));
-        let nonlinear = p
-            .rules
-            .iter()
-            .filter(|r| !a.rule_is_linear(r))
-            .count();
+        let nonlinear = p.rules.iter().filter(|r| !a.rule_is_linear(r)).count();
         assert_eq!(nonlinear, 1);
     }
 
@@ -287,5 +281,91 @@ mod tests {
     fn nonrecursive_program_has_no_recursive_preds() {
         let (_, a) = analyse("p(X,Y) :- e(X,Y). q(X) :- p(X,X). ?- q(1).");
         assert!(a.recursive.is_empty());
+    }
+
+    #[test]
+    fn three_predicate_cycle_is_one_component() {
+        let (p, a) = analyse(
+            "a(X, Y) :- e(X, Y).
+             a(X, Z) :- e(X, Y), b(Y, Z).
+             b(X, Z) :- f(X, Y), c(Y, Z).
+             c(X, Z) :- g(X, Y), a(Y, Z).
+             ?- a(0, Z).",
+        );
+        let (pa, pb, pc) = (
+            Predicate::new("a"),
+            Predicate::new("b"),
+            Predicate::new("c"),
+        );
+        let scc = a
+            .sccs
+            .iter()
+            .find(|s| s.contains(&pa))
+            .expect("a is in some component");
+        assert!(scc.contains(&pb) && scc.contains(&pc));
+        assert_eq!(scc.len(), 3);
+        assert!(a.mutually_recursive(&pa, &pb));
+        assert!(a.mutually_recursive(&pb, &pc));
+        assert!(a.mutually_recursive(&pa, &pc));
+        // Each recursive rule reaches the cycle through exactly one
+        // subgoal, so the program is still linear.
+        assert!(a.program_is_linear(&p));
+        // EDB predicates stay outside the component.
+        for name in ["e", "f", "g"] {
+            assert!(!a.recursive.contains(&Predicate::new(name)));
+        }
+    }
+
+    #[test]
+    fn nonlinearity_through_mutual_recursion() {
+        // The second rule for `a` reaches the a/b component through TWO
+        // subgoals — and neither mentions `a` itself. Linearity must be
+        // judged by mutual recursion with the head, not by name equality.
+        let (p, a) = analyse(
+            "a(X, Y) :- e(X, Y).
+             a(X, Z) :- b(X, Y), b(Y, Z).
+             b(X, Y) :- a(X, Y).
+             ?- a(0, Z).",
+        );
+        assert!(a.mutually_recursive(&Predicate::new("a"), &Predicate::new("b")));
+        assert!(!a.program_is_linear(&p));
+        let nonlinear: Vec<_> = p.rules.iter().filter(|r| !a.rule_is_linear(r)).collect();
+        assert_eq!(nonlinear.len(), 1);
+        assert_eq!(nonlinear[0].head.pred, Predicate::new("a"));
+    }
+
+    #[test]
+    fn self_loop_beside_larger_component() {
+        // A self-recursive predicate feeding a two-predicate cycle: two
+        // distinct recursive components, emitted callees-first.
+        let (_, a) = analyse(
+            "s(X, Y) :- e(X, Y).
+             s(X, Z) :- s(X, Y), e(Y, Z).
+             p(X, Y) :- s(X, Y).
+             p(X, Z) :- q(X, Z).
+             q(X, Z) :- p(X, Y), e(Y, Z).
+             ?- p(0, Z).",
+        );
+        let s = Predicate::new("s");
+        let (pp, pq) = (Predicate::new("p"), Predicate::new("q"));
+        assert!(a.recursive.contains(&s));
+        assert!(a.mutually_recursive(&pp, &pq));
+        assert!(!a.mutually_recursive(&s, &pp));
+        let pos = |pred: &Predicate| a.sccs.iter().position(|c| c.contains(pred)).unwrap();
+        assert!(pos(&s) < pos(&pp), "callee component first");
+        assert_eq!(pos(&pp), pos(&pq));
+    }
+
+    #[test]
+    fn self_loop_subgoal_counts_toward_linearity() {
+        // Two occurrences of the head's own predicate → nonlinear, even
+        // though the component is a singleton self-loop.
+        let (p, a) = analyse(
+            "t(X, Y) :- e(X, Y).
+             t(X, Z) :- t(X, Y), t(Y, Z).
+             ?- t(0, Z).",
+        );
+        assert!(a.recursive.contains(&Predicate::new("t")));
+        assert!(!a.program_is_linear(&p));
     }
 }

@@ -1,13 +1,12 @@
 //! AST for function-free Horn clauses.
 
 use mp_storage::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// A predicate symbol. Predicates are identified by name; arity is checked
 /// separately during validation (one arity per name).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Predicate(pub Arc<str>);
 
 impl Predicate {
@@ -41,7 +40,7 @@ impl From<&str> for Predicate {
 }
 
 /// A logical variable, identified by name within a rule.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Var(pub Arc<str>);
 
 impl Var {
@@ -76,7 +75,7 @@ impl From<&str> for Var {
 
 /// A term: a variable or a constant. The system is function-free (§1), so
 /// there are no compound terms.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Term {
     /// A variable.
     Var(Var),
@@ -133,7 +132,7 @@ impl fmt::Display for Term {
 }
 
 /// An atomic formula: a predicate applied to terms.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Atom {
     /// The predicate symbol.
     pub pred: Predicate,
@@ -205,7 +204,7 @@ impl fmt::Display for Atom {
 
 /// A Horn clause: `head :- body`. An empty body makes the rule a fact
 /// (which must then be ground).
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rule {
     /// The positive literal (the rule's head, §1).
     pub head: Atom,
@@ -250,7 +249,10 @@ impl Rule {
     /// Returns the first offending variable, if any.
     pub fn unsafe_var(&self) -> Option<Var> {
         let body_vars: Vec<Var> = self.body.iter().flat_map(|a| a.vars()).collect();
-        self.head.vars().into_iter().find(|v| !body_vars.contains(v))
+        self.head
+            .vars()
+            .into_iter()
+            .find(|v| !body_vars.contains(v))
     }
 }
 
@@ -295,7 +297,10 @@ mod tests {
 
     #[test]
     fn atom_vars_dedup_in_order() {
-        let a = Atom::new("p", vec![Term::var("X"), Term::val(1), Term::var("Y"), Term::var("X")]);
+        let a = Atom::new(
+            "p",
+            vec![Term::var("X"), Term::val(1), Term::var("Y"), Term::var("X")],
+        );
         assert_eq!(a.vars(), vec![Var::new("X"), Var::new("Y")]);
         assert!(!a.is_ground());
     }
@@ -318,10 +323,7 @@ mod tests {
                 Atom::new("b", vec![Term::var("Y"), Term::var("Z")]),
             ],
         );
-        assert_eq!(
-            r.vars(),
-            vec![Var::new("X"), Var::new("Z"), Var::new("Y")]
-        );
+        assert_eq!(r.vars(), vec![Var::new("X"), Var::new("Z"), Var::new("Y")]);
         assert_eq!(r.unsafe_var(), None);
 
         let bad = Rule::new(

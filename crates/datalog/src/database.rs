@@ -22,7 +22,11 @@ impl Database {
 
     /// Declare a relation with the given arity (idempotent; errors on
     /// conflicting arity).
-    pub fn declare(&mut self, pred: impl Into<Predicate>, arity: usize) -> Result<(), DatalogError> {
+    pub fn declare(
+        &mut self,
+        pred: impl Into<Predicate>,
+        arity: usize,
+    ) -> Result<(), DatalogError> {
         let pred = pred.into();
         match self.relations.get(&pred) {
             Some(r) if r.arity() != arity => Err(DatalogError::ArityConflict {

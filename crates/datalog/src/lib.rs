@@ -27,12 +27,14 @@ mod database;
 mod dbstats;
 pub mod parser;
 mod program;
+mod span;
 pub mod unify;
 
 pub use ast::{Atom, Predicate, Rule, Term, Var};
 pub use database::Database;
 pub use dbstats::{DbStats, RelationStats};
 pub use program::Program;
+pub use span::{SourceMap, Span};
 
 /// The distinguished query predicate name (§1 of the paper).
 pub const GOAL: &str = "goal";

@@ -18,11 +18,17 @@
 //! a rule `goal(V1, ..., Vn) :- q1, ..., qk.` where `V1..Vn` are the
 //! distinct variables of the query atoms in order of first occurrence.
 
-use crate::{Atom, DatalogError, Program, Rule, Term, GOAL};
+use crate::{Atom, DatalogError, Program, Rule, SourceMap, Span, Term, GOAL};
 use mp_storage::Value;
 
 /// Parse a program from source text.
 pub fn parse_program(src: &str) -> Result<Program, DatalogError> {
+    Ok(Parser::new(src).program()?.0)
+}
+
+/// Parse a program and record where each clause begins, for rendering
+/// diagnostics against the source text.
+pub fn parse_program_with_spans(src: &str) -> Result<(Program, SourceMap), DatalogError> {
     Parser::new(src).program()
 }
 
@@ -222,7 +228,9 @@ impl<'a> Parser<'a> {
 
     fn atom(&mut self) -> Result<Atom, DatalogError> {
         self.skip_ws();
-        let name = self.ident().ok_or_else(|| self.err("expected predicate name"))?;
+        let name = self
+            .ident()
+            .ok_or_else(|| self.err("expected predicate name"))?;
         if name.as_bytes()[0].is_ascii_uppercase() {
             return Err(self.err("predicate names must start lower-case"));
         }
@@ -281,12 +289,29 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn program(&mut self) -> Result<Program, DatalogError> {
-        let mut rules = Vec::new();
-        while let Some(r) = self.clause()? {
-            rules.push(r);
+    /// Position of the next non-whitespace byte.
+    fn here(&mut self) -> Span {
+        self.skip_ws();
+        Span::new(self.line, self.pos - self.line_start + 1)
+    }
+
+    fn program(&mut self) -> Result<(Program, SourceMap), DatalogError> {
+        let mut prog = Program::default();
+        let mut map = SourceMap::default();
+        loop {
+            let span = self.here();
+            let Some(r) = self.clause()? else { break };
+            // Mirror `Program::new`'s rule/fact split, keeping the side
+            // table aligned with it.
+            if r.is_fact() {
+                prog.facts.push(r.head);
+                map.fact_spans.push(span);
+            } else {
+                prog.rules.push(r);
+                map.rule_spans.push(span);
+            }
         }
-        Ok(Program::new(rules))
+        Ok((prog, map))
     }
 }
 

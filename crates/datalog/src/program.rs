@@ -56,7 +56,8 @@ impl Program {
     pub fn idb_predicates(&self) -> BTreeMap<Predicate, usize> {
         let mut out = BTreeMap::new();
         for r in &self.rules {
-            out.entry(r.head.pred.clone()).or_insert_with(|| r.head.arity());
+            out.entry(r.head.pred.clone())
+                .or_insert_with(|| r.head.arity());
         }
         out
     }
@@ -156,17 +157,17 @@ mod tests {
 
     fn tc_program() -> Program {
         Program::new(vec![
-            Rule::new(
-                atom!("goal"; var "Z"),
-                vec![atom!("path"; val 1, var "Z")],
-            ),
+            Rule::new(atom!("goal"; var "Z"), vec![atom!("path"; val 1, var "Z")]),
             Rule::new(
                 atom!("path"; var "X", var "Y"),
                 vec![atom!("edge"; var "X", var "Y")],
             ),
             Rule::new(
                 atom!("path"; var "X", var "Z"),
-                vec![atom!("path"; var "X", var "Y"), atom!("edge"; var "Y", var "Z")],
+                vec![
+                    atom!("path"; var "X", var "Y"),
+                    atom!("edge"; var "Y", var "Z"),
+                ],
             ),
         ])
     }
@@ -207,10 +208,8 @@ mod tests {
     #[test]
     fn rejects_goal_in_body() {
         let mut p = tc_program();
-        p.rules.push(Rule::new(
-            atom!("q"; var "X"),
-            vec![atom!("goal"; var "X")],
-        ));
+        p.rules
+            .push(Rule::new(atom!("q"; var "X"), vec![atom!("goal"; var "X")]));
         assert_eq!(p.validate(&edb()), Err(DatalogError::GoalInBody));
     }
 
@@ -253,7 +252,10 @@ mod tests {
     fn facts_are_separated_and_loadable() {
         let p = Program::new(vec![
             Rule::fact(Atom::new("edge", vec![Term::val(1), Term::val(2)])),
-            Rule::new(atom!("goal"; var "X"), vec![atom!("edge"; var "X", var "X")]),
+            Rule::new(
+                atom!("goal"; var "X"),
+                vec![atom!("edge"; var "X", var "X")],
+            ),
         ]);
         assert_eq!(p.facts.len(), 1);
         assert_eq!(p.rules.len(), 1);

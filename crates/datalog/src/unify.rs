@@ -237,8 +237,14 @@ mod tests {
             &atom!("p"; var "V", var "V", var "W")
         ));
         // Constants must match positionally.
-        assert!(!variants(&atom!("p"; val 1, var "X"), &atom!("p"; var "Y", var "X")));
-        assert!(variants(&atom!("p"; val 1, var "X"), &atom!("p"; val 1, var "Q")));
+        assert!(!variants(
+            &atom!("p"; val 1, var "X"),
+            &atom!("p"; var "Y", var "X")
+        ));
+        assert!(variants(
+            &atom!("p"; val 1, var "X"),
+            &atom!("p"; val 1, var "Q")
+        ));
     }
 
     #[test]

@@ -143,7 +143,12 @@ pub fn compose(
     // renaming is irrelevant for the head (head vars come from rv).
     let head_bound: BTreeSet<Var> = qt_v.vars[qt_v.root]
         .iter()
-        .flat_map(|v| sigma.apply_term(&mp_datalog::Term::Var(v.clone())).as_var().cloned())
+        .flat_map(|v| {
+            sigma
+                .apply_term(&mp_datalog::Term::Var(v.clone()))
+                .as_var()
+                .cloned()
+        })
         .collect();
     let mut labels = vec![EdgeLabel::Head];
     let mut vars = vec![head_bound];

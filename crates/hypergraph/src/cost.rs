@@ -84,10 +84,7 @@ pub fn predict(
     bound_head_vars: &BTreeSet<Var>,
 ) -> Prediction {
     let head_vars: BTreeSet<Var> = rule.head.vars().into_iter().collect();
-    let mut bound: BTreeSet<Var> = head_vars
-        .intersection(bound_head_vars)
-        .cloned()
-        .collect();
+    let mut bound: BTreeSet<Var> = head_vars.intersection(bound_head_vars).cloned().collect();
 
     // The running intermediate starts as the set of head bindings: one
     // "tuple request" per binding. Model it as the selected size of a

@@ -71,7 +71,10 @@ impl Hypergraph {
 
     /// All distinct vertices (variables).
     pub fn vertices(&self) -> BTreeSet<Var> {
-        self.edges.iter().flat_map(|e| e.vars.iter().cloned()).collect()
+        self.edges
+            .iter()
+            .flat_map(|e| e.vars.iter().cloned())
+            .collect()
     }
 
     /// Index of the edge with the given label, if present.

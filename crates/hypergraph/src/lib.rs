@@ -26,7 +26,7 @@ mod monotone;
 mod qualtree;
 
 pub use gyo::{gyo_reduce, GyoOutcome};
-pub use monotone::examples;
 pub use hypergraph::{EdgeLabel, HyperEdge, Hypergraph};
+pub use monotone::examples;
 pub use monotone::{evaluation_hypergraph, monotone_flow, MonotoneFlow};
 pub use qualtree::QualTree;

@@ -124,8 +124,7 @@ impl QualTree {
         }
         let all_vars: BTreeSet<&Var> = self.vars.iter().flatten().collect();
         for var in all_vars {
-            let holders: Vec<usize> =
-                (0..n).filter(|&i| self.vars[i].contains(var)).collect();
+            let holders: Vec<usize> = (0..n).filter(|&i| self.vars[i].contains(var)).collect();
             if holders.len() <= 1 {
                 continue;
             }
@@ -188,14 +187,8 @@ mod tests {
         // a first; then b and c (independent, "can be done in parallel");
         // then d and e.
         assert_eq!(order[0], 0);
-        assert_eq!(
-            BTreeSet::from([order[1], order[2]]),
-            BTreeSet::from([1, 2])
-        );
-        assert_eq!(
-            BTreeSet::from([order[3], order[4]]),
-            BTreeSet::from([3, 4])
-        );
+        assert_eq!(BTreeSet::from([order[1], order[2]]), BTreeSet::from([1, 2]));
+        assert_eq!(BTreeSet::from([order[3], order[4]]), BTreeSet::from([3, 4]));
     }
 
     #[test]
@@ -213,7 +206,11 @@ mod tests {
         // Hand-build a tree violating the property: X in nodes 0 and 2,
         // but the path goes through node 1 which lacks X.
         let qt = QualTree {
-            labels: vec![EdgeLabel::Head, EdgeLabel::Subgoal(0), EdgeLabel::Subgoal(1)],
+            labels: vec![
+                EdgeLabel::Head,
+                EdgeLabel::Subgoal(0),
+                EdgeLabel::Subgoal(1),
+            ],
             vars: vec![
                 BTreeSet::from([v("X")]),
                 BTreeSet::from([v("Y")]),

@@ -1,0 +1,162 @@
+//! `mp-lint` — statically verify Datalog programs before evaluation.
+//!
+//! ```text
+//! mp-lint [OPTIONS] [FILE...]     lint .dl programs (facts + rules +
+//!                                 ?- query); reads stdin when no FILE
+//!
+//!   --deny-warnings               treat warnings as errors (exit 1)
+//!   --no-graph                    skip graph/protocol passes (program
+//!                                 lints only; also skips SIP planning)
+//!   --sip <greedy|left-to-right|all-free|qual-tree|cost-based>
+//!                                 strategy for the graph passes
+//! ```
+//!
+//! Exit status: 0 when no deny-level diagnostic fired, 1 otherwise,
+//! 2 on usage or I/O errors.
+
+use mp_datalog::parser::parse_program_with_spans;
+use mp_datalog::Database;
+use mp_lint::protocol::ProtocolView;
+use mp_lint::{Code, Diagnostic, Severity};
+use mp_rulegoal::{RuleGoalGraph, SipKind};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    files: Vec<String>,
+    deny_warnings: bool,
+    graph_passes: bool,
+    sip: SipKind,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        deny_warnings: false,
+        graph_passes: true,
+        sip: SipKind::Greedy,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => opts.deny_warnings = true,
+            "--no-graph" => opts.graph_passes = false,
+            "--sip" => {
+                let v = args.next().ok_or("--sip needs a value")?;
+                opts.sip = SipKind::ALL
+                    .into_iter()
+                    .find(|s| s.name() == v)
+                    .ok_or_else(|| format!("unknown sip strategy `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if !other.starts_with('-') => opts.files.push(other.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: mp-lint [--deny-warnings] [--no-graph] [--sip STRATEGY] [FILE...]\n\
+         lints Datalog programs; reads stdin when no FILE is given"
+    );
+}
+
+/// Lint one source text; returns the diagnostics found.
+fn lint_source(source: &str, opts: &Options) -> Result<Vec<Diagnostic>, String> {
+    let (program, spans) =
+        parse_program_with_spans(source).map_err(|e| format!("parse error: {e}"))?;
+    let mut db = Database::new();
+    // Inline facts feed arity/overlap checks; a non-ground or conflicting
+    // fact is reported by the lints themselves, so load errors are not fatal.
+    let _ = program.load_facts(&mut db);
+
+    let mut diags = mp_lint::program::lint_program(&program, Some(&db), Some(&spans));
+    let fatal = diags.iter().any(Diagnostic::is_deny);
+    if opts.graph_passes && !fatal {
+        match RuleGoalGraph::build(&program, &db, opts.sip) {
+            Ok(graph) => {
+                diags.extend(mp_lint::graph::lint_graph(&graph));
+                diags.extend(mp_lint::protocol::lint_protocol(&ProtocolView::of(&graph)));
+            }
+            Err(e) => {
+                // Program lints passed but graph construction failed
+                // (e.g. size limit): surface it as a diagnostic rather
+                // than a crash.
+                diags.push(Diagnostic::new(
+                    Code::VariantClosure,
+                    format!("rule/goal graph construction failed: {e}"),
+                ));
+            }
+        }
+    }
+    mp_lint::sort_diagnostics(&mut diags);
+    Ok(diags)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("mp-lint: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    // (filename, source) pairs; stdin when no files were named.
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    if opts.files.is_empty() {
+        let mut src = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+            eprintln!("mp-lint: reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        inputs.push(("<stdin>".to_string(), src));
+    } else {
+        for f in &opts.files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => inputs.push((f.clone(), src)),
+                Err(e) => {
+                    eprintln!("mp-lint: {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let mut denies = 0usize;
+    let mut warns = 0usize;
+    for (name, source) in &inputs {
+        match lint_source(source, &opts) {
+            Ok(diags) => {
+                for d in &diags {
+                    print!("{}", d.render(name, source));
+                    match d.severity {
+                        Severity::Deny => denies += 1,
+                        Severity::Warn => warns += 1,
+                    }
+                }
+            }
+            Err(msg) => {
+                eprintln!("mp-lint: {name}: {msg}");
+                denies += 1;
+            }
+        }
+    }
+
+    if denies + warns > 0 {
+        eprintln!(
+            "mp-lint: {denies} error(s), {warns} warning(s) in {} input(s)",
+            inputs.len()
+        );
+    }
+    if denies > 0 || (opts.deny_warnings && warns > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,671 @@
+//! Graph lints (`MP101`–`MP104`): checks over compiled rule/goal
+//! artifacts.
+//!
+//! * [`lint_plan`] checks one rule instance's SIP plan: argument-class
+//!   soundness against the atom shapes (`MP101`, §1.2) and a supplier for
+//!   every `d` position (`MP102`, Def 2.4). Without a supplier the goal
+//!   node would wait forever for tuple requests that never come.
+//! * [`lint_graph`] runs [`lint_plan`] on every rule node and checks the
+//!   graph's structure through a [`GraphView`]: variant closure
+//!   (`MP103`, Thm 2.1 / Def 2.2) and cycle-edge consistency (`MP104`,
+//!   §2.1).
+//!
+//! [`RuleGoalGraph`] construction is correct by design, so on real graphs
+//! these passes report nothing — they exist to catch regressions in the
+//! compiler and to validate plans and views fabricated by tools or tests.
+//! [`GraphView`] is plain data precisely so tests can corrupt it.
+
+use crate::{Code, Diagnostic};
+use mp_datalog::Rule;
+use mp_rulegoal::sip::bound_head_vars;
+use mp_rulegoal::{
+    Adornment, ArcKind, ArgClass, GoalKind, GoalLabel, Node, RuleGoalGraph, SipPlan, SipSource,
+};
+use std::collections::BTreeSet;
+
+/// Lint one rule instance's SIP plan against the rule and the head
+/// adornment it was planned for.
+pub fn lint_plan(rule: &Rule, head: &Adornment, plan: &SipPlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let kind = plan.kind.name();
+
+    if head.arity() != rule.head.arity() {
+        diags.push(Diagnostic::new(
+            Code::ClassMismatch,
+            format!(
+                "head adornment `{head}` has arity {} but the head of `{rule}` has arity {}",
+                head.arity(),
+                rule.head.arity()
+            ),
+        ));
+        return diags;
+    }
+
+    // Order must be a permutation of the subgoal indices, and there must
+    // be one adornment per subgoal with matching arity.
+    let n = rule.body.len();
+    let mut seen = vec![false; n];
+    let mut order_ok = plan.order.len() == n;
+    for &i in &plan.order {
+        if i >= n || seen[i] {
+            order_ok = false;
+            break;
+        }
+        seen[i] = true;
+    }
+    if !order_ok {
+        diags.push(
+            Diagnostic::new(
+                Code::ClassMismatch,
+                format!(
+                    "sip `{kind}` order {:?} is not a permutation of the {n} subgoals of `{rule}`",
+                    plan.order
+                ),
+            )
+            .with_note("every subgoal must be evaluated exactly once (Def 2.3)"),
+        );
+        return diags;
+    }
+    if plan.adornments.len() != n {
+        diags.push(Diagnostic::new(
+            Code::ClassMismatch,
+            format!(
+                "sip `{kind}` produced {} adornments for the {n} subgoals of `{rule}`",
+                plan.adornments.len()
+            ),
+        ));
+        return diags;
+    }
+
+    for (i, (atom, ad)) in rule.body.iter().zip(&plan.adornments).enumerate() {
+        if ad.arity() != atom.arity() {
+            diags.push(Diagnostic::new(
+                Code::ClassMismatch,
+                format!(
+                    "subgoal {i} `{atom}` of `{rule}` has arity {} but adornment `{ad}`",
+                    atom.arity()
+                ),
+            ));
+            continue;
+        }
+        // Per-position class vs term shape (§1.2: `c` iff constant).
+        for (j, t) in atom.terms.iter().enumerate() {
+            match (t.as_const(), ad.class(j)) {
+                (Some(v), c) if c != ArgClass::C => diags.push(
+                    Diagnostic::new(
+                        Code::ClassMismatch,
+                        format!(
+                            "constant `{v}` at position {j} of subgoal `{atom}` in `{rule}` \
+                             is classed `{}`, expected `c`",
+                            c.letter()
+                        ),
+                    )
+                    .with_note(
+                        "class c is exactly the constants known at graph-construction time (§1.2)",
+                    ),
+                ),
+                (None, ArgClass::C) => diags.push(Diagnostic::new(
+                    Code::ClassMismatch,
+                    format!(
+                        "variable at position {j} of subgoal `{atom}` in `{rule}` is classed `c`"
+                    ),
+                )),
+                _ => {}
+            }
+        }
+        // A variable must have one class within a subgoal, and an
+        // existential variable must not escape: not into another subgoal
+        // and not into a transmitted head position.
+        let mut e_vars: BTreeSet<&str> = BTreeSet::new();
+        let mut non_e: BTreeSet<&str> = BTreeSet::new();
+        for (j, t) in atom.terms.iter().enumerate() {
+            if let Some(v) = t.as_var() {
+                if ad.class(j) == ArgClass::E {
+                    e_vars.insert(v.name());
+                } else {
+                    non_e.insert(v.name());
+                }
+            }
+        }
+        for v in &e_vars {
+            let mixed = non_e.contains(v);
+            let in_other_subgoal = rule
+                .body
+                .iter()
+                .enumerate()
+                .any(|(k, a)| k != i && a.vars().iter().any(|w| w.name() == *v));
+            let in_transmitted_head = rule.head.terms.iter().enumerate().any(|(j, t)| {
+                t.as_var().is_some_and(|w| w.name() == *v) && head.class(j) != ArgClass::E
+            });
+            if mixed || in_other_subgoal || in_transmitted_head {
+                diags.push(
+                    Diagnostic::new(
+                        Code::ClassMismatch,
+                        format!(
+                            "variable `{v}` is classed `e` in subgoal `{atom}` of `{rule}` \
+                             but its value is needed elsewhere",
+                        ),
+                    )
+                    .with_note(
+                        "class e means the value is never transmitted (§1.2); \
+                         a shared variable must be classed d or f",
+                    ),
+                );
+            }
+        }
+    }
+    if !diags.is_empty() {
+        return diags;
+    }
+
+    // MP102: walk the plan order; every d position must be supplied by the
+    // head's bound variables or a transmitted position of an earlier
+    // subgoal (Def 2.4).
+    let mut bound = bound_head_vars(rule, head);
+    for &i in &plan.order {
+        let atom = &rule.body[i];
+        let ad = &plan.adornments[i];
+        for (j, t) in atom.terms.iter().enumerate() {
+            if ad.class(j) != ArgClass::D {
+                continue;
+            }
+            match t.as_var() {
+                Some(v) if bound.contains(v) => {}
+                Some(v) => diags.push(
+                    Diagnostic::new(
+                        Code::MissingDSupplier,
+                        format!(
+                            "position {j} of subgoal `{atom}` in `{rule}` is classed `d` \
+                             but no earlier supplier binds `{}` under sip `{kind}`",
+                            v.name()
+                        ),
+                    )
+                    .with_note(
+                        "Def 2.4: a d argument's needed set comes from the head or an \
+                         earlier subgoal; without a supplier the goal node never receives \
+                         tuple requests and blocks forever",
+                    ),
+                ),
+                None => {} // constants at d positions already reported as MP101
+            }
+        }
+        for j in ad.transmitted_positions() {
+            if let Some(v) = atom.terms[j].as_var() {
+                bound.insert(v.clone());
+            }
+        }
+    }
+
+    // The strategy graph's arcs must point forward in the order.
+    let pos_in_order = |i: usize| plan.order.iter().position(|&k| k == i);
+    for e in &plan.edges {
+        let ok = match e.from {
+            SipSource::Head => true,
+            SipSource::Subgoal(s) => match (pos_in_order(s), pos_in_order(e.to)) {
+                (Some(a), Some(b)) => a < b,
+                _ => false,
+            },
+        };
+        if !ok {
+            diags.push(
+                Diagnostic::new(
+                    Code::MissingDSupplier,
+                    format!(
+                        "sip edge for `{}` into subgoal {} of `{rule}` comes from subgoal \
+                         {:?} which is not earlier in the order {:?}",
+                        e.var.name(),
+                        e.to,
+                        e.from,
+                        plan.order
+                    ),
+                )
+                .with_note("Def 2.3: strategy-graph arcs must respect the evaluation order"),
+            );
+        }
+    }
+
+    diags
+}
+
+/// The structural role of a node, independent of its payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeRole {
+    /// An expanded IDB goal node.
+    Idb,
+    /// An EDB leaf.
+    Edb,
+    /// A cycle-reference node pointing back at the ancestor it is a
+    /// variant of.
+    CycleRef {
+        /// The ancestor goal node this reference closes back to.
+        ancestor: usize,
+    },
+    /// A rule node.
+    Rule,
+}
+
+/// A plain-data view of a rule/goal graph's structure: roles, goal
+/// labels, and arcs. [`GraphView::of`] extracts it from a real graph;
+/// tests fabricate (and corrupt) it directly.
+#[derive(Clone, Debug)]
+pub struct GraphView {
+    /// Per-node role.
+    pub roles: Vec<NodeRole>,
+    /// Per-node goal label (`None` for rule nodes).
+    pub labels: Vec<Option<GoalLabel>>,
+    /// All arcs `(from, to, kind)` in answer direction (child → customer
+    /// for tree arcs, ancestor → reference for cycle arcs).
+    pub arcs: Vec<(usize, usize, ArcKind)>,
+}
+
+impl GraphView {
+    /// Extract the view from a compiled graph.
+    pub fn of(graph: &RuleGoalGraph) -> GraphView {
+        let mut roles = Vec::with_capacity(graph.len());
+        let mut labels = Vec::with_capacity(graph.len());
+        let mut arcs = Vec::new();
+        for (id, node) in graph.nodes() {
+            match node {
+                Node::Goal { label, kind, .. } => {
+                    roles.push(match kind {
+                        GoalKind::Idb => NodeRole::Idb,
+                        GoalKind::Edb => NodeRole::Edb,
+                        GoalKind::CycleRef { ancestor } => NodeRole::CycleRef {
+                            ancestor: *ancestor,
+                        },
+                    });
+                    labels.push(Some(label.clone()));
+                }
+                Node::Rule { .. } => {
+                    roles.push(NodeRole::Rule);
+                    labels.push(None);
+                }
+            }
+            for &(to, kind) in graph.customers(id) {
+                arcs.push((id, to, kind));
+            }
+        }
+        GraphView {
+            roles,
+            labels,
+            arcs,
+        }
+    }
+
+    /// The tree parent of `n` (its unique tree customer), if any.
+    fn tree_parent(&self, n: usize) -> Option<usize> {
+        self.arcs
+            .iter()
+            .find(|&&(f, _, k)| f == n && k == ArcKind::Tree)
+            .map(|&(_, t, _)| t)
+    }
+
+    /// The tree-ancestor chain of `n` (excluding `n`), bounded by node
+    /// count so corrupt views cannot loop forever.
+    fn ancestors(&self, n: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = n;
+        for _ in 0..self.roles.len() {
+            match self.tree_parent(cur) {
+                Some(p) => {
+                    out.push(p);
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+/// Structural lints over a [`GraphView`]: variant closure (`MP103`) and
+/// cycle-edge consistency (`MP104`).
+pub fn lint_graph_view(view: &GraphView) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = view.roles.len();
+    let label = |i: usize| view.labels.get(i).and_then(|l| l.as_ref());
+
+    for (i, role) in view.roles.iter().enumerate() {
+        if let NodeRole::CycleRef { ancestor } = *role {
+            // MP104: the recorded ancestor must be a goal node, a true
+            // tree-ancestor, and connected by exactly one cycle arc.
+            if ancestor >= n || label(ancestor).is_none() {
+                diags.push(
+                    Diagnostic::new(
+                        Code::CycleEdgeInconsistent,
+                        format!(
+                            "cycle reference {i} records non-goal node {ancestor} as its ancestor"
+                        ),
+                    )
+                    .with_note("cycle edges run from an ancestor goal node to its variant (§2.1)"),
+                );
+                continue;
+            }
+            if !view.ancestors(i).contains(&ancestor) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::CycleEdgeInconsistent,
+                        format!(
+                            "cycle reference {i} records node {ancestor} as its ancestor, \
+                             but {ancestor} is not on {i}'s tree path to the root"
+                        ),
+                    )
+                    .with_note(
+                        "the graph must be a DFS tree plus back edges; a cycle edge to a \
+                         non-ancestor would be a cross edge (§2.1, footnote 3)",
+                    ),
+                );
+            }
+            let incoming: Vec<usize> = view
+                .arcs
+                .iter()
+                .filter(|&&(_, t, k)| t == i && k == ArcKind::Cycle)
+                .map(|&(f, _, _)| f)
+                .collect();
+            if incoming != vec![ancestor] {
+                diags.push(
+                    Diagnostic::new(
+                        Code::CycleEdgeInconsistent,
+                        format!(
+                            "cycle reference {i} should have exactly one cycle arc, from its \
+                             ancestor {ancestor}, but has {incoming:?}"
+                        ),
+                    )
+                    .with_note("the back edge carries the ancestor's answers to the reference"),
+                );
+            }
+            // MP103: the reference must actually be a variant (Def 2.2:
+            // labels equal).
+            if label(i) != label(ancestor) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::VariantClosure,
+                        format!(
+                            "cycle reference {i} ({}) is not a variant of its ancestor {ancestor} ({})",
+                            label(i).map_or("?".into(), |l| l.render()),
+                            label(ancestor).map_or("?".into(), |l| l.render()),
+                        ),
+                    )
+                    .with_note(
+                        "Def 2.2: a goal is closed into a cycle only when its label equals an \
+                         ancestor's; sharing answers between non-variants is unsound",
+                    ),
+                );
+            }
+        }
+    }
+
+    // MP104 (converse): every cycle arc must terminate at a cycle
+    // reference recording exactly that source.
+    for &(f, t, k) in &view.arcs {
+        if k != ArcKind::Cycle {
+            continue;
+        }
+        match view.roles.get(t) {
+            Some(NodeRole::CycleRef { ancestor }) if *ancestor == f => {}
+            _ => diags.push(
+                Diagnostic::new(
+                    Code::CycleEdgeInconsistent,
+                    format!("cycle arc {f} → {t} does not terminate at a cycle reference for {f}"),
+                )
+                .with_note("cycle arcs may only connect an ancestor to its own references (§2.1)"),
+            ),
+        }
+    }
+
+    // MP103: an *expanded* IDB goal node whose label repeats a tree
+    // ancestor's should have been a cycle reference (Thm 2.1's closure —
+    // without it the graph would not have terminated finitely).
+    for (i, role) in view.roles.iter().enumerate() {
+        if *role != NodeRole::Idb {
+            continue;
+        }
+        let Some(li) = label(i) else { continue };
+        for a in view.ancestors(i) {
+            if label(a) == Some(li) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::VariantClosure,
+                        format!(
+                            "goal node {i} ({}) repeats the label of its ancestor {a} but was \
+                             expanded instead of closed into a cycle",
+                            li.render()
+                        ),
+                    )
+                    .with_note(
+                        "Thm 2.1: variant ancestors must become cycle edges, or construction \
+                         recurses unboundedly and answers are duplicated",
+                    ),
+                );
+                break;
+            }
+        }
+    }
+
+    diags
+}
+
+/// Lint a compiled graph: every rule node's SIP plan plus the structural
+/// checks of [`lint_graph_view`].
+pub fn lint_graph(graph: &RuleGoalGraph) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (_, node) in graph.nodes() {
+        if let Node::Rule {
+            rule,
+            plan,
+            head_label,
+            ..
+        } = node
+        {
+            diags.extend(lint_plan(rule, &head_label.adornment(), plan));
+        }
+    }
+    diags.extend(lint_graph_view(&GraphView::of(graph)));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datalog::{atom, Var};
+    use mp_rulegoal::sip::SipEdge;
+    use mp_rulegoal::SipKind;
+
+    fn ad(s: &str) -> Adornment {
+        Adornment::parse(s).unwrap()
+    }
+
+    /// tc(X, Y) :- e(X, Z), tc(Z, Y).
+    fn tc_rule() -> Rule {
+        Rule::new(
+            atom!("tc"; var "X", var "Y"),
+            vec![atom!("e"; var "X", var "Z"), atom!("tc"; var "Z", var "Y")],
+        )
+    }
+
+    fn good_plan() -> SipPlan {
+        SipPlan {
+            kind: SipKind::Greedy,
+            order: vec![0, 1],
+            adornments: vec![ad("df"), ad("df")],
+            edges: vec![SipEdge {
+                from: SipSource::Subgoal(0),
+                to: 1,
+                var: Var::new("Z"),
+            }],
+            monotone: true,
+        }
+    }
+
+    #[test]
+    fn sound_plan_is_clean() {
+        assert!(lint_plan(&tc_rule(), &ad("df"), &good_plan()).is_empty());
+    }
+
+    #[test]
+    fn missing_supplier_fires_mp102() {
+        // Evaluate tc(Z,Y) first: Z^d has no supplier yet.
+        let mut plan = good_plan();
+        plan.order = vec![1, 0];
+        plan.edges.clear();
+        let ds = lint_plan(&tc_rule(), &ad("df"), &plan);
+        assert!(
+            ds.iter().any(|d| d.code == Code::MissingDSupplier),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn unbound_head_supplier_fires_mp102() {
+        // Head is all-free: X^d in e(X,Z) has no supplier at all.
+        let ds = lint_plan(&tc_rule(), &ad("ff"), &good_plan());
+        assert!(
+            ds.iter().any(|d| d.code == Code::MissingDSupplier),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn backwards_sip_edge_fires_mp102() {
+        let mut plan = good_plan();
+        plan.edges = vec![SipEdge {
+            from: SipSource::Subgoal(1),
+            to: 0,
+            var: Var::new("Z"),
+        }];
+        // Make position classes consistent so only the edge is at fault.
+        plan.adornments = vec![ad("df"), ad("ff")];
+        let ds = lint_plan(&tc_rule(), &ad("df"), &plan);
+        assert!(
+            ds.iter().any(|d| d.code == Code::MissingDSupplier),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn order_not_a_permutation_fires_mp101() {
+        let mut plan = good_plan();
+        plan.order = vec![0, 0];
+        let ds = lint_plan(&tc_rule(), &ad("df"), &plan);
+        assert!(ds.iter().any(|d| d.code == Code::ClassMismatch), "{ds:?}");
+    }
+
+    #[test]
+    fn constant_not_classed_c_fires_mp101() {
+        let rule = Rule::new(atom!("p"; var "X"), vec![atom!("e"; val 3, var "X")]);
+        let plan = SipPlan {
+            kind: SipKind::Greedy,
+            order: vec![0],
+            adornments: vec![ad("df")],
+            edges: vec![],
+            monotone: true,
+        };
+        let ds = lint_plan(&rule, &ad("f"), &plan);
+        assert!(ds.iter().any(|d| d.code == Code::ClassMismatch), "{ds:?}");
+    }
+
+    #[test]
+    fn leaking_existential_fires_mp101() {
+        // Z is shared between both subgoals but classed e in the first.
+        let plan = SipPlan {
+            kind: SipKind::Greedy,
+            order: vec![0, 1],
+            adornments: vec![ad("de"), ad("df")],
+            edges: vec![],
+            monotone: true,
+        };
+        let ds = lint_plan(&tc_rule(), &ad("df"), &plan);
+        assert!(ds.iter().any(|d| d.code == Code::ClassMismatch), "{ds:?}");
+    }
+
+    #[test]
+    fn adornment_arity_mismatch_fires_mp101() {
+        let mut plan = good_plan();
+        plan.adornments = vec![ad("d"), ad("df")];
+        let ds = lint_plan(&tc_rule(), &ad("df"), &plan);
+        assert!(ds.iter().any(|d| d.code == Code::ClassMismatch), "{ds:?}");
+    }
+
+    /// A hand-built correct view mirroring the shape the compiler emits
+    /// for `tc` (goal 0 ← rule 1 ← {edb 2, cycleref 3}).
+    fn tc_view() -> GraphView {
+        let tc_label = GoalLabel::new(&atom!("tc"; var "X", var "Y"), &ad("df"));
+        let e_label = GoalLabel::new(&atom!("e"; var "X", var "Z"), &ad("df"));
+        GraphView {
+            roles: vec![
+                NodeRole::Idb,
+                NodeRole::Rule,
+                NodeRole::Edb,
+                NodeRole::CycleRef { ancestor: 0 },
+            ],
+            labels: vec![Some(tc_label.clone()), None, Some(e_label), Some(tc_label)],
+            arcs: vec![
+                (1, 0, ArcKind::Tree),
+                (2, 1, ArcKind::Tree),
+                (3, 1, ArcKind::Tree),
+                (0, 3, ArcKind::Cycle),
+            ],
+        }
+    }
+
+    #[test]
+    fn sound_view_is_clean() {
+        assert!(lint_graph_view(&tc_view()).is_empty());
+    }
+
+    #[test]
+    fn non_variant_cycle_ref_fires_mp103() {
+        let mut v = tc_view();
+        // Corrupt the reference's label: different adornment ⇒ not a variant.
+        v.labels[3] = Some(GoalLabel::new(&atom!("tc"; var "X", var "Y"), &ad("ff")));
+        let ds = lint_graph_view(&v);
+        assert!(ds.iter().any(|d| d.code == Code::VariantClosure), "{ds:?}");
+    }
+
+    #[test]
+    fn expanded_variant_fires_mp103() {
+        let mut v = tc_view();
+        // Pretend the compiler expanded the variant instead of closing it.
+        v.roles[3] = NodeRole::Idb;
+        v.arcs.retain(|&(_, _, k)| k == ArcKind::Tree);
+        let ds = lint_graph_view(&v);
+        assert!(ds.iter().any(|d| d.code == Code::VariantClosure), "{ds:?}");
+    }
+
+    #[test]
+    fn cycle_arc_from_wrong_node_fires_mp104() {
+        let mut v = tc_view();
+        v.arcs.retain(|&(_, _, k)| k == ArcKind::Tree);
+        v.arcs.push((2, 3, ArcKind::Cycle));
+        let ds = lint_graph_view(&v);
+        assert!(
+            ds.iter().any(|d| d.code == Code::CycleEdgeInconsistent),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn missing_cycle_arc_fires_mp104() {
+        let mut v = tc_view();
+        v.arcs.retain(|&(_, _, k)| k == ArcKind::Tree);
+        let ds = lint_graph_view(&v);
+        assert!(
+            ds.iter().any(|d| d.code == Code::CycleEdgeInconsistent),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn ancestor_not_on_tree_path_fires_mp104() {
+        let mut v = tc_view();
+        // Point the reference at the EDB leaf's sibling subtree.
+        v.roles[3] = NodeRole::CycleRef { ancestor: 2 };
+        v.arcs.retain(|&(_, _, k)| k == ArcKind::Tree);
+        v.arcs.push((2, 3, ArcKind::Cycle));
+        let ds = lint_graph_view(&v);
+        assert!(
+            ds.iter().any(|d| d.code == Code::CycleEdgeInconsistent),
+            "{ds:?}"
+        );
+    }
+}

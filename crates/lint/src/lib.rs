@@ -1,0 +1,306 @@
+#![warn(missing_docs)]
+
+//! # mp-lint
+//!
+//! A multi-pass static analyzer that runs **before** evaluation and turns
+//! would-be runtime panics or silent wrong answers into structured
+//! diagnostics. The paper's guarantees are conditional on static
+//! properties, so checking them statically is checking the paper:
+//!
+//! * **Program lints** (`MP001`–`MP008`, [`program::lint_program`]) check
+//!   the §1 well-formedness conditions over the Datalog AST — rule
+//!   safety/range restriction, arity consistency, EDB/IDB separation,
+//!   reachability from the query, singleton variables, ground facts.
+//! * **Graph lints** (`MP101`–`MP104`, [`graph::lint_graph`]) check
+//!   compiled rule/goal artifacts — argument-class soundness under the
+//!   chosen SIP, a supplier for every `d` position (Def 2.4), variant
+//!   closure (Thm 2.1), and cycle-edge consistency.
+//! * **Protocol lints** (`MP201`–`MP204`, [`protocol::lint_protocol`])
+//!   check the per-strong-component state the §3.2 termination protocol
+//!   relies on — exactly one exit node, BFST parent/child symmetry and
+//!   full coverage, leader uniqueness (Thm 3.1's preconditions).
+//!
+//! Deny-level diagnostics abort `Engine::compile` with a typed error;
+//! warnings are surfaced but do not block. The `mp-lint` binary lints
+//! `.dl` files and renders diagnostics against the source text.
+
+pub mod graph;
+pub mod program;
+pub mod protocol;
+
+use mp_datalog::Span;
+use std::fmt;
+
+/// How severe a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: surfaced, but evaluation may proceed.
+    Warn,
+    /// The property the engine (or the paper) relies on is violated;
+    /// compilation must abort.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => f.write_str("warning"),
+            Severity::Deny => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable diagnostic codes. Each code maps to the paper condition it
+/// enforces (see DESIGN.md, "Static verification layer").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// A rule is unsafe: a head variable is not bound by any positive
+    /// body literal (range restriction, §1).
+    UnsafeRule,
+    /// A predicate is used with two different arities.
+    ArityConflict,
+    /// A predicate is both EDB and IDB: it has facts (inline or in the
+    /// database) *and* occurs in a rule head (§1's PIDB condition).
+    EdbIdbOverlap,
+    /// The distinguished `goal` predicate occurs in a rule body (§1).
+    GoalInBody,
+    /// The program has no `goal` rule — nothing to evaluate (§1).
+    NoQuery,
+    /// An IDB predicate is unreachable from the query and will never be
+    /// evaluated.
+    UnreachablePredicate,
+    /// A variable occurs exactly once in a rule (likely a typo; prefix
+    /// with `_` to silence).
+    SingletonVariable,
+    /// A fact contains a variable.
+    NonGroundFact,
+
+    /// An argument-class assignment is inconsistent with the atom or the
+    /// SIP plan (§1.2, §2.2).
+    ClassMismatch,
+    /// A `d`-class argument position has no supplier under the SIP
+    /// (Def 2.4): evaluation would wait forever for bindings.
+    MissingDSupplier,
+    /// Variant closure (Thm 2.1) is violated: a goal node repeats an
+    /// ancestor's label without a cycle edge, or a cycle edge connects
+    /// non-variants (Def 2.2).
+    VariantClosure,
+    /// A cycle edge or cycle-reference node is structurally inconsistent
+    /// (§2.1: cycle edges run ancestor → variant descendant).
+    CycleEdgeInconsistent,
+
+    /// A nontrivial strong component does not have exactly one exit node
+    /// (Thm 3.1's unique-feeder precondition).
+    ExitNodeCount,
+    /// The component's BFST parent/child links are asymmetric.
+    BfstAsymmetry,
+    /// The component's BFST does not span every member.
+    BfstCoverage,
+    /// The component's recorded leader is missing, not a member, or not
+    /// the exit node (§3.2: the unique feeder is the BFST leader).
+    LeaderInconsistent,
+}
+
+impl Code {
+    /// The stable `MPnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnsafeRule => "MP001",
+            Code::ArityConflict => "MP002",
+            Code::EdbIdbOverlap => "MP003",
+            Code::GoalInBody => "MP004",
+            Code::NoQuery => "MP005",
+            Code::UnreachablePredicate => "MP006",
+            Code::SingletonVariable => "MP007",
+            Code::NonGroundFact => "MP008",
+            Code::ClassMismatch => "MP101",
+            Code::MissingDSupplier => "MP102",
+            Code::VariantClosure => "MP103",
+            Code::CycleEdgeInconsistent => "MP104",
+            Code::ExitNodeCount => "MP201",
+            Code::BfstAsymmetry => "MP202",
+            Code::BfstCoverage => "MP203",
+            Code::LeaderInconsistent => "MP204",
+        }
+    }
+
+    /// The default severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnreachablePredicate | Code::SingletonVariable => Severity::Warn,
+            _ => Severity::Deny,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One structured diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Source position of the offending clause, when known.
+    pub span: Option<Span>,
+    /// What is wrong.
+    pub message: String,
+    /// Why it matters / which paper condition it violates.
+    pub note: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with the code's default severity.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span: None,
+            message: message.into(),
+            note: None,
+        }
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Option<Span>) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attach an explanatory note.
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.note = Some(note.into());
+        self
+    }
+
+    /// True for deny-level diagnostics.
+    pub fn is_deny(&self) -> bool {
+        self.severity == Severity::Deny
+    }
+
+    /// Render against source text: a `file:line:col` header, the source
+    /// line, a caret marker, and the note.
+    pub fn render(&self, filename: &str, source: &str) -> String {
+        let mut out = String::new();
+        match self.span {
+            Some(s) => out.push_str(&format!(
+                "{}[{}]: {} ({}:{})\n",
+                self.severity, self.code, self.message, filename, s
+            )),
+            None => out.push_str(&format!(
+                "{}[{}]: {} ({})\n",
+                self.severity, self.code, self.message, filename
+            )),
+        }
+        if let Some(s) = self.span {
+            if let Some(line) = source.lines().nth(s.line.saturating_sub(1)) {
+                out.push_str(&format!("  {:>4} | {}\n", s.line, line));
+                out.push_str(&format!(
+                    "       | {}^\n",
+                    " ".repeat(s.col.saturating_sub(1))
+                ));
+            }
+        }
+        if let Some(n) = &self.note {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if let Some(s) = self.span {
+            write!(f, " at {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Sort diagnostics for stable output: deny first, then by code, span,
+/// and message.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then(a.code.cmp(&b.code))
+            .then(a.span.cmp(&b.span))
+            .then(a.message.cmp(&b.message))
+    });
+}
+
+/// Run every pass that applies before graph construction plus the graph
+/// and protocol passes on the built artifact. The one-stop entry used by
+/// `Engine::compile`.
+pub fn lint_all(
+    program: &mp_datalog::Program,
+    db: Option<&mp_datalog::Database>,
+    graph: Option<&mp_rulegoal::RuleGoalGraph>,
+) -> Vec<Diagnostic> {
+    let mut diags = program::lint_program(program, db, None);
+    if let Some(g) = graph {
+        diags.extend(graph::lint_graph(g));
+        diags.extend(protocol::lint_protocol(&protocol::ProtocolView::of(g)));
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_unique() {
+        let all = [
+            Code::UnsafeRule,
+            Code::ArityConflict,
+            Code::EdbIdbOverlap,
+            Code::GoalInBody,
+            Code::NoQuery,
+            Code::UnreachablePredicate,
+            Code::SingletonVariable,
+            Code::NonGroundFact,
+            Code::ClassMismatch,
+            Code::MissingDSupplier,
+            Code::VariantClosure,
+            Code::CycleEdgeInconsistent,
+            Code::ExitNodeCount,
+            Code::BfstAsymmetry,
+            Code::BfstCoverage,
+            Code::LeaderInconsistent,
+        ];
+        let strs: std::collections::BTreeSet<&str> = all.iter().map(|c| c.as_str()).collect();
+        assert_eq!(strs.len(), all.len());
+        assert!(strs.iter().all(|s| s.starts_with("MP")));
+    }
+
+    #[test]
+    fn render_includes_source_line_and_caret() {
+        let d = Diagnostic::new(Code::UnsafeRule, "head variable `Y` is not bound")
+            .with_span(Some(Span::new(2, 14)))
+            .with_note("range restriction, §1");
+        let src = "p(X) :- e(X).\nbad(X, Y) :- e(X).\n";
+        let r = d.render("test.dl", src);
+        assert!(r.contains("error[MP001]"), "{r}");
+        assert!(r.contains("test.dl:2:14"), "{r}");
+        assert!(r.contains("bad(X, Y) :- e(X)."), "{r}");
+        assert!(r.contains("note: range restriction"), "{r}");
+    }
+
+    #[test]
+    fn sorting_puts_denies_first() {
+        let mut v = vec![
+            Diagnostic::new(Code::SingletonVariable, "w"),
+            Diagnostic::new(Code::UnsafeRule, "e"),
+        ];
+        sort_diagnostics(&mut v);
+        assert_eq!(v[0].code, Code::UnsafeRule);
+    }
+}

@@ -1,0 +1,338 @@
+//! Program lints (`MP001`–`MP008`): the §1 well-formedness conditions,
+//! checked over the Datalog AST with per-clause spans.
+//!
+//! These subsume `Program::validate` — every condition `validate` rejects
+//! maps to a deny-level code here — and add advisory lints (`MP006`
+//! unreachable predicates, `MP007` singleton variables) that `validate`
+//! has no channel for.
+
+use crate::{Code, Diagnostic};
+use mp_datalog::analysis::DependencyAnalysis;
+use mp_datalog::{Atom, Database, Program, SourceMap, GOAL};
+use std::collections::BTreeMap;
+
+/// Lint a program. `db` supplies externally-loaded EDB relations (arities
+/// and EDB/IDB separation are checked against it when present); `spans`
+/// attaches source positions to clause-level diagnostics when the program
+/// came from [`mp_datalog::parse_program_with_spans`].
+pub fn lint_program(
+    program: &Program,
+    db: Option<&Database>,
+    spans: Option<&SourceMap>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let rule_span = |i: usize| spans.and_then(|m| m.rule(i));
+    let fact_span = |i: usize| spans.and_then(|m| m.fact(i));
+
+    // MP002: one arity per predicate, across rules, facts, and the EDB.
+    // Report each conflicting predicate once, at its first conflicting use.
+    let mut arities: BTreeMap<String, (usize, String)> = BTreeMap::new();
+    if let Some(db) = db {
+        for (p, r) in db.iter() {
+            arities.insert(
+                p.name().to_string(),
+                (r.arity(), "the database".to_string()),
+            );
+        }
+    }
+    let mut reported = std::collections::BTreeSet::new();
+    let mut check_arity = |a: &Atom, where_: String, span, diags: &mut Vec<Diagnostic>| {
+        match arities.get(a.pred.name()) {
+            Some(&(n, ref first)) if n != a.arity() => {
+                if reported.insert(a.pred.name().to_string()) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::ArityConflict,
+                            format!(
+                                "predicate `{}` used with arity {} in {}, but with arity {} in {}",
+                                a.pred.name(),
+                                a.arity(),
+                                where_,
+                                n,
+                                first
+                            ),
+                        )
+                        .with_span(span)
+                        .with_note("every predicate must have a single arity across the program and the EDB"),
+                    );
+                }
+            }
+            Some(_) => {}
+            None => {
+                arities.insert(a.pred.name().to_string(), (a.arity(), where_));
+            }
+        }
+    };
+
+    let mut has_query = false;
+    for (i, r) in program.rules.iter().enumerate() {
+        let span = rule_span(i);
+        check_arity(&r.head, format!("rule `{r}`"), span, &mut diags);
+        for b in &r.body {
+            check_arity(b, format!("rule `{r}`"), span, &mut diags);
+            // MP004: `goal` may not be a subgoal.
+            if b.pred.name() == GOAL {
+                diags.push(
+                    Diagnostic::new(
+                        Code::GoalInBody,
+                        format!("the query predicate `{GOAL}` occurs in the body of `{r}`"),
+                    )
+                    .with_span(span)
+                    .with_note(
+                        "`goal` is the distinguished query head (§1); it cannot be a subgoal",
+                    ),
+                );
+            }
+        }
+        if r.head.pred.name() == GOAL {
+            has_query = true;
+        }
+
+        // MP001: range restriction / safety.
+        if let Some(v) = r.unsafe_var() {
+            diags.push(
+                Diagnostic::new(
+                    Code::UnsafeRule,
+                    format!(
+                        "rule `{r}` is unsafe: head variable `{}` does not occur in the body",
+                        v.name()
+                    ),
+                )
+                .with_span(span)
+                .with_note(
+                    "range restriction (§1): every head variable must be bound by a body subgoal",
+                ),
+            );
+        }
+
+        // MP003: a rule head that already has EDB facts.
+        let inline_fact = program.facts.iter().any(|f| f.pred == r.head.pred);
+        let in_db = db.is_some_and(|d| d.contains_pred(&r.head.pred));
+        if inline_fact || in_db {
+            diags.push(
+                Diagnostic::new(
+                    Code::EdbIdbOverlap,
+                    format!(
+                        "predicate `{}` has {} facts but is derived by rule `{r}`",
+                        r.head.pred.name(),
+                        if in_db { "database" } else { "asserted" },
+                    ),
+                )
+                .with_span(span)
+                .with_note(
+                    "§1 requires EDB and IDB predicates to be disjoint; goal nodes assume \
+                     a predicate is either stored or derived, never both",
+                ),
+            );
+        }
+
+        // MP007: singleton variables (underscore-prefixed are deliberate).
+        let mut occurrences: BTreeMap<&str, usize> = BTreeMap::new();
+        for t in r
+            .head
+            .terms
+            .iter()
+            .chain(r.body.iter().flat_map(|a| a.terms.iter()))
+        {
+            if let Some(v) = t.as_var() {
+                *occurrences.entry(v.name()).or_insert(0) += 1;
+            }
+        }
+        for (name, n) in occurrences {
+            if n == 1 && !name.starts_with('_') {
+                diags.push(
+                    Diagnostic::new(
+                        Code::SingletonVariable,
+                        format!("variable `{name}` occurs only once in rule `{r}`"),
+                    )
+                    .with_span(span)
+                    .with_note(format!(
+                        "possibly a typo; rename it `_{name}` if the single occurrence is intended"
+                    )),
+                );
+            }
+        }
+    }
+
+    for (i, f) in program.facts.iter().enumerate() {
+        let span = fact_span(i);
+        check_arity(f, format!("fact `{f}.`"), span, &mut diags);
+        // MP008: facts must be ground.
+        if !f.is_ground() {
+            diags.push(
+                Diagnostic::new(
+                    Code::NonGroundFact,
+                    format!("fact `{f}.` contains a variable"),
+                )
+                .with_span(span)
+                .with_note("EDB relations hold ground tuples only (§1)"),
+            );
+        }
+    }
+
+    // MP005: no query at all.
+    if !has_query {
+        diags.push(
+            Diagnostic::new(
+                Code::NoQuery,
+                format!("program has no `{GOAL}` rule — nothing to evaluate"),
+            )
+            .with_note("write a query clause such as `?- p(1, X).`"),
+        );
+    }
+
+    // MP006: IDB predicates the query can never reach. Only meaningful
+    // when a query exists (otherwise MP005 already fired).
+    if has_query {
+        let analysis = DependencyAnalysis::of(program);
+        let relevant = analysis.relevant_to_goal();
+        for (i, r) in program.rules.iter().enumerate() {
+            if r.head.pred.name() == GOAL || relevant.contains(&r.head.pred) {
+                continue;
+            }
+            // One report per predicate, at its first defining rule.
+            if program.rules[..i]
+                .iter()
+                .any(|p| p.head.pred == r.head.pred)
+            {
+                continue;
+            }
+            diags.push(
+                Diagnostic::new(
+                    Code::UnreachablePredicate,
+                    format!(
+                        "predicate `{}` is not reachable from the query and will never be evaluated",
+                        r.head.pred.name()
+                    ),
+                )
+                .with_span(rule_span(i))
+                .with_note(
+                    "top-down evaluation only expands goals reachable from `goal` (§1.1); \
+                     dead rules are usually leftovers or typos",
+                ),
+            );
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use mp_datalog::parser::{parse_program, parse_program_with_spans};
+
+    fn codes(src: &str) -> Vec<Code> {
+        let program = parse_program(src).unwrap();
+        let mut ds = lint_program(&program, None, None);
+        crate::sort_diagnostics(&mut ds);
+        ds.into_iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        let src = "
+            e(1, 2). e(2, 3).
+            tc(X, Y) :- e(X, Y).
+            tc(X, Y) :- e(X, Z), tc(Z, Y).
+            ?- tc(1, X).
+        ";
+        assert!(codes(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_rule_fires_mp001() {
+        let src = "p(X, Y) :- e(X). e(1). ?- p(1, Z).";
+        assert!(codes(src).contains(&Code::UnsafeRule));
+    }
+
+    #[test]
+    fn arity_conflict_fires_mp002_once() {
+        let src = "p(X) :- e(X, X), e(X). e(1, 2). ?- p(X).";
+        let cs = codes(src);
+        assert_eq!(cs.iter().filter(|c| **c == Code::ArityConflict).count(), 1);
+    }
+
+    #[test]
+    fn arity_conflict_against_db() {
+        let program = parse_program("p(X) :- e(X). ?- p(X).").unwrap();
+        let mut db = Database::new();
+        db.declare("e", 2).unwrap();
+        let ds = lint_program(&program, Some(&db), None);
+        assert!(ds.iter().any(|d| d.code == Code::ArityConflict));
+    }
+
+    #[test]
+    fn idb_facts_fire_mp003() {
+        let src = "p(1). p(X) :- e(X). e(2). ?- p(X).";
+        assert!(codes(src).contains(&Code::EdbIdbOverlap));
+    }
+
+    #[test]
+    fn db_relation_as_head_fires_mp003() {
+        let program = parse_program("e(X) :- f(X). ?- e(X).").unwrap();
+        let mut db = Database::new();
+        db.declare("e", 1).unwrap();
+        db.declare("f", 1).unwrap();
+        let ds = lint_program(&program, Some(&db), None);
+        assert!(ds.iter().any(|d| d.code == Code::EdbIdbOverlap));
+    }
+
+    #[test]
+    fn goal_in_body_fires_mp004() {
+        let src = "p(X) :- goal(X). e(1). ?- p(X).";
+        assert!(codes(src).contains(&Code::GoalInBody));
+    }
+
+    #[test]
+    fn missing_query_fires_mp005() {
+        assert_eq!(codes("p(X) :- e(X). e(1)."), vec![Code::NoQuery]);
+    }
+
+    #[test]
+    fn unreachable_predicate_warns_mp006() {
+        let src = "
+            p(X) :- e(X).
+            dead(X) :- e(X).
+            e(1).
+            ?- p(X).
+        ";
+        let program = parse_program(src).unwrap();
+        let ds = lint_program(&program, None, None);
+        let d = ds
+            .iter()
+            .find(|d| d.code == Code::UnreachablePredicate)
+            .unwrap();
+        assert_eq!(d.severity, Severity::Warn);
+        assert!(d.message.contains("`dead`"));
+    }
+
+    #[test]
+    fn singleton_variable_warns_mp007_unless_underscored() {
+        let src = "p(X) :- e(X, Y). p(X) :- f(X, _Skip). e(1, 2). f(1, 2). ?- p(X).";
+        let program = parse_program(src).unwrap();
+        let ds = lint_program(&program, None, None);
+        let singles: Vec<_> = ds
+            .iter()
+            .filter(|d| d.code == Code::SingletonVariable)
+            .collect();
+        assert_eq!(singles.len(), 1, "{singles:?}");
+        assert!(singles[0].message.contains("`Y`"));
+    }
+
+    #[test]
+    fn non_ground_fact_fires_mp008() {
+        let src = "e(1, X). p(Y) :- e(1, Y). ?- p(Z).";
+        assert!(codes(src).contains(&Code::NonGroundFact));
+    }
+
+    #[test]
+    fn spans_point_at_the_offending_clause() {
+        let src = "e(1, 2).\nbad(X, Y) :- e(X, W).\n?- bad(1, Z).\n";
+        let (program, map) = parse_program_with_spans(src).unwrap();
+        let ds = lint_program(&program, None, Some(&map));
+        let unsafe_d = ds.iter().find(|d| d.code == Code::UnsafeRule).unwrap();
+        assert_eq!(unsafe_d.span.map(|s| s.line), Some(2));
+    }
+}

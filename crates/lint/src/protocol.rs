@@ -1,0 +1,328 @@
+//! Protocol lints (`MP201`–`MP204`): the per-strong-component state the
+//! §3.2 termination protocol depends on.
+//!
+//! Thm 3.1's correctness argument leans on structural facts: each
+//! nontrivial strong component has a *unique* node with a customer
+//! outside the component (the exit / BFST leader), and the leader's
+//! breadth-first spanning tree spans the component with symmetric
+//! parent/child links — probe waves travel leader → leaves over BFST
+//! children and acknowledgements return over BFST parents. If any of
+//! that is off, probes either miss members (premature `End`) or
+//! deadlock (no termination). These lints re-derive the facts from the
+//! adjacency and cross-check them against the recorded protocol state.
+//!
+//! Like the graph pass, real [`SccInfo`](mp_rulegoal::SccInfo) state is
+//! correct by construction; [`ProtocolView`] is plain data so tests can
+//! corrupt every field.
+
+use crate::{Code, Diagnostic};
+use mp_rulegoal::RuleGoalGraph;
+
+/// Plain-data protocol state for one graph: full adjacency plus the
+/// strong-component/leader/BFST tables the termination protocol uses.
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolView {
+    /// `out[n]` = customers of `n` (answer direction), cycle and tree
+    /// arcs alike.
+    pub out: Vec<Vec<usize>>,
+    /// `comp_of[n]` = index of `n`'s strong component.
+    pub comp_of: Vec<usize>,
+    /// Members of each component.
+    pub components: Vec<Vec<usize>>,
+    /// Per component: recorded exit node / BFST leader (`None` for
+    /// trivial components).
+    pub leaders: Vec<Option<usize>>,
+    /// Per node: BFST parent within its component.
+    pub bfst_parent: Vec<Option<usize>>,
+    /// Per node: BFST children within its component.
+    pub bfst_children: Vec<Vec<usize>>,
+}
+
+impl ProtocolView {
+    /// Extract the view from a compiled graph.
+    pub fn of(graph: &RuleGoalGraph) -> ProtocolView {
+        let scc = graph.scc();
+        let n = graph.len();
+        ProtocolView {
+            out: (0..n)
+                .map(|i| graph.customers(i).iter().map(|&(t, _)| t).collect())
+                .collect(),
+            comp_of: (0..n).map(|i| scc.component_of(i)).collect(),
+            components: (0..scc.component_count())
+                .map(|c| scc.members(c).to_vec())
+                .collect(),
+            leaders: (0..scc.component_count())
+                .map(|c| scc.leader_of(c))
+                .collect(),
+            bfst_parent: (0..n).map(|i| scc.bfst_parent(i)).collect(),
+            bfst_children: (0..n).map(|i| scc.bfst_children(i).to_vec()).collect(),
+        }
+    }
+}
+
+/// Lint the protocol state of every nontrivial strong component.
+pub fn lint_protocol(view: &ProtocolView) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let n = view.out.len();
+
+    for (ci, members) in view.components.iter().enumerate() {
+        if members.len() <= 1 {
+            continue;
+        }
+        let in_comp = |v: usize| v < n && view.comp_of.get(v) == Some(&ci);
+
+        // MP201: re-derive the exit set from the adjacency.
+        let exits: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&v| {
+                view.out
+                    .get(v)
+                    .is_some_and(|cs| cs.iter().any(|&c| !in_comp(c)))
+            })
+            .collect();
+        if exits.len() != 1 {
+            diags.push(
+                Diagnostic::new(
+                    Code::ExitNodeCount,
+                    format!(
+                        "strong component {ci} ({} members) has {} exit nodes ({exits:?}), \
+                         expected exactly one",
+                        members.len(),
+                        exits.len()
+                    ),
+                )
+                .with_note(
+                    "Thm 3.1 assumes a unique feeder: the graph is a DFS tree plus back \
+                     edges, so answers leave a component through one node only",
+                ),
+            );
+        }
+
+        // MP204: recorded leader must exist, be a member, and be the exit.
+        let leader = view.leaders.get(ci).copied().flatten();
+        match leader {
+            None => diags.push(
+                Diagnostic::new(
+                    Code::LeaderInconsistent,
+                    format!("nontrivial strong component {ci} has no recorded leader"),
+                )
+                .with_note(
+                    "§3.2: the unique feeder is designated BFST leader and runs the protocol",
+                ),
+            ),
+            Some(l) => {
+                if !members.contains(&l) {
+                    diags.push(Diagnostic::new(
+                        Code::LeaderInconsistent,
+                        format!("leader {l} of strong component {ci} is not one of its members"),
+                    ));
+                } else if exits.len() == 1 && l != exits[0] {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::LeaderInconsistent,
+                            format!(
+                                "leader of strong component {ci} is {l}, but the exit node is {}",
+                                exits[0]
+                            ),
+                        )
+                        .with_note(
+                            "the protocol's probe waves originate at the node that feeds \
+                             answers out of the component; another leader would declare \
+                             quiescence the exit cannot see",
+                        ),
+                    );
+                }
+            }
+        }
+
+        // MP202: parent/child symmetry inside the component.
+        for &m in members {
+            if Some(m) == leader {
+                if view.bfst_parent.get(m).copied().flatten().is_some() {
+                    diags.push(Diagnostic::new(
+                        Code::BfstAsymmetry,
+                        format!("leader {m} of strong component {ci} has a BFST parent"),
+                    ));
+                }
+            } else {
+                match view.bfst_parent.get(m).copied().flatten() {
+                    Some(p)
+                        if in_comp(p)
+                            && !view.bfst_children.get(p).is_some_and(|cs| cs.contains(&m)) =>
+                    {
+                        diags.push(
+                            Diagnostic::new(
+                                Code::BfstAsymmetry,
+                                format!(
+                                    "node {m} records BFST parent {p}, but {p} does not \
+                                     list {m} as a child"
+                                ),
+                            )
+                            .with_note(
+                                "probe waves go down children links and acks come back \
+                                 up parent links; asymmetry loses a subtree's ack",
+                            ),
+                        );
+                    }
+                    Some(p) if in_comp(p) => {} // symmetric link: fine
+                    Some(p) => diags.push(Diagnostic::new(
+                        Code::BfstAsymmetry,
+                        format!(
+                            "node {m} records BFST parent {p}, which is outside strong \
+                             component {ci}"
+                        ),
+                    )),
+                    None => {} // missing parent ⇒ unreachable; MP203 reports it
+                }
+            }
+            for &c in view.bfst_children.get(m).map_or(&[][..], |v| v) {
+                if view.bfst_parent.get(c).copied().flatten() != Some(m) {
+                    diags.push(Diagnostic::new(
+                        Code::BfstAsymmetry,
+                        format!(
+                            "node {m} lists BFST child {c}, but {c}'s recorded parent is {:?}",
+                            view.bfst_parent.get(c).copied().flatten()
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // MP203: the BFST must span the component. Walk children links
+        // from the leader, bounded to avoid cycles in corrupt views.
+        if let Some(l) = leader {
+            if members.contains(&l) {
+                let mut seen = std::collections::BTreeSet::from([l]);
+                let mut stack = vec![l];
+                while let Some(u) = stack.pop() {
+                    for &c in view.bfst_children.get(u).map_or(&[][..], |v| v) {
+                        if in_comp(c) && seen.insert(c) {
+                            stack.push(c);
+                        }
+                    }
+                }
+                let missed: Vec<usize> = members
+                    .iter()
+                    .copied()
+                    .filter(|m| !seen.contains(m))
+                    .collect();
+                if !missed.is_empty() {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::BfstCoverage,
+                            format!(
+                                "BFST of strong component {ci} does not reach members {missed:?}"
+                            ),
+                        )
+                        .with_note(
+                            "a node outside the spanning tree never receives probe waves, so \
+                             its pending work cannot veto termination (Thm 3.1)",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A correct two-member component: 1 ⇄ 2, with 1 the exit feeding
+    /// node 0 outside.
+    fn small_view() -> ProtocolView {
+        ProtocolView {
+            out: vec![vec![], vec![0, 2], vec![1]],
+            comp_of: vec![0, 1, 1],
+            components: vec![vec![0], vec![1, 2]],
+            leaders: vec![None, Some(1)],
+            bfst_parent: vec![None, None, Some(1)],
+            bfst_children: vec![vec![], vec![2], vec![]],
+        }
+    }
+
+    #[test]
+    fn sound_view_is_clean() {
+        assert!(lint_protocol(&small_view()).is_empty());
+    }
+
+    #[test]
+    fn two_exits_fire_mp201() {
+        let mut v = small_view();
+        v.out[2].push(0); // second member also feeds outside
+        let ds = lint_protocol(&v);
+        assert!(ds.iter().any(|d| d.code == Code::ExitNodeCount), "{ds:?}");
+    }
+
+    #[test]
+    fn no_exit_fires_mp201() {
+        let mut v = small_view();
+        v.out[1] = vec![2]; // component is now closed
+        let ds = lint_protocol(&v);
+        assert!(ds.iter().any(|d| d.code == Code::ExitNodeCount), "{ds:?}");
+    }
+
+    #[test]
+    fn asymmetric_parent_fires_mp202() {
+        let mut v = small_view();
+        v.bfst_children[1].clear(); // parent link stays, child link gone
+        let ds = lint_protocol(&v);
+        assert!(ds.iter().any(|d| d.code == Code::BfstAsymmetry), "{ds:?}");
+    }
+
+    #[test]
+    fn leader_with_parent_fires_mp202() {
+        let mut v = small_view();
+        v.bfst_parent[1] = Some(2);
+        let ds = lint_protocol(&v);
+        assert!(ds.iter().any(|d| d.code == Code::BfstAsymmetry), "{ds:?}");
+    }
+
+    #[test]
+    fn uncovered_member_fires_mp203() {
+        let mut v = small_view();
+        v.bfst_children[1].clear();
+        v.bfst_parent[2] = None; // node 2 fully detached from the BFST
+        let ds = lint_protocol(&v);
+        assert!(ds.iter().any(|d| d.code == Code::BfstCoverage), "{ds:?}");
+    }
+
+    #[test]
+    fn missing_leader_fires_mp204() {
+        let mut v = small_view();
+        v.leaders[1] = None;
+        let ds = lint_protocol(&v);
+        assert!(
+            ds.iter().any(|d| d.code == Code::LeaderInconsistent),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_leader_fires_mp204() {
+        let mut v = small_view();
+        v.leaders[1] = Some(2); // member, but not the exit
+        v.bfst_parent = vec![None, Some(2), None];
+        v.bfst_children = vec![vec![], vec![], vec![1]];
+        let ds = lint_protocol(&v);
+        assert!(
+            ds.iter().any(|d| d.code == Code::LeaderInconsistent),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn non_member_leader_fires_mp204() {
+        let mut v = small_view();
+        v.leaders[1] = Some(0);
+        let ds = lint_protocol(&v);
+        assert!(
+            ds.iter().any(|d| d.code == Code::LeaderInconsistent),
+            "{ds:?}"
+        );
+    }
+}

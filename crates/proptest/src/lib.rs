@@ -1,0 +1,383 @@
+#![warn(missing_docs)]
+
+//! # proptest (vendored stand-in)
+//!
+//! Offline replacement for the `proptest` crate covering the surface this
+//! workspace's property tests use: the [`proptest!`] macro with a
+//! `#![proptest_config(...)]` header, integer-range / tuple strategies,
+//! `prop::collection::vec`, `prop::sample::subsequence`, and the
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros. Cases are generated from
+//! a fixed deterministic seed; there is **no shrinking** — a failing case
+//! panics with the generated inputs printed, which is enough to reproduce
+//! (the seed is constant, so reruns hit the same cases).
+
+use std::fmt;
+
+pub use rand::{Rng, RngCore, SeedableRng, SplitMix64};
+
+/// A source of random values for one generated test case.
+pub type TestRng = SplitMix64;
+
+/// Something that can generate values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+/// An inclusive size range for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    /// Minimum length.
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::Rng;
+
+        /// Strategy producing `Vec`s of `element` with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.min..=self.size.max);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{SizeRange, Strategy, TestRng};
+        use rand::seq::SliceRandom;
+        use rand::Rng;
+
+        /// Strategy producing order-preserving subsequences of `items`
+        /// whose length falls in `size`.
+        pub fn subsequence<T: Clone + std::fmt::Debug>(
+            items: Vec<T>,
+            size: impl Into<SizeRange>,
+        ) -> SubsequenceStrategy<T> {
+            let size = size.into();
+            assert!(
+                size.max <= items.len(),
+                "subsequence size exceeds source length"
+            );
+            SubsequenceStrategy { items, size }
+        }
+
+        /// See [`subsequence`].
+        pub struct SubsequenceStrategy<T> {
+            items: Vec<T>,
+            size: SizeRange,
+        }
+
+        impl<T: Clone + std::fmt::Debug> Strategy for SubsequenceStrategy<T> {
+            type Value = Vec<T>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.min..=self.size.max);
+                let mut picks: Vec<usize> = (0..self.items.len()).collect();
+                picks.shuffle(rng);
+                picks.truncate(len);
+                picks.sort_unstable();
+                picks.into_iter().map(|i| self.items[i].clone()).collect()
+            }
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-case failure plumbing.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Why a generated case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failed assertion or rejected case.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use super::test_runner::TestCaseError;
+    pub use super::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Declare property tests. Mirrors upstream's grammar for the subset:
+/// an optional `#![proptest_config(...)]` header followed by `#[test]`
+/// functions whose arguments are drawn from strategies via `in`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Deterministic seed: same cases every run.
+                let mut rng = <$crate::TestRng as $crate::SeedableRng>::seed_from_u64(
+                    0x9E37_79B9_7F4A_7C15,
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            concat!(
+                                "proptest case {} of {} failed: {}\ninputs:",
+                                $("\n  ", stringify!($arg), " = {:?}",)+
+                            ),
+                            case + 1, config.cases, err, $($arg),+
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),+ ) $body
+            )*
+        }
+    };
+}
+
+/// Assert inside a proptest body; failure aborts only the current case
+/// runner (by returning an error which the harness turns into a panic).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_bounds(
+            v in prop::collection::vec((0u8..4, 0u8..4), 2..9),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 9, "bad len {}", v.len());
+            for &(a, b) in &v {
+                prop_assert!(a < 4 && b < 4);
+            }
+        }
+
+        #[test]
+        fn subsequence_preserves_order(
+            s in prop::sample::subsequence(vec![0usize, 1, 2, 3], 2),
+        ) {
+            prop_assert_eq!(s.len(), 2);
+            prop_assert!(s[0] < s[1]);
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(x in 0u64..10) {
+            if x > 100 {
+                return Ok(());
+            }
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+
+            #[allow(dead_code)]
+            fn always_fails(x in 0u8..3) {
+                prop_assert!(x > 100, "x={} is small", x);
+            }
+        }
+        always_fails();
+    }
+}

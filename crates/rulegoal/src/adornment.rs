@@ -2,12 +2,11 @@
 
 use mp_datalog::{Atom, Predicate, Term, Var};
 use mp_storage::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 
 /// The four argument classes of §1.2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ArgClass {
     /// Constant, known at graph-construction time.
     C,
@@ -17,6 +16,37 @@ pub enum ArgClass {
     E,
     /// Free: bindings are to be found and returned.
     F,
+}
+
+/// A character that is not one of the four class letters `c`/`d`/`e`/`f`
+/// was used where an argument class was expected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BadClass(pub char);
+
+impl fmt::Display for BadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` is not an argument class (expected one of c, d, e, f)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for BadClass {}
+
+impl TryFrom<char> for ArgClass {
+    type Error = BadClass;
+
+    fn try_from(c: char) -> Result<Self, BadClass> {
+        match c {
+            'c' => Ok(ArgClass::C),
+            'd' => Ok(ArgClass::D),
+            'e' => Ok(ArgClass::E),
+            'f' => Ok(ArgClass::F),
+            other => Err(BadClass(other)),
+        }
+    }
 }
 
 impl ArgClass {
@@ -38,10 +68,22 @@ impl ArgClass {
 }
 
 /// A per-argument-position assignment of classes for one atom.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Adornment(pub Vec<ArgClass>);
 
 impl Adornment {
+    /// Parse a compact class string such as `"cdff"` — the inverse of
+    /// [`Adornment::as_string`]. Rejects any character outside
+    /// `c`/`d`/`e`/`f` with a typed error instead of panicking, so
+    /// adornments arriving from tools or test fixtures are validated at
+    /// the boundary.
+    pub fn parse(s: &str) -> Result<Self, BadClass> {
+        s.chars()
+            .map(ArgClass::try_from)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Adornment)
+    }
+
     /// The adornment's arity.
     pub fn arity(&self) -> usize {
         self.0.len()
@@ -60,7 +102,9 @@ impl Adornment {
     /// Positions whose values are shipped in answer tuples: everything
     /// except class `e` ("its value will not be transmitted", §2.2).
     pub fn transmitted_positions(&self) -> Vec<usize> {
-        (0..self.0.len()).filter(|&i| self.0[i] != ArgClass::E).collect()
+        (0..self.0.len())
+            .filter(|&i| self.0[i] != ArgClass::E)
+            .collect()
     }
 
     /// Positions with the given class.
@@ -87,7 +131,7 @@ impl fmt::Display for Adornment {
 }
 
 /// One argument of a canonical goal-node label.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LabelArg {
     /// A class-`c` argument with its constant.
     Const(Value),
@@ -106,7 +150,7 @@ pub enum LabelArg {
 /// The canonical label of a goal node: predicate, constants, classes, and
 /// repeated-variable pattern. Two goal nodes are variants in the sense of
 /// Def 2.2 **iff** their labels are equal.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GoalLabel {
     /// The predicate.
     pub pred: Predicate,
@@ -206,17 +250,15 @@ mod tests {
     use mp_datalog::atom;
 
     fn ad(s: &str) -> Adornment {
-        Adornment(
-            s.chars()
-                .map(|c| match c {
-                    'c' => ArgClass::C,
-                    'd' => ArgClass::D,
-                    'e' => ArgClass::E,
-                    'f' => ArgClass::F,
-                    _ => panic!("bad class"),
-                })
-                .collect(),
-        )
+        Adornment::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_rejects_unknown_class_letters() {
+        assert_eq!(Adornment::parse("dx"), Err(BadClass('x')));
+        assert_eq!(ArgClass::try_from('q'), Err(BadClass('q')));
+        assert_eq!(ArgClass::try_from('d'), Ok(ArgClass::D));
+        assert_eq!(Adornment::parse("cdef").unwrap().as_string(), "cdef");
     }
 
     #[test]

@@ -7,7 +7,8 @@ use std::fmt::Write as _;
 
 /// Render the graph in Graphviz dot syntax.
 pub fn to_dot(g: &RuleGoalGraph) -> String {
-    let mut s = String::from("digraph rule_goal {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n");
+    let mut s =
+        String::from("digraph rule_goal {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n");
     for (id, node) in g.nodes() {
         let (shape, style, label) = match node {
             Node::Goal { label, kind, .. } => {

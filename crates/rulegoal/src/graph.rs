@@ -194,9 +194,7 @@ impl<'a> Builder<'a> {
             .rules
             .iter()
             .enumerate()
-            .filter(|(_, r)| {
-                r.head.pred == goal_atom.pred && r.head.arity() == goal_atom.arity()
-            })
+            .filter(|(_, r)| r.head.pred == goal_atom.pred && r.head.arity() == goal_atom.arity())
             .map(|(i, r)| (i, r.clone()))
             .collect();
 
@@ -238,9 +236,7 @@ impl<'a> Builder<'a> {
                         kind: GoalKind::Edb,
                     })?;
                     self.add_arc(leaf, rule_id, ArcKind::Tree);
-                } else if let Some(&(_, anc_id)) =
-                    ancestors.iter().find(|(l, _)| *l == label)
-                {
+                } else if let Some(&(_, anc_id)) = ancestors.iter().find(|(l, _)| *l == label) {
                     let reference = self.add_node(Node::Goal {
                         label,
                         atom: sg_atom,
@@ -311,10 +307,11 @@ impl RuleGoalGraph {
         // Top-level goal node: goal(G0..Gk), all class f.
         let root_atom = Atom::new(
             Program::goal_pred(),
-            (0..goal_arity).map(|i| Term::var(format!("G{i}"))).collect(),
+            (0..goal_arity)
+                .map(|i| Term::var(format!("G{i}")))
+                .collect(),
         );
-        let root_adornment =
-            crate::Adornment((0..goal_arity).map(|_| ArgClass::F).collect());
+        let root_adornment = crate::Adornment((0..goal_arity).map(|_| ArgClass::F).collect());
         let root_label = GoalLabel::new(&root_atom, &root_adornment);
         let root = b.add_node(Node::Goal {
             label: root_label.clone(),
@@ -456,11 +453,22 @@ mod tests {
         // p(d,f); the p(d,f) node has TWO cycle refs (its two recursive
         // subgoals) and the p(a^c,f) node has ONE (its first subgoal).
         let labels = labels_of(&g);
-        assert!(labels.contains(&"p(a^c,V1^f)".to_string()) || labels.contains(&"p(a^c,V0^f)".to_string()),
-            "missing p(a^c, Z^f) node in {labels:?}");
+        assert!(
+            labels.contains(&"p(a^c,V1^f)".to_string())
+                || labels.contains(&"p(a^c,V0^f)".to_string()),
+            "missing p(a^c, Z^f) node in {labels:?}"
+        );
         let cycle_refs = g
             .nodes()
-            .filter(|(_, n)| matches!(n, Node::Goal { kind: GoalKind::CycleRef { .. }, .. }))
+            .filter(|(_, n)| {
+                matches!(
+                    n,
+                    Node::Goal {
+                        kind: GoalKind::CycleRef { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(cycle_refs, 3, "one ref under p(a^c,f), two under p(d,f)");
 
@@ -468,7 +476,11 @@ mod tests {
         let idb_p = g
             .nodes()
             .filter(|(_, n)| match n {
-                Node::Goal { label, kind: GoalKind::Idb, .. } => label.pred.name() == "p",
+                Node::Goal {
+                    label,
+                    kind: GoalKind::Idb,
+                    ..
+                } => label.pred.name() == "p",
                 _ => false,
             })
             .count();
@@ -507,7 +519,12 @@ mod tests {
         let (program, db) = p1();
         let g = RuleGoalGraph::build(&program, &db, SipKind::Greedy).unwrap();
         for (id, n) in g.nodes() {
-            if let Node::Goal { label, kind: GoalKind::CycleRef { ancestor }, .. } = n {
+            if let Node::Goal {
+                label,
+                kind: GoalKind::CycleRef { ancestor },
+                ..
+            } = n
+            {
                 let anc_label = g.node(*ancestor).goal_label().unwrap();
                 assert_eq!(label, anc_label, "variant labels must match");
                 // The cycle arc exists ancestor → ref.
@@ -557,7 +574,10 @@ mod tests {
         let (program, db) = p1();
         let g = RuleGoalGraph::build(&program, &db, SipKind::Greedy).unwrap();
         let saving = g.coalescible_nodes();
-        assert!(saving >= 2, "q^df duplicates + cycle-ref twins, got {saving}");
+        assert!(
+            saving >= 2,
+            "q^df duplicates + cycle-ref twins, got {saving}"
+        );
         // Merging would never exceed the goal-node population.
         let (goal, _, edb, cycle) = g.census();
         assert!(saving < goal + edb + cycle);
@@ -566,8 +586,7 @@ mod tests {
     #[test]
     fn node_budget_enforced() {
         let (program, db) = p1();
-        let err = RuleGoalGraph::build_with_limit(&program, &db, SipKind::Greedy, 3)
-            .unwrap_err();
+        let err = RuleGoalGraph::build_with_limit(&program, &db, SipKind::Greedy, 3).unwrap_err();
         assert_eq!(err, GraphError::TooLarge { limit: 3 });
     }
 

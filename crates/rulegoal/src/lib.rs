@@ -32,7 +32,7 @@ mod graph;
 mod scc;
 pub mod sip;
 
-pub use adornment::{Adornment, ArgClass, GoalLabel, LabelArg};
+pub use adornment::{Adornment, ArgClass, BadClass, GoalLabel, LabelArg};
 pub use graph::{ArcKind, GoalKind, GraphError, Node, NodeId, RuleGoalGraph};
 pub use scc::{SccId, SccInfo};
 pub use sip::{SipKind, SipPlan, SipSource};

@@ -14,11 +14,10 @@
 use crate::{Adornment, ArgClass};
 use mp_datalog::{DbStats, Rule, Term, Var};
 use mp_hypergraph::{monotone_flow, MonotoneFlow};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Which information passing strategy to use.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum SipKind {
     /// Def 2.4: maximally push `d` arguments forward — schedule, at each
     /// step, a subgoal with the most bound arguments.
@@ -64,7 +63,7 @@ impl SipKind {
 }
 
 /// Where a `d` argument's bindings come from.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SipSource {
     /// The rule head's bound arguments.
     Head,
@@ -75,7 +74,7 @@ pub enum SipSource {
 /// One arc of the information passing strategy graph (Def 2.3): an `f`
 /// argument of `from` furnishes bindings for a `d` argument of subgoal
 /// `to` through variable `var`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SipEdge {
     /// The supplier.
     pub from: SipSource,
@@ -87,7 +86,7 @@ pub struct SipEdge {
 
 /// A complete sideways information passing plan for one rule instance
 /// under one head adornment.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SipPlan {
     /// The strategy that produced the plan.
     pub kind: SipKind,
@@ -359,17 +358,7 @@ mod tests {
     use mp_datalog::parser::parse_rule;
 
     fn ad(s: &str) -> Adornment {
-        Adornment(
-            s.chars()
-                .map(|c| match c {
-                    'c' => ArgClass::C,
-                    'd' => ArgClass::D,
-                    'e' => ArgClass::E,
-                    'f' => ArgClass::F,
-                    _ => panic!("bad class"),
-                })
-                .collect(),
-        )
+        Adornment::parse(s).unwrap()
     }
 
     /// The paper's P1 recursive rule: p(X,Y) :- p(X,V), q(V,W), p(W,Y).

@@ -256,7 +256,10 @@ impl IndexedRelation {
                 .map(|&i| &self.rel.rows()[i as usize])
                 .collect()
         } else {
-            self.rel.iter().filter(|t| t.matches_on(cols, key)).collect()
+            self.rel
+                .iter()
+                .filter(|t| t.matches_on(cols, key))
+                .collect()
         }
     }
 
@@ -329,7 +332,10 @@ mod tests {
         let r = rel(&[tuple![1, 2]]);
         assert!(matches!(
             KeyIndex::build(&r, &[5]),
-            Err(StorageError::ColumnOutOfBounds { column: 5, arity: 2 })
+            Err(StorageError::ColumnOutOfBounds {
+                column: 5,
+                arity: 2
+            })
         ));
     }
 

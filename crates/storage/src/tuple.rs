@@ -1,7 +1,6 @@
 //! Fixed-arity rows.
 
 use crate::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Index;
 
@@ -10,7 +9,7 @@ use std::ops::Index;
 /// Tuples are the unit shipped in the framework's `tuple` and
 /// `tuple request` messages (§3.1 of the paper), so they are kept compact
 /// (a boxed slice) and cheap to clone (values are `Arc`-backed).
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Tuple(Box<[Value]>);
 
 impl Tuple {

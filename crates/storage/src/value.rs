@@ -5,7 +5,6 @@
 //! constants as 64-bit integers or shared strings; strings are stored as
 //! `Arc<str>` so tuples clone cheaply as they flow through message queues.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -14,7 +13,7 @@ use std::sync::Arc;
 /// `Value` is the element type of [`crate::Tuple`]. It is totally ordered
 /// (integers sort before strings) so relations can be canonically sorted
 /// for comparison in tests and reports.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An integer constant.
     Int(i64),

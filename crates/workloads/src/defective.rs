@@ -1,0 +1,108 @@
+//! Deliberately defective programs for exercising `mp-lint`.
+//!
+//! Each fixture is a small, named Datalog source that violates exactly
+//! the conditions behind one (occasionally several) lint codes, plus the
+//! codes a linter is expected to raise on it. The golden tests in
+//! `tests/lint_golden.rs` run `mp-lint` over every fixture and assert
+//! the expected codes fire — and that the canonical programs in
+//! [`crate::programs`] stay completely clean.
+
+/// A named defective program and the lint codes it must trigger.
+#[derive(Clone, Copy, Debug)]
+pub struct DefectiveProgram {
+    /// Stable fixture name (used in test failure messages).
+    pub name: &'static str,
+    /// The program source.
+    pub source: &'static str,
+    /// Lint codes (e.g. `"MP001"`) that must appear in the diagnostics.
+    pub expect: &'static [&'static str],
+}
+
+/// Every defective fixture. Together they cover all program-level lint
+/// codes (`MP001`–`MP008`).
+pub fn all() -> &'static [DefectiveProgram] {
+    &[
+        DefectiveProgram {
+            name: "unsafe_head_var",
+            source: "p(X, Y) :- e(X).\n?- p(1, Z).",
+            expect: &["MP001"],
+        },
+        DefectiveProgram {
+            name: "unsafe_var_free_body",
+            // X never occurs in the body at all.
+            source: "p(X) :- e(1, 2).\n?- p(Z).",
+            expect: &["MP001"],
+        },
+        DefectiveProgram {
+            name: "arity_conflict_across_rules",
+            source: "p(X) :- e(X).\nq(X) :- p(X, X).\n?- q(1).",
+            expect: &["MP002"],
+        },
+        DefectiveProgram {
+            name: "arity_conflict_self_join",
+            source: "p(X) :- e(X), e(X, X).\n?- p(1).",
+            expect: &["MP002"],
+        },
+        DefectiveProgram {
+            name: "edb_idb_overlap",
+            source: "e(1, 2).\ne(X, Y) :- f(X, Y).\n?- e(1, Z).",
+            expect: &["MP003"],
+        },
+        DefectiveProgram {
+            name: "goal_in_body",
+            source: "p(X) :- goal(X).\n?- p(1).",
+            expect: &["MP004"],
+        },
+        DefectiveProgram {
+            name: "missing_query",
+            source: "p(X) :- e(X).",
+            expect: &["MP005"],
+        },
+        DefectiveProgram {
+            name: "unreachable_cluster",
+            // junk/j form a cluster disconnected from the query.
+            source: "p(X) :- e(X).\njunk(X) :- j(X), junk(X).\n?- p(1).",
+            expect: &["MP006"],
+        },
+        DefectiveProgram {
+            name: "singleton_variable",
+            source: "p(X) :- e(X, Unused).\n?- p(1).",
+            expect: &["MP007"],
+        },
+        DefectiveProgram {
+            name: "non_ground_fact",
+            source: "e(1, X).\np(A, B) :- e(A, B).\n?- p(1, Z).",
+            expect: &["MP008"],
+        },
+        DefectiveProgram {
+            name: "unsafe_and_unreachable",
+            // Two independent defects in one program.
+            source: "p(X, Y) :- e(X).\nloner(X) :- n(X).\n?- p(1, Z).",
+            expect: &["MP001", "MP006"],
+        },
+        DefectiveProgram {
+            name: "kitchen_sink",
+            // Overlap + singleton + non-ground fact at once.
+            source: "e(1, W).\ne(X, Y) :- f(X, Y).\np(A) :- e(A, Stray).\n?- p(1).",
+            expect: &["MP003", "MP007", "MP008"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datalog::parser::parse_program;
+
+    #[test]
+    fn fixtures_parse_and_are_distinctly_named() {
+        let mut names = std::collections::BTreeSet::new();
+        for f in all() {
+            parse_program(f.source)
+                .unwrap_or_else(|e| panic!("fixture {} must parse: {e}", f.name));
+            assert!(names.insert(f.name), "duplicate fixture name {}", f.name);
+            assert!(!f.expect.is_empty(), "{} expects no codes", f.name);
+        }
+        assert!(all().len() >= 10, "need at least ten defective fixtures");
+    }
+}

@@ -162,10 +162,12 @@ pub fn example41(db: &mut Database, n: usize, fanout: usize, overlap: f64, seed:
                 .expect("arity 3");
             db.insert("d", tuple![i * f + k + 30_000]).expect("arity 1");
             // e(W, Z) for R3 / e(U, Z) for R2 (U ranges over b's W column).
-            db.insert("e", tuple![w_i, i * f + k + 40_000]).expect("arity 2");
+            db.insert("e", tuple![w_i, i * f + k + 40_000])
+                .expect("arity 2");
         }
         // R2's two-column c: V_i → T_i (chain shape, fully consistent).
-        db.insert("c2", tuple![i + 10_000, i * f + 30_000]).expect("arity 2");
+        db.insert("c2", tuple![i + 10_000, i * f + 30_000])
+            .expect("arity 2");
     }
 }
 

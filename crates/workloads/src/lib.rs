@@ -12,9 +12,10 @@
 //! produce identical databases on every run and platform (ChaCha-based
 //! streams).
 
+pub mod defective;
 pub mod graphs;
-pub mod random_programs;
 pub mod programs;
+pub mod random_programs;
 pub mod scenarios;
 
 pub use scenarios::Workload;

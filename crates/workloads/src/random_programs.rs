@@ -50,24 +50,14 @@ impl Default for ProgramSpec {
 pub fn generate(spec: &ProgramSpec, seed: u64) -> (Program, Database) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
-    let edb_arity: Vec<usize> = (0..spec.edb_preds)
-        .map(|_| rng.gen_range(1..=2))
-        .collect();
-    let idb_arity: Vec<usize> = (0..spec.idb_preds)
-        .map(|_| rng.gen_range(1..=2))
-        .collect();
+    let edb_arity: Vec<usize> = (0..spec.edb_preds).map(|_| rng.gen_range(1..=2)).collect();
+    let idb_arity: Vec<usize> = (0..spec.idb_preds).map(|_| rng.gen_range(1..=2)).collect();
 
     let mut rules: Vec<Rule> = Vec::new();
     for p in 0..spec.idb_preds {
         let n_rules = rng.gen_range(1..=spec.max_rules_per_pred);
         for _ in 0..n_rules {
-            rules.push(random_rule(
-                &mut rng,
-                spec,
-                p,
-                &edb_arity,
-                &idb_arity,
-            ));
+            rules.push(random_rule(&mut rng, spec, p, &edb_arity, &idb_arity));
         }
     }
     // Query: goal over one IDB predicate, possibly with a constant.
@@ -96,10 +86,7 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> (Program, Database) {
         for _ in 0..spec.facts_per_relation {
             let t = match arity {
                 1 => tuple![rng.gen_range(0..spec.domain)],
-                _ => tuple![
-                    rng.gen_range(0..spec.domain),
-                    rng.gen_range(0..spec.domain)
-                ],
+                _ => tuple![rng.gen_range(0..spec.domain), rng.gen_range(0..spec.domain)],
             };
             let _ = db.insert(pred.as_str(), t);
         }
@@ -165,10 +152,7 @@ fn random_rule(
             }
         })
         .collect();
-    Rule::new(
-        Atom::new(format!("p{head_idx}").as_str(), head_terms),
-        body,
-    )
+    Rule::new(Atom::new(format!("p{head_idx}").as_str(), head_terms), body)
 }
 
 /// True if at least one IDB predicate reachable from `goal` is defined —

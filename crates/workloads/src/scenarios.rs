@@ -105,7 +105,11 @@ pub fn bom(parts: usize, max_uses: usize, seed: u64) -> Workload {
 pub fn r2(n: usize, fanout: usize, seed: u64) -> Workload {
     let mut db = Database::new();
     graphs::example41(&mut db, n, fanout, 0.1, seed);
-    Workload::new(format!("r2-{n}f{fanout}-s{seed}"), programs::r2_query(0), db)
+    Workload::new(
+        format!("r2-{n}f{fanout}-s{seed}"),
+        programs::r2_query(0),
+        db,
+    )
 }
 
 /// Example 4.1's R3 (cyclic hypergraph) over pairwise-consistent

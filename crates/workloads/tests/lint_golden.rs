@@ -1,0 +1,123 @@
+//! Golden tests: every defective fixture triggers exactly the lint codes
+//! it advertises, every program-level code is covered by some fixture,
+//! and the canonical workload programs produce zero diagnostics.
+
+use mp_datalog::parser::parse_program_with_spans;
+use mp_lint::program::lint_program;
+use mp_workloads::{defective, programs};
+
+#[test]
+fn every_fixture_triggers_its_expected_codes() {
+    for f in defective::all() {
+        let (program, spans) = parse_program_with_spans(f.source)
+            .unwrap_or_else(|e| panic!("fixture {} must parse: {e}", f.name));
+        let diags = lint_program(&program, None, Some(&spans));
+        let codes: Vec<&str> = diags.iter().map(|d| d.code.as_str()).collect();
+        for expected in f.expect {
+            assert!(
+                codes.contains(expected),
+                "fixture {}: expected {expected}, got {codes:?}",
+                f.name
+            );
+        }
+    }
+}
+
+#[test]
+fn fixtures_cover_every_program_lint_code() {
+    let covered: std::collections::BTreeSet<&str> = defective::all()
+        .iter()
+        .flat_map(|f| f.expect.iter().copied())
+        .collect();
+    for code in [
+        "MP001", "MP002", "MP003", "MP004", "MP005", "MP006", "MP007", "MP008",
+    ] {
+        assert!(covered.contains(code), "no fixture covers {code}");
+    }
+}
+
+#[test]
+fn diagnostics_carry_spans_from_fixture_sources() {
+    // Spot-check that span plumbing works end to end: the unsafe rule's
+    // diagnostic must point into the source it came from.
+    let f = defective::all()
+        .iter()
+        .find(|f| f.name == "unsafe_head_var")
+        .unwrap();
+    let (program, spans) = parse_program_with_spans(f.source).unwrap();
+    let diags = lint_program(&program, None, Some(&spans));
+    let unsafe_diag = diags
+        .iter()
+        .find(|d| d.code.as_str() == "MP001")
+        .expect("MP001 fires");
+    let span = unsafe_diag.span.expect("MP001 carries a span");
+    assert!(span.line >= 1 && span.line <= f.source.lines().count());
+}
+
+#[test]
+fn engine_compile_rejects_deny_fixtures_without_panicking() {
+    // Warnings are advisory, so only fixtures carrying a deny code must
+    // be refused; either way compile() must return, never panic.
+    for f in defective::all() {
+        let (program, _) = parse_program_with_spans(f.source).unwrap();
+        let expects_deny = f.expect.iter().any(|c| !matches!(*c, "MP006" | "MP007"));
+        let result = mp_engine::Engine::new(program, mp_datalog::Database::new()).compile();
+        match result {
+            Err(mp_engine::EngineError::Lint(diags)) => {
+                assert!(
+                    expects_deny,
+                    "fixture {}: unexpected lint rejection {diags:?}",
+                    f.name
+                );
+                assert!(diags.iter().any(|d| d.is_deny()));
+            }
+            Err(other) => panic!("fixture {}: non-lint error {other}", f.name),
+            Ok(_) => assert!(
+                !expects_deny,
+                "fixture {}: deny fixture compiled successfully",
+                f.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn canonical_programs_are_lint_clean() {
+    let catalog: [(&str, mp_datalog::Program); 11] = [
+        ("p1", programs::p1(1)),
+        ("tc_linear", programs::tc_linear(0)),
+        ("tc_right_linear", programs::tc_right_linear(0)),
+        ("tc_nonlinear", programs::tc_nonlinear(0)),
+        ("same_generation", programs::same_generation(3)),
+        ("ancestor", programs::ancestor(1)),
+        ("bom_components", programs::bom_components(0)),
+        ("r1_query", programs::r1_query(0)),
+        ("r2_query", programs::r2_query(0)),
+        ("r3_query", programs::r3_query(0)),
+        ("odd_even", programs::odd_even(0)),
+    ];
+    for (name, program) in &catalog {
+        let diags = lint_program(program, None, None);
+        assert!(
+            diags.is_empty(),
+            "canonical program {name} should be clean, got {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn random_programs_have_no_deny_diagnostics() {
+    // Generated workloads may legitimately carry warnings (e.g. singleton
+    // variables in random rule bodies) but must never trip a deny lint —
+    // they are all evaluated by the engine, whose compile() gates on deny.
+    let spec = mp_workloads::random_programs::ProgramSpec::default();
+    for seed in 0..8u64 {
+        let (program, db) = mp_workloads::random_programs::generate(&spec, seed);
+        let diags = lint_program(&program, Some(&db), None);
+        let denies: Vec<_> = diags.iter().filter(|d| d.is_deny()).collect();
+        assert!(
+            denies.is_empty(),
+            "seed {seed}: deny diagnostics {denies:?}"
+        );
+    }
+}

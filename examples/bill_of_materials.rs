@@ -11,9 +11,9 @@
 //! cargo run --release --example bill_of_materials
 //! ```
 
+use mp_datalog::{parser::parse_program, Database};
 use mp_framework::engine::{Engine, RuntimeKind};
 use mp_framework::workloads::graphs;
-use mp_datalog::{parser::parse_program, Database};
 
 fn main() {
     let mut db = Database::new();

@@ -39,10 +39,7 @@ fn main() {
     for (kind, count) in census {
         println!("  {kind:<18} {count}");
     }
-    println!(
-        "\nanswers to p(0, Z): {:?}",
-        result.answers.sorted_rows()
-    );
+    println!("\nanswers to p(0, Z): {:?}", result.answers.sorted_rows());
     println!(
         "probe waves completed before the leaders declared the recursive \
          components idle: {}",

@@ -5,8 +5,8 @@
 //! cargo run --example quickstart
 //! ```
 
-use mp_framework::engine::Engine;
 use mp_framework::datalog::{parser::parse_program, Database};
+use mp_framework::engine::Engine;
 use mp_storage::tuple;
 
 fn main() {

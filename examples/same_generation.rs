@@ -7,11 +7,11 @@
 //! ```
 //! (The human-readable report goes to stderr; the dot goes to stdout.)
 
+use mp_datalog::Database;
 use mp_framework::engine::Engine;
 use mp_framework::hypergraph::{monotone_flow, MonotoneFlow};
 use mp_framework::rulegoal::{dot, RuleGoalGraph, SipKind};
 use mp_framework::workloads::{graphs, programs};
-use mp_datalog::Database;
 use std::collections::BTreeSet;
 
 fn main() {

@@ -11,11 +11,11 @@
 //! cargo run --release --example social_network
 //! ```
 
+use mp_datalog::Database;
 use mp_framework::baselines::all_baselines;
 use mp_framework::engine::Engine;
 use mp_framework::rulegoal::SipKind;
 use mp_framework::workloads::{graphs, programs};
-use mp_datalog::Database;
 
 fn main() {
     let users = 400;
@@ -27,7 +27,10 @@ fn main() {
     println!("network: {users} users, {follows} follow edges; query: influence of user 42\n");
 
     // The message-passing engine, all four SIP strategies.
-    println!("{:<22} {:>9} {:>12} {:>12} {:>10}", "method", "answers", "msgs", "stored", "time(ms)");
+    println!(
+        "{:<22} {:>9} {:>12} {:>12} {:>10}",
+        "method", "answers", "msgs", "stored", "time(ms)"
+    );
     for sip in SipKind::ALL {
         let t0 = std::time::Instant::now();
         let r = Engine::new(program.clone(), db.clone())

@@ -16,10 +16,10 @@
 //!                                 evaluate with a baseline instead
 //! ```
 
+use mp_datalog::{parser::parse_program, Database};
 use mp_framework::baselines::all_baselines;
 use mp_framework::engine::{Engine, RuntimeKind, Schedule};
 use mp_framework::rulegoal::{dot, RuleGoalGraph, SipKind};
-use mp_datalog::{parser::parse_program, Database};
 use std::io::Read;
 use std::process::ExitCode;
 

@@ -120,10 +120,7 @@ fn engine_work_is_bounded_by_relevance() {
     let relevant = mp_framework::baselines::Relevant
         .evaluate(&program, &db)
         .unwrap();
-    assert_eq!(
-        engine.answers.sorted_rows(),
-        relevant.answers.sorted_rows()
-    );
+    assert_eq!(engine.answers.sorted_rows(), relevant.answers.sorted_rows());
     assert!(
         engine.stats.stored_tuples * 4 < relevant.stats.stored_tuples,
         "engine stored {} vs relevant {}",

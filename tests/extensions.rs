@@ -3,12 +3,12 @@
 //! statistics-driven cost-based SIP strategy (§1.2's "optimization
 //! information").
 
+use mp_datalog::{parser::parse_program, Database, DbStats, Predicate};
 use mp_framework::baselines::{Evaluator, Naive};
 use mp_framework::engine::{Engine, RuntimeKind, Schedule};
 use mp_framework::rulegoal::SipKind;
 use mp_framework::workloads::random_programs::{generate, is_interesting, ProgramSpec};
 use mp_framework::workloads::scenarios;
-use mp_datalog::{parser::parse_program, Database, DbStats, Predicate};
 use mp_storage::tuple;
 
 #[test]
@@ -179,10 +179,8 @@ fn cost_based_orders_by_estimated_size() {
     let stats = DbStats::of(&db);
     assert!(stats.relation(&Predicate::new("big")).unwrap().rows > 100);
     assert_eq!(stats.relation(&Predicate::new("tiny")).unwrap().rows, 4);
-    let rule = mp_datalog::parser::parse_rule(
-        "p(X, Z) :- big(X, Y), tiny(X, W), link(Y, W, Z).",
-    )
-    .unwrap();
+    let rule =
+        mp_datalog::parser::parse_rule("p(X, Z) :- big(X, Y), tiny(X, W), link(Y, W, Z).").unwrap();
     let ad = Adornment(vec![ArgClass::D, ArgClass::F]);
     let plan = sip::plan_with_stats(&rule, &ad, SipKind::CostBased, Some(&stats));
     // tiny (index 1) must be scheduled before big (index 0).

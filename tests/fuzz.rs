@@ -29,12 +29,20 @@ fn engine_agrees_with_naive_on_random_programs() {
         let got = Engine::new(program.clone(), db.clone())
             .with_sip(sip)
             .evaluate()
-            .unwrap_or_else(|e| panic!("engine failed on seed {seed} ({}): {e}\n{program}", sip.name()))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "engine failed on seed {seed} ({}): {e}\n{program}",
+                    sip.name()
+                )
+            })
             .answers
             .sorted_rows();
         assert_eq!(got, expect, "seed {seed} under {}\n{program}", sip.name());
     }
-    assert!(tested > 300, "only {tested} interesting programs out of 600");
+    assert!(
+        tested > 300,
+        "only {tested} interesting programs out of 600"
+    );
 }
 
 #[test]
@@ -76,11 +84,7 @@ fn baselines_agree_on_random_programs() {
         if !is_interesting(&program, &db) {
             continue;
         }
-        let expect = Naive
-            .evaluate(&program, &db)
-            .unwrap()
-            .answers
-            .sorted_rows();
+        let expect = Naive.evaluate(&program, &db).unwrap().answers.sorted_rows();
         for ev in all_baselines() {
             let got = ev
                 .evaluate(&program, &db)

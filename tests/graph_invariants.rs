@@ -8,9 +8,9 @@
 //! * graph size never depends on the EDB contents (Thm 2.1);
 //! * the Datalog pretty-printer and parser round-trip.
 
+use mp_datalog::parser::parse_program;
 use mp_framework::rulegoal::{ArcKind, GoalKind, Node, RuleGoalGraph, SipKind};
 use mp_framework::workloads::random_programs::{generate, is_interesting, ProgramSpec};
-use mp_datalog::parser::parse_program;
 use mp_storage::tuple;
 
 #[test]
@@ -59,7 +59,10 @@ fn scc_leaders_and_bfsts_on_random_programs() {
             }
         }
     }
-    assert!(nontrivial_seen > 20, "only {nontrivial_seen} recursive components seen");
+    assert!(
+        nontrivial_seen > 20,
+        "only {nontrivial_seen} recursive components seen"
+    );
 }
 
 #[test]

@@ -8,11 +8,11 @@
 //!   qual-tree property, and composition (Thm 4.2) preserves it;
 //! * storage operators obey their algebraic laws.
 
+use mp_datalog::Database;
 use mp_framework::baselines::{Evaluator, Naive};
 use mp_framework::engine::{Engine, RuntimeKind, Schedule};
 use mp_framework::rulegoal::SipKind;
 use mp_framework::workloads::programs;
-use mp_datalog::Database;
 use mp_hypergraph::{monotone_flow, MonotoneFlow};
 use mp_storage::{ops, tuple, Relation, Tuple};
 use proptest::prelude::*;
@@ -203,7 +203,9 @@ proptest! {
 // ---------------------------------------------------------------------
 
 fn rel2(rows: &[(i64, i64)]) -> Relation {
-    rows.iter().map(|&(a, b)| tuple![a, b]).collect::<Vec<Tuple>>()
+    rows.iter()
+        .map(|&(a, b)| tuple![a, b])
+        .collect::<Vec<Tuple>>()
         .into_iter()
         .fold(Relation::new(2), |mut r, t| {
             r.insert(t).unwrap();
