@@ -18,7 +18,7 @@ fn main() {
     };
     let only: Option<&str> = args
         .iter()
-        .find(|a| (a.starts_with('e') || a.starts_with('a')) && a.len() == 2)
+        .find(|a| (a.starts_with('e') || a.starts_with('a')) && (a.len() == 2 || a.len() == 3))
         .map(String::as_str);
 
     match only {
@@ -32,8 +32,9 @@ fn main() {
         Some("e7") => print!("{}", markdown_table(&experiments::e7(scale))),
         Some("e8") => print!("{}", markdown_table(&experiments::e8(scale))),
         Some("e9") => print!("{}", markdown_table(&experiments::e9(scale))),
+        Some("e10") => print!("{}", markdown_table(&experiments::e10(scale))),
         Some("a1") => print!("{}", markdown_table(&experiments::a1(scale))),
         Some("a2") => print!("{}", markdown_table(&experiments::a2(scale))),
-        Some(other) => eprintln!("unknown experiment {other}; use e1..e9, a1, a2"),
+        Some(other) => eprintln!("unknown experiment {other}; use e1..e10, a1, a2"),
     }
 }

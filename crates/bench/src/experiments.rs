@@ -5,7 +5,7 @@ use crate::{markdown_table, run_baseline, run_engine, run_engine_with, Scale};
 use mp_baselines::{all_baselines, MagicSets, SemiNaive};
 use mp_datalog::analysis::DependencyAnalysis;
 use mp_datalog::{Database, Var};
-use mp_engine::{Engine, RuntimeKind, Schedule};
+use mp_engine::{Engine, FaultPlan, RuntimeKind, Schedule};
 use mp_hypergraph::compose::compose;
 use mp_hypergraph::cost::{optimal_order, predict, CostModel};
 use mp_hypergraph::{monotone_flow, MonotoneFlow};
@@ -82,6 +82,18 @@ crate::impl_row!(E9Row {
     order,
     measured_stored,
     model_optimal
+});
+crate::impl_row!(E10Row {
+    workload,
+    plan,
+    runs,
+    messages,
+    faults_injected,
+    retransmits,
+    dups_discarded,
+    crashes,
+    recovered,
+    answers_ok,
 });
 crate::impl_row!(A1Row {
     workload,
@@ -741,6 +753,112 @@ pub fn a2(scale: Scale) -> Vec<A2Row> {
     rows
 }
 
+/// E10 row: evaluation under injected faults (chaos sweep).
+#[derive(Clone, Debug)]
+pub struct E10Row {
+    /// Workload.
+    pub workload: String,
+    /// Fault plan family (`none`, `seeded`, `seeded+crash`).
+    pub plan: String,
+    /// Seeded runs aggregated into this row.
+    pub runs: u64,
+    /// Logical messages per run (mean over seeds).
+    pub messages: u64,
+    /// Faults injected, summed over seeds.
+    pub faults_injected: u64,
+    /// Retransmissions, summed over seeds.
+    pub retransmits: u64,
+    /// Duplicate deliveries discarded, summed over seeds.
+    pub dups_discarded: u64,
+    /// Node crashes fired, summed over seeds.
+    pub crashes: u64,
+    /// Crashes recovered by log replay (epoch bumps), summed over seeds.
+    pub recovered: u64,
+    /// Every seeded run terminated with exactly one `End` and the
+    /// fault-free answer set (Thm 3.1 observables).
+    pub answers_ok: bool,
+}
+
+/// E10 — evaluation under faults: for each canonical recursive workload,
+/// sweep seeded fault plans (drop/duplicate/delay/corrupt, then the same
+/// with two scheduled node crashes) and check the Thm 3.1 observables
+/// against the fault-free run. The `none` row doubles as the clean-path
+/// overhead check: zero faults, zero retransmissions.
+pub fn e10(scale: Scale) -> Vec<E10Row> {
+    let seeds: u64 = match scale {
+        Scale::Quick => 4,
+        Scale::Full => 32,
+    };
+    let workloads = [
+        scenarios::tc_chain(6),
+        scenarios::tc_cycle(5),
+        scenarios::tc_nonlinear_chain(4),
+        scenarios::odd_even_chain(6),
+    ];
+    let mut rows = Vec::new();
+    for w in workloads {
+        let clean = Engine::new(w.program.clone(), w.db.clone())
+            .with_fault_plan(FaultPlan::default())
+            .evaluate()
+            .expect("clean run");
+        let expected = clean.answers.sorted_rows();
+        let nodes = clean.graph_nodes;
+        rows.push(E10Row {
+            workload: w.name.clone(),
+            plan: "none".into(),
+            runs: 1,
+            messages: clean.stats.total_messages(),
+            faults_injected: clean.stats.faults_injected(),
+            retransmits: clean.stats.retransmits,
+            dups_discarded: clean.stats.dups_discarded,
+            crashes: clean.stats.crashes,
+            recovered: clean.stats.epoch_bumps,
+            answers_ok: true,
+        });
+        for with_crashes in [false, true] {
+            let mut agg = E10Row {
+                workload: w.name.clone(),
+                plan: if with_crashes {
+                    "seeded+crash".into()
+                } else {
+                    "seeded".into()
+                },
+                runs: seeds,
+                messages: 0,
+                faults_injected: 0,
+                retransmits: 0,
+                dups_discarded: 0,
+                crashes: 0,
+                recovered: 0,
+                answers_ok: true,
+            };
+            for seed in 0..seeds {
+                let mut plan = FaultPlan::seeded(seed);
+                if with_crashes {
+                    plan = plan
+                        .with_crash((seed as usize * 7 + 1) % nodes, 1 + seed % 3)
+                        .with_crash((seed as usize * 13 + 3) % nodes, 4 + seed % 5);
+                }
+                let r = Engine::new(w.program.clone(), w.db.clone())
+                    .with_fault_plan(plan)
+                    .evaluate()
+                    .expect("faulty run");
+                agg.messages += r.stats.total_messages() / seeds;
+                agg.faults_injected += r.stats.faults_injected();
+                agg.retransmits += r.stats.retransmits;
+                agg.dups_discarded += r.stats.dups_discarded;
+                agg.crashes += r.stats.crashes;
+                agg.recovered += r.stats.epoch_bumps;
+                agg.answers_ok &= r.engine_ends == 1
+                    && r.post_end_answers == 0
+                    && r.answers.sorted_rows() == expected;
+            }
+            rows.push(agg);
+        }
+    }
+    rows
+}
+
 /// Run every experiment at the given scale and render markdown.
 pub fn full_report(scale: Scale) -> String {
     let mut out = String::new();
@@ -765,6 +883,8 @@ pub fn full_report(scale: Scale) -> String {
     out.push_str(&markdown_table(&e8(scale)));
     out.push_str("\n## E9 — §4.3 cost model\n\n");
     out.push_str(&markdown_table(&e9(scale)));
+    out.push_str("\n## E10 — evaluation under faults (chaos sweep)\n\n");
+    out.push_str(&markdown_table(&e10(scale)));
     out.push_str("\n## A1 — packaged tuple requests (ablation, §3.1 fn 2)\n\n");
     out.push_str(&markdown_table(&a1(scale)));
     out.push_str("\n## A2 — cost-based SIP from EDB statistics (ablation, §1.2)\n\n");
@@ -958,6 +1078,23 @@ mod tests {
         let cost = rows.iter().find(|r| r.sip == "cost-based").unwrap();
         assert_eq!(greedy.answers, cost.answers);
         assert!(cost.messages <= greedy.messages);
+    }
+
+    #[test]
+    fn e10_faulty_runs_match_fault_free_answers() {
+        let rows = e10(Scale::Quick);
+        assert!(rows.iter().all(|r| r.answers_ok), "Thm 3.1 observables");
+        for r in rows.iter().filter(|r| r.plan == "none") {
+            assert_eq!(r.faults_injected, 0, "{}: clean-path faults", r.workload);
+            assert_eq!(r.retransmits, 0, "{}: clean-path overhead", r.workload);
+        }
+        assert!(rows
+            .iter()
+            .filter(|r| r.plan == "seeded")
+            .all(|r| r.faults_injected > 0));
+        let crash_rows: Vec<_> = rows.iter().filter(|r| r.plan == "seeded+crash").collect();
+        assert!(crash_rows.iter().all(|r| r.recovered == r.crashes));
+        assert!(crash_rows.iter().map(|r| r.crashes).sum::<u64>() > 0);
     }
 
     #[test]

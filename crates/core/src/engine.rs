@@ -1,5 +1,6 @@
 //! The top-level query evaluation API.
 
+use crate::fault::FaultPlan;
 use crate::node::Network;
 use crate::runtime::{RuntimeError, Schedule, SimRuntime, ThreadRuntime};
 use crate::stats::Stats;
@@ -92,6 +93,12 @@ pub struct QueryResult {
     pub graph_nodes: usize,
     /// Full message trace, when tracing was enabled on the simulator.
     pub trace: Option<Vec<crate::msg::Msg>>,
+    /// `End` messages delivered to the engine — exactly 1 on a correct
+    /// run (Thm 3.1), also under faults.
+    pub engine_ends: u64,
+    /// Answers delivered after the final `End` — always 0 on a correct
+    /// run (Thm 3.1), also under faults.
+    pub post_end_answers: u64,
 }
 
 /// The message-passing query engine.
@@ -123,6 +130,8 @@ pub struct Engine {
     timeout: Duration,
     trace: bool,
     batching: bool,
+    fault_plan: Option<FaultPlan>,
+    recovery: bool,
 }
 
 impl Engine {
@@ -140,6 +149,8 @@ impl Engine {
             timeout: Duration::from_secs(60),
             trace: false,
             batching: false,
+            fault_plan: None,
+            recovery: true,
         }
     }
 
@@ -178,6 +189,24 @@ impl Engine {
     /// counts on fan-out-heavy workloads.
     pub fn with_batching(mut self, batching: bool) -> Engine {
         self.batching = batching;
+        self
+    }
+
+    /// Inject faults: wrap every link in the given seeded, deterministic
+    /// fault plan and route all traffic through the self-healing
+    /// transport (sequence numbers, acks, retransmission, log-replay
+    /// crash recovery). With no plan, evaluation runs the pristine 1986
+    /// channel model with zero transport overhead.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Engine {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enable or disable crash recovery (default: enabled). With
+    /// recovery disabled, a fault-plan crash aborts evaluation with
+    /// [`RuntimeError::LinkDown`] instead of replaying the node's log.
+    pub fn with_recovery(mut self, recovery: bool) -> Engine {
+        self.recovery = recovery;
         self
     }
 
@@ -240,6 +269,8 @@ impl Engine {
                     schedule,
                     max_steps: self.max_steps,
                     trace: self.trace,
+                    fault_plan: self.fault_plan.clone(),
+                    recovery: self.recovery,
                 };
                 let out = sim.run(&mut network)?;
                 Ok(QueryResult {
@@ -247,11 +278,15 @@ impl Engine {
                     stats: out.stats,
                     graph_nodes,
                     trace: out.trace,
+                    engine_ends: out.engine_ends,
+                    post_end_answers: out.post_end_answers,
                 })
             }
             RuntimeKind::Threads => {
                 let rt = ThreadRuntime {
                     timeout: self.timeout,
+                    fault_plan: self.fault_plan.clone(),
+                    recovery: self.recovery,
                 };
                 let out = rt.run(network)?;
                 Ok(QueryResult {
@@ -259,6 +294,8 @@ impl Engine {
                     stats: out.stats,
                     graph_nodes,
                     trace: None,
+                    engine_ends: out.engine_ends,
+                    post_end_answers: out.post_end_answers,
                 })
             }
         }

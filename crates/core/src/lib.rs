@@ -31,6 +31,7 @@
 //! The top-level entry point is [`Engine`].
 
 mod engine;
+pub mod fault;
 pub mod msg;
 pub mod node;
 pub mod runtime;
@@ -38,6 +39,7 @@ mod stats;
 pub mod termination;
 
 pub use engine::{evaluate_str, Compiled, Engine, EngineError, QueryResult, RuntimeKind};
+pub use fault::{CrashPoint, FaultPlan};
 pub use msg::{Endpoint, Msg, Payload};
 pub use runtime::Schedule;
 pub use stats::Stats;

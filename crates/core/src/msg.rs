@@ -83,11 +83,18 @@ pub enum Payload {
     EndRequest {
         /// Wave number (diagnostics; the protocol serializes waves).
         wave: u64,
+        /// Leader restart generation. A reply whose epoch differs from
+        /// the receiver's current epoch is stale and dropped, so a
+        /// restarted node can never acknowledge a pre-crash idleness
+        /// wave (Thm 3.1 under faults; see DESIGN.md).
+        epoch: u64,
     },
     /// A subtree is not yet confirmably idle.
     EndNegative {
         /// Wave number.
         wave: u64,
+        /// Epoch of the wave being answered.
+        epoch: u64,
     },
     /// A subtree has been idle through two consecutive waves. Carries
     /// Mattern-style counters of intra-component work messages as a
@@ -96,6 +103,8 @@ pub enum Payload {
     EndConfirmed {
         /// Wave number.
         wave: u64,
+        /// Epoch of the wave being answered.
+        epoch: u64,
         /// Total intra-component work messages sent by the subtree.
         sent: u64,
         /// Total intra-component work messages received by the subtree.
@@ -104,6 +113,16 @@ pub enum Payload {
     /// Broadcast down the BFST after the leader concludes: the component
     /// is finished; members release their external feeders.
     SccFinished,
+
+    /// A restarted component member announces its rebirth to its BFST
+    /// parent (or, from the leader, to nobody — the leader just bumps
+    /// its epoch). The parent treats it as a negative reply for any wave
+    /// in flight, so a crash in the middle of a probe wave aborts the
+    /// wave instead of deadlocking it.
+    Reborn {
+        /// The reborn node's new epoch.
+        epoch: u64,
+    },
 
     /// Engine → node: exit (threaded runtime only).
     Shutdown,
@@ -119,6 +138,7 @@ impl Payload {
                 | Payload::EndNegative { .. }
                 | Payload::EndConfirmed { .. }
                 | Payload::SccFinished
+                | Payload::Reborn { .. }
         )
     }
 
@@ -136,6 +156,7 @@ impl Payload {
             Payload::EndNegative { .. } => "end_negative",
             Payload::EndConfirmed { .. } => "end_confirmed",
             Payload::SccFinished => "scc_finished",
+            Payload::Reborn { .. } => "reborn",
             Payload::Shutdown => "shutdown",
         }
     }
@@ -165,8 +186,9 @@ mod tests {
 
     #[test]
     fn protocol_classification() {
-        assert!(Payload::EndRequest { wave: 1 }.is_protocol());
+        assert!(Payload::EndRequest { wave: 1, epoch: 0 }.is_protocol());
         assert!(Payload::SccFinished.is_protocol());
+        assert!(Payload::Reborn { epoch: 1 }.is_protocol());
         assert!(!Payload::Answer { tuple: tuple![1] }.is_protocol());
         assert!(!Payload::End.is_protocol());
     }

@@ -69,19 +69,13 @@ impl Common {
         });
     }
 
-    fn customer_idx(&self, ep: Endpoint) -> usize {
-        self.customers
-            .iter()
-            .position(|c| c.ep == ep)
-            .expect("message from a non-customer")
+    fn customer_idx(&self, ep: Endpoint) -> Option<usize> {
+        self.customers.iter().position(|c| c.ep == ep)
     }
 
-    fn feeder_idx(&self, ep: Endpoint) -> usize {
-        let node = ep.node().expect("feeders are nodes");
-        self.feeders
-            .iter()
-            .position(|f| f.node == node)
-            .expect("message from a non-feeder")
+    fn feeder_idx(&self, ep: Endpoint) -> Option<usize> {
+        let node = ep.node()?;
+        self.feeders.iter().position(|f| f.node == node)
     }
 
     /// Forward the relation request to all feeders, once.
@@ -220,40 +214,53 @@ impl Process {
         let from = msg.from;
         match msg.payload {
             Payload::Shutdown => return,
-            Payload::EndRequest { wave } => {
+            Payload::EndRequest { wave, epoch } => {
                 let empty = self.common.empty_queues(ctx.mailbox_empty);
                 let id = self.common.id;
                 if let Some(t) = self.common.term.as_mut() {
-                    t.on_end_request(id, wave, empty, ctx.out);
+                    t.on_end_request(id, wave, epoch, empty, ctx.out);
+                } else {
+                    ctx.stats.stale_dropped += 1;
                 }
             }
-            Payload::EndNegative { .. } => {
+            Payload::EndNegative { wave, epoch } => {
                 let empty = self.common.empty_queues(ctx.mailbox_empty);
                 let unfinished = self.common.unfinished_business();
                 let id = self.common.id;
-                let action = self
-                    .common
-                    .term
-                    .as_mut()
-                    .map(|t| t.on_end_negative(id, empty, unfinished, ctx.out))
-                    .unwrap_or(TermAction::None);
-                if action == TermAction::Conclude {
-                    self.conclude(ctx);
-                }
+                let action = match (from.node(), self.common.term.as_mut()) {
+                    (Some(child), Some(t)) => {
+                        t.on_end_negative(id, child, wave, epoch, empty, unfinished, ctx.out)
+                    }
+                    _ => TermAction::Stale,
+                };
+                self.finish_protocol_step(action, ctx);
             }
-            Payload::EndConfirmed { sent, received, .. } => {
+            Payload::EndConfirmed {
+                wave,
+                epoch,
+                sent,
+                received,
+            } => {
                 let empty = self.common.empty_queues(ctx.mailbox_empty);
                 let unfinished = self.common.unfinished_business();
                 let id = self.common.id;
-                let action = self
-                    .common
-                    .term
-                    .as_mut()
-                    .map(|t| t.on_end_confirmed(id, sent, received, empty, unfinished, ctx.out))
-                    .unwrap_or(TermAction::None);
-                if action == TermAction::Conclude {
-                    self.conclude(ctx);
-                }
+                let action = match (from.node(), self.common.term.as_mut()) {
+                    (Some(child), Some(t)) => t.on_end_confirmed(
+                        id, child, wave, epoch, sent, received, empty, unfinished, ctx.out,
+                    ),
+                    _ => TermAction::Stale,
+                };
+                self.finish_protocol_step(action, ctx);
+            }
+            Payload::Reborn { .. } => {
+                let empty = self.common.empty_queues(ctx.mailbox_empty);
+                let unfinished = self.common.unfinished_business();
+                let id = self.common.id;
+                let action = match (from.node(), self.common.term.as_mut()) {
+                    (Some(child), Some(t)) => t.on_reborn(id, child, empty, unfinished, ctx.out),
+                    _ => TermAction::Stale,
+                };
+                self.finish_protocol_step(action, ctx);
             }
             Payload::SccFinished => {
                 self.on_scc_finished(ctx);
@@ -291,25 +298,60 @@ impl Process {
         self.post_step(ctx);
     }
 
+    /// Idle-time nudge from the runtime, equivalent to the tail of
+    /// [`Process::handle`] without a message. The threaded fault path
+    /// needs it: transport frames (acks, retransmissions) drain from the
+    /// same queue as logical messages, so the "last message left the
+    /// mailbox empty" moment that triggers batch flushes and leader
+    /// probe (re-)origination can pass while `handle` sees a non-empty
+    /// queue — and with no further logical traffic, nothing else would
+    /// ever re-check. Safe to call at any time: every action inside is
+    /// guarded by the same idleness conditions `handle` uses.
+    pub fn poke(&mut self, ctx: &mut Ctx<'_>) {
+        self.common.flush_batches(ctx);
+        self.post_step(ctx);
+    }
+
+    /// Common tail of the protocol-reply handlers: count stale drops,
+    /// conclude on a successful probe.
+    fn finish_protocol_step(&mut self, action: TermAction, ctx: &mut Ctx<'_>) {
+        match action {
+            TermAction::Stale => ctx.stats.stale_dropped += 1,
+            TermAction::Conclude => self.conclude(ctx),
+            TermAction::None => {}
+        }
+    }
+
     fn handle_work(&mut self, from: Endpoint, payload: Payload, ctx: &mut Ctx<'_>) {
         match payload {
             Payload::RelationRequest => {
-                let ci = self.common.customer_idx(from);
-                let _ = ci;
+                if self.common.customer_idx(from).is_none() {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                }
                 self.common.forward_relreq(ctx);
             }
             Payload::TupleRequest { binding } => {
-                let ci = self.common.customer_idx(from);
+                let Some(ci) = self.common.customer_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
                 self.on_tuple_request(ci, binding, ctx);
             }
             Payload::TupleRequestBatch { bindings } => {
-                let ci = self.common.customer_idx(from);
+                let Some(ci) = self.common.customer_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
                 for binding in bindings {
                     self.on_tuple_request(ci, binding, ctx);
                 }
             }
             Payload::Answer { tuple } => {
-                let fi = self.common.feeder_idx(from);
+                let Some(fi) = self.common.feeder_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
                 match &mut self.behavior {
                     Behavior::Goal { cfg, st } => {
                         goal_on_answer(cfg, st, &mut self.common, tuple, ctx)
@@ -324,15 +366,25 @@ impl Process {
                         let intra = self.common.customers[0].intra;
                         self.common.send(ctx, ep, Payload::Answer { tuple }, intra);
                     }
-                    Behavior::Edb { .. } => unreachable!("EDB leaves have no feeders"),
+                    Behavior::Edb { .. } => {
+                        // EDB leaves have no feeders; only a misrouted
+                        // message can land here.
+                        ctx.stats.malformed_dropped += 1;
+                    }
                 }
             }
             Payload::EndTupleRequest { binding } => {
-                let fi = self.common.feeder_idx(from);
+                let Some(fi) = self.common.feeder_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
                 self.common.pending.remove(&(fi, binding));
             }
             Payload::End => {
-                let fi = self.common.feeder_idx(from);
+                let Some(fi) = self.common.feeder_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
                 self.common.feeder_end[fi] = true;
                 if self.common.term.is_none() {
                     match &mut self.behavior {
@@ -350,7 +402,10 @@ impl Process {
                 // stream ends from released feeders; nothing to do.
             }
             Payload::EndOfRequests => {
-                let ci = self.common.customer_idx(from);
+                let Some(ci) = self.common.customer_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
                 self.common.customers[ci].eor = true;
                 if self.common.term.is_none() {
                     match &mut self.behavior {
@@ -368,14 +423,18 @@ impl Process {
                             rule_close_stage(cfg, st, &mut self.common, 0, ctx);
                         }
                         Behavior::CycleRef { .. } => {
-                            unreachable!("cycle-ref customers are intra-component")
+                            // Cycle-ref customers are intra-component, so
+                            // a cross end-of-requests is misrouted.
+                            ctx.stats.malformed_dropped += 1;
                         }
                     }
                 }
                 // For a component leader the end-of-requests is recorded;
                 // the probe protocol concludes the stream.
             }
-            other => unreachable!("unhandled work payload: {other:?}"),
+            // Protocol payloads are dispatched in `handle`; anything
+            // reaching this arm is a misrouted frame.
+            _ => ctx.stats.malformed_dropped += 1,
         }
     }
 
@@ -470,6 +529,26 @@ impl Process {
         }
         self.common.release_feeders(ctx);
     }
+
+    /// Recovery hook: stamp this (freshly rebuilt) process as restart
+    /// generation `epoch` and announce the rebirth to the BFST parent,
+    /// which treats it as a negative reply for any probe wave in flight.
+    /// The epoch tag then prevents this node's pre-crash protocol
+    /// traffic — still possible in the restored mailbox — from being
+    /// accepted into post-crash waves.
+    pub fn restarted(&mut self, epoch: u64, out: &mut Vec<Msg>) {
+        let id = self.common.id;
+        if let Some(t) = self.common.term.as_mut() {
+            t.epoch = epoch;
+            if let Some(parent) = t.bfst_parent {
+                out.push(Msg {
+                    from: Endpoint::Node(id),
+                    to: Endpoint::Node(parent),
+                    payload: Payload::Reborn { epoch },
+                });
+            }
+        }
+    }
 }
 
 // --------------------------------------------------------------------
@@ -484,6 +563,10 @@ fn goal_on_request(
     binding: Tuple,
     ctx: &mut Ctx<'_>,
 ) {
+    if binding.arity() != cfg.d_in_transmitted.len() {
+        ctx.stats.malformed_dropped += 1;
+        return;
+    }
     if !common.customers[ci].subs.insert(binding.clone()) {
         return; // duplicate subscription (customers deduplicate; defensive)
     }
@@ -520,13 +603,17 @@ fn goal_on_answer(
     tuple: Tuple,
     ctx: &mut Ctx<'_>,
 ) {
-    debug_assert_eq!(tuple.arity(), cfg.transmitted_len);
     match st.answers.insert(tuple.clone()) {
         Ok(true) => {}
         Ok(false) => return, // duplicate: "deletion of duplicates in cycles
         // ensures that nodes become idle when the computation is
         // complete" (§1.2)
-        Err(e) => unreachable!("schema checked at compile time: {e}"),
+        Err(_) => {
+            // Arity mismatch: the schema is checked at compile time, so
+            // only a corrupted or misrouted frame can get here. Drop it.
+            ctx.stats.malformed_dropped += 1;
+            return;
+        }
     }
     ctx.stats.stored_tuples += 1;
     ctx.stats.goal_stored += 1;
@@ -599,6 +686,10 @@ fn rule_on_request(
     binding: Tuple,
     ctx: &mut Ctx<'_>,
 ) {
+    if binding.arity() != cfg.head_d_terms.len() {
+        ctx.stats.malformed_dropped += 1;
+        return;
+    }
     common.customers[ci].subs.insert(binding.clone());
     // Unify the binding with the instance head's d-position terms.
     let Some(seed) = unify_binding(&cfg.head_d_terms, &cfg.stage0_schema, &binding) else {
@@ -705,8 +796,14 @@ fn rule_on_answer(
     ctx: &mut Ctx<'_>,
 ) {
     let level = feeder_idx; // stage cfg i consumes feeder i
-    let stage = &cfg.stages[level];
-    debug_assert_eq!(tuple.arity(), stage.answer_arity);
+    let Some(stage) = cfg.stages.get(level) else {
+        ctx.stats.malformed_dropped += 1;
+        return;
+    };
+    if tuple.arity() != stage.answer_arity {
+        ctx.stats.malformed_dropped += 1;
+        return;
+    }
     // Repeated-variable consistency (feeders guarantee this; checked
     // defensively because a violation would silently corrupt joins).
     for &(a, b) in &stage.answer_eq_checks {
@@ -715,11 +812,9 @@ fn rule_on_answer(
             return;
         }
     }
-    if !st.ans_store[level]
-        .insert(tuple.clone())
-        .expect("answer arity")
-    {
-        return;
+    match st.ans_store[level].insert(tuple.clone()) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => return,
     }
     ctx.stats.stored_tuples += 1;
     ctx.stats.max_relation_size = ctx

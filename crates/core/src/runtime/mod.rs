@@ -8,7 +8,8 @@ pub use explore::{explore, ExploreConfig, ExploreReport, ScheduleViolation};
 pub use sim::{Schedule, SimOutcome, SimRuntime};
 pub use thread::{ThreadOutcome, ThreadRuntime};
 
-/// Errors raised while running a network.
+/// Errors raised while running a network. Every variant is a graceful
+/// failure: no runtime code path panics on a received message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
     /// The step budget was exhausted (runaway computation guard).
@@ -21,9 +22,51 @@ pub enum RuntimeError {
     /// first-class error so tests can assert it never happens).
     NoTermination,
     /// The threaded runtime timed out waiting for the final `End`.
+    /// Carries enough of the abort-time state to diagnose the hang.
     Timeout {
         /// The configured timeout in milliseconds.
-        millis: u64,
+        budget_millis: u64,
+        /// Wall-clock time actually elapsed at abort, in milliseconds.
+        elapsed_millis: u64,
+        /// Answers collected before the abort.
+        partial_answers: usize,
+        /// Per-node pending mailbox depths at abort: `(node, depth)`,
+        /// nonzero depths only.
+        pending: Vec<(usize, usize)>,
+        /// Nodes whose worker threads failed to stop within the drain
+        /// grace period (empty when shutdown was clean).
+        unjoined: Vec<usize>,
+    },
+    /// An answer reaching the engine did not match the goal's arity —
+    /// a corrupted or misrouted frame survived to the top.
+    AnswerArity {
+        /// The goal arity.
+        expected: usize,
+        /// The arity received.
+        got: usize,
+        /// Answers collected before the bad frame.
+        partial_answers: usize,
+    },
+    /// The engine received a message kind it has no business receiving.
+    UnexpectedEngineMessage {
+        /// The payload's kind name.
+        kind: &'static str,
+    },
+    /// The reliable transport gave up on a link: a message stayed
+    /// unacked through the retransmission budget (only reachable at
+    /// extreme fault rates, or with recovery disabled under faults).
+    RetransmitExhausted {
+        /// Sending node (`usize::MAX` = the engine).
+        from: usize,
+        /// Receiving node (`usize::MAX` = the engine).
+        to: usize,
+        /// Retransmission rounds attempted.
+        retries: u32,
+    },
+    /// A node crashed (per the fault plan) with recovery disabled.
+    LinkDown {
+        /// The crashed node.
+        node: usize,
     },
 }
 
@@ -37,8 +80,64 @@ impl std::fmt::Display for RuntimeError {
                 f,
                 "network quiescent without end message: termination protocol failure"
             ),
-            RuntimeError::Timeout { millis } => {
-                write!(f, "threaded evaluation timed out after {millis} ms")
+            RuntimeError::Timeout {
+                budget_millis,
+                elapsed_millis,
+                partial_answers,
+                pending,
+                unjoined,
+            } => {
+                write!(
+                    f,
+                    "threaded evaluation timed out after {elapsed_millis} ms \
+                     (budget {budget_millis} ms); {partial_answers} partial answers"
+                )?;
+                if !pending.is_empty() {
+                    write!(f, "; pending mailboxes:")?;
+                    for (node, depth) in pending {
+                        write!(f, " #{node}={depth}")?;
+                    }
+                }
+                if !unjoined.is_empty() {
+                    write!(f, "; workers failed to stop:")?;
+                    for node in unjoined {
+                        write!(f, " #{node}")?;
+                    }
+                }
+                Ok(())
+            }
+            RuntimeError::AnswerArity {
+                expected,
+                got,
+                partial_answers,
+            } => write!(
+                f,
+                "answer arity mismatch at the engine: expected {expected}, got {got} \
+                 ({partial_answers} partial answers)"
+            ),
+            RuntimeError::UnexpectedEngineMessage { kind } => {
+                write!(
+                    f,
+                    "unexpected message kind `{kind}` delivered to the engine"
+                )
+            }
+            RuntimeError::RetransmitExhausted { from, to, retries } => {
+                let show = |e: &usize| {
+                    if *e == usize::MAX {
+                        "engine".to_string()
+                    } else {
+                        format!("#{e}")
+                    }
+                };
+                write!(
+                    f,
+                    "transport gave up on link {} -> {} after {retries} retransmissions",
+                    show(from),
+                    show(to)
+                )
+            }
+            RuntimeError::LinkDown { node } => {
+                write!(f, "node #{node} crashed and recovery is disabled")
             }
         }
     }

@@ -6,15 +6,26 @@
 //! activation (still deterministic given the seed, and per-sender FIFO is
 //! preserved because each node's mailbox is a queue). The random schedule
 //! is how the tests adversarially exercise Thm 3.1.
+//!
+//! With a [`FaultPlan`] attached, the reliable mailboxes are replaced by
+//! a faulty wire plus the self-healing transport of [`crate::fault`]:
+//! every logical message becomes a sequenced frame that can be dropped,
+//! duplicated, delayed, or corrupted; acks and retransmissions restore
+//! exactly-once FIFO delivery; and node crashes are recovered by
+//! replaying the node's durable message log through a pristine process
+//! clone (write-ahead-log semantics — see DESIGN.md). The fault path is
+//! a separate loop so the clean path stays byte-identical to the
+//! fault-free simulator.
 
+use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
-use crate::node::{Ctx, Network};
+use crate::node::{Ctx, Network, Process};
 use crate::runtime::RuntimeError;
 use crate::stats::Stats;
 use mp_storage::{Relation, Tuple};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 /// Message scheduling policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +45,12 @@ pub struct SimOutcome {
     pub stats: Stats,
     /// Full message trace, if requested.
     pub trace: Option<Vec<Msg>>,
+    /// `End` messages delivered to the engine (Thm 3.1 observable:
+    /// must be exactly 1 on success).
+    pub engine_ends: u64,
+    /// Answers delivered after the final `End` (Thm 3.1 observable:
+    /// must be 0).
+    pub post_end_answers: u64,
 }
 
 /// The simulator.
@@ -45,6 +62,12 @@ pub struct SimRuntime {
     pub max_steps: u64,
     /// Record every routed message.
     pub trace: bool,
+    /// Fault-injection plan; `None` runs the pristine 1986 model with
+    /// zero transport overhead.
+    pub fault_plan: Option<FaultPlan>,
+    /// Recover crashed nodes by log replay. With recovery disabled a
+    /// scheduled crash aborts the run with [`RuntimeError::LinkDown`].
+    pub recovery: bool,
 }
 
 impl Default for SimRuntime {
@@ -53,6 +76,8 @@ impl Default for SimRuntime {
             schedule: Schedule::Fifo,
             max_steps: 200_000_000,
             trace: false,
+            fault_plan: None,
+            recovery: true,
         }
     }
 }
@@ -73,18 +98,6 @@ impl SimRuntime {
         network: &mut Network,
         requests: impl IntoIterator<Item = Tuple>,
     ) -> Result<SimOutcome, RuntimeError> {
-        let n = network.processes.len();
-        let mut mailboxes: Vec<VecDeque<Msg>> = vec![VecDeque::new(); n];
-        let mut fifo_tokens: VecDeque<usize> = VecDeque::new();
-        let mut rng = match self.schedule {
-            Schedule::Fifo => None,
-            Schedule::Random(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
-        };
-        let mut stats = Stats::default();
-        let mut trace: Option<Vec<Msg>> = if self.trace { Some(Vec::new()) } else { None };
-        let mut engine_answers = Relation::new(network.answer_arity);
-        let mut end_seen = false;
-
         let root = Endpoint::Node(network.root);
         let mut initial = vec![Msg {
             from: Endpoint::Engine,
@@ -104,13 +117,43 @@ impl SimRuntime {
             payload: Payload::EndOfRequests,
         });
 
+        match &self.fault_plan {
+            None => self.run_clean(network, initial),
+            Some(plan) => self.run_faulty(network, initial, plan.clone()),
+        }
+    }
+
+    /// The pristine path: reliable atomic mailboxes, no transport layer,
+    /// no overhead — byte-identical message counts to the pre-fault
+    /// simulator.
+    fn run_clean(
+        &self,
+        network: &mut Network,
+        initial: Vec<Msg>,
+    ) -> Result<SimOutcome, RuntimeError> {
+        let n = network.processes.len();
+        let mut mailboxes: Vec<VecDeque<Msg>> = vec![VecDeque::new(); n];
+        let mut fifo_tokens: VecDeque<usize> = VecDeque::new();
+        let mut rng = match self.schedule {
+            Schedule::Fifo => None,
+            Schedule::Random(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+        };
+        let mut stats = Stats::default();
+        let mut trace: Option<Vec<Msg>> = if self.trace { Some(Vec::new()) } else { None };
+        let mut engine_answers = Relation::new(network.answer_arity);
+        let mut engine_ends: u64 = 0;
+        let mut post_end_answers: u64 = 0;
+        let answer_arity = network.answer_arity;
+
         let route = |msg: Msg,
                      mailboxes: &mut Vec<VecDeque<Msg>>,
                      fifo_tokens: &mut VecDeque<usize>,
                      stats: &mut Stats,
                      trace: &mut Option<Vec<Msg>>,
                      engine_answers: &mut Relation,
-                     end_seen: &mut bool| {
+                     engine_ends: &mut u64,
+                     post_end_answers: &mut u64|
+         -> Result<(), RuntimeError> {
             stats.count_send(&msg.payload);
             if let Some(t) = trace.as_mut() {
                 t.push(msg.clone());
@@ -118,19 +161,32 @@ impl SimRuntime {
             match msg.to {
                 Endpoint::Engine => match msg.payload {
                     Payload::Answer { tuple } => {
-                        engine_answers
-                            .insert(tuple)
-                            .expect("answers match the goal arity");
+                        if *engine_ends > 0 {
+                            *post_end_answers += 1;
+                        }
+                        let got = tuple.arity();
+                        if engine_answers.insert(tuple).is_err() {
+                            return Err(RuntimeError::AnswerArity {
+                                expected: answer_arity,
+                                got,
+                                partial_answers: engine_answers.len(),
+                            });
+                        }
                     }
-                    Payload::End => *end_seen = true,
+                    Payload::End => *engine_ends += 1,
                     Payload::EndTupleRequest { .. } => {}
-                    other => unreachable!("unexpected message to engine: {other:?}"),
+                    other => {
+                        return Err(RuntimeError::UnexpectedEngineMessage {
+                            kind: other.kind_name(),
+                        })
+                    }
                 },
                 Endpoint::Node(id) => {
                     mailboxes[id].push_back(msg);
                     fifo_tokens.push_back(id);
                 }
             }
+            Ok(())
         };
 
         for m in initial {
@@ -141,8 +197,9 @@ impl SimRuntime {
                 &mut stats,
                 &mut trace,
                 &mut engine_answers,
-                &mut end_seen,
-            );
+                &mut engine_ends,
+                &mut post_end_answers,
+            )?;
         }
 
         let mut out: Vec<Msg> = Vec::new();
@@ -167,7 +224,9 @@ impl SimRuntime {
                 }
             };
             let Some(id) = next else { break };
-            let msg = mailboxes[id].pop_front().expect("token implies a message");
+            let Some(msg) = mailboxes[id].pop_front() else {
+                continue;
+            };
             steps += 1;
             if steps > self.max_steps {
                 return Err(RuntimeError::Diverged { steps });
@@ -186,18 +245,492 @@ impl SimRuntime {
                     &mut stats,
                     &mut trace,
                     &mut engine_answers,
-                    &mut end_seen,
-                );
+                    &mut engine_ends,
+                    &mut post_end_answers,
+                )?;
             }
         }
 
-        if !end_seen {
+        if engine_ends == 0 {
             return Err(RuntimeError::NoTermination);
         }
         Ok(SimOutcome {
             answers: engine_answers,
             stats,
             trace,
+            engine_ends,
+            post_end_answers,
         })
+    }
+
+    /// The fault path: every link goes through the sequenced, acked,
+    /// retransmitting transport; the fault plan perturbs the wire; node
+    /// crashes are recovered by durable-log replay.
+    fn run_faulty(
+        &self,
+        network: &mut Network,
+        initial: Vec<Msg>,
+        plan: FaultPlan,
+    ) -> Result<SimOutcome, RuntimeError> {
+        let n = network.processes.len();
+        let mut sim = FaultySim {
+            plan,
+            recovery: self.recovery,
+            pristine: network.processes.clone(),
+            mailboxes: vec![VecDeque::new(); n],
+            fifo_tokens: VecDeque::new(),
+            logs: vec![Vec::new(); n],
+            processed: vec![0; n],
+            epochs: vec![0; n],
+            senders: BTreeMap::new(),
+            receivers: BTreeMap::new(),
+            wire: BTreeMap::new(),
+            wire_uid: 0,
+            now: 0,
+            stats: Stats::default(),
+            trace: if self.trace { Some(Vec::new()) } else { None },
+            engine_answers: Relation::new(network.answer_arity),
+            engine_ends: 0,
+            post_end_answers: 0,
+            answer_arity: network.answer_arity,
+        };
+        let mut rng = match self.schedule {
+            Schedule::Fifo => None,
+            Schedule::Random(seed) => Some(ChaCha8Rng::seed_from_u64(seed)),
+        };
+
+        for m in initial {
+            sim.logical_send(m)?;
+        }
+
+        let mut out: Vec<Msg> = Vec::new();
+        let mut steps: u64 = 0;
+        loop {
+            sim.deliver_due()?;
+
+            let next = match &mut rng {
+                None => loop {
+                    match sim.fifo_tokens.pop_front() {
+                        Some(id) if !sim.mailboxes[id].is_empty() => break Some(id),
+                        Some(_) => continue,
+                        None => break None,
+                    }
+                },
+                Some(rng) => {
+                    let nonempty: Vec<usize> =
+                        (0..n).filter(|&i| !sim.mailboxes[i].is_empty()).collect();
+                    if nonempty.is_empty() {
+                        None
+                    } else {
+                        Some(nonempty[rng.gen_range(0..nonempty.len())])
+                    }
+                }
+            };
+
+            match next {
+                Some(id) => {
+                    let Some(msg) = sim.mailboxes[id].pop_front() else {
+                        continue;
+                    };
+                    steps += 1;
+                    sim.now += 1;
+                    if steps > self.max_steps {
+                        return Err(RuntimeError::Diverged { steps });
+                    }
+                    let mut ctx = Ctx {
+                        out: &mut out,
+                        stats: &mut sim.stats,
+                        mailbox_empty: sim.mailboxes[id].is_empty(),
+                    };
+                    network.processes[id].handle(msg, &mut ctx);
+                    sim.processed[id] += 1;
+                    for m in out.drain(..) {
+                        sim.logical_send(m)?;
+                    }
+                    sim.maybe_crash(network, id, &mut out)?;
+                    // Periodic retransmission scan: the probe protocol
+                    // keeps the network busy forever when a message is
+                    // lost (the Mattern counters block conclusion), so
+                    // quiescence alone must not gate retransmission.
+                    if steps.is_multiple_of(64) {
+                        sim.retransmit_scan(false)?;
+                    }
+                }
+                None => {
+                    // No deliverable message. Advance time to the next
+                    // wire event, or force a retransmission round, or —
+                    // with everything drained and acked — stop.
+                    if let Some((&(t, _), _)) = sim.wire.iter().next() {
+                        sim.now = sim.now.max(t);
+                        continue;
+                    }
+                    if sim.retransmit_scan(true)? {
+                        sim.now += 1;
+                        continue;
+                    }
+                    break;
+                }
+            }
+        }
+
+        if sim.engine_ends == 0 {
+            return Err(RuntimeError::NoTermination);
+        }
+        Ok(SimOutcome {
+            answers: sim.engine_answers,
+            stats: sim.stats,
+            trace: sim.trace,
+            engine_ends: sim.engine_ends,
+            post_end_answers: sim.post_end_answers,
+        })
+    }
+}
+
+/// One frame on the faulty wire. `link` is always the *data* direction
+/// `(sender, receiver)`; ack frames travel against it.
+#[derive(Clone, Debug)]
+enum Frame {
+    /// A sequenced data frame.
+    Data {
+        /// The data link `(from, to)`.
+        link: (Endpoint, Endpoint),
+        /// Transport sequence number on that link.
+        seq: u64,
+        /// The logical message.
+        msg: Msg,
+        /// Checksum failure injected in flight: discarded on arrival.
+        corrupted: bool,
+    },
+    /// A cumulative ack for `link`, traveling receiver → sender.
+    Ack {
+        /// The data link being acknowledged.
+        link: (Endpoint, Endpoint),
+        /// Everything below this sequence number is delivered.
+        upto: u64,
+    },
+}
+
+/// All state of one fault-injected simulation run.
+struct FaultySim {
+    plan: FaultPlan,
+    recovery: bool,
+    /// Pristine process clones for crash recovery (initial state).
+    pristine: Vec<Process>,
+    mailboxes: Vec<VecDeque<Msg>>,
+    fifo_tokens: VecDeque<usize>,
+    /// Durable per-node logs of every delivered message, in delivery
+    /// order. `logs[i][..processed[i]]` is the replay prefix; the
+    /// suffix is exactly the node's current mailbox.
+    logs: Vec<Vec<Msg>>,
+    processed: Vec<u64>,
+    /// Restart generation per node.
+    epochs: Vec<u64>,
+    senders: BTreeMap<(Endpoint, Endpoint), SenderLink>,
+    receivers: BTreeMap<(Endpoint, Endpoint), ReceiverLink>,
+    /// In-flight frames, keyed by `(deliver_at, uid)` — a deterministic
+    /// total order.
+    wire: BTreeMap<(u64, u64), Frame>,
+    wire_uid: u64,
+    now: u64,
+    stats: Stats,
+    trace: Option<Vec<Msg>>,
+    engine_answers: Relation,
+    engine_ends: u64,
+    post_end_answers: u64,
+    answer_arity: usize,
+}
+
+impl FaultySim {
+    /// A logical send: counted once (retransmissions and wire duplicates
+    /// never inflate the message counters), then framed onto the wire.
+    fn logical_send(&mut self, msg: Msg) -> Result<(), RuntimeError> {
+        self.stats.count_send(&msg.payload);
+        if let Some(t) = self.trace.as_mut() {
+            t.push(msg.clone());
+        }
+        let link = (msg.from, msg.to);
+        let sender = self.senders.entry(link).or_default();
+        let seq = sender.send(msg.clone(), self.now);
+        self.transmit(link, seq, msg, 0);
+        Ok(())
+    }
+
+    /// Put one copy of a data frame on the wire, consulting the fault
+    /// plan for its fate.
+    fn transmit(&mut self, link: (Endpoint, Endpoint), seq: u64, msg: Msg, attempt: u32) {
+        let fate = self
+            .plan
+            .fate(endpoint_code(link.0), endpoint_code(link.1), seq, attempt);
+        if fate.dropped {
+            self.stats.fault_dropped += 1;
+            return;
+        }
+        if fate.corrupted {
+            self.stats.fault_corrupted += 1;
+        }
+        if fate.delay > 0 {
+            self.stats.fault_delayed += 1;
+        }
+        let deliver_at = self.now + 1 + fate.delay;
+        self.push_wire(
+            deliver_at,
+            Frame::Data {
+                link,
+                seq,
+                msg: msg.clone(),
+                corrupted: fate.corrupted,
+            },
+        );
+        if fate.duplicated {
+            self.stats.fault_duplicated += 1;
+            self.push_wire(
+                deliver_at + 1,
+                Frame::Data {
+                    link,
+                    seq,
+                    msg,
+                    corrupted: false,
+                },
+            );
+        }
+    }
+
+    /// Send a cumulative ack for `link` back to its sender. Acks ride
+    /// the same faulty wire (dropped or delayed acks are repaired by
+    /// the next ack or a retransmission — they are cumulative), but are
+    /// never duplicated or corrupted: a corrupt ack is just a lost ack.
+    fn send_ack(&mut self, link: (Endpoint, Endpoint), upto: u64) {
+        self.stats.acks += 1;
+        let uid = self.wire_uid; // distinct hash input per ack frame
+        let fate = self
+            .plan
+            .fate(endpoint_code(link.1), endpoint_code(link.0), uid, u32::MAX);
+        if fate.dropped || fate.corrupted {
+            self.stats.fault_dropped += 1;
+            return;
+        }
+        let deliver_at = self.now + 1 + fate.delay;
+        self.push_wire(deliver_at, Frame::Ack { link, upto });
+    }
+
+    fn push_wire(&mut self, deliver_at: u64, frame: Frame) {
+        let uid = self.wire_uid;
+        self.wire_uid += 1;
+        self.wire.insert((deliver_at, uid), frame);
+    }
+
+    /// Deliver every wire frame due at or before `now`.
+    fn deliver_due(&mut self) -> Result<(), RuntimeError> {
+        while let Some((&(t, _), _)) = self.wire.first_key_value() {
+            if t > self.now {
+                break;
+            }
+            let Some((_, frame)) = self.wire.pop_first() else {
+                break;
+            };
+            self.deliver_frame(frame)?;
+        }
+        Ok(())
+    }
+
+    fn deliver_frame(&mut self, frame: Frame) -> Result<(), RuntimeError> {
+        match frame {
+            Frame::Ack { link, upto } => {
+                if let Some(s) = self.senders.get_mut(&link) {
+                    s.ack_upto(upto);
+                }
+                Ok(())
+            }
+            Frame::Data {
+                link,
+                seq,
+                msg,
+                corrupted,
+            } => {
+                if corrupted {
+                    // Detected checksum failure: discard; no ack, so the
+                    // sender retransmits a clean copy.
+                    return Ok(());
+                }
+                let receiver = self.receivers.entry(link).or_default();
+                match receiver.accept(seq, msg) {
+                    Accepted::Deliver(msgs) => {
+                        let upto = receiver.next_expected;
+                        self.send_ack(link, upto);
+                        for m in msgs {
+                            self.deliver_msg(m)?;
+                        }
+                        Ok(())
+                    }
+                    Accepted::Duplicate => {
+                        let upto = receiver.next_expected;
+                        self.stats.dups_discarded += 1;
+                        self.send_ack(link, upto);
+                        Ok(())
+                    }
+                    Accepted::Buffered => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Final, in-order, exactly-once delivery of a logical message.
+    fn deliver_msg(&mut self, msg: Msg) -> Result<(), RuntimeError> {
+        match msg.to {
+            Endpoint::Engine => match msg.payload {
+                Payload::Answer { tuple } => {
+                    if self.engine_ends > 0 {
+                        self.post_end_answers += 1;
+                    }
+                    let got = tuple.arity();
+                    if self.engine_answers.insert(tuple).is_err() {
+                        return Err(RuntimeError::AnswerArity {
+                            expected: self.answer_arity,
+                            got,
+                            partial_answers: self.engine_answers.len(),
+                        });
+                    }
+                    Ok(())
+                }
+                Payload::End => {
+                    self.engine_ends += 1;
+                    Ok(())
+                }
+                Payload::EndTupleRequest { .. } => Ok(()),
+                other => Err(RuntimeError::UnexpectedEngineMessage {
+                    kind: other.kind_name(),
+                }),
+            },
+            Endpoint::Node(id) => {
+                self.logs[id].push(msg.clone());
+                self.mailboxes[id].push_back(msg);
+                self.fifo_tokens.push_back(id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Crash the node if its processed-message count hit a scheduled
+    /// crash point, then recover it by replaying the durable log through
+    /// a pristine clone (or abort, with recovery disabled).
+    fn maybe_crash(
+        &mut self,
+        network: &mut Network,
+        id: usize,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), RuntimeError> {
+        let hit = self
+            .plan
+            .crashes
+            .iter()
+            .any(|c: &CrashPoint| c.node == id && c.after_processed == self.processed[id]);
+        if !hit {
+            return Ok(());
+        }
+        if !self.recovery {
+            return Err(RuntimeError::LinkDown { node: id });
+        }
+        self.stats.crashes += 1;
+        self.epochs[id] += 1;
+        self.stats.epoch_bumps += 1;
+
+        // Volatile transport state into the node is lost; the senders'
+        // unacked buffers (durable, like a WAL) retransmit the contents.
+        for (link, r) in self.receivers.iter_mut() {
+            if link.1 == Endpoint::Node(id) {
+                r.clear_volatile();
+            }
+        }
+
+        // Rebuild computation state: pristine clone + deterministic
+        // replay of the processed log prefix. Outputs are discarded —
+        // they were already sent (and sequenced durably) pre-crash. The
+        // mailbox (the log suffix) survives as-is. A scratch stats sink
+        // keeps replayed work out of the run's counters.
+        let mut fresh = self.pristine[id].clone();
+        let mut scratch = Stats::default();
+        let mut discard: Vec<Msg> = Vec::new();
+        let prefix = self.processed[id] as usize;
+        for m in self.logs[id].iter().take(prefix) {
+            // Wave probes and replies are deliberately not replayed:
+            // protocol state resets at restart and is rebuilt by fresh
+            // epoch-tagged waves. `SccFinished` IS replayed — it is
+            // durable component state (finished, feeders released), not
+            // wave state.
+            let skip = matches!(
+                m.payload,
+                Payload::EndRequest { .. }
+                    | Payload::EndNegative { .. }
+                    | Payload::EndConfirmed { .. }
+                    | Payload::Reborn { .. }
+            );
+            if skip {
+                continue;
+            }
+            let mut ctx = Ctx {
+                out: &mut discard,
+                stats: &mut scratch,
+                // Never report an empty mailbox during replay: a leader
+                // must not originate a probe wave whose messages would
+                // be discarded.
+                mailbox_empty: false,
+            };
+            fresh.handle(m.clone(), &mut ctx);
+            discard.clear();
+            self.stats.replayed += 1;
+        }
+        // Announce the rebirth (aborts any wave in flight at the BFST
+        // parent) with the bumped epoch.
+        fresh.restarted(self.epochs[id], out);
+        network.processes[id] = fresh;
+        for m in out.drain(..) {
+            self.logical_send(m)?;
+        }
+        Ok(())
+    }
+
+    /// Retransmit unacked messages: links idle past the plan's
+    /// `retransmit_after` horizon, or — when `force` is set because the
+    /// network is otherwise quiescent — every link with unacked traffic.
+    /// Returns whether anything was put back on the wire.
+    fn retransmit_scan(&mut self, force: bool) -> Result<bool, RuntimeError> {
+        let due: Vec<(Endpoint, Endpoint)> = self
+            .senders
+            .iter()
+            .filter(|(_, s)| {
+                if force {
+                    !s.unacked.is_empty()
+                } else {
+                    s.due(self.now, self.plan.retransmit_after)
+                }
+            })
+            .map(|(&l, _)| l)
+            .collect();
+        let mut any = false;
+        for link in due {
+            let (retries, frames) = {
+                let Some(s) = self.senders.get_mut(&link) else {
+                    continue;
+                };
+                s.retries += 1;
+                s.last_activity = self.now;
+                let frames: Vec<(u64, Msg)> =
+                    s.unacked.iter().map(|(&q, m)| (q, m.clone())).collect();
+                (s.retries, frames)
+            };
+            if retries > self.plan.max_retries {
+                return Err(RuntimeError::RetransmitExhausted {
+                    from: link.0.node().unwrap_or(usize::MAX),
+                    to: link.1.node().unwrap_or(usize::MAX),
+                    retries,
+                });
+            }
+            for (seq, msg) in frames {
+                self.stats.retransmits += 1;
+                self.transmit(link, seq, msg, retries);
+                any = true;
+            }
+        }
+        Ok(any)
     }
 }

@@ -7,14 +7,523 @@
 //! protocol's `empty_queues()` check (`Receiver::is_empty`) retains the
 //! semantics it has in the simulator; the Mattern-style counters carried
 //! on confirm waves add a defence-in-depth consistency check.
+//!
+//! With a [`FaultPlan`] attached, every channel send is wrapped in the
+//! sequenced/acked/retransmitting transport of [`crate::fault`]: workers
+//! exchange `Data`/`Ack` frames instead of bare messages, tick on a short
+//! `recv_timeout` to release delayed frames and retransmit unacked ones,
+//! and recover from scheduled crashes by replaying their durable message
+//! log through a pristine process clone — the same write-ahead-log
+//! semantics as the simulator (see DESIGN.md). Fault fates are pure
+//! functions of `(seed, link, seq, attempt)`, so a plan injects the same
+//! faults on the same logical message stream as the simulator does. The
+//! clean path (`fault_plan: None`) sends `Plain` frames with no sequence
+//! numbers, no acks, and no ticks — zero transport overhead.
 
+use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
-use crate::node::{Ctx, Network};
+use crate::node::{Ctx, Network, Process};
 use crate::runtime::RuntimeError;
 use crate::stats::Stats;
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mp_storage::{Relation, Tuple};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Worker tick when fault injection is active: the granularity at which
+/// delayed frames are released and retransmissions checked.
+const TICK: Duration = Duration::from_millis(2);
+
+/// How long workers get to drain and exit after `Shutdown` before the
+/// runtime detaches them and reports them as unjoined.
+const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
+
+/// What actually travels on a channel. The clean path sends `Plain`
+/// logical messages — the channel itself is the reliable FIFO link. The
+/// fault path sends sequenced `Data` frames and cumulative `Ack`s, with
+/// the link identified by the frame's endpoints (`msg.from` for data,
+/// `peer` for acks).
+#[derive(Clone, Debug)]
+enum TMsg {
+    /// A logical message on the reliable clean path.
+    Plain(Msg),
+    /// A sequenced data frame on the faulty path.
+    Data {
+        seq: u64,
+        msg: Msg,
+        /// Checksum failure injected in flight: discarded on arrival.
+        corrupted: bool,
+    },
+    /// Cumulative ack: everything `peer` received below `upto` on the
+    /// link from this endpoint is delivered.
+    Ack { peer: Endpoint, upto: u64 },
+    /// A worker hit a fatal condition (crash with recovery disabled,
+    /// retransmission budget exhausted); routed to the engine, which
+    /// aborts the run with the carried error.
+    Fatal(RuntimeError),
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+/// Per-endpoint transport state, shared between workers and the engine:
+/// logical sends, fault-injected framing, ack bookkeeping, delayed-frame
+/// release, and retransmission. With `plan: None` it degenerates to
+/// counting stats and forwarding `Plain` frames.
+struct Transport {
+    me: Endpoint,
+    plan: Option<FaultPlan>,
+    start: Instant,
+    senders: Vec<Sender<TMsg>>,
+    engine_tx: Sender<TMsg>,
+    outgoing: BTreeMap<Endpoint, SenderLink>,
+    incoming: BTreeMap<Endpoint, ReceiverLink>,
+    /// Frames held back by an injected delay, with their release time.
+    delayed: Vec<(Instant, Endpoint, TMsg)>,
+    /// Distinct hash input per ack frame (acks have no sequence number).
+    ack_uid: u64,
+    stats: Stats,
+}
+
+impl Transport {
+    fn new(
+        me: Endpoint,
+        plan: Option<FaultPlan>,
+        start: Instant,
+        senders: Vec<Sender<TMsg>>,
+        engine_tx: Sender<TMsg>,
+    ) -> Transport {
+        Transport {
+            me,
+            plan,
+            start,
+            senders,
+            engine_tx,
+            outgoing: BTreeMap::new(),
+            incoming: BTreeMap::new(),
+            delayed: Vec::new(),
+            ack_uid: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Milliseconds since the run started — the transport clock.
+    fn now_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    fn send_frame(&self, to: Endpoint, frame: TMsg) {
+        // A failed send means the destination is gone (worker exited on
+        // a fatal error); the Fatal frame it sent first aborts the run.
+        match to {
+            Endpoint::Engine => {
+                let _ = self.engine_tx.send(frame);
+            }
+            Endpoint::Node(t) => {
+                let _ = self.senders[t].send(frame);
+            }
+        }
+    }
+
+    /// A logical send: counted once (retransmissions and wire duplicates
+    /// never inflate the message counters), then framed.
+    fn send_logical(&mut self, m: Msg) {
+        self.stats.count_send(&m.payload);
+        if self.plan.is_none() {
+            self.send_frame(m.to, TMsg::Plain(m));
+            return;
+        }
+        let to = m.to;
+        let now = self.now_ms();
+        let seq = self.outgoing.entry(to).or_default().send(m.clone(), now);
+        self.transmit(to, seq, m, 0);
+    }
+
+    /// Put one copy of a data frame on the wire, consulting the fault
+    /// plan for its fate.
+    fn transmit(&mut self, to: Endpoint, seq: u64, msg: Msg, attempt: u32) {
+        let Some(plan) = &self.plan else {
+            return;
+        };
+        let fate = plan.fate(endpoint_code(self.me), endpoint_code(to), seq, attempt);
+        if fate.dropped {
+            self.stats.fault_dropped += 1;
+            return;
+        }
+        if fate.corrupted {
+            self.stats.fault_corrupted += 1;
+        }
+        let frame = TMsg::Data {
+            seq,
+            msg: msg.clone(),
+            corrupted: fate.corrupted,
+        };
+        if fate.delay > 0 {
+            self.stats.fault_delayed += 1;
+            self.delayed.push((
+                Instant::now() + Duration::from_millis(fate.delay),
+                to,
+                frame,
+            ));
+        } else {
+            self.send_frame(to, frame);
+        }
+        if fate.duplicated {
+            self.stats.fault_duplicated += 1;
+            self.delayed.push((
+                Instant::now() + Duration::from_millis(fate.delay + 1),
+                to,
+                TMsg::Data {
+                    seq,
+                    msg,
+                    corrupted: false,
+                },
+            ));
+        }
+    }
+
+    /// Accept one data frame from `from`; returns the logical messages
+    /// now deliverable in order (empty for duplicates and reorder gaps).
+    fn accept_data(&mut self, from: Endpoint, seq: u64, msg: Msg) -> Vec<Msg> {
+        let (accepted, upto) = {
+            let rl = self.incoming.entry(from).or_default();
+            let a = rl.accept(seq, msg);
+            (a, rl.next_expected)
+        };
+        match accepted {
+            Accepted::Deliver(msgs) => {
+                self.send_ack(from, upto);
+                msgs
+            }
+            Accepted::Duplicate => {
+                self.stats.dups_discarded += 1;
+                self.send_ack(from, upto);
+                Vec::new()
+            }
+            Accepted::Buffered => Vec::new(),
+        }
+    }
+
+    /// Send a cumulative ack back to `to`. Acks ride the same faulty
+    /// wire (a lost ack is repaired by the next one — they are
+    /// cumulative) but are never duplicated; a corrupt ack is just a
+    /// lost ack.
+    fn send_ack(&mut self, to: Endpoint, upto: u64) {
+        self.ack_uid += 1;
+        let uid = self.ack_uid;
+        let Some(plan) = &self.plan else {
+            return;
+        };
+        self.stats.acks += 1;
+        let fate = plan.fate(endpoint_code(self.me), endpoint_code(to), uid, u32::MAX);
+        if fate.dropped || fate.corrupted {
+            self.stats.fault_dropped += 1;
+            return;
+        }
+        let frame = TMsg::Ack {
+            peer: self.me,
+            upto,
+        };
+        if fate.delay > 0 {
+            self.delayed.push((
+                Instant::now() + Duration::from_millis(fate.delay),
+                to,
+                frame,
+            ));
+        } else {
+            self.send_frame(to, frame);
+        }
+    }
+
+    fn on_ack(&mut self, peer: Endpoint, upto: u64) {
+        if let Some(s) = self.outgoing.get_mut(&peer) {
+            s.ack_upto(upto);
+        }
+    }
+
+    /// Release every delayed frame whose time has come.
+    fn flush_delayed(&mut self) {
+        if self.delayed.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, to, frame) = self.delayed.swap_remove(i);
+                self.send_frame(to, frame);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Retransmit unacked messages on links idle past the plan's
+    /// `retransmit_after` horizon (interpreted as milliseconds here).
+    fn retransmit_due(&mut self) -> Result<(), RuntimeError> {
+        let (after, max_retries) = match &self.plan {
+            Some(p) => (p.retransmit_after, p.max_retries),
+            None => return Ok(()),
+        };
+        let now = self.now_ms();
+        let due: Vec<Endpoint> = self
+            .outgoing
+            .iter()
+            .filter(|(_, s)| s.due(now, after))
+            .map(|(&to, _)| to)
+            .collect();
+        for to in due {
+            let (retries, frames) = {
+                let Some(s) = self.outgoing.get_mut(&to) else {
+                    continue;
+                };
+                s.retries += 1;
+                s.last_activity = now;
+                let frames: Vec<(u64, Msg)> =
+                    s.unacked.iter().map(|(&q, m)| (q, m.clone())).collect();
+                (s.retries, frames)
+            };
+            if retries > max_retries {
+                return Err(RuntimeError::RetransmitExhausted {
+                    from: self.me.node().unwrap_or(usize::MAX),
+                    to: to.node().unwrap_or(usize::MAX),
+                    retries,
+                });
+            }
+            for (seq, msg) in frames {
+                self.stats.retransmits += 1;
+                self.transmit(to, seq, msg, retries);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One node's worker thread: its process, transport endpoint, durable
+/// message log, and crash/recovery state.
+struct Worker {
+    id: usize,
+    process: Process,
+    /// Initial-state clone for crash recovery (fault mode only).
+    pristine: Option<Process>,
+    recovery: bool,
+    /// This node's scheduled crash points.
+    crashes: Vec<CrashPoint>,
+    rx: Receiver<TMsg>,
+    t: Transport,
+    /// Durable log of every processed message, in processing order.
+    log: Vec<Msg>,
+    /// Restart generation.
+    epoch: u64,
+    /// Reusable output buffer for `Process::handle`.
+    scratch: Vec<Msg>,
+}
+
+impl Worker {
+    fn run(mut self) -> Stats {
+        let fault_mode = self.t.plan.is_some();
+        loop {
+            let recv = if fault_mode {
+                self.rx.recv_timeout(TICK)
+            } else {
+                match self.rx.recv() {
+                    Ok(m) => Ok(m),
+                    Err(_) => Err(RecvTimeoutError::Disconnected),
+                }
+            };
+            let mut fatal = false;
+            match recv {
+                Ok(TMsg::Shutdown) => break,
+                Ok(TMsg::Plain(msg)) => fatal = !self.process_msg(msg),
+                Ok(TMsg::Data {
+                    seq,
+                    msg,
+                    corrupted,
+                }) => {
+                    if !corrupted {
+                        let from = msg.from;
+                        for m in self.t.accept_data(from, seq, msg) {
+                            if !self.process_msg(m) {
+                                fatal = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(TMsg::Ack { peer, upto }) => self.t.on_ack(peer, upto),
+                // Fatal frames are addressed to the engine only.
+                Ok(TMsg::Fatal(_)) => {}
+                // Idle tick: nudge the process. Transport frames drain
+                // from the same queue as logical messages, so the
+                // empty-mailbox moment that triggers batch flushes and
+                // probe origination can pass unseen by `handle`.
+                Err(RecvTimeoutError::Timeout) => self.poke(),
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            if fatal {
+                break;
+            }
+            if fault_mode {
+                self.t.flush_delayed();
+                if let Err(e) = self.t.retransmit_due() {
+                    let _ = self.t.engine_tx.send(TMsg::Fatal(e));
+                    break;
+                }
+            }
+        }
+        self.t.stats
+    }
+
+    /// Idle-time nudge: give the process its batch-flush / probe-
+    /// origination chance when the queue has drained without a logical
+    /// message (see [`Process::poke`]). Not logged: poke output is
+    /// protocol state, which crash recovery deliberately rebuilds from
+    /// fresh waves rather than replay.
+    fn poke(&mut self) {
+        let mailbox_empty = self.rx.is_empty();
+        let mut ctx = Ctx {
+            out: &mut self.scratch,
+            stats: &mut self.t.stats,
+            mailbox_empty,
+        };
+        self.process.poke(&mut ctx);
+        for m in self.scratch.drain(..) {
+            self.t.send_logical(m);
+        }
+    }
+
+    /// Handle one delivered logical message; returns `false` when the
+    /// worker must exit (crash with recovery disabled).
+    fn process_msg(&mut self, msg: Msg) -> bool {
+        if self.t.plan.is_some() {
+            self.log.push(msg.clone());
+        }
+        let mailbox_empty = self.rx.is_empty();
+        let mut ctx = Ctx {
+            out: &mut self.scratch,
+            stats: &mut self.t.stats,
+            mailbox_empty,
+        };
+        self.process.handle(msg, &mut ctx);
+        for m in self.scratch.drain(..) {
+            self.t.send_logical(m);
+        }
+        self.maybe_crash()
+    }
+
+    /// Crash the node if its processed-message count hit a scheduled
+    /// crash point, then recover it by replaying the durable log through
+    /// a pristine clone (or report a fatal error, with recovery
+    /// disabled). Mirrors the simulator's recovery exactly.
+    fn maybe_crash(&mut self) -> bool {
+        if self.crashes.is_empty() {
+            return true;
+        }
+        let processed = self.log.len() as u64;
+        if !self.crashes.iter().any(|c| c.after_processed == processed) {
+            return true;
+        }
+        if !self.recovery {
+            let _ = self
+                .t
+                .engine_tx
+                .send(TMsg::Fatal(RuntimeError::LinkDown { node: self.id }));
+            return false;
+        }
+        let mut fresh = match &self.pristine {
+            Some(p) => p.clone(),
+            None => return true,
+        };
+        self.t.stats.crashes += 1;
+        self.epoch += 1;
+        self.t.stats.epoch_bumps += 1;
+
+        // Volatile transport state into the node is lost; the senders'
+        // unacked buffers (durable, like a WAL) retransmit the contents.
+        for r in self.t.incoming.values_mut() {
+            r.clear_volatile();
+        }
+
+        // Rebuild computation state: pristine clone + deterministic
+        // replay of the durable log. Outputs are discarded — they were
+        // already sent (and sequenced durably) pre-crash. Wave probes
+        // and replies are not replayed: protocol state resets at restart
+        // and is rebuilt by fresh epoch-tagged waves. `SccFinished` IS
+        // replayed — durable component state, not wave state. A scratch
+        // stats sink keeps replayed work out of the run's counters.
+        let mut scratch_stats = Stats::default();
+        let mut discard: Vec<Msg> = Vec::new();
+        let mut replayed: u64 = 0;
+        for m in &self.log {
+            let skip = matches!(
+                m.payload,
+                Payload::EndRequest { .. }
+                    | Payload::EndNegative { .. }
+                    | Payload::EndConfirmed { .. }
+                    | Payload::Reborn { .. }
+            );
+            if skip {
+                continue;
+            }
+            let mut ctx = Ctx {
+                out: &mut discard,
+                stats: &mut scratch_stats,
+                // Never report an empty mailbox during replay: a leader
+                // must not originate a probe wave whose messages would
+                // be discarded.
+                mailbox_empty: false,
+            };
+            fresh.handle(m.clone(), &mut ctx);
+            discard.clear();
+            replayed += 1;
+        }
+        self.t.stats.replayed += replayed;
+        self.process = fresh;
+        // Announce the rebirth (aborts any wave in flight at the BFST
+        // parent) with the bumped epoch.
+        let mut out: Vec<Msg> = Vec::new();
+        self.process.restarted(self.epoch, &mut out);
+        for m in out {
+            self.t.send_logical(m);
+        }
+        true
+    }
+}
+
+/// Consume one logical message at the engine endpoint. Returns `Ok(true)`
+/// on the final `End`, `Ok(false)` to keep collecting, or a typed error —
+/// never panics, whatever arrives.
+fn engine_accept(
+    msg: Msg,
+    answers: &mut Relation,
+    engine_ends: &mut u64,
+    post_end_answers: &mut u64,
+    answer_arity: usize,
+) -> Result<bool, RuntimeError> {
+    match msg.payload {
+        Payload::Answer { tuple } => {
+            if *engine_ends > 0 {
+                *post_end_answers += 1;
+            }
+            let got = tuple.arity();
+            if answers.insert(tuple).is_err() {
+                return Err(RuntimeError::AnswerArity {
+                    expected: answer_arity,
+                    got,
+                    partial_answers: answers.len(),
+                });
+            }
+            Ok(false)
+        }
+        Payload::End => {
+            *engine_ends += 1;
+            Ok(true)
+        }
+        Payload::EndTupleRequest { .. } => Ok(false),
+        other => Err(RuntimeError::UnexpectedEngineMessage {
+            kind: other.kind_name(),
+        }),
+    }
+}
 
 /// Result of a threaded run (same shape as the simulator's, no trace).
 #[derive(Clone, Debug)]
@@ -23,6 +532,12 @@ pub struct ThreadOutcome {
     pub answers: Relation,
     /// Merged per-node stats.
     pub stats: Stats,
+    /// `End` messages delivered to the engine before it stopped
+    /// collecting (Thm 3.1 observable: must be exactly 1 on success).
+    pub engine_ends: u64,
+    /// Answers delivered after the final `End` and before the engine
+    /// stopped collecting (Thm 3.1 observable: must be 0).
+    pub post_end_answers: u64,
 }
 
 /// The threaded runtime.
@@ -30,12 +545,21 @@ pub struct ThreadOutcome {
 pub struct ThreadRuntime {
     /// Wall-clock budget for the whole evaluation.
     pub timeout: Duration,
+    /// Fault-injection plan; `None` runs the pristine 1986 model with
+    /// zero transport overhead. Delay and retransmission horizons are
+    /// interpreted as milliseconds here.
+    pub fault_plan: Option<FaultPlan>,
+    /// Recover crashed nodes by log replay. With recovery disabled a
+    /// scheduled crash aborts the run with [`RuntimeError::LinkDown`].
+    pub recovery: bool,
 }
 
 impl Default for ThreadRuntime {
     fn default() -> Self {
         ThreadRuntime {
             timeout: Duration::from_secs(60),
+            fault_plan: None,
+            recovery: true,
         }
     }
 }
@@ -55,108 +579,211 @@ impl ThreadRuntime {
         let n = network.processes.len();
         let answer_arity = network.answer_arity;
         let root = network.root;
-        let mut senders: Vec<Sender<Msg>> = Vec::with_capacity(n);
-        let mut receivers: Vec<Option<Receiver<Msg>>> = Vec::with_capacity(n);
+        let fault_mode = self.fault_plan.is_some();
+        let start = Instant::now();
+
+        let mut txs: Vec<Sender<TMsg>> = Vec::with_capacity(n);
+        let mut rxs: Vec<Receiver<TMsg>> = Vec::with_capacity(n);
         for _ in 0..n {
             let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(Some(rx));
+            txs.push(tx);
+            rxs.push(rx);
         }
-        let (engine_tx, engine_rx) = unbounded::<Msg>();
+        // Receiver clones share the queue: the engine keeps one per node
+        // to report pending mailbox depths in timeout diagnostics.
+        let probes: Vec<Receiver<TMsg>> = rxs.to_vec();
+        let (engine_tx, engine_rx) = unbounded::<TMsg>();
 
         let mut handles = Vec::with_capacity(n);
-        for (id, mut process) in network.processes.into_iter().enumerate() {
-            let rx = receivers[id].take().expect("receiver unclaimed");
-            let senders = senders.clone();
-            let engine_tx = engine_tx.clone();
-            handles.push(std::thread::spawn(move || -> Stats {
-                let mut stats = Stats::default();
-                let mut out: Vec<Msg> = Vec::new();
-                while let Ok(msg) = rx.recv() {
-                    if msg.payload == Payload::Shutdown {
-                        break;
-                    }
-                    let mut ctx = Ctx {
-                        out: &mut out,
-                        stats: &mut stats,
-                        mailbox_empty: rx.is_empty(),
-                    };
-                    process.handle(msg, &mut ctx);
-                    for m in out.drain(..) {
-                        stats.count_send(&m.payload);
-                        match m.to {
-                            Endpoint::Engine => {
-                                let _ = engine_tx.send(m);
-                            }
-                            Endpoint::Node(t) => {
-                                let _ = senders[t].send(m);
-                            }
-                        }
-                    }
-                }
-                stats
-            }));
+        for ((id, process), rx) in network.processes.into_iter().enumerate().zip(rxs) {
+            let plan = self.fault_plan.clone();
+            let crashes: Vec<CrashPoint> = plan
+                .as_ref()
+                .map(|p| p.crashes.iter().filter(|c| c.node == id).copied().collect())
+                .unwrap_or_default();
+            let pristine = if fault_mode {
+                Some(process.clone())
+            } else {
+                None
+            };
+            let worker = Worker {
+                id,
+                process,
+                pristine,
+                recovery: self.recovery,
+                crashes,
+                rx,
+                t: Transport::new(
+                    Endpoint::Node(id),
+                    plan,
+                    start,
+                    txs.clone(),
+                    engine_tx.clone(),
+                ),
+                log: Vec::new(),
+                epoch: 0,
+                scratch: Vec::new(),
+            };
+            handles.push(std::thread::spawn(move || worker.run()));
         }
 
-        // Inject the query.
-        let mut engine_stats = Stats::default();
-        let inject = |payload: Payload, engine_stats: &mut Stats| {
-            engine_stats.count_send(&payload);
-            senders[root]
-                .send(Msg {
-                    from: Endpoint::Engine,
-                    to: Endpoint::Node(root),
-                    payload,
-                })
-                .expect("root thread alive");
-        };
-        inject(Payload::RelationRequest, &mut engine_stats);
+        // The engine's own transport endpoint: injects the query and,
+        // in fault mode, acks/retransmits on the links to and from the
+        // root node.
+        let mut t = Transport::new(
+            Endpoint::Engine,
+            self.fault_plan.clone(),
+            start,
+            txs.clone(),
+            engine_tx.clone(),
+        );
+        let to_root = Endpoint::Node(root);
+        t.send_logical(Msg {
+            from: Endpoint::Engine,
+            to: to_root,
+            payload: Payload::RelationRequest,
+        });
         for b in requests {
-            inject(Payload::TupleRequest { binding: b }, &mut engine_stats);
-        }
-        inject(Payload::EndOfRequests, &mut engine_stats);
-
-        // Collect until the final End (or timeout).
-        let deadline = Instant::now() + self.timeout;
-        let mut answers = Relation::new(answer_arity);
-        let result = loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                break Err(RuntimeError::Timeout {
-                    millis: self.timeout.as_millis() as u64,
-                });
-            }
-            match engine_rx.recv_timeout(remaining) {
-                Ok(msg) => match msg.payload {
-                    Payload::Answer { tuple } => {
-                        answers.insert(tuple).expect("goal arity");
-                    }
-                    Payload::End => break Ok(()),
-                    Payload::EndTupleRequest { .. } => {}
-                    other => unreachable!("unexpected message to engine: {other:?}"),
-                },
-                Err(_) => {
-                    break Err(RuntimeError::Timeout {
-                        millis: self.timeout.as_millis() as u64,
-                    })
-                }
-            }
-        };
-
-        // Shut everything down and merge stats.
-        for tx in &senders {
-            let _ = tx.send(Msg {
+            t.send_logical(Msg {
                 from: Endpoint::Engine,
-                to: Endpoint::Engine, // routing field unused by Shutdown
-                payload: Payload::Shutdown,
+                to: to_root,
+                payload: Payload::TupleRequest { binding: b },
             });
         }
-        let mut stats = engine_stats;
-        for h in handles {
-            if let Ok(s) = h.join() {
-                stats.merge(&s);
+        t.send_logical(Msg {
+            from: Endpoint::Engine,
+            to: to_root,
+            payload: Payload::EndOfRequests,
+        });
+
+        // Collect until the final End (or timeout).
+        let deadline = start + self.timeout;
+        let mut answers = Relation::new(answer_arity);
+        let mut engine_ends: u64 = 0;
+        let mut post_end_answers: u64 = 0;
+        let mut result: Result<(), RuntimeError> = loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break Err(self.timeout_error(start, &answers, &probes));
             }
+            let wait = if fault_mode {
+                TICK.min(deadline - now)
+            } else {
+                deadline - now
+            };
+            match engine_rx.recv_timeout(wait) {
+                Ok(frame) => {
+                    let msgs: Vec<Msg> = match frame {
+                        TMsg::Plain(m) => vec![m],
+                        TMsg::Data {
+                            seq,
+                            msg,
+                            corrupted,
+                        } => {
+                            if corrupted {
+                                Vec::new()
+                            } else {
+                                let from = msg.from;
+                                t.accept_data(from, seq, msg)
+                            }
+                        }
+                        TMsg::Ack { peer, upto } => {
+                            t.on_ack(peer, upto);
+                            Vec::new()
+                        }
+                        TMsg::Fatal(e) => break Err(e),
+                        TMsg::Shutdown => Vec::new(),
+                    };
+                    let mut flow: Result<bool, RuntimeError> = Ok(false);
+                    for m in msgs {
+                        flow = engine_accept(
+                            m,
+                            &mut answers,
+                            &mut engine_ends,
+                            &mut post_end_answers,
+                            answer_arity,
+                        );
+                        if !matches!(flow, Ok(false)) {
+                            break;
+                        }
+                    }
+                    match flow {
+                        Ok(true) => break Ok(()),
+                        Err(e) => break Err(e),
+                        Ok(false) => {}
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break Err(RuntimeError::NoTermination),
+            }
+            if fault_mode {
+                t.flush_delayed();
+                if let Err(e) = t.retransmit_due() {
+                    break Err(e);
+                }
+            }
+        };
+
+        // Shut everything down: broadcast Shutdown, then join with a
+        // bounded grace period — a stuck worker is detached and reported
+        // instead of hanging the caller past its own deadline.
+        for tx in &txs {
+            let _ = tx.send(TMsg::Shutdown);
         }
-        result.map(|()| ThreadOutcome { answers, stats })
+        let mut stats = t.stats;
+        let grace_deadline = Instant::now() + SHUTDOWN_GRACE;
+        let mut remaining: Vec<(usize, std::thread::JoinHandle<Stats>)> =
+            handles.into_iter().enumerate().collect();
+        loop {
+            let mut still = Vec::new();
+            for (id, h) in remaining {
+                if h.is_finished() {
+                    if let Ok(s) = h.join() {
+                        stats.merge(&s);
+                    }
+                } else {
+                    still.push((id, h));
+                }
+            }
+            remaining = still;
+            if remaining.is_empty() || Instant::now() >= grace_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let unjoined: Vec<usize> = remaining.iter().map(|(id, _)| *id).collect();
+        // Dropping the handles detaches the stuck workers.
+        drop(remaining);
+        if let Err(RuntimeError::Timeout { unjoined: u, .. }) = &mut result {
+            *u = unjoined;
+        }
+        result.map(|()| ThreadOutcome {
+            answers,
+            stats,
+            engine_ends,
+            post_end_answers,
+        })
+    }
+
+    /// Build the diagnostic timeout error from abort-time state; the
+    /// `unjoined` list is filled in after the shutdown drain.
+    fn timeout_error(
+        &self,
+        start: Instant,
+        answers: &Relation,
+        probes: &[Receiver<TMsg>],
+    ) -> RuntimeError {
+        RuntimeError::Timeout {
+            budget_millis: self.timeout.as_millis() as u64,
+            elapsed_millis: start.elapsed().as_millis() as u64,
+            partial_answers: answers.len(),
+            pending: probes
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.is_empty())
+                .map(|(i, r)| (i, r.len()))
+                .collect(),
+            unjoined: Vec::new(),
+        }
     }
 }

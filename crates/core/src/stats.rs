@@ -46,6 +46,32 @@ pub struct Stats {
     pub edb_lookups: u64,
     /// Messages processed in total.
     pub messages_processed: u64,
+
+    // ---- fault injection and recovery (zero on a fault-free run) ----
+    /// Message copies dropped by the fault plan.
+    pub fault_dropped: u64,
+    /// Message copies duplicated by the fault plan.
+    pub fault_duplicated: u64,
+    /// Message copies delayed (reordered) by the fault plan.
+    pub fault_delayed: u64,
+    /// Message copies corrupted in flight (detected and discarded).
+    pub fault_corrupted: u64,
+    /// Transport retransmissions of unacked messages.
+    pub retransmits: u64,
+    /// Transport acknowledgement frames.
+    pub acks: u64,
+    /// Transport-level duplicates discarded at the receiver.
+    pub dups_discarded: u64,
+    /// Stale protocol events dropped (superseded wave / old epoch).
+    pub stale_dropped: u64,
+    /// Malformed or misrouted frames dropped at a node.
+    pub malformed_dropped: u64,
+    /// Node crashes injected.
+    pub crashes: u64,
+    /// Messages replayed from durable logs during node recovery.
+    pub replayed: u64,
+    /// Restart-generation bumps (one per recovered node incarnation).
+    pub epoch_bumps: u64,
 }
 
 impl Stats {
@@ -93,6 +119,33 @@ impl Stats {
         self.max_stage_relation = self.max_stage_relation.max(other.max_stage_relation);
         self.edb_lookups += other.edb_lookups;
         self.messages_processed += other.messages_processed;
+        self.fault_dropped += other.fault_dropped;
+        self.fault_duplicated += other.fault_duplicated;
+        self.fault_delayed += other.fault_delayed;
+        self.fault_corrupted += other.fault_corrupted;
+        self.retransmits += other.retransmits;
+        self.acks += other.acks;
+        self.dups_discarded += other.dups_discarded;
+        self.stale_dropped += other.stale_dropped;
+        self.malformed_dropped += other.malformed_dropped;
+        self.crashes += other.crashes;
+        self.replayed += other.replayed;
+        self.epoch_bumps += other.epoch_bumps;
+    }
+
+    /// Total fault events injected by the active plan.
+    pub fn faults_injected(&self) -> u64 {
+        self.fault_dropped + self.fault_duplicated + self.fault_delayed + self.fault_corrupted
+    }
+
+    /// Transport overhead ratio: retransmissions per logical message.
+    /// Must be ~0 when the fault plan is inactive (clean path).
+    pub fn retransmit_overhead(&self) -> f64 {
+        if self.total_messages() == 0 {
+            0.0
+        } else {
+            self.retransmits as f64 / self.total_messages() as f64
+        }
     }
 
     /// Record an outgoing message.
@@ -108,7 +161,8 @@ impl Stats {
             P::EndRequest { .. }
             | P::EndNegative { .. }
             | P::EndConfirmed { .. }
-            | P::SccFinished => self.protocol_messages += 1,
+            | P::SccFinished
+            | P::Reborn { .. } => self.protocol_messages += 1,
             P::Shutdown => {}
         }
     }
@@ -126,7 +180,7 @@ mod tests {
         s.count_send(&Payload::TupleRequest { binding: tuple![1] });
         s.count_send(&Payload::Answer { tuple: tuple![1] });
         s.count_send(&Payload::End);
-        s.count_send(&Payload::EndRequest { wave: 0 });
+        s.count_send(&Payload::EndRequest { wave: 0, epoch: 0 });
         assert_eq!(s.tuple_requests, 1);
         assert_eq!(s.answers, 1);
         assert_eq!(s.stream_ends, 1);

@@ -34,10 +34,20 @@ pub struct TermState {
     pub bfst_children: Vec<NodeId>,
     /// Consecutive end requests received while idle (Fig 2's counter).
     pub idleness: u32,
-    /// Outstanding child answers for the current wave.
-    pub waiting_for: usize,
+    /// Children whose answer for the current wave is still outstanding.
+    /// A set (not a count) so a stale or duplicated reply, or a `Reborn`
+    /// from a child that already answered, can be recognised and dropped
+    /// instead of corrupting the wave.
+    pub pending: Vec<NodeId>,
     /// Leader only: a wave is in flight.
     pub inflight: bool,
+    /// This node's restart generation, stamped on the end requests it
+    /// sends; replies echoing a different epoch are stale (pre-restart)
+    /// and dropped.
+    pub epoch: u64,
+    /// Epoch carried by the last end request from the parent, echoed in
+    /// this node's reply so the parent can validate it.
+    pub reply_epoch: u64,
     /// No child answered negative in the current wave.
     pub all_confirmed: bool,
     /// Current wave number.
@@ -65,6 +75,9 @@ pub enum TermAction {
     /// behavior must flush per-binding ends, and if end-of-requests was
     /// received, finish the stream and broadcast `SccFinished`.
     Conclude,
+    /// The event belonged to a superseded wave or a pre-restart epoch
+    /// and was dropped without touching the wave state.
+    Stale,
 }
 
 impl TermState {
@@ -75,8 +88,10 @@ impl TermState {
             bfst_parent,
             bfst_children,
             idleness: 0,
-            waiting_for: 0,
+            pending: Vec::new(),
             inflight: false,
+            epoch: 0,
+            reply_epoch: 0,
             all_confirmed: true,
             wave: 0,
             agg_sent: 0,
@@ -120,24 +135,36 @@ impl TermState {
         self.idleness = 2;
         self.agg_sent = self.intra_sent;
         self.agg_recv = self.intra_recv;
-        self.waiting_for = self.bfst_children.len();
+        self.pending = self.bfst_children.clone();
         debug_assert!(
-            self.waiting_for > 0,
+            !self.pending.is_empty(),
             "a nontrivial component's leader has BFST children"
         );
         for &c in &self.bfst_children {
             out.push(Msg {
                 from: Endpoint::Node(self_id),
                 to: Endpoint::Node(c),
-                payload: Payload::EndRequest { wave: self.wave },
+                payload: Payload::EndRequest {
+                    wave: self.wave,
+                    epoch: self.epoch,
+                },
             });
         }
     }
 
-    /// Member: handle an end request from the BFST parent.
-    pub fn on_end_request(&mut self, self_id: NodeId, wave: u64, empty: bool, out: &mut Vec<Msg>) {
+    /// Member: handle an end request from the BFST parent. `epoch` is
+    /// the parent's epoch, echoed back in this node's reply.
+    pub fn on_end_request(
+        &mut self,
+        self_id: NodeId,
+        wave: u64,
+        epoch: u64,
+        empty: bool,
+        out: &mut Vec<Msg>,
+    ) {
         debug_assert!(!self.leader, "the leader originates, it is never probed");
         self.wave = wave;
+        self.reply_epoch = epoch;
         if empty {
             self.idleness += 1;
         } else {
@@ -146,50 +173,100 @@ impl TermState {
         self.all_confirmed = true;
         self.agg_sent = self.intra_sent;
         self.agg_recv = self.intra_recv;
-        self.waiting_for = self.bfst_children.len();
-        if self.waiting_for == 0 {
+        self.pending = self.bfst_children.clone();
+        if self.pending.is_empty() {
             self.reply(self_id, out);
         } else {
             for &c in &self.bfst_children {
                 out.push(Msg {
                     from: Endpoint::Node(self_id),
                     to: Endpoint::Node(c),
-                    payload: Payload::EndRequest { wave },
+                    payload: Payload::EndRequest {
+                        wave,
+                        epoch: self.epoch,
+                    },
                 });
             }
         }
     }
 
-    /// Handle a child's negative answer.
+    /// True when a reply from `child` tagged `(wave, epoch)` answers the
+    /// wave currently outstanding at this node. Anything else — an echo
+    /// of a superseded wave, a pre-restart epoch, or a child that
+    /// already answered — is stale.
+    fn reply_is_current(&self, child: NodeId, wave: u64, epoch: u64) -> bool {
+        wave == self.wave && epoch == self.epoch && self.pending.contains(&child)
+    }
+
+    /// Handle a negative answer from `child`.
+    #[allow(clippy::too_many_arguments)] // mirrors the wire message's fields
     pub fn on_end_negative(
         &mut self,
         self_id: NodeId,
+        child: NodeId,
+        wave: u64,
+        epoch: u64,
         empty: bool,
         unfinished: bool,
         out: &mut Vec<Msg>,
     ) -> TermAction {
+        if !self.reply_is_current(child, wave, epoch) {
+            return TermAction::Stale;
+        }
         self.all_confirmed = false;
-        self.waiting_for -= 1;
-        if self.waiting_for == 0 {
+        self.pending.retain(|&c| c != child);
+        if self.pending.is_empty() {
             return self.complete_wave(self_id, empty, unfinished, out);
         }
         TermAction::None
     }
 
-    /// Handle a child's confirmed answer (with its subtree counters).
+    /// Handle a confirmed answer from `child` (with its subtree
+    /// counters).
+    #[allow(clippy::too_many_arguments)]
     pub fn on_end_confirmed(
         &mut self,
         self_id: NodeId,
+        child: NodeId,
+        wave: u64,
+        epoch: u64,
         sent: u64,
         received: u64,
         empty: bool,
         unfinished: bool,
         out: &mut Vec<Msg>,
     ) -> TermAction {
+        if !self.reply_is_current(child, wave, epoch) {
+            return TermAction::Stale;
+        }
         self.agg_sent += sent;
         self.agg_recv += received;
-        self.waiting_for -= 1;
-        if self.waiting_for == 0 {
+        self.pending.retain(|&c| c != child);
+        if self.pending.is_empty() {
+            return self.complete_wave(self_id, empty, unfinished, out);
+        }
+        TermAction::None
+    }
+
+    /// Handle a `Reborn` announcement from a BFST child that crashed and
+    /// restarted. If the child's answer for the current wave is still
+    /// outstanding, the rebirth counts as a negative answer (the wave
+    /// must abort, not deadlock); otherwise there is nothing to repair —
+    /// the next wave will probe the reborn child normally.
+    pub fn on_reborn(
+        &mut self,
+        self_id: NodeId,
+        child: NodeId,
+        empty: bool,
+        unfinished: bool,
+        out: &mut Vec<Msg>,
+    ) -> TermAction {
+        if !self.pending.contains(&child) {
+            return TermAction::Stale;
+        }
+        self.all_confirmed = false;
+        self.pending.retain(|&c| c != child);
+        if self.pending.is_empty() {
             return self.complete_wave(self_id, empty, unfinished, out);
         }
         TermAction::None
@@ -223,19 +300,28 @@ impl TermState {
     }
 
     fn reply(&mut self, self_id: NodeId, out: &mut Vec<Msg>) {
-        let parent = Endpoint::Node(self.bfst_parent.expect("non-leader has a BFST parent"));
+        let Some(parent) = self.bfst_parent else {
+            // A non-leader always has a BFST parent at compile time; the
+            // only way to get here is a corrupted-then-recovered state,
+            // and dropping the reply is safe (the leader re-probes).
+            return;
+        };
         let payload = if self.all_confirmed && self.idleness >= 2 {
             Payload::EndConfirmed {
                 wave: self.wave,
+                epoch: self.reply_epoch,
                 sent: self.agg_sent,
                 received: self.agg_recv,
             }
         } else {
-            Payload::EndNegative { wave: self.wave }
+            Payload::EndNegative {
+                wave: self.wave,
+                epoch: self.reply_epoch,
+            }
         };
         out.push(Msg {
             from: Endpoint::Node(self_id),
-            to: parent,
+            to: Endpoint::Node(parent),
             payload,
         });
     }
@@ -259,28 +345,28 @@ mod tests {
         leader.maybe_originate(0, true, true, &mut out);
         assert!(matches!(
             drain(&mut out)[0],
-            Payload::EndRequest { wave: 1 }
+            Payload::EndRequest { wave: 1, .. }
         ));
 
         // Wave 1: leaf idle but idleness becomes 1 → negative.
-        leaf.on_end_request(1, 1, true, &mut out);
+        leaf.on_end_request(1, 1, 0, true, &mut out);
         assert!(matches!(
             drain(&mut out)[0],
-            Payload::EndNegative { wave: 1 }
+            Payload::EndNegative { wave: 1, .. }
         ));
-        let act = leader.on_end_negative(0, true, true, &mut out);
+        let act = leader.on_end_negative(0, 1, 1, 0, true, true, &mut out);
         assert_eq!(act, TermAction::None);
         // Leader immediately re-probes (wave 2).
         assert!(matches!(
             drain(&mut out)[0],
-            Payload::EndRequest { wave: 2 }
+            Payload::EndRequest { wave: 2, .. }
         ));
 
         // Wave 2: leaf idle again → idleness 2 → confirmed.
-        leaf.on_end_request(1, 2, true, &mut out);
+        leaf.on_end_request(1, 2, 0, true, &mut out);
         let msgs = drain(&mut out);
         assert!(matches!(msgs[0], Payload::EndConfirmed { wave: 2, .. }));
-        let act = leader.on_end_confirmed(0, 0, 0, true, true, &mut out);
+        let act = leader.on_end_confirmed(0, 1, 2, 0, 0, 0, true, true, &mut out);
         assert_eq!(act, TermAction::Conclude);
     }
 
@@ -288,18 +374,18 @@ mod tests {
     fn work_between_waves_resets_idleness() {
         let mut leaf = TermState::new(false, Some(0), vec![]);
         let mut out = Vec::new();
-        leaf.on_end_request(1, 1, true, &mut out);
+        leaf.on_end_request(1, 1, 0, true, &mut out);
         drain(&mut out);
         leaf.on_work(); // a tuple arrived between waves
-        leaf.on_end_request(1, 2, true, &mut out);
+        leaf.on_end_request(1, 2, 0, true, &mut out);
         assert!(matches!(
             drain(&mut out)[0],
-            Payload::EndNegative { wave: 2 }
+            Payload::EndNegative { wave: 2, .. }
         ));
         // Two more idle waves then confirm.
-        leaf.on_end_request(1, 3, true, &mut out);
+        leaf.on_end_request(1, 3, 0, true, &mut out);
         drain(&mut out);
-        leaf.on_end_request(1, 4, true, &mut out);
+        leaf.on_end_request(1, 4, 0, true, &mut out);
         assert!(matches!(
             drain(&mut out)[0],
             Payload::EndConfirmed { wave: 4, .. }
@@ -310,10 +396,10 @@ mod tests {
     fn busy_node_answers_negative() {
         let mut leaf = TermState::new(false, Some(0), vec![]);
         let mut out = Vec::new();
-        leaf.on_end_request(1, 1, false, &mut out); // mailbox not empty
+        leaf.on_end_request(1, 1, 0, false, &mut out); // mailbox not empty
         assert!(matches!(
             drain(&mut out)[0],
-            Payload::EndNegative { wave: 1 }
+            Payload::EndNegative { wave: 1, .. }
         ));
         assert_eq!(leaf.idleness, 0);
     }
@@ -324,29 +410,30 @@ mod tests {
         let mut mid = TermState::new(false, Some(0), vec![2, 3]);
         let mut out = Vec::new();
         // First wave primes idleness to 1; it forwards to children.
-        mid.on_end_request(1, 1, true, &mut out);
+        mid.on_end_request(1, 1, 0, true, &mut out);
         assert_eq!(out.len(), 2);
         out.clear();
         // Both children confirm with counters, but mid's idleness is 1 →
         // negative up.
-        mid.on_end_confirmed(1, 5, 5, true, true, &mut out);
+        mid.on_end_confirmed(1, 2, 1, 0, 5, 5, true, true, &mut out);
         assert!(out.is_empty());
-        mid.on_end_confirmed(1, 3, 3, true, true, &mut out);
+        mid.on_end_confirmed(1, 3, 1, 0, 3, 3, true, true, &mut out);
         assert!(matches!(
             drain(&mut out)[0],
-            Payload::EndNegative { wave: 1 }
+            Payload::EndNegative { wave: 1, .. }
         ));
         // Second wave, still idle: children confirm → confirmed up with
         // summed counters (mid's own are 0).
-        mid.on_end_request(1, 2, true, &mut out);
+        mid.on_end_request(1, 2, 0, true, &mut out);
         out.clear();
-        mid.on_end_confirmed(1, 5, 5, true, true, &mut out);
-        mid.on_end_confirmed(1, 3, 3, true, true, &mut out);
+        mid.on_end_confirmed(1, 2, 2, 0, 5, 5, true, true, &mut out);
+        mid.on_end_confirmed(1, 3, 2, 0, 3, 3, true, true, &mut out);
         match drain(&mut out).pop().unwrap() {
             Payload::EndConfirmed {
                 wave,
                 sent,
                 received,
+                ..
             } => {
                 assert_eq!(wave, 2);
                 assert_eq!(sent, 8);
@@ -365,10 +452,13 @@ mod tests {
         leader.maybe_originate(0, true, true, &mut out);
         out.clear();
         leader.idleness = 2;
-        let act = leader.on_end_confirmed(0, 0, 0, true, true, &mut out);
+        let act = leader.on_end_confirmed(0, 1, 1, 0, 0, 0, true, true, &mut out);
         assert_eq!(act, TermAction::None);
         // It re-probed instead.
-        assert!(matches!(out[0].payload, Payload::EndRequest { wave: 2 }));
+        assert!(matches!(
+            out[0].payload,
+            Payload::EndRequest { wave: 2, .. }
+        ));
     }
 
     #[test]
@@ -377,10 +467,63 @@ mod tests {
         let mut out = Vec::new();
         leader.maybe_originate(0, true, true, &mut out);
         out.clear();
-        leader.on_end_confirmed(0, 0, 0, true, true, &mut out);
-        let act = leader.on_end_negative(0, true, true, &mut out);
+        leader.on_end_confirmed(0, 1, 1, 0, 0, 0, true, true, &mut out);
+        let act = leader.on_end_negative(0, 2, 1, 0, true, true, &mut out);
         assert_eq!(act, TermAction::None);
-        assert!(matches!(out[0].payload, Payload::EndRequest { wave: 2 }));
+        assert!(matches!(
+            out[0].payload,
+            Payload::EndRequest { wave: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn stale_replies_are_dropped() {
+        let mut leader = TermState::new(true, None, vec![1, 2]);
+        let mut out = Vec::new();
+        leader.maybe_originate(0, true, true, &mut out);
+        out.clear();
+        // Wrong wave.
+        let act = leader.on_end_negative(0, 1, 7, 0, true, true, &mut out);
+        assert_eq!(act, TermAction::Stale);
+        // Wrong epoch (reply to a pre-restart probe).
+        let act = leader.on_end_confirmed(0, 1, 1, 9, 0, 0, true, true, &mut out);
+        assert_eq!(act, TermAction::Stale);
+        // Valid reply, then a duplicate of it.
+        let act = leader.on_end_confirmed(0, 1, 1, 0, 0, 0, true, true, &mut out);
+        assert_eq!(act, TermAction::None);
+        let act = leader.on_end_confirmed(0, 1, 1, 0, 0, 0, true, true, &mut out);
+        assert_eq!(act, TermAction::Stale);
+        // The wave is still waiting for child 2 only.
+        assert_eq!(leader.pending, vec![2]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reborn_child_aborts_the_wave() {
+        let mut leader = TermState::new(true, None, vec![1]);
+        let mut out = Vec::new();
+        leader.maybe_originate(0, true, true, &mut out);
+        out.clear();
+        // Child 1 crashes mid-wave and announces its rebirth: the wave
+        // aborts (negative) and the leader re-probes.
+        let act = leader.on_reborn(0, 1, true, true, &mut out);
+        assert_eq!(act, TermAction::None);
+        assert!(matches!(
+            out[0].payload,
+            Payload::EndRequest { wave: 2, .. }
+        ));
+        out.clear();
+        // Wave 2 is now pending for child 1, so a second rebirth aborts
+        // it the same way.
+        let act = leader.on_reborn(0, 1, true, true, &mut out);
+        assert_eq!(act, TermAction::None);
+        out.clear();
+        // With no wave in flight a rebirth is a no-op.
+        leader.inflight = false;
+        leader.pending.clear();
+        let act = leader.on_reborn(0, 1, true, false, &mut out);
+        assert_eq!(act, TermAction::Stale);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -91,6 +91,7 @@ fn check_invariants(trace: &[Msg]) {
             Payload::EndRequest { .. }
             | Payload::EndNegative { .. }
             | Payload::EndConfirmed { .. }
+            | Payload::Reborn { .. }
             | Payload::SccFinished
             | Payload::Shutdown => {}
         }

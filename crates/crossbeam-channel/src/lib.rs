@@ -180,6 +180,11 @@ impl<T> Receiver<T> {
     pub fn is_empty(&self) -> bool {
         self.shared.queue.lock().unwrap().items.is_empty()
     }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.queue.lock().unwrap().items.len()
+    }
 }
 
 impl<T> Clone for Receiver<T> {

@@ -8,6 +8,10 @@
 //!   --schedule <fifo|random:SEED> simulator delivery order
 //!   --threads                     one OS thread per graph node
 //!   --batching                    package tuple requests (§3.1 fn 2)
+//!   --chaos SEED                  inject seeded link faults (drop,
+//!                                 duplicate, delay, corrupt) and rely
+//!                                 on the recovery transport
+//!   --no-recovery                 crashes abort instead of replaying
 //!   --stats                       print instrumentation counters
 //!   --dot                         print the rule/goal graph (Graphviz)
 //!                                 instead of evaluating
@@ -18,7 +22,7 @@
 
 use mp_datalog::{parser::parse_program, Database};
 use mp_framework::baselines::all_baselines;
-use mp_framework::engine::{Engine, RuntimeKind, Schedule};
+use mp_framework::engine::{Engine, FaultPlan, RuntimeKind, Schedule};
 use mp_framework::rulegoal::{dot, RuleGoalGraph, SipKind};
 use std::io::Read;
 use std::process::ExitCode;
@@ -28,6 +32,8 @@ struct Options {
     sip: SipKind,
     runtime: RuntimeKind,
     batching: bool,
+    chaos: Option<u64>,
+    recovery: bool,
     stats: bool,
     dot: bool,
     trace: bool,
@@ -40,6 +46,8 @@ fn parse_args() -> Result<Options, String> {
         sip: SipKind::Greedy,
         runtime: RuntimeKind::Sim(Schedule::Fifo),
         batching: false,
+        chaos: None,
+        recovery: true,
         stats: false,
         dot: false,
         trace: false,
@@ -68,6 +76,11 @@ fn parse_args() -> Result<Options, String> {
             }
             "--threads" => opts.runtime = RuntimeKind::Threads,
             "--batching" => opts.batching = true,
+            "--chaos" => {
+                let v = args.next().ok_or("--chaos needs a seed")?;
+                opts.chaos = Some(v.parse().map_err(|_| "bad chaos seed")?);
+            }
+            "--no-recovery" => opts.recovery = false,
             "--stats" => opts.stats = true,
             "--dot" => opts.dot = true,
             "--trace" => opts.trace = true,
@@ -87,7 +100,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
-[--batching] [--stats] [--dot] [--trace] [--baseline B] [FILE]";
+[--batching] [--chaos SEED] [--no-recovery] [--stats] [--dot] [--trace] [--baseline B] [FILE]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -167,11 +180,15 @@ fn main() -> ExitCode {
         }
     }
 
-    let engine = Engine::new(program, db)
+    let mut engine = Engine::new(program, db)
         .with_sip(opts.sip)
         .with_runtime(opts.runtime)
         .with_batching(opts.batching)
+        .with_recovery(opts.recovery)
         .with_trace(opts.trace);
+    if let Some(seed) = opts.chaos {
+        engine = engine.with_fault_plan(FaultPlan::seeded(seed));
+    }
     match engine.evaluate() {
         Ok(r) => {
             for t in r.answers.sorted_rows() {
@@ -194,6 +211,23 @@ fn main() -> ExitCode {
                 eprintln!("-- stored tuples      : {}", s.stored_tuples);
                 eprintln!("--   at goal nodes    : {}", s.goal_stored);
                 eprintln!("-- join probes        : {}", s.join_probes);
+                eprintln!("-- faults injected    : {}", s.faults_injected());
+                eprintln!("--   dropped          : {}", s.fault_dropped);
+                eprintln!("--   duplicated       : {}", s.fault_duplicated);
+                eprintln!("--   delayed          : {}", s.fault_delayed);
+                eprintln!("--   corrupted        : {}", s.fault_corrupted);
+                eprintln!("-- retransmits        : {}", s.retransmits);
+                eprintln!("-- acks               : {}", s.acks);
+                eprintln!("-- dups discarded     : {}", s.dups_discarded);
+                eprintln!("-- stale dropped      : {}", s.stale_dropped);
+                eprintln!("-- malformed dropped  : {}", s.malformed_dropped);
+                eprintln!("-- crashes            : {}", s.crashes);
+                eprintln!("--   replayed msgs    : {}", s.replayed);
+                eprintln!("--   epoch bumps      : {}", s.epoch_bumps);
+                eprintln!(
+                    "-- retransmit overhead: {:.1}%",
+                    100.0 * s.retransmit_overhead()
+                );
             }
             ExitCode::SUCCESS
         }
