@@ -156,7 +156,7 @@ fn eval_body(
             .terms
             .iter()
             .map(|t| match t {
-                Term::Const(c) => Some(c.clone()),
+                Term::Const(c) => Some(*c),
                 Term::Var(v) => env.get(v).cloned(),
             })
             .collect();
@@ -183,8 +183,8 @@ fn eval_body(
     let key: Tuple = bound_cols
         .iter()
         .map(|&i| match &atom.terms[i] {
-            Term::Const(c) => c.clone(),
-            Term::Var(v) => env[v].clone(),
+            Term::Const(c) => *c,
+            Term::Var(v) => env[v],
         })
         .collect();
 
@@ -223,7 +223,7 @@ fn eval_body(
                         }
                     }
                     None => {
-                        env.insert(v.clone(), t[i].clone());
+                        env.insert(v.clone(), t[i]);
                         added.push(v.clone());
                     }
                 },
@@ -280,7 +280,7 @@ mod tests {
     fn delta_constrains_one_atom() {
         let store = store_with(&[(1, 2), (2, 3)]);
         let rule = parse_rule("two(X, Z) :- edge(X, Y), edge(Y, Z).").unwrap();
-        let delta: Relation = vec![tuple![2, 3]].into_iter().collect();
+        let delta = Relation::from_tuples(2, vec![tuple![2, 3]]).unwrap();
         let mut stats = EvalStats::default();
         // Constrain the FIRST atom to the delta: only X=2 applies, and
         // edge(3, ·) is empty.

@@ -41,7 +41,7 @@ fn canon(atom: &Atom) -> CallKey {
         .terms
         .iter()
         .map(|t| match t {
-            Term::Const(c) => CallArg::Const(c.clone()),
+            Term::Const(c) => CallArg::Const(*c),
             Term::Var(v) => {
                 let next = groups.len() as u16;
                 CallArg::Var(*groups.entry(v).or_insert(next))
@@ -123,7 +123,7 @@ impl<'a> Solver<'a> {
                 .terms
                 .iter()
                 .map(|t| match t {
-                    Term::Const(c) => Some(c.clone()),
+                    Term::Const(c) => Some(*c),
                     Term::Var(v) => env.get(v).cloned(),
                 })
                 .collect();
@@ -142,7 +142,7 @@ impl<'a> Solver<'a> {
                 .iter()
                 .map(|t| match t {
                     Term::Var(v) => match env.get(v) {
-                        Some(c) => Term::Const(c.clone()),
+                        Some(c) => Term::Const(*c),
                         None => t.clone(),
                     },
                     Term::Const(_) => t.clone(),
@@ -170,7 +170,7 @@ impl<'a> Solver<'a> {
                 .collect();
             let key: Tuple = bound
                 .iter()
-                .map(|&i| grounded.terms[i].as_const().expect("bound").clone())
+                .map(|&i| grounded.terms[i].as_const().copied().expect("bound"))
                 .collect();
             match self.store.get(&atom.pred) {
                 Some(rel) => rel
@@ -202,7 +202,7 @@ impl<'a> Solver<'a> {
                             }
                         }
                         None => {
-                            env.insert(v.clone(), t[i].clone());
+                            env.insert(v.clone(), t[i]);
                             added.push(v.clone());
                         }
                     },

@@ -1,13 +1,26 @@
 //! Regenerate the EXPERIMENTS.md tables.
 //!
 //! ```sh
-//! cargo run -p mp-bench --release --bin report           # full scale
-//! cargo run -p mp-bench --release --bin report -- quick  # smoke scale
-//! cargo run -p mp-bench --release --bin report -- e3     # one experiment
+//! cargo run -p mp-bench --release --bin report                   # full scale
+//! cargo run -p mp-bench --release --bin report -- quick          # smoke scale
+//! cargo run -p mp-bench --release --bin report -- e3             # one experiment
+//! cargo run -p mp-bench --release --bin report -- quick e11 --json
 //! ```
+//!
+//! `--json` renders the selected experiment as a JSON array instead of
+//! markdown (used by the CI bench-smoke job to publish artifacts); it
+//! requires naming one experiment.
 
 use mp_bench::experiments;
-use mp_bench::{markdown_table, Scale};
+use mp_bench::{json_table, markdown_table, Row, Scale};
+
+fn render<T: Row>(rows: &[T], json: bool) -> String {
+    if json {
+        json_table(rows)
+    } else {
+        markdown_table(rows)
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,25 +29,28 @@ fn main() {
     } else {
         Scale::Full
     };
+    let json = args.iter().any(|a| a == "--json");
     let only: Option<&str> = args
         .iter()
         .find(|a| (a.starts_with('e') || a.starts_with('a')) && (a.len() == 2 || a.len() == 3))
         .map(String::as_str);
 
     match only {
+        None if json => eprintln!("--json needs one experiment, e.g. `report quick e11 --json`"),
         None => print!("{}", experiments::full_report(scale)),
-        Some("e1") => print!("{}", markdown_table(&experiments::e1(scale))),
-        Some("e2") => print!("{}", markdown_table(&experiments::e2(scale))),
-        Some("e3") => print!("{}", markdown_table(&experiments::e3(scale))),
-        Some("e4") => print!("{}", markdown_table(&experiments::e4(scale))),
-        Some("e5") => print!("{}", markdown_table(&experiments::e5(scale))),
-        Some("e6") => print!("{}", markdown_table(&experiments::e6(scale))),
-        Some("e7") => print!("{}", markdown_table(&experiments::e7(scale))),
-        Some("e8") => print!("{}", markdown_table(&experiments::e8(scale))),
-        Some("e9") => print!("{}", markdown_table(&experiments::e9(scale))),
-        Some("e10") => print!("{}", markdown_table(&experiments::e10(scale))),
-        Some("a1") => print!("{}", markdown_table(&experiments::a1(scale))),
-        Some("a2") => print!("{}", markdown_table(&experiments::a2(scale))),
-        Some(other) => eprintln!("unknown experiment {other}; use e1..e10, a1, a2"),
+        Some("e1") => print!("{}", render(&experiments::e1(scale), json)),
+        Some("e2") => print!("{}", render(&experiments::e2(scale), json)),
+        Some("e3") => print!("{}", render(&experiments::e3(scale), json)),
+        Some("e4") => print!("{}", render(&experiments::e4(scale), json)),
+        Some("e5") => print!("{}", render(&experiments::e5(scale), json)),
+        Some("e6") => print!("{}", render(&experiments::e6(scale), json)),
+        Some("e7") => print!("{}", render(&experiments::e7(scale), json)),
+        Some("e8") => print!("{}", render(&experiments::e8(scale), json)),
+        Some("e9") => print!("{}", render(&experiments::e9(scale), json)),
+        Some("e10") => print!("{}", render(&experiments::e10(scale), json)),
+        Some("e11") => print!("{}", render(&experiments::e11(scale), json)),
+        Some("a1") => print!("{}", render(&experiments::a1(scale), json)),
+        Some("a2") => print!("{}", render(&experiments::a2(scale), json)),
+        Some(other) => eprintln!("unknown experiment {other}; use e1..e11, a1, a2"),
     }
 }

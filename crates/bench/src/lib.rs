@@ -237,6 +237,49 @@ pub fn markdown_table<T: Row>(rows: &[T]) -> String {
     out
 }
 
+/// Render rows as a JSON array of objects, one per row, keyed by the
+/// [`Row`] headers. Hand-rolled because the harness cannot link against
+/// `serde_json`; covers exactly the four [`Cell`] shapes.
+pub fn json_table<T: Row>(rows: &[T]) -> String {
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  {");
+        for (j, (h, cell)) in row.cells().iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": ", escape(h)));
+            match cell {
+                Cell::Int(v) => out.push_str(&v.to_string()),
+                // JSON has no NaN/Infinity literals; bench floats are
+                // finite, but degrade to null rather than emit garbage.
+                Cell::Float(v) if v.is_finite() => out.push_str(&format!("{v:.4}")),
+                Cell::Float(_) => out.push_str("null"),
+                Cell::Str(s) => out.push_str(&format!("\"{}\"", escape(s))),
+                Cell::Bool(b) => out.push_str(&b.to_string()),
+            }
+        }
+        out.push_str(if i + 1 < rows.len() { "},\n" } else { "}\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
 impl_row!(EngineRun {
     method,
     answers,

@@ -130,6 +130,7 @@ pub struct Engine {
     timeout: Duration,
     trace: bool,
     batching: bool,
+    batch_size: usize,
     fault_plan: Option<FaultPlan>,
     recovery: bool,
 }
@@ -149,6 +150,7 @@ impl Engine {
             timeout: Duration::from_secs(60),
             trace: false,
             batching: false,
+            batch_size: 64,
             fault_plan: None,
             recovery: true,
         }
@@ -184,11 +186,30 @@ impl Engine {
         self
     }
 
-    /// Package tuple requests produced by one message into one batch per
-    /// arc (§3.1 footnote 2). Semantically transparent; reduces message
-    /// counts on fan-out-heavy workloads.
+    /// Package tuple requests, answers, and per-binding ends produced by
+    /// one message into one batch per arc (§3.1 footnote 2).
+    /// Semantically transparent — the logical message counts and
+    /// Thm 3.1 observables are identical to the scalar path — while
+    /// physical frame counts drop on fan-out-heavy workloads.
     pub fn with_batching(mut self, batching: bool) -> Engine {
         self.batching = batching;
+        self
+    }
+
+    /// Set the per-arc batch flush bound (default 64, clamped to ≥ 1):
+    /// a buffer reaching this size is flushed mid-turn; smaller buffers
+    /// flush when their node's mailbox drains. Only observable with
+    /// [`Engine::with_batching`] enabled.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Engine {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Pre-size the process-wide string interner for an expected symbol
+    /// count, avoiding rehashes during a bulk load. Purely a capacity
+    /// hint; takes effect immediately.
+    pub fn with_symbol_capacity(self, symbols: usize) -> Engine {
+        mp_storage::reserve_symbols(symbols);
         self
     }
 
@@ -263,6 +284,7 @@ impl Engine {
         let graph_nodes = graph.len();
         let mut network = Network::compile(&graph, &self.db);
         network.set_batching(self.batching);
+        network.set_batch_max(self.batch_size);
         match self.runtime {
             RuntimeKind::Sim(schedule) => {
                 let sim = SimRuntime {

@@ -20,6 +20,15 @@
 //! same logical message stream regardless of scheduling, in both the
 //! simulator and the threaded runtime.
 //!
+//! The transport frames one [`Msg`] per sequence number, whatever its
+//! payload. Message batching therefore composes with this layer for
+//! free: a `TupleRequestBatch`/`AnswerBatch`/`EndTupleRequestBatch` is
+//! one frame — one seq, one ack, one checksum, one drop/duplicate/delay
+//! decision — amortizing transport overhead over every tuple it
+//! carries, and a dropped batch is retransmitted whole so per-arc FIFO
+//! and exactly-once delivery hold for the batch exactly as for a scalar
+//! message.
+//!
 //! Crash/recovery semantics are write-ahead-log style (see DESIGN.md):
 //! a crash destroys a node's volatile computation state (temporary
 //! relations, termination-protocol state, reorder buffers) while the

@@ -68,12 +68,29 @@ pub enum Payload {
         /// The tuple.
         tuple: Tuple,
     },
+    /// A packaged set of answers for one arc — the upward dual of
+    /// [`Payload::TupleRequestBatch`] (§3.1 footnote 2's "efficiency of
+    /// volume"). Semantically identical to sending each tuple as its own
+    /// [`Payload::Answer`], in order; one mailbox delivery, one fault-
+    /// transport frame (one seq, one ack, one checksum) amortized over
+    /// all tuples.
+    AnswerBatch {
+        /// The tuples, in the order they would have been sent singly.
+        tuples: Vec<Tuple>,
+    },
     /// All answers for one previously sent tuple request have been
     /// delivered ("it can produce no more tuples for a particular tuple
     /// request", §3.2).
     EndTupleRequest {
         /// The binding being completed.
         binding: Tuple,
+    },
+    /// A packaged set of tuple-request completions for one arc.
+    /// Semantically identical to one [`Payload::EndTupleRequest`] per
+    /// binding, in order.
+    EndTupleRequestBatch {
+        /// The bindings being completed.
+        bindings: Vec<Tuple>,
     },
     /// The whole stream on this arc is complete.
     End,
@@ -150,7 +167,9 @@ impl Payload {
             Payload::TupleRequestBatch { .. } => "tuple_request_batch",
             Payload::EndOfRequests => "end_of_requests",
             Payload::Answer { .. } => "answer",
+            Payload::AnswerBatch { .. } => "answer_batch",
             Payload::EndTupleRequest { .. } => "end_tuple_request",
+            Payload::EndTupleRequestBatch { .. } => "end_tuple_request_batch",
             Payload::End => "end",
             Payload::EndRequest { .. } => "end_request",
             Payload::EndNegative { .. } => "end_negative",

@@ -9,8 +9,8 @@ use crate::msg::Endpoint;
 use crate::termination::TermState;
 use mp_datalog::{Database, Term, Var};
 use mp_rulegoal::{GoalKind, LabelArg, Node, NodeId, RuleGoalGraph};
-use mp_storage::{IndexedRelation, KeyIndex, Relation, Tuple, Value};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use mp_storage::{FastMap, FastSet, IndexedRelation, KeyIndex, Relation, Tuple, Value};
+use std::collections::{BTreeSet, HashMap};
 
 /// A customer arc's static configuration plus per-stream state.
 #[derive(Clone, Debug)]
@@ -22,9 +22,9 @@ pub struct CustState {
     /// covers them).
     pub intra: bool,
     /// Bindings received on this arc.
-    pub subs: HashSet<Tuple>,
+    pub subs: FastSet<Tuple>,
     /// Bindings whose end-tuple-request has been sent.
-    pub ended: HashSet<Tuple>,
+    pub ended: FastSet<Tuple>,
     /// End-of-requests received.
     pub eor: bool,
     /// Stream end sent.
@@ -36,8 +36,8 @@ impl CustState {
         CustState {
             ep,
             intra,
-            subs: HashSet::new(),
-            ended: HashSet::new(),
+            subs: FastSet::default(),
+            ended: FastSet::default(),
             eor: false,
             end_sent: false,
         }
@@ -149,7 +149,7 @@ pub struct RuleState {
     /// indexed on the join key.
     pub ans_store: Vec<IndexedRelation>,
     /// Requests already sent per stage.
-    pub requested: Vec<HashSet<Tuple>>,
+    pub requested: Vec<FastSet<Tuple>>,
     /// `stage_closed[l]`: no more stage-`l` bindings will be derived
     /// (trivial-component nodes only).
     pub stage_closed: Vec<bool>,
@@ -162,9 +162,9 @@ pub struct GoalState {
     /// `d` columns.
     pub answers: IndexedRelation,
     /// Globally seen bindings (deduplicates forwarding to rule children).
-    pub bindings: HashSet<Tuple>,
+    pub bindings: FastSet<Tuple>,
     /// binding → customer indices subscribed to it.
-    pub subs_by_binding: HashMap<Tuple, Vec<usize>>,
+    pub subs_by_binding: FastMap<Tuple, Vec<usize>>,
 }
 
 /// Behavior + state of one process.
@@ -209,19 +209,31 @@ pub struct Common {
     /// Stream-end received per feeder.
     pub feeder_end: Vec<bool>,
     /// Outstanding (feeder, binding) tuple requests on cross arcs.
-    pub pending: HashSet<(usize, Tuple)>,
+    pub pending: FastSet<(usize, Tuple)>,
     /// Relation request already forwarded to feeders.
     pub relreq_forwarded: bool,
     /// End-of-requests already sent to feeders.
     pub eor_sent_to_feeders: bool,
     /// §3.2 protocol state (members of nontrivial components only).
     pub term: Option<TermState>,
-    /// Package tuple requests produced while handling one message into
-    /// one batch per arc (§3.1 footnote 2).
+    /// Package tuple requests, answers, and per-binding ends produced
+    /// while handling one message into one batch per arc (§3.1
+    /// footnote 2).
     pub batching: bool,
+    /// Flush bound: an arc's buffer reaching this size forces a flush
+    /// even mid-turn (the size bound of the flush policy; the turn bound
+    /// is the mailbox-empty flush at the end of every `handle`).
+    pub batch_max: usize,
     /// Per-feeder buffer of requests awaiting the end-of-handle flush
     /// (only used when `batching` is set).
     pub batch_buf: Vec<Vec<Tuple>>,
+    /// Per-customer buffer of answers awaiting the end-of-handle flush
+    /// (only used when `batching` is set).
+    pub answer_buf: Vec<Vec<Tuple>>,
+    /// Per-customer buffer of per-binding ends awaiting the
+    /// end-of-handle flush. Flushed after `answer_buf` on the same arc,
+    /// so a binding's answers always precede its end (per-arc FIFO).
+    pub etr_buf: Vec<Vec<Tuple>>,
 }
 
 /// One compiled process.
@@ -245,10 +257,19 @@ pub struct Network {
 }
 
 impl Network {
-    /// Enable request batching (§3.1 footnote 2) on every process.
+    /// Enable message batching (§3.1 footnote 2) on every process:
+    /// tuple requests downward, answers and per-binding ends upward.
     pub fn set_batching(&mut self, on: bool) {
         for p in &mut self.processes {
             p.common.batching = on;
+        }
+    }
+
+    /// Set the per-arc flush bound on every process (clamped to ≥ 1).
+    /// Only observable when batching is enabled.
+    pub fn set_batch_max(&mut self, max: usize) {
+        for p in &mut self.processes {
+            p.common.batch_max = max.max(1);
         }
     }
 
@@ -338,18 +359,22 @@ impl Network {
             };
 
             let feeder_count = feeders.len();
+            let customer_count = customers.len();
             processes.push(Process {
                 common: Common {
                     id,
                     customers,
                     feeders,
                     feeder_end: vec![false; graph.feeders(id).len()],
-                    pending: HashSet::new(),
+                    pending: FastSet::default(),
                     relreq_forwarded: false,
                     eor_sent_to_feeders: false,
                     term,
                     batching: false,
+                    batch_max: 64,
                     batch_buf: vec![Vec::new(); feeder_count],
+                    answer_buf: vec![Vec::new(); customer_count],
+                    etr_buf: vec![Vec::new(); customer_count],
                 },
                 behavior,
             });
@@ -370,17 +395,15 @@ impl Network {
 /// Pre-filter and index an EDB relation for a leaf's label.
 fn compile_edb(label: &mp_rulegoal::GoalLabel, db: &Database) -> EdbCfg {
     let ad = label.adornment();
-    let base = db
-        .relation(&label.pred)
-        .cloned()
-        .unwrap_or_else(|| Relation::new(label.arity()));
+    let empty = Relation::new(label.arity());
+    let base: &Relation = db.relation(&label.pred).unwrap_or(&empty);
 
     // Constant checks and repeated-variable groups from the label.
     let mut const_checks: Vec<(usize, Value)> = Vec::new();
     let mut group_positions: HashMap<u16, Vec<usize>> = HashMap::new();
     for (i, arg) in label.args.iter().enumerate() {
         match arg {
-            LabelArg::Const(v) => const_checks.push((i, v.clone())),
+            LabelArg::Const(v) => const_checks.push((i, *v)),
             LabelArg::Var { group, .. } => group_positions.entry(*group).or_default().push(i),
         }
     }
@@ -389,16 +412,24 @@ fn compile_edb(label: &mp_rulegoal::GoalLabel, db: &Database) -> EdbCfg {
         .filter(|g| g.len() > 1)
         .collect();
 
-    let mut filtered = Relation::new(base.arity());
-    for t in base.iter() {
-        let consts_ok = const_checks.iter().all(|(i, v)| &t[*i] == v);
-        let eq_ok = eq_groups.iter().all(|g| g.iter().all(|&p| t[p] == t[g[0]]));
-        if consts_ok && eq_ok {
-            filtered
-                .insert(t.clone())
-                .expect("same arity as the base relation");
+    // An unconstrained label keeps the whole relation: clone it (dedup
+    // structure and all) instead of re-hashing every row. Labels with
+    // constants or repeated variables re-insert the surviving subset.
+    let filtered = if const_checks.is_empty() && eq_groups.is_empty() {
+        base.clone()
+    } else {
+        let mut filtered = Relation::new(base.arity());
+        for t in base.iter() {
+            let consts_ok = const_checks.iter().all(|(i, v)| &t[*i] == v);
+            let eq_ok = eq_groups.iter().all(|g| g.iter().all(|&p| t[p] == t[g[0]]));
+            if consts_ok && eq_ok {
+                filtered
+                    .insert(t.clone())
+                    .expect("same arity as the base relation");
+            }
         }
-    }
+        filtered
+    };
     let d_positions = ad.d_positions();
     let index = KeyIndex::build(&filtered, &d_positions).expect("d positions in range");
     EdbCfg {
@@ -527,7 +558,7 @@ fn compile_rule(
     let head_out = head_t
         .iter()
         .map(|&p| match &rule.head.terms[p] {
-            Term::Const(v) => HeadSource::Const(v.clone()),
+            Term::Const(v) => HeadSource::Const(*v),
             Term::Var(v) => HeadSource::Var(
                 prev_schema
                     .iter()
@@ -563,7 +594,7 @@ fn compile_rule(
     let st = RuleState {
         stage_bindings,
         ans_store,
-        requested: vec![HashSet::new(); k],
+        requested: vec![FastSet::default(); k],
         stage_closed: vec![false; k + 1],
     };
     (

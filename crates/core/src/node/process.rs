@@ -40,10 +40,19 @@ pub struct Ctx<'a> {
 }
 
 impl Common {
-    /// `empty_queues()` (Fig 2): mailbox drained and every tuple request
-    /// issued on cross-component arcs has been ended.
+    /// `empty_queues()` (Fig 2): mailbox drained, every tuple request
+    /// issued on cross-component arcs has been ended, and no batch
+    /// buffer holds an unsent message. Buffered traffic is invisible to
+    /// the Mattern counters until it is flushed, so a probe wave that
+    /// observed it as "idle" could conclude prematurely; instead the
+    /// wave goes negative and the end-of-handle flush drains the
+    /// buffers before the next wave.
     pub fn empty_queues(&self, mailbox_empty: bool) -> bool {
-        mailbox_empty && self.pending.is_empty()
+        mailbox_empty
+            && self.pending.is_empty()
+            && self.batch_buf.iter().all(Vec::is_empty)
+            && self.answer_buf.iter().all(Vec::is_empty)
+            && self.etr_buf.iter().all(Vec::is_empty)
     }
 
     /// Business left on external customer arcs: un-ended bindings, or an
@@ -100,6 +109,9 @@ impl Common {
         }
         if self.batching {
             self.batch_buf[i].push(binding);
+            if self.batch_buf[i].len() >= self.batch_max {
+                self.flush_requests_for(ctx, i);
+            }
             return;
         }
         let node = self.feeders[i].node;
@@ -111,42 +123,121 @@ impl Common {
         );
     }
 
-    /// Flush buffered requests when the node is about to go idle (its
-    /// mailbox is drained) or a buffer overflows: one `TupleRequest` for
-    /// a single binding, one `TupleRequestBatch` for several. Buffering
-    /// across messages is what gives the §3.1-footnote-2 packaging its
-    /// volume; pending-tracking happens at buffer time, so the §3.2
-    /// protocol can never declare a node idle while it holds unsent
-    /// requests.
-    fn flush_batches(&mut self, ctx: &mut Ctx<'_>) {
-        const OVERFLOW: usize = 64;
-        if !self.batching {
+    /// Send an answer on customer arc `ci`. With batching enabled the
+    /// tuple is buffered and flushed (as one packaged message per arc)
+    /// by the flush policy below.
+    fn send_answer(&mut self, ctx: &mut Ctx<'_>, ci: usize, tuple: Tuple) {
+        if self.batching {
+            self.answer_buf[ci].push(tuple);
+            if self.answer_buf[ci].len() >= self.batch_max {
+                self.flush_answers_for(ctx, ci);
+            }
             return;
         }
-        if !ctx.mailbox_empty && self.batch_buf.iter().all(|b| b.len() < OVERFLOW) {
+        let (ep, intra) = (self.customers[ci].ep, self.customers[ci].intra);
+        self.send(ctx, ep, Payload::Answer { tuple }, intra);
+    }
+
+    /// End one binding on customer arc `ci` (marking it ended). With
+    /// batching enabled the end is buffered; it flushes after the arc's
+    /// answer buffer, so a binding's answers always precede its end.
+    fn send_etr(&mut self, ctx: &mut Ctx<'_>, ci: usize, binding: Tuple) {
+        self.customers[ci].ended.insert(binding.clone());
+        if self.batching {
+            self.etr_buf[ci].push(binding);
+            if self.etr_buf[ci].len() >= self.batch_max {
+                self.flush_etrs_for(ctx, ci);
+            }
+            return;
+        }
+        let (ep, intra) = (self.customers[ci].ep, self.customers[ci].intra);
+        self.send(ctx, ep, Payload::EndTupleRequest { binding }, intra);
+    }
+
+    /// Flush policy, turn- and size-bounded. The size bound is enforced
+    /// at buffer time: a buffer that reaches `batch_max` ships
+    /// immediately (so `batch_max = 1` degenerates to exactly the scalar
+    /// framing). The turn bound lives here: when the node is about to go
+    /// idle (its mailbox is drained), every partial buffer drains too.
+    /// One plain message for a single item, one packaged message for
+    /// several. Buffering across messages is what gives the
+    /// §3.1-footnote-2 packaging its volume; request pending-tracking
+    /// happens at buffer time and `empty_queues` inspects the buffers,
+    /// so the §3.2 protocol can never declare a node idle while it holds
+    /// unsent traffic.
+    fn flush_batches(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.batching || !ctx.mailbox_empty {
             return;
         }
         self.flush_batches_now(ctx);
     }
 
     /// Unconditionally flush every buffer (used before releasing feeders
-    /// so an `EndOfRequests` can never overtake buffered requests).
+    /// or ending streams, so an `EndOfRequests` can never overtake
+    /// buffered requests and an `End` can never overtake buffered
+    /// answers or per-binding ends).
     fn flush_batches_now(&mut self, ctx: &mut Ctx<'_>) {
         for i in 0..self.batch_buf.len() {
-            if self.batch_buf[i].is_empty() {
-                continue;
-            }
-            let bindings = std::mem::take(&mut self.batch_buf[i]);
-            let (node, intra) = (self.feeders[i].node, self.feeders[i].intra);
-            let payload = if bindings.len() == 1 {
-                Payload::TupleRequest {
-                    binding: bindings.into_iter().next().expect("one binding"),
-                }
-            } else {
-                Payload::TupleRequestBatch { bindings }
-            };
-            self.send(ctx, Endpoint::Node(node), payload, intra);
+            self.flush_requests_for(ctx, i);
         }
+        for ci in 0..self.customers.len() {
+            self.flush_answers_for(ctx, ci);
+            self.flush_etrs_for(ctx, ci);
+        }
+    }
+
+    /// Ship feeder `i`'s buffered tuple requests as one frame.
+    fn flush_requests_for(&mut self, ctx: &mut Ctx<'_>, i: usize) {
+        if self.batch_buf[i].is_empty() {
+            return;
+        }
+        let bindings = std::mem::take(&mut self.batch_buf[i]);
+        let (node, intra) = (self.feeders[i].node, self.feeders[i].intra);
+        let payload = if bindings.len() == 1 {
+            Payload::TupleRequest {
+                binding: bindings.into_iter().next().expect("one binding"),
+            }
+        } else {
+            Payload::TupleRequestBatch { bindings }
+        };
+        self.send(ctx, Endpoint::Node(node), payload, intra);
+    }
+
+    /// Ship customer `ci`'s buffered answers as one frame.
+    fn flush_answers_for(&mut self, ctx: &mut Ctx<'_>, ci: usize) {
+        if self.answer_buf[ci].is_empty() {
+            return;
+        }
+        let tuples = std::mem::take(&mut self.answer_buf[ci]);
+        let (ep, intra) = (self.customers[ci].ep, self.customers[ci].intra);
+        let payload = if tuples.len() == 1 {
+            Payload::Answer {
+                tuple: tuples.into_iter().next().expect("one tuple"),
+            }
+        } else {
+            Payload::AnswerBatch { tuples }
+        };
+        self.send(ctx, ep, payload, intra);
+    }
+
+    /// Ship customer `ci`'s buffered per-binding ends as one frame —
+    /// always after that arc's buffered answers, so a binding's answers
+    /// precede its end on the wire.
+    fn flush_etrs_for(&mut self, ctx: &mut Ctx<'_>, ci: usize) {
+        if self.etr_buf[ci].is_empty() {
+            return;
+        }
+        self.flush_answers_for(ctx, ci);
+        let bindings = std::mem::take(&mut self.etr_buf[ci]);
+        let (ep, intra) = (self.customers[ci].ep, self.customers[ci].intra);
+        let payload = if bindings.len() == 1 {
+            Payload::EndTupleRequest {
+                binding: bindings.into_iter().next().expect("one binding"),
+            }
+        } else {
+            Payload::EndTupleRequestBatch { bindings }
+        };
+        self.send(ctx, ep, payload, intra);
     }
 
     /// Flush per-binding ends on all cross customer arcs.
@@ -164,10 +255,8 @@ impl Common {
                 .filter(|b| !self.customers[ci].ended.contains(*b))
                 .cloned()
                 .collect();
-            let ep = self.customers[ci].ep;
             for b in to_end {
-                self.customers[ci].ended.insert(b.clone());
-                self.send(ctx, ep, Payload::EndTupleRequest { binding: b }, false);
+                self.send_etr(ctx, ci, b);
             }
         }
     }
@@ -190,6 +279,7 @@ impl Common {
     /// Send the stream end on every cross customer arc whose customer has
     /// sent end-of-requests.
     fn end_streams(&mut self, ctx: &mut Ctx<'_>) {
+        self.flush_batches_now(ctx);
         for ci in 0..self.customers.len() {
             let c = &self.customers[ci];
             if c.intra || !c.eor || c.end_sent {
@@ -296,6 +386,9 @@ impl Process {
         }
         self.common.flush_batches(ctx);
         self.post_step(ctx);
+        // `post_step` may have buffered per-binding ends (trivial nodes
+        // flush ends once settled); drain them before going idle.
+        self.common.flush_batches(ctx);
     }
 
     /// Idle-time nudge from the runtime, equivalent to the tail of
@@ -310,6 +403,7 @@ impl Process {
     pub fn poke(&mut self, ctx: &mut Ctx<'_>) {
         self.common.flush_batches(ctx);
         self.post_step(ctx);
+        self.common.flush_batches(ctx);
     }
 
     /// Common tail of the protocol-reply handlers: count stale drops,
@@ -352,25 +446,15 @@ impl Process {
                     ctx.stats.malformed_dropped += 1;
                     return;
                 };
-                match &mut self.behavior {
-                    Behavior::Goal { cfg, st } => {
-                        goal_on_answer(cfg, st, &mut self.common, tuple, ctx)
-                    }
-                    Behavior::Rule { cfg, st } => {
-                        rule_on_answer(cfg, st, &mut self.common, fi, tuple, ctx)
-                    }
-                    Behavior::CycleRef { .. } => {
-                        // Relay to the rule parent; the ancestor already
-                        // performed the selection by subscription.
-                        let ep = self.common.customers[0].ep;
-                        let intra = self.common.customers[0].intra;
-                        self.common.send(ctx, ep, Payload::Answer { tuple }, intra);
-                    }
-                    Behavior::Edb { .. } => {
-                        // EDB leaves have no feeders; only a misrouted
-                        // message can land here.
-                        ctx.stats.malformed_dropped += 1;
-                    }
+                self.on_answer(fi, tuple, ctx);
+            }
+            Payload::AnswerBatch { tuples } => {
+                let Some(fi) = self.common.feeder_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
+                for tuple in tuples {
+                    self.on_answer(fi, tuple, ctx);
                 }
             }
             Payload::EndTupleRequest { binding } => {
@@ -379,6 +463,15 @@ impl Process {
                     return;
                 };
                 self.common.pending.remove(&(fi, binding));
+            }
+            Payload::EndTupleRequestBatch { bindings } => {
+                let Some(fi) = self.common.feeder_idx(from) else {
+                    ctx.stats.malformed_dropped += 1;
+                    return;
+                };
+                for binding in bindings {
+                    self.common.pending.remove(&(fi, binding));
+                }
             }
             Payload::End => {
                 let Some(fi) = self.common.feeder_idx(from) else {
@@ -435,6 +528,24 @@ impl Process {
             // Protocol payloads are dispatched in `handle`; anything
             // reaching this arm is a misrouted frame.
             _ => ctx.stats.malformed_dropped += 1,
+        }
+    }
+
+    /// Dispatch one answer tuple from feeder `fi` to the behavior.
+    fn on_answer(&mut self, fi: usize, tuple: Tuple, ctx: &mut Ctx<'_>) {
+        match &mut self.behavior {
+            Behavior::Goal { cfg, st } => goal_on_answer(cfg, st, &mut self.common, tuple, ctx),
+            Behavior::Rule { cfg, st } => rule_on_answer(cfg, st, &mut self.common, fi, tuple, ctx),
+            Behavior::CycleRef { .. } => {
+                // Relay to the rule parent; the ancestor already
+                // performed the selection by subscription.
+                self.common.send_answer(ctx, 0, tuple);
+            }
+            Behavior::Edb { .. } => {
+                // EDB leaves have no feeders; only a misrouted message
+                // can land here.
+                ctx.stats.malformed_dropped += 1;
+            }
         }
     }
 
@@ -578,14 +689,9 @@ fn goal_on_request(
     // Backfill already-stored answers matching this binding.
     let matching: Vec<Tuple> = st
         .answers
-        .lookup(&cfg.d_in_transmitted, &binding)
-        .into_iter()
-        .cloned()
-        .collect();
-    let ep = common.customers[ci].ep;
-    let intra = common.customers[ci].intra;
+        .probe_cloned(&cfg.d_in_transmitted, binding.values());
     for t in matching {
-        common.send(ctx, ep, Payload::Answer { tuple: t }, intra);
+        common.send_answer(ctx, ci, t);
     }
 
     // First sight of this binding anywhere: fan out to the rule children.
@@ -618,19 +724,12 @@ fn goal_on_answer(
     ctx.stats.stored_tuples += 1;
     ctx.stats.goal_stored += 1;
     ctx.stats.max_relation_size = ctx.stats.max_relation_size.max(st.answers.len() as u64);
-    let key = tuple.project(&cfg.d_in_transmitted);
-    if let Some(subscribers) = st.subs_by_binding.get(&key) {
-        for &ci in subscribers.clone().iter() {
-            let ep = common.customers[ci].ep;
-            let intra = common.customers[ci].intra;
-            common.send(
-                ctx,
-                ep,
-                Payload::Answer {
-                    tuple: tuple.clone(),
-                },
-                intra,
-            );
+    let subscribers = with_key(&tuple, &cfg.d_in_transmitted, |key| {
+        st.subs_by_binding.get(key).cloned()
+    });
+    if let Some(subscribers) = subscribers {
+        for ci in subscribers {
+            common.send_answer(ctx, ci, tuple.clone());
         }
     }
 }
@@ -661,17 +760,14 @@ fn edb_on_request(cfg: &EdbCfg, common: &mut Common, ci: usize, binding: Tuple, 
         .iter()
         .map(|&r| &cfg.filtered.rows()[r as usize])
         .collect();
-    let ep = common.customers[ci].ep;
-    let intra = common.customers[ci].intra;
     for row in rows {
         let t = row.project(&cfg.transmitted);
         if seen.insert(t.clone()).expect("projection arity") {
-            common.send(ctx, ep, Payload::Answer { tuple: t }, intra);
+            common.send_answer(ctx, ci, t);
         }
     }
     // The EDB is static: the binding is complete immediately.
-    common.customers[ci].ended.insert(binding.clone());
-    common.send(ctx, ep, Payload::EndTupleRequest { binding }, intra);
+    common.send_etr(ctx, ci, binding);
 }
 
 // --------------------------------------------------------------------
@@ -727,7 +823,7 @@ fn unify_binding(
                     .expect("stage-0 schema covers bound head vars");
                 match &values[i] {
                     Some(existing) if existing != v => return None,
-                    _ => values[i] = Some(v.clone()),
+                    _ => values[i] = Some(*v),
                 }
             }
         }
@@ -736,6 +832,23 @@ fn unify_binding(
 }
 
 /// A new tuple landed in stage `level`; push it through the pipeline.
+/// Project `t` onto `cols` into a stack buffer and run `f` with the
+/// borrowed key slice — the engine's per-probe form. Avoids allocating
+/// a key [`Tuple`] on every join/semijoin probe; falls back to a heap
+/// projection for the (unseen in practice) arity > 16 case.
+#[inline]
+fn with_key<R>(t: &Tuple, cols: &[usize], f: impl FnOnce(&[Value]) -> R) -> R {
+    if cols.len() <= 16 {
+        let mut buf = [Value::int(0); 16];
+        for (i, &c) in cols.iter().enumerate() {
+            buf[i] = t[c];
+        }
+        f(&buf[..cols.len()])
+    } else {
+        f(t.project(cols).values())
+    }
+}
+
 fn rule_propagate(
     cfg: &RuleCfg,
     st: &mut RuleState,
@@ -758,20 +871,17 @@ fn rule_propagate(
     }
 
     // Join against the already-stored answers of that subgoal.
-    let key = tuple.project(&stage.join_prev_cols);
     ctx.stats.join_probes += 1;
-    let matches: Vec<Tuple> = st.ans_store[level]
-        .lookup(&stage.join_answer_cols, &key)
-        .into_iter()
-        .cloned()
-        .collect();
+    let matches: Vec<Tuple> = with_key(&tuple, &stage.join_prev_cols, |key| {
+        st.ans_store[level].probe_cloned(&stage.join_answer_cols, key)
+    });
     for ans in matches {
         let new_tuple: Tuple = stage
             .build
             .iter()
             .map(|src| match src {
-                StageSource::Prev(i) => tuple[*i].clone(),
-                StageSource::Ans(i) => ans[*i].clone(),
+                StageSource::Prev(i) => tuple[*i],
+                StageSource::Ans(i) => ans[*i],
             })
             .collect();
         if st.stage_bindings[level + 1]
@@ -823,20 +933,17 @@ fn rule_on_answer(
         .max(st.ans_store[level].len() as u64);
 
     // Join with the previous stage's accumulated bindings.
-    let key = tuple.project(&stage.join_answer_cols);
     ctx.stats.join_probes += 1;
-    let prevs: Vec<Tuple> = st.stage_bindings[level]
-        .lookup(&stage.join_prev_cols, &key)
-        .into_iter()
-        .cloned()
-        .collect();
+    let prevs: Vec<Tuple> = with_key(&tuple, &stage.join_answer_cols, |key| {
+        st.stage_bindings[level].probe_cloned(&stage.join_prev_cols, key)
+    });
     for prev in prevs {
         let new_tuple: Tuple = stage
             .build
             .iter()
             .map(|src| match src {
-                StageSource::Prev(i) => prev[*i].clone(),
-                StageSource::Ans(i) => tuple[*i].clone(),
+                StageSource::Prev(i) => prev[*i],
+                StageSource::Ans(i) => tuple[*i],
             })
             .collect();
         if st.stage_bindings[level + 1]
@@ -857,14 +964,12 @@ fn emit_head(cfg: &RuleCfg, common: &mut Common, final_tuple: &Tuple, ctx: &mut 
         .head_out
         .iter()
         .map(|src| match src {
-            HeadSource::Const(v) => v.clone(),
-            HeadSource::Var(i) => final_tuple[*i].clone(),
+            HeadSource::Const(v) => *v,
+            HeadSource::Var(i) => final_tuple[*i],
         })
         .collect();
     ctx.stats.derived_tuples += 1;
-    let ep = common.customers[0].ep;
-    let intra = common.customers[0].intra;
-    common.send(ctx, ep, Payload::Answer { tuple: answer }, intra);
+    common.send_answer(ctx, 0, answer);
 }
 
 /// Close stage `level` (0 = the head's end-of-requests; `l` = subgoal

@@ -204,8 +204,20 @@ impl State {
                         .insert(tuple)
                         .expect("answers match the goal arity");
                 }
+                Payload::AnswerBatch { tuples } => {
+                    if self.end_seen {
+                        return Err(ScheduleViolation::AnswerAfterEnd {
+                            schedule: self.schedule.clone(),
+                        });
+                    }
+                    for tuple in tuples {
+                        self.answers
+                            .insert(tuple)
+                            .expect("answers match the goal arity");
+                    }
+                }
                 Payload::End => self.end_seen = true,
-                Payload::EndTupleRequest { .. } => {}
+                Payload::EndTupleRequest { .. } | Payload::EndTupleRequestBatch { .. } => {}
                 other => unreachable!("unexpected message to engine: {other:?}"),
             },
             Endpoint::Node(id) => {

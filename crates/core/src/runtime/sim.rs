@@ -173,8 +173,23 @@ impl SimRuntime {
                             });
                         }
                     }
+                    Payload::AnswerBatch { tuples } => {
+                        for tuple in tuples {
+                            if *engine_ends > 0 {
+                                *post_end_answers += 1;
+                            }
+                            let got = tuple.arity();
+                            if engine_answers.insert(tuple).is_err() {
+                                return Err(RuntimeError::AnswerArity {
+                                    expected: answer_arity,
+                                    got,
+                                    partial_answers: engine_answers.len(),
+                                });
+                            }
+                        }
+                    }
                     Payload::End => *engine_ends += 1,
-                    Payload::EndTupleRequest { .. } => {}
+                    Payload::EndTupleRequest { .. } | Payload::EndTupleRequestBatch { .. } => {}
                     other => {
                         return Err(RuntimeError::UnexpectedEngineMessage {
                             kind: other.kind_name(),
@@ -574,21 +589,30 @@ impl FaultySim {
         }
     }
 
+    /// Record one answer tuple at the engine endpoint.
+    fn engine_answer(&mut self, tuple: mp_storage::Tuple) -> Result<(), RuntimeError> {
+        if self.engine_ends > 0 {
+            self.post_end_answers += 1;
+        }
+        let got = tuple.arity();
+        if self.engine_answers.insert(tuple).is_err() {
+            return Err(RuntimeError::AnswerArity {
+                expected: self.answer_arity,
+                got,
+                partial_answers: self.engine_answers.len(),
+            });
+        }
+        Ok(())
+    }
+
     /// Final, in-order, exactly-once delivery of a logical message.
     fn deliver_msg(&mut self, msg: Msg) -> Result<(), RuntimeError> {
         match msg.to {
             Endpoint::Engine => match msg.payload {
-                Payload::Answer { tuple } => {
-                    if self.engine_ends > 0 {
-                        self.post_end_answers += 1;
-                    }
-                    let got = tuple.arity();
-                    if self.engine_answers.insert(tuple).is_err() {
-                        return Err(RuntimeError::AnswerArity {
-                            expected: self.answer_arity,
-                            got,
-                            partial_answers: self.engine_answers.len(),
-                        });
+                Payload::Answer { tuple } => self.engine_answer(tuple),
+                Payload::AnswerBatch { tuples } => {
+                    for tuple in tuples {
+                        self.engine_answer(tuple)?;
                     }
                     Ok(())
                 }
@@ -596,7 +620,7 @@ impl FaultySim {
                     self.engine_ends += 1;
                     Ok(())
                 }
-                Payload::EndTupleRequest { .. } => Ok(()),
+                Payload::EndTupleRequest { .. } | Payload::EndTupleRequestBatch { .. } => Ok(()),
                 other => Err(RuntimeError::UnexpectedEngineMessage {
                     kind: other.kind_name(),
                 }),

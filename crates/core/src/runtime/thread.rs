@@ -499,18 +499,28 @@ fn engine_accept(
     post_end_answers: &mut u64,
     answer_arity: usize,
 ) -> Result<bool, RuntimeError> {
+    let mut accept_one = |tuple: mp_storage::Tuple| -> Result<(), RuntimeError> {
+        if *engine_ends > 0 {
+            *post_end_answers += 1;
+        }
+        let got = tuple.arity();
+        if answers.insert(tuple).is_err() {
+            return Err(RuntimeError::AnswerArity {
+                expected: answer_arity,
+                got,
+                partial_answers: answers.len(),
+            });
+        }
+        Ok(())
+    };
     match msg.payload {
         Payload::Answer { tuple } => {
-            if *engine_ends > 0 {
-                *post_end_answers += 1;
-            }
-            let got = tuple.arity();
-            if answers.insert(tuple).is_err() {
-                return Err(RuntimeError::AnswerArity {
-                    expected: answer_arity,
-                    got,
-                    partial_answers: answers.len(),
-                });
+            accept_one(tuple)?;
+            Ok(false)
+        }
+        Payload::AnswerBatch { tuples } => {
+            for tuple in tuples {
+                accept_one(tuple)?;
             }
             Ok(false)
         }
@@ -518,7 +528,7 @@ fn engine_accept(
             *engine_ends += 1;
             Ok(true)
         }
-        Payload::EndTupleRequest { .. } => Ok(false),
+        Payload::EndTupleRequest { .. } | Payload::EndTupleRequestBatch { .. } => Ok(false),
         other => Err(RuntimeError::UnexpectedEngineMessage {
             kind: other.kind_name(),
         }),

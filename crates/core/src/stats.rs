@@ -16,10 +16,24 @@ pub struct Stats {
     pub tuple_request_batches: u64,
     /// Answer (tuple) messages.
     pub answers: u64,
+    /// Packaged answer messages (batching enabled; each counts as one
+    /// physical frame regardless of how many tuples it carries).
+    pub answer_batches: u64,
     /// Per-binding end messages.
     pub end_tuple_requests: u64,
+    /// Packaged per-binding end messages.
+    pub end_tuple_request_batches: u64,
     /// Stream end / end-of-requests messages.
     pub stream_ends: u64,
+    /// Logical tuple requests: every binding shipped, whether as its own
+    /// frame or inside a `TupleRequestBatch`. Invariant under batching.
+    pub logical_tuple_requests: u64,
+    /// Logical answers: every tuple shipped, whether as its own frame or
+    /// inside an `AnswerBatch`. Invariant under batching.
+    pub logical_answers: u64,
+    /// Logical per-binding completions, counting batch contents.
+    /// Invariant under batching.
+    pub logical_end_tuple_requests: u64,
     /// §3.2 protocol messages (end request / negative / confirmed /
     /// finished).
     pub protocol_messages: u64,
@@ -75,13 +89,29 @@ pub struct Stats {
 }
 
 impl Stats {
-    /// Total messages sent, by summing the per-kind counters.
+    /// Total *physical* messages sent (frames on the wire), by summing
+    /// the per-kind counters. A batch counts as one.
     pub fn total_messages(&self) -> u64 {
         self.relation_requests
             + self.tuple_requests
             + self.tuple_request_batches
             + self.answers
+            + self.answer_batches
             + self.end_tuple_requests
+            + self.end_tuple_request_batches
+            + self.stream_ends
+            + self.protocol_messages
+    }
+
+    /// Total *logical* messages: every binding, answer tuple, and
+    /// per-binding completion counted individually, plus the kinds that
+    /// never batch. Invariant under batching — two runs of the same
+    /// query at different batch sizes report the same value.
+    pub fn logical_messages(&self) -> u64 {
+        self.relation_requests
+            + self.logical_tuple_requests
+            + self.logical_answers
+            + self.logical_end_tuple_requests
             + self.stream_ends
             + self.protocol_messages
     }
@@ -107,8 +137,13 @@ impl Stats {
         self.tuple_requests += other.tuple_requests;
         self.tuple_request_batches += other.tuple_request_batches;
         self.answers += other.answers;
+        self.answer_batches += other.answer_batches;
         self.end_tuple_requests += other.end_tuple_requests;
+        self.end_tuple_request_batches += other.end_tuple_request_batches;
         self.stream_ends += other.stream_ends;
+        self.logical_tuple_requests += other.logical_tuple_requests;
+        self.logical_answers += other.logical_answers;
+        self.logical_end_tuple_requests += other.logical_end_tuple_requests;
         self.protocol_messages += other.protocol_messages;
         self.probe_waves += other.probe_waves;
         self.stored_tuples += other.stored_tuples;
@@ -153,10 +188,30 @@ impl Stats {
         use crate::msg::Payload as P;
         match payload {
             P::RelationRequest => self.relation_requests += 1,
-            P::TupleRequest { .. } => self.tuple_requests += 1,
-            P::TupleRequestBatch { .. } => self.tuple_request_batches += 1,
-            P::Answer { .. } => self.answers += 1,
-            P::EndTupleRequest { .. } => self.end_tuple_requests += 1,
+            P::TupleRequest { .. } => {
+                self.tuple_requests += 1;
+                self.logical_tuple_requests += 1;
+            }
+            P::TupleRequestBatch { bindings } => {
+                self.tuple_request_batches += 1;
+                self.logical_tuple_requests += bindings.len() as u64;
+            }
+            P::Answer { .. } => {
+                self.answers += 1;
+                self.logical_answers += 1;
+            }
+            P::AnswerBatch { tuples } => {
+                self.answer_batches += 1;
+                self.logical_answers += tuples.len() as u64;
+            }
+            P::EndTupleRequest { .. } => {
+                self.end_tuple_requests += 1;
+                self.logical_end_tuple_requests += 1;
+            }
+            P::EndTupleRequestBatch { bindings } => {
+                self.end_tuple_request_batches += 1;
+                self.logical_end_tuple_requests += bindings.len() as u64;
+            }
             P::End | P::EndOfRequests => self.stream_ends += 1,
             P::EndRequest { .. }
             | P::EndNegative { .. }
@@ -188,6 +243,28 @@ mod tests {
         assert_eq!(s.total_messages(), 4);
         assert_eq!(s.work_messages(), 3);
         assert!((s.protocol_overhead() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batches_count_one_physical_frame_but_all_logical_items() {
+        let mut s = Stats::default();
+        s.count_send(&Payload::AnswerBatch {
+            tuples: vec![tuple![1], tuple![2], tuple![3]],
+        });
+        s.count_send(&Payload::EndTupleRequestBatch {
+            bindings: vec![tuple![1], tuple![2]],
+        });
+        s.count_send(&Payload::TupleRequestBatch {
+            bindings: vec![tuple![4], tuple![5]],
+        });
+        assert_eq!(s.answer_batches, 1);
+        assert_eq!(s.end_tuple_request_batches, 1);
+        assert_eq!(s.tuple_request_batches, 1);
+        assert_eq!(s.logical_answers, 3);
+        assert_eq!(s.logical_end_tuple_requests, 2);
+        assert_eq!(s.logical_tuple_requests, 2);
+        assert_eq!(s.total_messages(), 3);
+        assert_eq!(s.logical_messages(), 7);
     }
 
     #[test]

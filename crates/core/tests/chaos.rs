@@ -238,6 +238,61 @@ fn zero_rate_plan_has_zero_overhead() {
     }
 }
 
+/// Batching composes with the chaos adversary: a batch is one transport
+/// frame (one seq, one ack, one checksum), so every observable of
+/// Thm 3.1 survives faults with batching enabled at any flush bound,
+/// and the *logical* tuple traffic is identical to the scalar path —
+/// only the physical framing changes.
+#[test]
+fn chaos_sweep_with_batching() {
+    for w in CANONICAL {
+        let baseline = engine_for(w).evaluate().unwrap();
+        for batch in [1usize, 4, 64] {
+            for seed in 0..8u64 {
+                let r = engine_for(w)
+                    .with_batching(true)
+                    .with_batch_size(batch)
+                    .with_fault_plan(FaultPlan::seeded(seed))
+                    .evaluate()
+                    .unwrap_or_else(|e| panic!("{} batch {batch} seed {seed}: {e}", w.name));
+                assert_confluent(
+                    w.name,
+                    &format!("batch {batch}, seed {seed}"),
+                    &baseline,
+                    &r,
+                );
+                assert_eq!(
+                    r.stats.logical_answers, baseline.stats.logical_answers,
+                    "{} batch {batch} seed {seed}: logical answer count changed",
+                    w.name
+                );
+                assert_eq!(
+                    r.stats.logical_tuple_requests, baseline.stats.logical_tuple_requests,
+                    "{} batch {batch} seed {seed}: logical request count changed",
+                    w.name
+                );
+            }
+        }
+        // Crashes on top: recovery replays logs that now contain batch
+        // frames; still confluent.
+        for seed in 0..4u64 {
+            let nodes = baseline.graph_nodes;
+            let plan = FaultPlan::seeded(seed).with_crash((seed as usize * 7 + 1) % nodes, 2);
+            let r = engine_for(w)
+                .with_batching(true)
+                .with_fault_plan(plan)
+                .evaluate()
+                .unwrap_or_else(|e| panic!("{} crash seed {seed}: {e}", w.name));
+            assert_confluent(
+                w.name,
+                &format!("batched crash, seed {seed}"),
+                &baseline,
+                &r,
+            );
+        }
+    }
+}
+
 /// The same seeded plan injects the same faults on repeat runs: the
 /// chaos adversary is deterministic end to end.
 #[test]

@@ -19,6 +19,32 @@ use std::collections::{HashMap, HashSet};
 
 type Arc = (Endpoint, Endpoint);
 
+/// Invariants 3–4 for one per-binding end, plain or inside a batch.
+fn check_etr(
+    i: usize,
+    arc: &Arc,
+    rev: &Arc,
+    binding: &Tuple,
+    end_seen: &HashSet<Arc>,
+    requested: &HashMap<Arc, HashSet<Tuple>>,
+    etrs: &mut HashMap<Arc, HashSet<Tuple>>,
+) {
+    assert!(
+        !end_seen.contains(arc),
+        "msg {i}: binding end after stream end on {arc:?}"
+    );
+    let asked = requested.get(rev).is_some_and(|s| s.contains(binding));
+    assert!(
+        asked,
+        "msg {i}: end for a binding never requested: {binding:?} on {arc:?}"
+    );
+    let fresh = etrs.entry(*arc).or_default().insert(binding.clone());
+    assert!(
+        fresh,
+        "msg {i}: duplicate binding end {binding:?} on {arc:?}"
+    );
+}
+
 fn check_invariants(trace: &[Msg]) {
     let mut relreq_seen: HashSet<Arc> = HashSet::new();
     let mut eor_seen: HashSet<Arc> = HashSet::new();
@@ -54,27 +80,19 @@ fn check_invariants(trace: &[Msg]) {
             Payload::EndOfRequests => {
                 eor_seen.insert(arc);
             }
-            Payload::Answer { .. } => {
+            Payload::Answer { .. } | Payload::AnswerBatch { .. } => {
                 assert!(
                     !end_seen.contains(&arc),
                     "msg {i}: answer after stream end on {arc:?}"
                 );
             }
             Payload::EndTupleRequest { binding } => {
-                assert!(
-                    !end_seen.contains(&arc),
-                    "msg {i}: binding end after stream end on {arc:?}"
-                );
-                let asked = requested.get(&rev).is_some_and(|s| s.contains(binding));
-                assert!(
-                    asked,
-                    "msg {i}: end for a binding never requested: {binding:?} on {arc:?}"
-                );
-                let fresh = etrs.entry(arc).or_default().insert(binding.clone());
-                assert!(
-                    fresh,
-                    "msg {i}: duplicate binding end {binding:?} on {arc:?}"
-                );
+                check_etr(i, &arc, &rev, binding, &end_seen, &requested, &mut etrs);
+            }
+            Payload::EndTupleRequestBatch { bindings } => {
+                for binding in bindings {
+                    check_etr(i, &arc, &rev, binding, &end_seen, &requested, &mut etrs);
+                }
             }
             Payload::End => {
                 end_seen.insert(arc);
@@ -224,7 +242,13 @@ fn invariants_hold_with_batching() {
         trace
             .iter()
             .any(|m| matches!(m.payload, Payload::TupleRequestBatch { .. })),
-        "expected real batches on a fan-out graph"
+        "expected real request batches on a fan-out graph"
+    );
+    assert!(
+        trace
+            .iter()
+            .any(|m| matches!(m.payload, Payload::AnswerBatch { .. })),
+        "expected real answer batches on a fan-out graph"
     );
     check_invariants(&trace);
 }

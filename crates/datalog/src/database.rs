@@ -72,6 +72,39 @@ impl Database {
         self.insert(atom.pred.clone(), tuple)
     }
 
+    /// Bulk-load ground atoms, pre-sizing the process-wide symbol
+    /// interner for the load. Returns how many facts were new.
+    ///
+    /// Symbols in atoms that came through the parser are interned at
+    /// parse time, so for those the reservation is a no-op; programmatic
+    /// loads that mint string values while building atoms get one
+    /// pre-sized table instead of repeated rehashes mid-load
+    /// (over-estimating is harmless — see
+    /// [`mp_storage::reserve_symbols`]).
+    pub fn bulk_insert_atoms<'a>(
+        &mut self,
+        atoms: impl IntoIterator<Item = &'a Atom>,
+    ) -> Result<usize, DatalogError> {
+        let atoms: Vec<&Atom> = atoms.into_iter().collect();
+        let sym_terms: usize = atoms
+            .iter()
+            .map(|a| {
+                a.terms
+                    .iter()
+                    .filter(|t| t.as_const().is_some_and(|v| v.as_str().is_some()))
+                    .count()
+            })
+            .sum();
+        mp_storage::reserve_symbols(sym_terms);
+        let mut new = 0;
+        for a in atoms {
+            if self.insert_atom(a)? {
+                new += 1;
+            }
+        }
+        Ok(new)
+    }
+
     /// The relation for a predicate, if present.
     pub fn relation(&self, pred: &Predicate) -> Option<&Relation> {
         self.relations.get(pred)
@@ -127,6 +160,20 @@ mod tests {
         ));
         assert!(db.declare("p", 2).is_ok());
         assert!(db.declare("p", 3).is_err());
+    }
+
+    #[test]
+    fn bulk_insert_counts_new_facts_only() {
+        let mut db = Database::new();
+        let facts = vec![
+            Atom::new("likes", vec![Term::val("ann"), Term::val("bo")]),
+            Atom::new("likes", vec![Term::val("bo"), Term::val("cy")]),
+            Atom::new("likes", vec![Term::val("ann"), Term::val("bo")]),
+        ];
+        assert_eq!(db.bulk_insert_atoms(&facts).unwrap(), 2);
+        assert_eq!(db.fact_count(), 2);
+        // Symbols from the load resolve through the interner.
+        assert!(mp_storage::symbol_count() >= 3);
     }
 
     #[test]

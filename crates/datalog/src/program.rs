@@ -64,9 +64,7 @@ impl Program {
 
     /// Load this program's inline facts into a database.
     pub fn load_facts(&self, db: &mut Database) -> Result<(), DatalogError> {
-        for f in &self.facts {
-            db.insert_atom(f)?;
-        }
+        db.bulk_insert_atoms(&self.facts)?;
         Ok(())
     }
 

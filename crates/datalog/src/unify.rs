@@ -60,7 +60,7 @@ impl Subst {
             Term::Const(_) => t.clone(),
             Term::Var(v) => match self.map.get(v) {
                 None => t.clone(),
-                Some(Term::Const(c)) => Term::Const(c.clone()),
+                Some(Term::Const(c)) => Term::Const(*c),
                 Some(Term::Var(w)) if w == v => t.clone(),
                 Some(next @ Term::Var(_)) => self.apply_term(&next.clone()),
             },

@@ -2,9 +2,13 @@
 //! artifacts.
 //!
 //! * [`lint_plan`] checks one rule instance's SIP plan: argument-class
-//!   soundness against the atom shapes (`MP101`, §1.2) and a supplier for
-//!   every `d` position (`MP102`, Def 2.4). Without a supplier the goal
-//!   node would wait forever for tuple requests that never come.
+//!   soundness against the atom shapes (`MP101`, §1.2), a supplier for
+//!   every `d` position (`MP102`, Def 2.4), and a non-empty semijoin key
+//!   for every subgoal that joins against earlier bindings (`MP105`).
+//!   Without a supplier the goal node would wait forever for tuple
+//!   requests that never come; with an empty key the data plane has no
+//!   column set to build a `KeyIndex` on, so the index-backed join
+//!   kernel silently degrades to a full scan (cross product).
 //! * [`lint_graph`] runs [`lint_plan`] on every rule node and checks the
 //!   graph's structure through a [`GraphView`]: variant closure
 //!   (`MP103`, Thm 2.1 / Def 2.2) and cycle-edge consistency (`MP104`,
@@ -188,6 +192,31 @@ pub fn lint_plan(rule: &Rule, head: &Adornment, plan: &SipPlan) -> Vec<Diagnosti
                 ),
                 None => {} // constants at d positions already reported as MP101
             }
+        }
+        // MP105: the semijoin key the data plane indexes on is the set of
+        // subgoal variables already bound by earlier suppliers. If bindings
+        // are flowing (`bound` nonempty) but this subgoal shares none of
+        // them, the key column set is empty: no `KeyIndex` can be built and
+        // the join kernel falls back to scanning every stored row.
+        let atom_vars = atom.vars();
+        if !bound.is_empty()
+            && !atom_vars.is_empty()
+            && !atom_vars.iter().any(|v| bound.contains(v))
+        {
+            diags.push(
+                Diagnostic::new(
+                    Code::UnindexedSemijoinKey,
+                    format!(
+                        "subgoal `{atom}` of `{rule}` shares no bound variable with its \
+                         suppliers under sip `{kind}`: its semijoin key is empty",
+                    ),
+                )
+                .with_note(
+                    "the index planner builds a KeyIndex per semijoin key column set; an \
+                     empty key means an unindexed probe — every stored row is scanned and \
+                     the join is a cross product",
+                ),
+            );
         }
         for j in ad.transmitted_positions() {
             if let Some(v) = atom.terms[j].as_var() {
@@ -538,6 +567,64 @@ mod tests {
         let ds = lint_plan(&tc_rule(), &ad("df"), &plan);
         assert!(
             ds.iter().any(|d| d.code == Code::MissingDSupplier),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn disconnected_subgoal_fires_mp105() {
+        // p(X, Y) :- e(X), f(Y): f(Y) shares no bound variable with the
+        // head or with e, so its semijoin key is empty — cross product.
+        let rule = Rule::new(
+            atom!("p"; var "X", var "Y"),
+            vec![atom!("e"; var "X"), atom!("f"; var "Y")],
+        );
+        let plan = SipPlan {
+            kind: SipKind::Greedy,
+            order: vec![0, 1],
+            adornments: vec![ad("d"), ad("f")],
+            edges: vec![],
+            monotone: true,
+        };
+        let ds = lint_plan(&rule, &ad("df"), &plan);
+        assert!(
+            ds.iter().any(|d| d.code == Code::UnindexedSemijoinKey),
+            "{ds:?}"
+        );
+        // It is advisory: evaluation still proceeds.
+        assert!(
+            ds.iter()
+                .filter(|d| d.code == Code::UnindexedSemijoinKey)
+                .all(|d| !d.is_deny()),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn connected_subgoals_do_not_fire_mp105() {
+        // The canonical tc plan: every subgoal shares a bound variable.
+        let ds = lint_plan(&tc_rule(), &ad("df"), &good_plan());
+        assert!(
+            !ds.iter().any(|d| d.code == Code::UnindexedSemijoinKey),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn seed_scan_with_free_head_does_not_fire_mp105() {
+        // Head all-free: nothing is bound when the first subgoal runs, so
+        // a leading scan is the intended seeding, not a missing index.
+        let rule = Rule::new(atom!("p"; var "X"), vec![atom!("e"; var "X")]);
+        let plan = SipPlan {
+            kind: SipKind::Greedy,
+            order: vec![0],
+            adornments: vec![ad("f")],
+            edges: vec![],
+            monotone: true,
+        };
+        let ds = lint_plan(&rule, &ad("f"), &plan);
+        assert!(
+            !ds.iter().any(|d| d.code == Code::UnindexedSemijoinKey),
             "{ds:?}"
         );
     }

@@ -11,10 +11,11 @@
 //!   the §1 well-formedness conditions over the Datalog AST — rule
 //!   safety/range restriction, arity consistency, EDB/IDB separation,
 //!   reachability from the query, singleton variables, ground facts.
-//! * **Graph lints** (`MP101`–`MP104`, [`graph::lint_graph`]) check
+//! * **Graph lints** (`MP101`–`MP105`, [`graph::lint_graph`]) check
 //!   compiled rule/goal artifacts — argument-class soundness under the
 //!   chosen SIP, a supplier for every `d` position (Def 2.4), variant
-//!   closure (Thm 2.1), and cycle-edge consistency.
+//!   closure (Thm 2.1), cycle-edge consistency, and indexability of
+//!   every semijoin key under the data plane's index planner.
 //! * **Protocol lints** (`MP201`–`MP204`, [`protocol::lint_protocol`])
 //!   check the per-strong-component state the §3.2 termination protocol
 //!   relies on — exactly one exit node, BFST parent/child symmetry and
@@ -88,6 +89,11 @@ pub enum Code {
     /// A cycle edge or cycle-reference node is structurally inconsistent
     /// (§2.1: cycle edges run ancestor → variant descendant).
     CycleEdgeInconsistent,
+    /// The chosen SIP gives a subgoal an empty semijoin key: it shares no
+    /// bound variable with its suppliers, so the data plane cannot build
+    /// a `KeyIndex` for the probe and the join kernel degrades to a full
+    /// scan (cross product).
+    UnindexedSemijoinKey,
 
     /// A nontrivial strong component does not have exactly one exit node
     /// (Thm 3.1's unique-feeder precondition).
@@ -117,6 +123,7 @@ impl Code {
             Code::MissingDSupplier => "MP102",
             Code::VariantClosure => "MP103",
             Code::CycleEdgeInconsistent => "MP104",
+            Code::UnindexedSemijoinKey => "MP105",
             Code::ExitNodeCount => "MP201",
             Code::BfstAsymmetry => "MP202",
             Code::BfstCoverage => "MP203",
@@ -127,7 +134,9 @@ impl Code {
     /// The default severity of this code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::UnreachablePredicate | Code::SingletonVariable => Severity::Warn,
+            Code::UnreachablePredicate | Code::SingletonVariable | Code::UnindexedSemijoinKey => {
+                Severity::Warn
+            }
             _ => Severity::Deny,
         }
     }
@@ -271,6 +280,7 @@ mod tests {
             Code::MissingDSupplier,
             Code::VariantClosure,
             Code::CycleEdgeInconsistent,
+            Code::UnindexedSemijoinKey,
             Code::ExitNodeCount,
             Code::BfstAsymmetry,
             Code::BfstCoverage,

@@ -177,7 +177,7 @@ impl GoalLabel {
                         ArgClass::C,
                         "constant argument must be class c"
                     );
-                    args.push(LabelArg::Const(v.clone()));
+                    args.push(LabelArg::Const(*v));
                 }
                 Term::Var(v) => {
                     assert_ne!(

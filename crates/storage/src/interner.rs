@@ -1,0 +1,111 @@
+//! Process-wide string interner backing [`crate::Value`]'s symbol
+//! variant.
+//!
+//! Every distinct symbolic constant is stored exactly once for the life
+//! of the process and identified by a dense `u32` id. Interning makes
+//! [`crate::Value`] a copyable tagged word: tuples flowing through the
+//! message queues are memcpy'd instead of bumping `Arc` refcounts, and
+//! equality/hashing of symbols reduces to integer comparison.
+//!
+//! The table only grows (ids are never recycled), which is exactly the
+//! paper's setting: the Herbrand universe is the finite set of constants
+//! appearing in the program and EDB (§1), so the working set is bounded
+//! by the input. Strings are leaked on first interning so resolution
+//! returns `&'static str` without holding any lock.
+
+use std::collections::HashMap;
+use std::sync::{OnceLock, RwLock};
+
+/// The global symbol table. `OnceLock` gives us lazy, dependency-free
+/// initialization; the `RwLock` makes the read path (resolution and
+/// already-interned lookups) contention-free across runtime threads.
+struct Table {
+    ids: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn table() -> &'static RwLock<Table> {
+    static TABLE: OnceLock<RwLock<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(Table {
+            ids: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+/// Intern a string, returning its stable id. The common case (symbol
+/// already present) takes only the read lock.
+pub(crate) fn intern(s: &str) -> u32 {
+    if let Ok(t) = table().read() {
+        if let Some(&id) = t.ids.get(s) {
+            return id;
+        }
+    }
+    let mut t = table().write().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = t.ids.get(s) {
+        return id;
+    }
+    // First sighting: leak one copy for the life of the process. The
+    // leak is bounded by the set of distinct constants in the input.
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    let id = u32::try_from(t.strings.len()).expect("interner exhausted u32 id space");
+    t.strings.push(leaked);
+    t.ids.insert(leaked, id);
+    id
+}
+
+/// Resolve an id minted by [`intern`] back to its string. The returned
+/// reference is `'static`, so no lock is held by the caller.
+pub(crate) fn resolve(id: u32) -> &'static str {
+    let t = table().read().unwrap_or_else(|e| e.into_inner());
+    t.strings[id as usize]
+}
+
+/// Number of distinct symbols interned so far (process-wide).
+pub fn symbol_count() -> usize {
+    table()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .strings
+        .len()
+}
+
+/// Pre-reserve capacity for `additional` more distinct symbols, so bulk
+/// EDB loads do not rehash the table repeatedly. Harmless to over- or
+/// under-estimate.
+pub fn reserve_symbols(additional: usize) {
+    let mut t = table().write().unwrap_or_else(|e| e.into_inner());
+    t.ids.reserve(additional);
+    t.strings.reserve(additional);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("interner-test-alpha");
+        let b = intern("interner-test-alpha");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "interner-test-alpha");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let a = intern("interner-test-x");
+        let b = intern("interner-test-y");
+        assert_ne!(a, b);
+        assert_eq!(resolve(a), "interner-test-x");
+        assert_eq!(resolve(b), "interner-test-y");
+    }
+
+    #[test]
+    fn count_and_reserve_do_not_disturb_ids() {
+        let a = intern("interner-test-stable");
+        reserve_symbols(64);
+        assert!(symbol_count() >= 1);
+        assert_eq!(intern("interner-test-stable"), a);
+    }
+}

@@ -9,26 +9,34 @@
 //! less by standard relational algebra methods" (§1.2). This crate provides
 //! exactly that substrate:
 //!
-//! * [`Value`] — the scalar domain (integers and shared strings),
+//! * [`Value`] — the scalar domain: a copyable tagged word holding an
+//!   integer or an interned symbol id (process-wide interner),
 //! * [`Tuple`] — fixed-arity rows,
-//! * [`Relation`] — duplicate-free, insertion-ordered sets of tuples,
-//! * [`KeyIndex`] / [`IndexedRelation`] — hash indexes on column subsets
-//!   (the semi-join operands that class-`d` arguments require),
-//! * [`ops`] — select / project / join / semijoin / union / difference.
+//! * [`Relation`] — duplicate-free, insertion-ordered sets of tuples
+//!   stored once in an arena, with incrementally maintained [`KeyIndex`]
+//!   hash indexes on arbitrary column subsets (the semi-join operands
+//!   that class-`d` arguments require),
+//! * [`ops`] — select / project / join / semijoin / union / difference,
+//!   index-backed and sharing one probe kernel with the engine's
+//!   pipelined per-tuple forms.
 //!
 //! Everything is deterministic: relations iterate in insertion order, and
 //! all operators produce insertion-ordered output, so two runs over the
 //! same inputs yield identical results. The simulated message-passing
 //! runtime builds its reproducibility on that determinism.
 
+pub mod fast_hash;
+mod interner;
 pub mod ops;
 mod relation;
 mod tuple;
 mod value;
 
+pub use fast_hash::{FastHasher, FastMap, FastSet};
+pub use interner::{reserve_symbols, symbol_count};
 pub use relation::{IndexedRelation, KeyIndex, Relation};
 pub use tuple::Tuple;
-pub use value::Value;
+pub use value::{Sym, Value};
 
 /// Errors produced by storage operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

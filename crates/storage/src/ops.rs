@@ -6,30 +6,30 @@
 //! engine's pipelined per-tuple forms live in `mp-engine` and are tested
 //! against these as oracles.
 //!
+//! Batch and pipelined forms share one probe kernel: every operator here
+//! resolves matches through [`KeyIndex::probe`] / [`Relation::probe`] —
+//! the same entry points the engine's rule nodes call per tuple — reusing
+//! a [`Relation::ensure_index`]-prepared index when the operand has one
+//! and building a transient index otherwise. Nothing nested-loops over
+//! the right operand.
+//!
 //! All operators preserve determinism: outputs are produced in the
 //! insertion order induced by scanning the left operand.
 
 use crate::{KeyIndex, Relation, StorageError, Tuple, Value};
+use std::borrow::Cow;
 
-/// Select rows where column `col` equals `value`.
-pub fn select_eq(rel: &Relation, col: usize, value: &Value) -> Result<Relation, StorageError> {
-    if col >= rel.arity() && !(rel.arity() == 0 && col == 0) {
-        return Err(StorageError::ColumnOutOfBounds {
-            column: col,
-            arity: rel.arity(),
-        });
+/// The probe side of a join-like operator: the operand's own prepared
+/// index on exactly `cols` when present, else a transient one built for
+/// this call.
+fn index_on<'a>(rel: &'a Relation, cols: &[usize]) -> Result<Cow<'a, KeyIndex>, StorageError> {
+    match rel.index_for(cols) {
+        Some(idx) => Ok(Cow::Borrowed(idx)),
+        None => Ok(Cow::Owned(KeyIndex::build(rel, cols)?)),
     }
-    let mut out = Relation::new(rel.arity());
-    for t in rel.iter() {
-        if &t[col] == value {
-            out.insert(t.clone())?;
-        }
-    }
-    Ok(out)
 }
 
-/// Select rows matching `key` on `cols`.
-pub fn select_on(rel: &Relation, cols: &[usize], key: &Tuple) -> Result<Relation, StorageError> {
+fn check_cols(rel: &Relation, cols: &[usize]) -> Result<(), StorageError> {
     for &c in cols {
         if c >= rel.arity() {
             return Err(StorageError::ColumnOutOfBounds {
@@ -38,11 +38,25 @@ pub fn select_on(rel: &Relation, cols: &[usize], key: &Tuple) -> Result<Relation
             });
         }
     }
+    Ok(())
+}
+
+/// Select rows where column `col` equals `value`.
+pub fn select_eq(rel: &Relation, col: usize, value: &Value) -> Result<Relation, StorageError> {
+    check_cols(rel, &[col])?;
     let mut out = Relation::new(rel.arity());
-    for t in rel.iter() {
-        if t.matches_on(cols, key) {
-            out.insert(t.clone())?;
-        }
+    for t in rel.probe(&[col], std::slice::from_ref(value)) {
+        out.insert(t.clone())?;
+    }
+    Ok(out)
+}
+
+/// Select rows matching `key` on `cols`.
+pub fn select_on(rel: &Relation, cols: &[usize], key: &Tuple) -> Result<Relation, StorageError> {
+    check_cols(rel, cols)?;
+    let mut out = Relation::new(rel.arity());
+    for t in rel.probe(cols, key.values()) {
+        out.insert(t.clone())?;
     }
     Ok(out)
 }
@@ -60,14 +74,7 @@ pub fn select_where(rel: &Relation, pred: impl Fn(&Tuple) -> bool) -> Relation {
 
 /// Project onto `cols` (deduplicating).
 pub fn project(rel: &Relation, cols: &[usize]) -> Result<Relation, StorageError> {
-    for &c in cols {
-        if c >= rel.arity() {
-            return Err(StorageError::ColumnOutOfBounds {
-                column: c,
-                arity: rel.arity(),
-            });
-        }
-    }
+    check_cols(rel, cols)?;
     let mut out = Relation::new(cols.len());
     for t in rel.iter() {
         out.insert(t.project(cols))?;
@@ -78,8 +85,9 @@ pub fn project(rel: &Relation, cols: &[usize]) -> Result<Relation, StorageError>
 /// Equi-join on column pairs `(left_col, right_col)`.
 ///
 /// Output schema is the concatenation of the left and right schemas (the
-/// right join columns are retained; callers project afterwards). Uses a
-/// hash index on the right operand.
+/// right join columns are retained; callers project afterwards). Probes a
+/// hash index on the right operand — the right's own prepared index when
+/// it has one on exactly the join columns.
 pub fn join(
     left: &Relation,
     right: &Relation,
@@ -87,19 +95,14 @@ pub fn join(
 ) -> Result<Relation, StorageError> {
     let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-    for &c in &lcols {
-        if c >= left.arity() {
-            return Err(StorageError::ColumnOutOfBounds {
-                column: c,
-                arity: left.arity(),
-            });
-        }
-    }
-    let idx = KeyIndex::build(right, &rcols)?;
+    check_cols(left, &lcols)?;
+    let idx = index_on(right, &rcols)?;
     let mut out = Relation::new(left.arity() + right.arity());
+    let mut key: Vec<Value> = Vec::with_capacity(lcols.len());
     for lt in left.iter() {
-        let key = lt.project(&lcols);
-        for &rid in idx.get(&key) {
+        key.clear();
+        key.extend(lcols.iter().map(|&c| lt[c]));
+        for &rid in idx.probe(&key) {
             let rt = &right.rows()[rid as usize];
             out.insert(lt.concat(rt))?;
         }
@@ -116,18 +119,14 @@ pub fn semijoin(
 ) -> Result<Relation, StorageError> {
     let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-    for &c in &lcols {
-        if c >= left.arity() {
-            return Err(StorageError::ColumnOutOfBounds {
-                column: c,
-                arity: left.arity(),
-            });
-        }
-    }
-    let idx = KeyIndex::build(right, &rcols)?;
+    check_cols(left, &lcols)?;
+    let idx = index_on(right, &rcols)?;
     let mut out = Relation::new(left.arity());
+    let mut key: Vec<Value> = Vec::with_capacity(lcols.len());
     for lt in left.iter() {
-        if !idx.get(&lt.project(&lcols)).is_empty() {
+        key.clear();
+        key.extend(lcols.iter().map(|&c| lt[c]));
+        if !idx.probe(&key).is_empty() {
             out.insert(lt.clone())?;
         }
     }
@@ -142,18 +141,14 @@ pub fn antijoin(
 ) -> Result<Relation, StorageError> {
     let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-    for &c in &lcols {
-        if c >= left.arity() {
-            return Err(StorageError::ColumnOutOfBounds {
-                column: c,
-                arity: left.arity(),
-            });
-        }
-    }
-    let idx = KeyIndex::build(right, &rcols)?;
+    check_cols(left, &lcols)?;
+    let idx = index_on(right, &rcols)?;
     let mut out = Relation::new(left.arity());
+    let mut key: Vec<Value> = Vec::with_capacity(lcols.len());
     for lt in left.iter() {
-        if idx.get(&lt.project(&lcols)).is_empty() {
+        key.clear();
+        key.extend(lcols.iter().map(|&c| lt[c]));
+        if idx.probe(&key).is_empty() {
             out.insert(lt.clone())?;
         }
     }
@@ -209,7 +204,8 @@ mod tests {
     use crate::tuple;
 
     fn r(rows: Vec<Tuple>) -> Relation {
-        rows.into_iter().collect()
+        Relation::from_tuples(rows.first().map_or(0, Tuple::arity), rows)
+            .expect("test rows share an arity")
     }
 
     #[test]
@@ -218,6 +214,21 @@ mod tests {
         let out = select_eq(&rel, 0, &Value::int(1)).unwrap();
         assert_eq!(out.rows(), &[tuple![1, 10], tuple![1, 11]]);
         assert!(select_eq(&rel, 7, &Value::int(1)).is_err());
+    }
+
+    #[test]
+    fn select_eq_rejects_column_zero_on_zero_arity() {
+        // Regression: the old carve-out accepted column 0 on a zero-arity
+        // relation and indexed out of bounds on its first row.
+        let mut rel = Relation::new(0);
+        rel.insert(Tuple::unit()).unwrap();
+        assert_eq!(
+            select_eq(&rel, 0, &Value::int(1)),
+            Err(StorageError::ColumnOutOfBounds {
+                column: 0,
+                arity: 0
+            })
+        );
     }
 
     #[test]
@@ -255,6 +266,16 @@ mod tests {
                 tuple![2, 3, 3, 41]
             ]
         );
+    }
+
+    #[test]
+    fn join_reuses_prepared_index() {
+        let l = r(vec![tuple![1, 2], tuple![2, 3]]);
+        let mut rr = r(vec![tuple![2, 30], tuple![3, 40]]);
+        rr.ensure_index(&[0]).unwrap();
+        let with_idx = join(&l, &rr, &[(1, 0)]).unwrap();
+        let without = join(&l, &r(vec![tuple![2, 30], tuple![3, 40]]), &[(1, 0)]).unwrap();
+        assert_eq!(with_idx, without);
     }
 
     #[test]

@@ -1,21 +1,43 @@
-//! Duplicate-free, insertion-ordered relations with optional hash indexes.
+//! Duplicate-free, insertion-ordered relations with incrementally
+//! maintained hash indexes.
 //!
 //! Deletion of duplicates is load-bearing in the paper: "Detection of
 //! duplicates is necessary to allow loops to terminate" (§3.1). Every
 //! relation here is a set; [`Relation::insert`] reports whether the tuple
 //! was genuinely new, which is exactly the signal nodes use to decide
 //! whether to forward an answer tuple.
+//!
+//! Rows live once in an append-only arena (`Vec<Tuple>`); the dedup
+//! structure and every [`KeyIndex`] hold `u32` row ids into that arena,
+//! so a tuple is never stored twice and indexes stay valid as rows are
+//! appended.
 
-use crate::{StorageError, Tuple, Value};
+use crate::fast_hash::{FastMap, FastSet};
+use crate::{FastHasher, StorageError, Tuple, Value};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault};
 
 /// A set of same-arity tuples, iterated in insertion order.
+///
+/// The relation owns its rows in an arena and maintains, on demand, hash
+/// indexes over arbitrary column sets ([`Relation::ensure_index`]) that
+/// are updated incrementally on every [`Relation::insert`]. Rule nodes
+/// store their subgoals' temporary relations (§3.1) and probe them by
+/// `d`-column values on every arriving tuple; prepared indexes keep
+/// those probes O(1) amortized as tuples trickle in.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     arity: usize,
     rows: Vec<Tuple>,
-    seen: HashSet<Tuple>,
+    /// Dedup set: row hash → ids of rows with that hash. Holds ids, not
+    /// cloned tuples; candidates are verified against the arena. Keys
+    /// are interned engine data, so the deterministic [`FastHasher`]
+    /// replaces SipHash on this hottest of paths.
+    dedup: FastMap<u64, Vec<u32>>,
+    /// Hash state used to fold a row into the `u64` dedup key.
+    state: BuildHasherDefault<FastHasher>,
+    indexes: HashMap<Vec<usize>, KeyIndex>,
 }
 
 impl Relation {
@@ -24,21 +46,23 @@ impl Relation {
         Relation {
             arity,
             rows: Vec::new(),
-            seen: HashSet::new(),
+            dedup: FastMap::default(),
+            state: BuildHasherDefault::default(),
+            indexes: HashMap::new(),
         }
     }
 
     /// Create a relation from an iterator of tuples, deduplicating.
-    ///
-    /// # Panics
-    /// Panics if tuples disagree on arity (a programming error — schemas
-    /// are validated before data flows).
-    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+    /// Errors if any tuple disagrees with `arity`.
+    pub fn from_tuples(
+        arity: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, StorageError> {
         let mut rel = Relation::new(arity);
         for t in tuples {
-            rel.insert(t).expect("from_tuples: arity mismatch");
+            rel.insert(t)?;
         }
-        rel
+        Ok(rel)
     }
 
     /// The relation's arity.
@@ -56,8 +80,22 @@ impl Relation {
         self.rows.is_empty()
     }
 
+    /// Row ids (into [`Relation::rows`]) of arena rows equal to `t`,
+    /// i.e. zero or one id since the relation is a set.
+    fn find(&self, t: &Tuple) -> Option<u32> {
+        self.find_hashed(self.state.hash_one(t), t)
+    }
+
+    fn find_hashed(&self, h: u64, t: &Tuple) -> Option<u32> {
+        self.dedup
+            .get(&h)?
+            .iter()
+            .copied()
+            .find(|&i| self.rows[i as usize] == *t)
+    }
+
     /// Insert a tuple. Returns `Ok(true)` if the tuple was new, `Ok(false)`
-    /// if it was a duplicate.
+    /// if it was a duplicate. All prepared indexes are updated.
     pub fn insert(&mut self, t: Tuple) -> Result<bool, StorageError> {
         if t.arity() != self.arity {
             return Err(StorageError::ArityMismatch {
@@ -65,17 +103,22 @@ impl Relation {
                 got: t.arity(),
             });
         }
-        if self.seen.insert(t.clone()) {
-            self.rows.push(t);
-            Ok(true)
-        } else {
-            Ok(false)
+        let h = self.state.hash_one(&t);
+        if self.find_hashed(h, &t).is_some() {
+            return Ok(false);
         }
+        let row_id = self.rows.len() as u32;
+        for idx in self.indexes.values_mut() {
+            idx.add(row_id, &t);
+        }
+        self.rows.push(t);
+        self.dedup.entry(h).or_default().push(row_id);
+        Ok(true)
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.seen.contains(t)
+        self.find(t).is_some()
     }
 
     /// Iterate in insertion order.
@@ -98,17 +141,88 @@ impl Relation {
 
     /// Set equality (ignores insertion order).
     pub fn set_eq(&self, other: &Relation) -> bool {
-        self.arity == other.arity && self.seen == other.seen
+        self.arity == other.arity
+            && self.rows.len() == other.rows.len()
+            && other.iter().all(|t| self.contains(t))
     }
-}
 
-impl FromIterator<Tuple> for Relation {
-    /// Collect tuples into a relation, inferring arity from the first
-    /// tuple (arity 0 if the iterator is empty).
-    fn from_iter<T: IntoIterator<Item = Tuple>>(iter: T) -> Self {
-        let mut it = iter.into_iter().peekable();
-        let arity = it.peek().map_or(0, Tuple::arity);
-        Relation::from_tuples(arity, it)
+    /// Ensure an index exists on `cols` (builds it over existing rows);
+    /// it is then maintained incrementally by [`Relation::insert`].
+    pub fn ensure_index(&mut self, cols: &[usize]) -> Result<(), StorageError> {
+        if !self.indexes.contains_key(cols) {
+            let idx = KeyIndex::build(self, cols)?;
+            self.indexes.insert(cols.to_vec(), idx);
+        }
+        Ok(())
+    }
+
+    /// The prepared index on exactly `cols`, if any.
+    pub fn index_for(&self, cols: &[usize]) -> Option<&KeyIndex> {
+        self.indexes.get(cols)
+    }
+
+    /// Tuples whose projection onto `cols` equals `key`, using an index if
+    /// one exists on exactly those columns, else scanning.
+    ///
+    /// Call [`Relation::ensure_index`] up front on hot column sets.
+    pub fn lookup<'a>(&'a self, cols: &[usize], key: &Tuple) -> Vec<&'a Tuple> {
+        self.probe(cols, key.values())
+    }
+
+    /// [`Relation::lookup`] with a borrowed key slice — the engine's
+    /// per-tuple probe form, no key allocation when an index exists.
+    pub fn probe<'a>(&'a self, cols: &[usize], key: &[Value]) -> Vec<&'a Tuple> {
+        if let Some(idx) = self.indexes.get(cols) {
+            idx.probe(key)
+                .iter()
+                .map(|&i| &self.rows[i as usize])
+                .collect()
+        } else {
+            self.rows
+                .iter()
+                .filter(|t| {
+                    cols.iter()
+                        .zip(key)
+                        .all(|(&c, v)| t.values().get(c) == Some(v))
+                })
+                .collect()
+        }
+    }
+
+    /// Owned-tuples form of [`Relation::probe`]: clones the matches
+    /// straight out of the arena — one result allocation, no
+    /// intermediate reference vector. The engine's join kernels use this
+    /// when they must release the borrow before acting on the matches.
+    pub fn probe_cloned(&self, cols: &[usize], key: &[Value]) -> Vec<Tuple> {
+        if let Some(idx) = self.indexes.get(cols) {
+            idx.probe(key)
+                .iter()
+                .map(|&i| self.rows[i as usize].clone())
+                .collect()
+        } else {
+            self.rows
+                .iter()
+                .filter(|t| {
+                    cols.iter()
+                        .zip(key)
+                        .all(|(&c, v)| t.values().get(c) == Some(v))
+                })
+                .cloned()
+                .collect()
+        }
+    }
+
+    /// Distinct values of a single column (insertion order of first sight).
+    pub fn distinct_column(&self, col: usize) -> Vec<Value> {
+        let mut seen = FastSet::default();
+        let mut out = Vec::new();
+        for t in self.iter() {
+            let v = t[col];
+            if seen.insert(v) {
+                out.push(v);
+            }
+        }
+        out
     }
 }
 
@@ -119,11 +233,16 @@ impl PartialEq for Relation {
 }
 impl Eq for Relation {}
 
+/// Historical name for a [`Relation`] with prepared indexes. Index
+/// maintenance now lives on [`Relation`] itself; the alias keeps older
+/// call sites and tests readable.
+pub type IndexedRelation = Relation;
+
 /// A hash index from values of a column subset to row ids.
 #[derive(Clone, Debug, Default)]
 pub struct KeyIndex {
     cols: Vec<usize>,
-    map: HashMap<Tuple, Vec<u32>>,
+    map: FastMap<Tuple, Vec<u32>>,
 }
 
 impl KeyIndex {
@@ -139,7 +258,7 @@ impl KeyIndex {
         }
         let mut idx = KeyIndex {
             cols: cols.to_vec(),
-            map: HashMap::new(),
+            map: FastMap::default(),
         };
         for (i, t) in rel.iter().enumerate() {
             idx.add(i as u32, t);
@@ -152,8 +271,20 @@ impl KeyIndex {
         &self.cols
     }
 
-    /// Register a row in the index.
+    /// Register a row in the index. Probes by a stack-projected key
+    /// slice first, so rows landing on an existing key (the common case
+    /// on skewed columns) allocate nothing.
     pub fn add(&mut self, row_id: u32, t: &Tuple) {
+        if self.cols.len() <= 16 {
+            let mut buf = [Value::int(0); 16];
+            for (i, &c) in self.cols.iter().enumerate() {
+                buf[i] = t[c];
+            }
+            if let Some(ids) = self.map.get_mut(&buf[..self.cols.len()]) {
+                ids.push(row_id);
+                return;
+            }
+        }
         let key = t.project(&self.cols);
         match self.map.entry(key) {
             Entry::Occupied(mut e) => e.get_mut().push(row_id),
@@ -165,115 +296,17 @@ impl KeyIndex {
 
     /// Row ids whose projection onto the indexed columns equals `key`.
     pub fn get(&self, key: &Tuple) -> &[u32] {
+        self.probe(key.values())
+    }
+
+    /// [`KeyIndex::get`] with a borrowed key slice (no allocation).
+    pub fn probe(&self, key: &[Value]) -> &[u32] {
         self.map.get(key).map_or(&[], Vec::as_slice)
     }
 
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
         self.map.len()
-    }
-}
-
-/// A relation bundled with incrementally-maintained indexes.
-///
-/// Rule nodes store their subgoals' temporary relations (§3.1) and probe
-/// them by `d`-column values on every arriving tuple; this wrapper keeps
-/// those probes O(1) amortized as tuples trickle in.
-#[derive(Clone, Debug, Default)]
-pub struct IndexedRelation {
-    rel: Relation,
-    indexes: HashMap<Vec<usize>, KeyIndex>,
-}
-
-impl IndexedRelation {
-    /// Create an empty indexed relation of the given arity.
-    pub fn new(arity: usize) -> Self {
-        IndexedRelation {
-            rel: Relation::new(arity),
-            indexes: HashMap::new(),
-        }
-    }
-
-    /// The underlying relation.
-    pub fn relation(&self) -> &Relation {
-        &self.rel
-    }
-
-    /// The relation's arity.
-    pub fn arity(&self) -> usize {
-        self.rel.arity()
-    }
-
-    /// Number of distinct tuples.
-    pub fn len(&self) -> usize {
-        self.rel.len()
-    }
-
-    /// True if no tuples are stored.
-    pub fn is_empty(&self) -> bool {
-        self.rel.is_empty()
-    }
-
-    /// Ensure an index exists on `cols` (builds it over existing rows).
-    pub fn ensure_index(&mut self, cols: &[usize]) -> Result<(), StorageError> {
-        if !self.indexes.contains_key(cols) {
-            let idx = KeyIndex::build(&self.rel, cols)?;
-            self.indexes.insert(cols.to_vec(), idx);
-        }
-        Ok(())
-    }
-
-    /// Insert a tuple, updating all indexes. Returns whether it was new.
-    pub fn insert(&mut self, t: Tuple) -> Result<bool, StorageError> {
-        let new = self.rel.insert(t.clone())?;
-        if new {
-            let row_id = (self.rel.len() - 1) as u32;
-            for idx in self.indexes.values_mut() {
-                idx.add(row_id, &t);
-            }
-        }
-        Ok(new)
-    }
-
-    /// Membership test.
-    pub fn contains(&self, t: &Tuple) -> bool {
-        self.rel.contains(t)
-    }
-
-    /// Iterate all tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
-        self.rel.iter()
-    }
-
-    /// Tuples whose projection onto `cols` equals `key`, using an index if
-    /// one exists on exactly those columns, else scanning.
-    ///
-    /// Call [`IndexedRelation::ensure_index`] up front on hot column sets.
-    pub fn lookup<'a>(&'a self, cols: &[usize], key: &Tuple) -> Vec<&'a Tuple> {
-        if let Some(idx) = self.indexes.get(cols) {
-            idx.get(key)
-                .iter()
-                .map(|&i| &self.rel.rows()[i as usize])
-                .collect()
-        } else {
-            self.rel
-                .iter()
-                .filter(|t| t.matches_on(cols, key))
-                .collect()
-        }
-    }
-
-    /// Distinct values of a single column (insertion order of first sight).
-    pub fn distinct_column(&self, col: usize) -> Vec<Value> {
-        let mut seen = HashSet::new();
-        let mut out = Vec::new();
-        for t in self.rel.iter() {
-            let v = t[col].clone();
-            if seen.insert(v.clone()) {
-                out.push(v);
-            }
-        }
-        out
     }
 }
 
@@ -284,6 +317,7 @@ mod tests {
 
     fn rel(rows: &[Tuple]) -> Relation {
         Relation::from_tuples(rows.first().map_or(0, Tuple::arity), rows.iter().cloned())
+            .expect("test rows share an arity")
     }
 
     #[test]
@@ -309,6 +343,18 @@ mod tests {
     }
 
     #[test]
+    fn from_tuples_reports_ragged_arity() {
+        let err = Relation::from_tuples(2, vec![tuple![1, 2], tuple![3]]);
+        assert_eq!(
+            err,
+            Err(StorageError::ArityMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
     fn set_eq_ignores_order() {
         let a = rel(&[tuple![1, 2], tuple![3, 4]]);
         let b = rel(&[tuple![3, 4], tuple![1, 2]]);
@@ -324,6 +370,7 @@ mod tests {
         assert_eq!(idx.get(&tuple![1]).len(), 2);
         assert_eq!(idx.get(&tuple![2]), &[2]);
         assert_eq!(idx.get(&tuple![9]), &[] as &[u32]);
+        assert_eq!(idx.probe(tuple![1].values()).len(), 2);
         assert_eq!(idx.distinct_keys(), 2);
     }
 
@@ -364,13 +411,15 @@ mod tests {
     }
 
     #[test]
-    fn from_iterator_infers_arity() {
-        let r: Relation = vec![tuple![1, 2], tuple![1, 2], tuple![2, 3]]
-            .into_iter()
-            .collect();
-        assert_eq!(r.arity(), 2);
-        assert_eq!(r.len(), 2);
-        let empty: Relation = Vec::<Tuple>::new().into_iter().collect();
-        assert_eq!(empty.arity(), 0);
+    fn clone_preserves_dedup_and_indexes() {
+        let mut r = Relation::new(2);
+        r.ensure_index(&[0]).unwrap();
+        r.insert(tuple![1, 10]).unwrap();
+        let mut c = r.clone();
+        assert!(!c.insert(tuple![1, 10]).unwrap());
+        assert!(c.insert(tuple![1, 11]).unwrap());
+        assert_eq!(c.lookup(&[0], &tuple![1]).len(), 2);
+        // The original is untouched.
+        assert_eq!(r.len(), 1);
     }
 }

@@ -1,27 +1,32 @@
 //! Fixed-arity rows.
 
 use crate::Value;
+use std::borrow::Borrow;
 use std::fmt;
 use std::ops::Index;
+use std::sync::Arc;
 
 /// An immutable row of [`Value`]s.
 ///
 /// Tuples are the unit shipped in the framework's `tuple` and
-/// `tuple request` messages (§3.1 of the paper), so they are kept compact
-/// (a boxed slice) and cheap to clone (values are `Arc`-backed).
+/// `tuple request` messages (§3.1 of the paper). The data plane clones
+/// each one many times — into dedup sets, node-local relations, send
+/// buffers, and message payloads — so the slice is behind an [`Arc`]:
+/// a clone is a refcount bump, never an allocation. Values are `Copy`
+/// interned words, so sharing is safe across threads.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Tuple(Box<[Value]>);
+pub struct Tuple(Arc<[Value]>);
 
 impl Tuple {
     /// Create a tuple from a vector of values.
     pub fn new(values: Vec<Value>) -> Self {
-        Tuple(values.into_boxed_slice())
+        Tuple(Arc::from(values))
     }
 
     /// The empty tuple — used as the unit binding for streams whose
     /// adornment has no `d` arguments ("compute everything").
     pub fn unit() -> Self {
-        Tuple(Box::new([]))
+        Tuple(Arc::new([]))
     }
 
     /// Number of values.
@@ -45,7 +50,7 @@ impl Tuple {
     /// Panics if any column index is out of bounds; callers validate
     /// column lists against schemas before evaluation begins.
     pub fn project(&self, cols: &[usize]) -> Tuple {
-        Tuple(cols.iter().map(|&c| self.0[c].clone()).collect())
+        Tuple(cols.iter().map(|&c| self.0[c]).collect())
     }
 
     /// Concatenate two tuples.
@@ -59,6 +64,15 @@ impl Tuple {
         cols.iter()
             .zip(key.values())
             .all(|(&c, v)| self.0.get(c) == Some(v))
+    }
+}
+
+/// Tuples hash and compare exactly like their value slices (the derived
+/// impls delegate to `[Value]`), so hash-map keys of type [`Tuple`] can
+/// be probed with a borrowed `&[Value]` — no key allocation per probe.
+impl Borrow<[Value]> for Tuple {
+    fn borrow(&self) -> &[Value] {
+        &self.0
     }
 }
 
@@ -96,7 +110,7 @@ impl FromIterator<Value> for Tuple {
 
 impl<const N: usize> From<[Value; N]> for Tuple {
     fn from(values: [Value; N]) -> Self {
-        Tuple(Box::new(values))
+        Tuple(Arc::from(values))
     }
 }
 

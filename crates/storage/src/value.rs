@@ -2,29 +2,69 @@
 //!
 //! The paper's system is function-free, so the Herbrand universe is just
 //! the finite set of constants appearing in the EDB and IDB (§1). We model
-//! constants as 64-bit integers or shared strings; strings are stored as
-//! `Arc<str>` so tuples clone cheaply as they flow through message queues.
+//! constants as 64-bit integers or interned symbols; a [`Value`] is a
+//! copyable tagged word, so tuples are memcpy'd (no refcount traffic) as
+//! they flow through message queues.
 
+use crate::interner;
+use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+
+/// An interned symbolic constant: a dense id into the process-wide
+/// symbol table ([`crate::symbol_count`]). Equality and hashing compare
+/// ids — the interner guarantees one id per distinct string — while
+/// ordering resolves and compares the underlying text so symbols still
+/// sort lexicographically.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Intern a string and wrap its id.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Sym(interner::intern(s.as_ref()))
+    }
+
+    /// The interned text. `'static`: the interner owns every symbol for
+    /// the life of the process.
+    pub fn as_str(self) -> &'static str {
+        interner::resolve(self.0)
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if self.0 == other.0 {
+            Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// A constant of the logical system.
 ///
-/// `Value` is the element type of [`crate::Tuple`]. It is totally ordered
-/// (integers sort before strings) so relations can be canonically sorted
-/// for comparison in tests and reports.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// `Value` is the element type of [`crate::Tuple`]. It is `Copy` — an
+/// integer or an interned symbol id — and totally ordered (integers sort
+/// before strings, strings lexicographically) so relations can be
+/// canonically sorted for comparison in tests and reports.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Value {
     /// An integer constant.
     Int(i64),
-    /// A symbolic (string) constant, shared to make clones cheap.
-    Str(Arc<str>),
+    /// A symbolic (string) constant, interned process-wide.
+    Str(Sym),
 }
 
 impl Value {
-    /// Build a string value from anything string-like.
+    /// Build a string value from anything string-like (interning it).
     pub fn str(s: impl AsRef<str>) -> Self {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(Sym::new(s))
     }
 
     /// Build an integer value.
@@ -41,10 +81,10 @@ impl Value {
     }
 
     /// Return the string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
+    pub fn as_str(&self) -> Option<&'static str> {
         match self {
             Value::Int(_) => None,
-            Value::Str(s) => Some(s),
+            Value::Str(s) => Some(s.as_str()),
         }
     }
 }
@@ -53,7 +93,7 @@ impl fmt::Debug for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "{s}"),
+            Value::Str(s) => write!(f, "{}", s.as_str()),
         }
     }
 }
@@ -90,7 +130,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(Arc::from(s.as_str()))
+        Value::str(s)
     }
 }
 
@@ -139,5 +179,21 @@ mod tests {
     fn display_matches_debug() {
         assert_eq!(format!("{}", Value::int(7)), "7");
         assert_eq!(format!("{:?}", Value::str("n")), "n");
+    }
+
+    #[test]
+    fn value_is_a_copyable_word() {
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<Value>();
+        assert!(std::mem::size_of::<Value>() <= 16);
+    }
+
+    #[test]
+    fn symbol_ordering_is_lexicographic_not_id_order() {
+        // Intern in reverse lexicographic order: ids ascend, strings
+        // must still sort by text.
+        let z = Value::str("zz-order-test");
+        let a = Value::str("aa-order-test");
+        assert!(a < z);
     }
 }

@@ -117,7 +117,7 @@ proptest! {
         let mut base = Relation::new(2);
         for &(a, b) in &rows { base.insert(tuple![a, b]).unwrap(); }
         for t in ops::project(&base, &[0]).unwrap().iter() {
-            via_project.push(t[0].clone());
+            via_project.push(t[0]);
         }
         prop_assert_eq!(direct, via_project);
     }

@@ -8,6 +8,8 @@
 //!   --schedule <fifo|random:SEED> simulator delivery order
 //!   --threads                     one OS thread per graph node
 //!   --batching                    package tuple requests (§3.1 fn 2)
+//!   --batch-size N                tuples per data-plane frame (implies
+//!                                 --batching; 1 = scalar framing)
 //!   --chaos SEED                  inject seeded link faults (drop,
 //!                                 duplicate, delay, corrupt) and rely
 //!                                 on the recovery transport
@@ -32,6 +34,7 @@ struct Options {
     sip: SipKind,
     runtime: RuntimeKind,
     batching: bool,
+    batch_size: Option<usize>,
     chaos: Option<u64>,
     recovery: bool,
     stats: bool,
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
         sip: SipKind::Greedy,
         runtime: RuntimeKind::Sim(Schedule::Fifo),
         batching: false,
+        batch_size: None,
         chaos: None,
         recovery: true,
         stats: false,
@@ -76,6 +80,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--threads" => opts.runtime = RuntimeKind::Threads,
             "--batching" => opts.batching = true,
+            "--batch-size" => {
+                let v = args.next().ok_or("--batch-size needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad batch size `{v}`"))?;
+                if n == 0 {
+                    return Err("--batch-size must be at least 1".to_string());
+                }
+                opts.batch_size = Some(n);
+                opts.batching = true;
+            }
             "--chaos" => {
                 let v = args.next().ok_or("--chaos needs a seed")?;
                 opts.chaos = Some(v.parse().map_err(|_| "bad chaos seed")?);
@@ -100,7 +113,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
-[--batching] [--chaos SEED] [--no-recovery] [--stats] [--dot] [--trace] [--baseline B] [FILE]";
+[--batching] [--batch-size N] [--chaos SEED] [--no-recovery] [--stats] [--dot] [--trace] \
+[--baseline B] [FILE]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -186,6 +200,9 @@ fn main() -> ExitCode {
         .with_batching(opts.batching)
         .with_recovery(opts.recovery)
         .with_trace(opts.trace);
+    if let Some(n) = opts.batch_size {
+        engine = engine.with_batch_size(n);
+    }
     if let Some(seed) = opts.chaos {
         engine = engine.with_fault_plan(FaultPlan::seeded(seed));
     }
@@ -206,7 +223,14 @@ fn main() -> ExitCode {
                 eprintln!("--   tuple requests   : {}", s.tuple_requests);
                 eprintln!("--   request packages : {}", s.tuple_request_batches);
                 eprintln!("--   answers          : {}", s.answers);
+                eprintln!("--   answer packages  : {}", s.answer_batches);
+                eprintln!("--   end requests     : {}", s.end_tuple_requests);
+                eprintln!("--   end packages     : {}", s.end_tuple_request_batches);
                 eprintln!("--   protocol         : {}", s.protocol_messages);
+                eprintln!("-- logical traffic (batching-invariant)");
+                eprintln!("--   tuple requests   : {}", s.logical_tuple_requests);
+                eprintln!("--   answers          : {}", s.logical_answers);
+                eprintln!("--   end requests     : {}", s.logical_end_tuple_requests);
                 eprintln!("-- probe waves        : {}", s.probe_waves);
                 eprintln!("-- stored tuples      : {}", s.stored_tuples);
                 eprintln!("--   at goal nodes    : {}", s.goal_stored);

@@ -1,0 +1,122 @@
+//! Batched delivery is semantically invisible (§3.1 footnote 2, extended
+//! to the upward direction): for random programs and plans, evaluating
+//! with message batching at any flush bound produces the same answer
+//! set, the same Thm 3.1 observables (exactly one `End`, nothing after
+//! it), and the same *logical* tuple traffic as the scalar path — with
+//! and without a fault plan in the loop. Only physical framing may
+//! differ.
+
+use mp_framework::engine::{Engine, FaultPlan, RuntimeKind, Schedule};
+use mp_framework::rulegoal::SipKind;
+use mp_framework::workloads::random_programs::{generate, is_interesting, ProgramSpec};
+use proptest::prelude::*;
+
+/// The flush bounds the suite sweeps: immediate flush, small, the
+/// default, and effectively unbounded (only the turn bound fires).
+const BATCH_SIZES: [usize; 4] = [1, 4, 64, usize::MAX];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random program × random plan (SIP) × every flush bound, clean
+    /// channels: answers, observables, and logical counts all match the
+    /// scalar run.
+    #[test]
+    fn batched_equals_scalar_on_random_programs(
+        seed in 0u64..10_000,
+        sip_idx in 0usize..4,
+    ) {
+        let spec = ProgramSpec::default();
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            return Ok(()); // vacuous draw; the generator seeds densely
+        }
+        let sip = SipKind::ALL[sip_idx % SipKind::ALL.len()];
+
+        let scalar = Engine::new(program.clone(), db.clone())
+            .with_sip(sip)
+            .evaluate()
+            .unwrap_or_else(|e| panic!("scalar failed on seed {seed}: {e}\n{program}"));
+        prop_assert_eq!(scalar.engine_ends, 1);
+        prop_assert_eq!(scalar.post_end_answers, 0);
+
+        for batch in BATCH_SIZES {
+            let batched = Engine::new(program.clone(), db.clone())
+                .with_sip(sip)
+                .with_batching(true)
+                .with_batch_size(batch)
+                .evaluate()
+                .unwrap_or_else(|e| {
+                    panic!("batch {batch} failed on seed {seed}: {e}\n{program}")
+                });
+            prop_assert_eq!(batched.engine_ends, 1, "batch {}", batch);
+            prop_assert_eq!(batched.post_end_answers, 0, "batch {}", batch);
+            prop_assert_eq!(
+                batched.answers.sorted_rows(),
+                scalar.answers.sorted_rows(),
+                "batch {} diverged on seed {}\n{}", batch, seed, program
+            );
+            prop_assert_eq!(
+                batched.stats.logical_answers,
+                scalar.stats.logical_answers,
+                "batch {} changed the logical answer count", batch
+            );
+            prop_assert_eq!(
+                batched.stats.logical_tuple_requests,
+                scalar.stats.logical_tuple_requests,
+                "batch {} changed the logical request count", batch
+            );
+            prop_assert_eq!(
+                batched.stats.logical_end_tuple_requests,
+                scalar.stats.logical_end_tuple_requests,
+                "batch {} changed the logical per-binding-end count", batch
+            );
+        }
+    }
+
+    /// The same equivalence under a nonzero fault plan and an
+    /// adversarial random schedule: batching composes with the
+    /// self-healing transport (a batch is one frame) without touching
+    /// any observable.
+    #[test]
+    fn batched_equals_scalar_under_faults(
+        seed in 0u64..10_000,
+        fault_seed in 0u64..1_000_000,
+        sched_seed in 0u64..1_000_000,
+        batch_idx in 0usize..4,
+    ) {
+        let spec = ProgramSpec {
+            idb_preds: 2,
+            max_body: 2,
+            ..ProgramSpec::default()
+        };
+        let (program, db) = generate(&spec, seed);
+        if !is_interesting(&program, &db) {
+            return Ok(()); // vacuous draw; the generator seeds densely
+        }
+
+        let scalar = Engine::new(program.clone(), db.clone())
+            .evaluate()
+            .unwrap_or_else(|e| panic!("scalar failed on seed {seed}: {e}\n{program}"));
+
+        let batched = Engine::new(program.clone(), db.clone())
+            .with_runtime(RuntimeKind::Sim(Schedule::Random(sched_seed)))
+            .with_fault_plan(FaultPlan::seeded(fault_seed))
+            .with_batching(true)
+            .with_batch_size(BATCH_SIZES[batch_idx % BATCH_SIZES.len()])
+            .evaluate()
+            .unwrap_or_else(|e| panic!("faulted batch failed on seed {seed}: {e}\n{program}"));
+        prop_assert_eq!(batched.engine_ends, 1);
+        prop_assert_eq!(batched.post_end_answers, 0);
+        prop_assert_eq!(
+            batched.answers.sorted_rows(),
+            scalar.answers.sorted_rows(),
+            "seed {} diverged under faults\n{}", seed, program
+        );
+        prop_assert_eq!(
+            batched.stats.logical_answers,
+            scalar.stats.logical_answers,
+            "faults + batching changed the logical answer count"
+        );
+    }
+}
