@@ -49,8 +49,9 @@ fn main() {
         Some("e9") => print!("{}", render(&experiments::e9(scale), json)),
         Some("e10") => print!("{}", render(&experiments::e10(scale), json)),
         Some("e11") => print!("{}", render(&experiments::e11(scale), json)),
+        Some("e12") => print!("{}", render(&experiments::e12(scale), json)),
         Some("a1") => print!("{}", render(&experiments::a1(scale), json)),
         Some("a2") => print!("{}", render(&experiments::a2(scale), json)),
-        Some(other) => eprintln!("unknown experiment {other}; use e1..e11, a1, a2"),
+        Some(other) => eprintln!("unknown experiment {other}; use e1..e12, a1, a2"),
     }
 }

@@ -120,6 +120,16 @@ crate::impl_row!(E11Row {
     tuples_per_sec,
     speedup,
 });
+crate::impl_row!(E12Row {
+    workload,
+    runtime,
+    tracing,
+    answers,
+    events,
+    millis,
+    tuples_per_sec,
+    slowdown,
+});
 
 /// E1 row: P1 (Fig 1) across methods and sizes.
 #[derive(Clone, Debug)]
@@ -969,6 +979,93 @@ pub fn e11(scale: Scale) -> Vec<E11Row> {
     rows
 }
 
+/// E12 row: tracing overhead.
+#[derive(Clone, Debug)]
+pub struct E12Row {
+    /// Workload.
+    pub workload: String,
+    /// Runtime (`sim` or `threads`).
+    pub runtime: String,
+    /// `off` or `on`.
+    pub tracing: String,
+    /// Answers.
+    pub answers: usize,
+    /// Events recorded (0 when tracing is off).
+    pub events: usize,
+    /// Wall time in milliseconds (best of the measured repetitions).
+    pub millis: f64,
+    /// Logical answer tuples per second of wall time.
+    pub tuples_per_sec: f64,
+    /// Wall time relative to the tracing-off row of the same
+    /// workload × runtime pair (1.0 = no measurable overhead).
+    pub slowdown: f64,
+}
+
+/// E12 — cost of observation: the same workloads with mp-trace
+/// recording off vs on, on both runtimes. Tracing off must be free
+/// (the tracer is an `Option` checked once per call site); tracing on
+/// pays one lock-free ring push plus a vector-clock merge per logical
+/// event. Answer sets are asserted identical — the tracer is an
+/// observer, never a participant.
+///
+/// At `Scale::Quick` the tracing-on slowdown is dominated by the fixed
+/// cost of allocating the 2^18-slot event ring, not by per-event work;
+/// the full scale amortizes it.
+pub fn e12(scale: Scale) -> Vec<E12Row> {
+    let ((n, m), depth, reps) = match scale {
+        Scale::Quick => ((60, 240), 8, 1),
+        Scale::Full => ((400, 6_000), 12, 5),
+    };
+    let mut rows = Vec::new();
+    for w in [
+        scenarios::tc_random(n, m, 7),
+        scenarios::tc_nonlinear_chain(depth),
+    ] {
+        for (runtime, kind) in [
+            ("sim", RuntimeKind::Sim(Schedule::Fifo)),
+            ("threads", RuntimeKind::Threads),
+        ] {
+            let mut base_millis = f64::INFINITY;
+            let mut base_answers = Vec::new();
+            for traced in [false, true] {
+                let mut millis = f64::INFINITY;
+                let mut last = None;
+                for _ in 0..reps {
+                    let eng = Engine::new(w.program.clone(), w.db.clone())
+                        .with_runtime(kind)
+                        .with_timeout(std::time::Duration::from_secs(60))
+                        .with_trace(traced);
+                    let t0 = Instant::now();
+                    let r = eng.evaluate().expect("e12 run");
+                    millis = millis.min(t0.elapsed().as_secs_f64() * 1e3);
+                    last = Some(r);
+                }
+                let r = last.expect("at least one rep");
+                if !traced {
+                    base_millis = millis;
+                    base_answers = r.answers.sorted_rows();
+                    assert!(r.events.is_none(), "{}: untraced run recorded", w.name);
+                } else {
+                    // Observation must not perturb the result.
+                    assert_eq!(r.answers.sorted_rows(), base_answers, "{}", w.name);
+                }
+                let rate = r.stats.logical_answers as f64 / (millis / 1e3).max(1e-9);
+                rows.push(E12Row {
+                    workload: w.name.clone(),
+                    runtime: runtime.to_string(),
+                    tracing: if traced { "on" } else { "off" }.to_string(),
+                    answers: r.answers.len(),
+                    events: r.events.as_ref().map_or(0, |t| t.events.len()),
+                    millis,
+                    tuples_per_sec: rate,
+                    slowdown: millis / base_millis.max(1e-9),
+                });
+            }
+        }
+    }
+    rows
+}
+
 /// Run every experiment at the given scale and render markdown.
 pub fn full_report(scale: Scale) -> String {
     let mut out = String::new();
@@ -997,6 +1094,8 @@ pub fn full_report(scale: Scale) -> String {
     out.push_str(&markdown_table(&e10(scale)));
     out.push_str("\n## E11 — data-plane vectorization (tuples/sec)\n\n");
     out.push_str(&markdown_table(&e11(scale)));
+    out.push_str("\n## E12 — tracing overhead (mp-trace off vs on)\n\n");
+    out.push_str(&markdown_table(&e12(scale)));
     out.push_str("\n## A1 — packaged tuple requests (ablation, §3.1 fn 2)\n\n");
     out.push_str(&markdown_table(&a1(scale)));
     out.push_str("\n## A2 — cost-based SIP from EDB statistics (ablation, §1.2)\n\n");

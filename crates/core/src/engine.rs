@@ -93,6 +93,10 @@ pub struct QueryResult {
     pub graph_nodes: usize,
     /// Full message trace, when tracing was enabled on the simulator.
     pub trace: Option<Vec<crate::msg::Msg>>,
+    /// Clock-stamped event trace, when tracing was enabled (either
+    /// runtime): the input to `mp_trace::check` offline verification and
+    /// to [`Engine::replay`].
+    pub events: Option<mp_trace::Trace>,
     /// `End` messages delivered to the engine — exactly 1 on a correct
     /// run (Thm 3.1), also under faults.
     pub engine_ends: u64,
@@ -180,7 +184,11 @@ impl Engine {
         self
     }
 
-    /// Record the full message trace (simulator only).
+    /// Record execution traces. On the simulator this captures both the
+    /// full message log ([`QueryResult::trace`]) and the clock-stamped
+    /// event trace ([`QueryResult::events`]); on the threaded runtime it
+    /// captures the event trace. Off by default — the untraced path
+    /// skips every recording branch.
     pub fn with_trace(mut self, trace: bool) -> Engine {
         self.trace = trace;
         self
@@ -300,6 +308,7 @@ impl Engine {
                     stats: out.stats,
                     graph_nodes,
                     trace: out.trace,
+                    events: out.events,
                     engine_ends: out.engine_ends,
                     post_end_answers: out.post_end_answers,
                 })
@@ -309,6 +318,7 @@ impl Engine {
                     timeout: self.timeout,
                     fault_plan: self.fault_plan.clone(),
                     recovery: self.recovery,
+                    trace: self.trace,
                 };
                 let out = rt.run(network)?;
                 Ok(QueryResult {
@@ -316,11 +326,53 @@ impl Engine {
                     stats: out.stats,
                     graph_nodes,
                     trace: None,
+                    events: out.events,
                     engine_ends: out.engine_ends,
                     post_end_answers: out.post_end_answers,
                 })
             }
         }
+    }
+
+    /// Deterministically re-execute a recorded run in the simulator,
+    /// driving node activation by the trace's delivery order (see
+    /// [`mp_trace::Trace::activation_order`]). The replay runs the
+    /// pristine channel model — faults from the recorded run are *not*
+    /// re-injected, because the trace already reflects the logical
+    /// (exactly-once, per-link FIFO) history the recovery transport
+    /// enforced. Answers and logical message counters are
+    /// schedule-invariant (Thm 3.1/4.1), so a replay of any valid trace
+    /// — including one recorded under chaos on the threaded runtime —
+    /// reproduces them exactly; the replay's own event trace rides along
+    /// in [`QueryResult::events`].
+    pub fn replay(&self, recorded: &mp_trace::Trace) -> Result<QueryResult, EngineError> {
+        let graph = self.compile()?.graph;
+        let graph_nodes = graph.len();
+        let mut network = Network::compile(&graph, &self.db);
+        network.set_batching(self.batching);
+        network.set_batch_max(self.batch_size);
+        let sim = SimRuntime {
+            schedule: Schedule::Fifo,
+            max_steps: self.max_steps,
+            trace: self.trace,
+            fault_plan: None,
+            recovery: self.recovery,
+        };
+        let activations = recorded.activation_order();
+        let out = sim.run_replay(
+            &mut network,
+            std::iter::once(mp_storage::Tuple::unit()),
+            &activations,
+        )?;
+        Ok(QueryResult {
+            answers: out.answers,
+            stats: out.stats,
+            graph_nodes,
+            trace: out.trace,
+            events: out.events,
+            engine_ends: out.engine_ends,
+            post_end_answers: out.post_end_answers,
+        })
     }
 }
 

@@ -37,6 +37,28 @@ pub struct Ctx<'a> {
     /// True if the node's mailbox is empty (not counting the message
     /// being processed) — the `empty_queues()` input of Fig 2.
     pub mailbox_empty: bool,
+    /// Event recorder for this node when tracing is enabled. `None` on
+    /// the untraced path and during crash-recovery log replay (replayed
+    /// messages were already recorded the first time around).
+    pub tracer: Option<&'a mut mp_trace::Tracer>,
+}
+
+impl Ctx<'_> {
+    /// Record a tuple stored into node-local relation `rel` (goal answer
+    /// store = 0; rule stage-`l` bindings = `2l`, answer store `l` =
+    /// `2l + 1`), now `size` tuples — the checker's monotone-flow input.
+    fn trace_store(&mut self, rel: u32, size: u64) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.on_store(rel, size);
+        }
+    }
+
+    /// Record a probe-wave conclusion at this leader.
+    fn trace_wave(&mut self, wave: u64, epoch: u64) {
+        if let Some(tr) = self.tracer.as_deref_mut() {
+            tr.on_wave(wave, epoch);
+        }
+    }
 }
 
 impl Common {
@@ -596,6 +618,9 @@ impl Process {
             .as_ref()
             .map(|t| t.waves_completed)
             .unwrap_or(0);
+        if let Some((w, e)) = self.common.term.as_ref().map(|t| (t.wave, t.epoch)) {
+            ctx.trace_wave(w, e);
+        }
         if let Some(t) = self.common.term.as_mut() {
             t.waves_completed = 0;
         }
@@ -724,6 +749,7 @@ fn goal_on_answer(
     ctx.stats.stored_tuples += 1;
     ctx.stats.goal_stored += 1;
     ctx.stats.max_relation_size = ctx.stats.max_relation_size.max(st.answers.len() as u64);
+    ctx.trace_store(0, st.answers.len() as u64);
     let subscribers = with_key(&tuple, &cfg.d_in_transmitted, |key| {
         st.subs_by_binding.get(key).cloned()
     });
@@ -796,6 +822,7 @@ fn rule_on_request(
         .expect("stage-0 arity")
     {
         ctx.stats.stored_tuples += 1;
+        ctx.trace_store(0, st.stage_bindings[0].len() as u64);
         rule_propagate(cfg, st, common, 0, seed, ctx);
     }
 }
@@ -892,6 +919,7 @@ fn rule_propagate(
             let sz = st.stage_bindings[level + 1].len() as u64;
             ctx.stats.max_relation_size = ctx.stats.max_relation_size.max(sz);
             ctx.stats.max_stage_relation = ctx.stats.max_stage_relation.max(sz);
+            ctx.trace_store(2 * (level as u32 + 1), sz);
             rule_propagate(cfg, st, common, level + 1, new_tuple, ctx);
         }
     }
@@ -931,6 +959,7 @@ fn rule_on_answer(
         .stats
         .max_relation_size
         .max(st.ans_store[level].len() as u64);
+    ctx.trace_store(2 * level as u32 + 1, st.ans_store[level].len() as u64);
 
     // Join with the previous stage's accumulated bindings.
     ctx.stats.join_probes += 1;
@@ -954,6 +983,7 @@ fn rule_on_answer(
             let sz = st.stage_bindings[level + 1].len() as u64;
             ctx.stats.max_relation_size = ctx.stats.max_relation_size.max(sz);
             ctx.stats.max_stage_relation = ctx.stats.max_stage_relation.max(sz);
+            ctx.trace_store(2 * (level as u32 + 1), sz);
             rule_propagate(cfg, st, common, level + 1, new_tuple, ctx);
         }
     }

@@ -226,6 +226,7 @@ impl State {
                     out,
                     stats,
                     mailbox_empty,
+                    tracer: None,
                 };
                 self.network.processes[id].handle(msg, &mut ctx);
                 self.queue.extend(out.drain(..));

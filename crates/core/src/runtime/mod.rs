@@ -8,6 +8,49 @@ pub use explore::{explore, ExploreConfig, ExploreReport, ScheduleViolation};
 pub use sim::{Schedule, SimOutcome, SimRuntime};
 pub use thread::{ThreadOutcome, ThreadRuntime};
 
+use crate::msg::{Endpoint, Payload};
+use mp_trace::MsgKind;
+
+/// Ring capacity for recorded events (per run). Large enough for every
+/// canonical workload; overruns are counted, not silently lost, and a
+/// lossy trace is rejected by the checker.
+pub(crate) const TRACE_RING_CAPACITY: usize = 1 << 18;
+
+/// Map an endpoint to its trace actor id: node `i` -> `i`, the engine ->
+/// `n_nodes` (the last actor).
+pub(crate) fn trace_actor(ep: Endpoint, n_nodes: usize) -> u32 {
+    match ep.node() {
+        Some(id) => id as u32,
+        None => n_nodes as u32,
+    }
+}
+
+/// Describe a payload for the trace: `(kind, logical items, wave,
+/// epoch)`. Wave/epoch are 0 for non-termination payloads.
+pub(crate) fn describe_payload(p: &Payload) -> (MsgKind, u64, u64, u64) {
+    match p {
+        Payload::RelationRequest => (MsgKind::RelationRequest, 1, 0, 0),
+        Payload::TupleRequest { .. } => (MsgKind::TupleRequest, 1, 0, 0),
+        Payload::TupleRequestBatch { bindings } => {
+            (MsgKind::TupleRequestBatch, bindings.len() as u64, 0, 0)
+        }
+        Payload::EndOfRequests => (MsgKind::EndOfRequests, 1, 0, 0),
+        Payload::Answer { .. } => (MsgKind::Answer, 1, 0, 0),
+        Payload::AnswerBatch { tuples } => (MsgKind::AnswerBatch, tuples.len() as u64, 0, 0),
+        Payload::EndTupleRequest { .. } => (MsgKind::EndTupleRequest, 1, 0, 0),
+        Payload::EndTupleRequestBatch { bindings } => {
+            (MsgKind::EndTupleRequestBatch, bindings.len() as u64, 0, 0)
+        }
+        Payload::End => (MsgKind::End, 1, 0, 0),
+        Payload::EndRequest { wave, epoch } => (MsgKind::EndRequest, 1, *wave, *epoch),
+        Payload::EndNegative { wave, epoch } => (MsgKind::EndNegative, 1, *wave, *epoch),
+        Payload::EndConfirmed { wave, epoch, .. } => (MsgKind::EndConfirmed, 1, *wave, *epoch),
+        Payload::SccFinished => (MsgKind::SccFinished, 1, 0, 0),
+        Payload::Reborn { epoch } => (MsgKind::Reborn, 1, 0, *epoch),
+        Payload::Shutdown => (MsgKind::Shutdown, 1, 0, 0),
+    }
+}
+
 /// Errors raised while running a network. Every variant is a graceful
 /// failure: no runtime code path panics on a received message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +110,15 @@ pub enum RuntimeError {
     LinkDown {
         /// The crashed node.
         node: usize,
+    },
+    /// The OS refused to spawn a worker thread (resource exhaustion).
+    /// Surfaced as a typed error instead of the `std::thread::spawn`
+    /// panic so a huge graph degrades gracefully.
+    WorkerSpawn {
+        /// The node whose worker could not be started.
+        node: usize,
+        /// The OS error text.
+        reason: String,
     },
 }
 
@@ -138,6 +190,12 @@ impl std::fmt::Display for RuntimeError {
             }
             RuntimeError::LinkDown { node } => {
                 write!(f, "node #{node} crashed and recovery is disabled")
+            }
+            RuntimeError::WorkerSpawn { node, reason } => {
+                write!(
+                    f,
+                    "could not spawn worker thread for node #{node}: {reason}"
+                )
             }
         }
     }

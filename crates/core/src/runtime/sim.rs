@@ -20,12 +20,79 @@
 use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::node::{Ctx, Network, Process};
-use crate::runtime::RuntimeError;
+use crate::runtime::{describe_payload, trace_actor, RuntimeError, TRACE_RING_CAPACITY};
 use crate::stats::Stats;
 use mp_storage::{Relation, Tuple};
+use mp_trace::{Event, Ring, Stamp, Trace, Tracer};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Event recording for a simulated run: one [`Tracer`] per node plus the
+/// engine, and per-link stamp queues standing in for the wire. Logical
+/// delivery on both sim paths is exactly-once FIFO per link (the fault
+/// path's transport guarantees it), so a front-pop always pairs a
+/// delivery with its send stamp.
+pub(crate) struct SimTracing {
+    n: usize,
+    tracers: Vec<Tracer>,
+    pending: BTreeMap<(Endpoint, Endpoint), VecDeque<Stamp>>,
+    ring: Arc<Ring<Event>>,
+}
+
+impl SimTracing {
+    pub(crate) fn new(n: usize) -> Self {
+        let ring = Arc::new(Ring::with_capacity(TRACE_RING_CAPACITY));
+        let tracers = (0..=n)
+            .map(|i| Tracer::new(i as u32, (n + 1) as u32, Arc::clone(&ring)))
+            .collect();
+        SimTracing {
+            n,
+            tracers,
+            pending: BTreeMap::new(),
+            ring,
+        }
+    }
+
+    /// Record a logical send (and the batch flush it implies when the
+    /// frame packages several logical items).
+    fn on_send(&mut self, msg: &Msg) {
+        let (kind, items, wave, epoch) = describe_payload(&msg.payload);
+        let actor = trace_actor(msg.from, self.n) as usize;
+        let to = trace_actor(msg.to, self.n);
+        if items > 1 {
+            self.tracers[actor].on_flush(items);
+        }
+        let stamp = self.tracers[actor].on_send(to, kind, items, wave, epoch);
+        self.pending
+            .entry((msg.from, msg.to))
+            .or_default()
+            .push_back(stamp);
+    }
+
+    /// Record a logical delivery, pairing it with its send stamp.
+    fn on_deliver(&mut self, msg: &Msg) {
+        let (kind, items, wave, epoch) = describe_payload(&msg.payload);
+        let stamp = self
+            .pending
+            .get_mut(&(msg.from, msg.to))
+            .and_then(|q| q.pop_front());
+        let actor = trace_actor(msg.to, self.n) as usize;
+        let from = trace_actor(msg.from, self.n);
+        self.tracers[actor].on_deliver(from, stamp.as_ref(), kind, items, wave, epoch);
+    }
+
+    /// Record the engine observing the final `End`.
+    fn on_engine_end(&mut self) {
+        let n = self.n;
+        self.tracers[n].on_end();
+    }
+
+    fn finish(self) -> Trace {
+        mp_trace::collect((self.n + 1) as u32, &self.ring)
+    }
+}
 
 /// Message scheduling policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +112,9 @@ pub struct SimOutcome {
     pub stats: Stats,
     /// Full message trace, if requested.
     pub trace: Option<Vec<Msg>>,
+    /// Clock-stamped event trace, if requested (same flag): the input to
+    /// `mp_trace::check` and to deterministic replay.
+    pub events: Option<Trace>,
     /// `End` messages delivered to the engine (Thm 3.1 observable:
     /// must be exactly 1 on success).
     pub engine_ends: u64,
@@ -118,9 +188,47 @@ impl SimRuntime {
         });
 
         match &self.fault_plan {
-            None => self.run_clean(network, initial),
+            None => self.run_clean(network, initial, None),
             Some(plan) => self.run_faulty(network, initial, plan.clone()),
         }
+    }
+
+    /// Re-execute a recorded delivery schedule: at each step the next
+    /// actor in `activations` (a recorded trace's
+    /// [`Trace::activation_order`]) processes its front message;
+    /// activations whose mailbox is empty are skipped, and once the
+    /// recording is exhausted the run finishes FIFO. Per-link FIFO makes
+    /// each node consume messages in the recorded per-link order, so a
+    /// threaded run's schedule reproduces deterministically (answers and
+    /// logical counters are schedule-invariant — Thm 3.1/4.1 — which is
+    /// exactly what the replay tests assert). Fault plans do not apply:
+    /// replay re-executes the *logical* history, which the recovery
+    /// transport already made exactly-once.
+    pub fn run_replay(
+        &self,
+        network: &mut Network,
+        requests: impl IntoIterator<Item = Tuple>,
+        activations: &[u32],
+    ) -> Result<SimOutcome, RuntimeError> {
+        let root = Endpoint::Node(network.root);
+        let mut initial = vec![Msg {
+            from: Endpoint::Engine,
+            to: root,
+            payload: Payload::RelationRequest,
+        }];
+        for b in requests {
+            initial.push(Msg {
+                from: Endpoint::Engine,
+                to: root,
+                payload: Payload::TupleRequest { binding: b },
+            });
+        }
+        initial.push(Msg {
+            from: Endpoint::Engine,
+            to: root,
+            payload: Payload::EndOfRequests,
+        });
+        self.run_clean(network, initial, Some(activations))
     }
 
     /// The pristine path: reliable atomic mailboxes, no transport layer,
@@ -130,6 +238,7 @@ impl SimRuntime {
         &self,
         network: &mut Network,
         initial: Vec<Msg>,
+        replay: Option<&[u32]>,
     ) -> Result<SimOutcome, RuntimeError> {
         let n = network.processes.len();
         let mut mailboxes: Vec<VecDeque<Msg>> = vec![VecDeque::new(); n];
@@ -140,6 +249,11 @@ impl SimRuntime {
         };
         let mut stats = Stats::default();
         let mut trace: Option<Vec<Msg>> = if self.trace { Some(Vec::new()) } else { None };
+        let mut tracing: Option<SimTracing> = if self.trace {
+            Some(SimTracing::new(n))
+        } else {
+            None
+        };
         let mut engine_answers = Relation::new(network.answer_arity);
         let mut engine_ends: u64 = 0;
         let mut post_end_answers: u64 = 0;
@@ -150,6 +264,7 @@ impl SimRuntime {
                      fifo_tokens: &mut VecDeque<usize>,
                      stats: &mut Stats,
                      trace: &mut Option<Vec<Msg>>,
+                     tracing: &mut Option<SimTracing>,
                      engine_answers: &mut Relation,
                      engine_ends: &mut u64,
                      post_end_answers: &mut u64|
@@ -157,6 +272,17 @@ impl SimRuntime {
             stats.count_send(&msg.payload);
             if let Some(t) = trace.as_mut() {
                 t.push(msg.clone());
+            }
+            if let Some(tr) = tracing.as_mut() {
+                tr.on_send(&msg);
+                // Engine-bound messages are consumed right here, so the
+                // delivery is recorded here too.
+                if msg.to == Endpoint::Engine {
+                    tr.on_deliver(&msg);
+                    if matches!(msg.payload, Payload::End) {
+                        tr.on_engine_end();
+                    }
+                }
             }
             match msg.to {
                 Endpoint::Engine => match msg.payload {
@@ -211,6 +337,7 @@ impl SimRuntime {
                 &mut fifo_tokens,
                 &mut stats,
                 &mut trace,
+                &mut tracing,
                 &mut engine_answers,
                 &mut engine_ends,
                 &mut post_end_answers,
@@ -219,25 +346,43 @@ impl SimRuntime {
 
         let mut out: Vec<Msg> = Vec::new();
         let mut steps: u64 = 0;
+        let mut replay_cursor = 0usize;
         loop {
-            let next = match &mut rng {
-                None => loop {
-                    match fifo_tokens.pop_front() {
-                        Some(id) if !mailboxes[id].is_empty() => break Some(id),
-                        Some(_) => continue,
-                        None => break None,
-                    }
-                },
-                Some(rng) => {
-                    let nonempty: Vec<usize> =
-                        (0..n).filter(|&i| !mailboxes[i].is_empty()).collect();
-                    if nonempty.is_empty() {
-                        None
-                    } else {
-                        Some(nonempty[rng.gen_range(0..nonempty.len())])
+            // A recorded schedule takes precedence; its activations with
+            // an empty mailbox are skipped (the recorded run may contain
+            // protocol traffic a re-execution doesn't reproduce 1:1) and
+            // FIFO finishes whatever the recording doesn't cover.
+            let mut next = None;
+            if let Some(acts) = replay {
+                while replay_cursor < acts.len() {
+                    let id = acts[replay_cursor] as usize;
+                    replay_cursor += 1;
+                    if id < n && !mailboxes[id].is_empty() {
+                        next = Some(id);
+                        break;
                     }
                 }
-            };
+            }
+            if next.is_none() {
+                next = match &mut rng {
+                    None => loop {
+                        match fifo_tokens.pop_front() {
+                            Some(id) if !mailboxes[id].is_empty() => break Some(id),
+                            Some(_) => continue,
+                            None => break None,
+                        }
+                    },
+                    Some(rng) => {
+                        let nonempty: Vec<usize> =
+                            (0..n).filter(|&i| !mailboxes[i].is_empty()).collect();
+                        if nonempty.is_empty() {
+                            None
+                        } else {
+                            Some(nonempty[rng.gen_range(0..nonempty.len())])
+                        }
+                    }
+                };
+            }
             let Some(id) = next else { break };
             let Some(msg) = mailboxes[id].pop_front() else {
                 continue;
@@ -246,10 +391,14 @@ impl SimRuntime {
             if steps > self.max_steps {
                 return Err(RuntimeError::Diverged { steps });
             }
+            if let Some(tr) = tracing.as_mut() {
+                tr.on_deliver(&msg);
+            }
             let mut ctx = Ctx {
                 out: &mut out,
                 stats: &mut stats,
                 mailbox_empty: mailboxes[id].is_empty(),
+                tracer: tracing.as_mut().map(|t| &mut t.tracers[id]),
             };
             network.processes[id].handle(msg, &mut ctx);
             for m in out.drain(..) {
@@ -259,6 +408,7 @@ impl SimRuntime {
                     &mut fifo_tokens,
                     &mut stats,
                     &mut trace,
+                    &mut tracing,
                     &mut engine_answers,
                     &mut engine_ends,
                     &mut post_end_answers,
@@ -273,6 +423,7 @@ impl SimRuntime {
             answers: engine_answers,
             stats,
             trace,
+            events: tracing.map(SimTracing::finish),
             engine_ends,
             post_end_answers,
         })
@@ -304,6 +455,11 @@ impl SimRuntime {
             now: 0,
             stats: Stats::default(),
             trace: if self.trace { Some(Vec::new()) } else { None },
+            tracing: if self.trace {
+                Some(SimTracing::new(n))
+            } else {
+                None
+            },
             engine_answers: Relation::new(network.answer_arity),
             engine_ends: 0,
             post_end_answers: 0,
@@ -352,10 +508,14 @@ impl SimRuntime {
                     if steps > self.max_steps {
                         return Err(RuntimeError::Diverged { steps });
                     }
+                    if let Some(tr) = sim.tracing.as_mut() {
+                        tr.on_deliver(&msg);
+                    }
                     let mut ctx = Ctx {
                         out: &mut out,
                         stats: &mut sim.stats,
                         mailbox_empty: sim.mailboxes[id].is_empty(),
+                        tracer: sim.tracing.as_mut().map(|t| &mut t.tracers[id]),
                     };
                     network.processes[id].handle(msg, &mut ctx);
                     sim.processed[id] += 1;
@@ -395,6 +555,7 @@ impl SimRuntime {
             answers: sim.engine_answers,
             stats: sim.stats,
             trace: sim.trace,
+            events: sim.tracing.map(SimTracing::finish),
             engine_ends: sim.engine_ends,
             post_end_answers: sim.post_end_answers,
         })
@@ -449,6 +610,11 @@ struct FaultySim {
     now: u64,
     stats: Stats,
     trace: Option<Vec<Msg>>,
+    /// Event recording (same flag as `trace`). Records *logical* sends
+    /// and deliveries only — retransmissions, wire duplicates, and acks
+    /// below the exactly-once line are invisible to the trace, which is
+    /// what makes the batching-invariance and FIFO invariants checkable.
+    tracing: Option<SimTracing>,
     engine_answers: Relation,
     engine_ends: u64,
     post_end_answers: u64,
@@ -462,6 +628,9 @@ impl FaultySim {
         self.stats.count_send(&msg.payload);
         if let Some(t) = self.trace.as_mut() {
             t.push(msg.clone());
+        }
+        if let Some(tr) = self.tracing.as_mut() {
+            tr.on_send(&msg);
         }
         let link = (msg.from, msg.to);
         let sender = self.senders.entry(link).or_default();
@@ -607,6 +776,17 @@ impl FaultySim {
 
     /// Final, in-order, exactly-once delivery of a logical message.
     fn deliver_msg(&mut self, msg: Msg) -> Result<(), RuntimeError> {
+        // Engine-bound messages are consumed right here, so their
+        // delivery is recorded here; node-bound ones are recorded at
+        // mailbox pop, when the node actually processes them.
+        if msg.to == Endpoint::Engine {
+            if let Some(tr) = self.tracing.as_mut() {
+                tr.on_deliver(&msg);
+                if matches!(msg.payload, Payload::End) {
+                    tr.on_engine_end();
+                }
+            }
+        }
         match msg.to {
             Endpoint::Engine => match msg.payload {
                 Payload::Answer { tuple } => self.engine_answer(tuple),
@@ -657,6 +837,9 @@ impl FaultySim {
         self.stats.crashes += 1;
         self.epochs[id] += 1;
         self.stats.epoch_bumps += 1;
+        if let Some(tr) = self.tracing.as_mut() {
+            tr.tracers[id].on_crash(self.epochs[id]);
+        }
 
         // Volatile transport state into the node is lost; the senders'
         // unacked buffers (durable, like a WAL) retransmit the contents.
@@ -675,6 +858,7 @@ impl FaultySim {
         let mut scratch = Stats::default();
         let mut discard: Vec<Msg> = Vec::new();
         let prefix = self.processed[id] as usize;
+        let mut replayed_here: u64 = 0;
         for m in self.logs[id].iter().take(prefix) {
             // Wave probes and replies are deliberately not replayed:
             // protocol state resets at restart and is rebuilt by fresh
@@ -698,10 +882,17 @@ impl FaultySim {
                 // must not originate a probe wave whose messages would
                 // be discarded.
                 mailbox_empty: false,
+                // Replayed deliveries were already recorded pre-crash;
+                // recording them again would double-count.
+                tracer: None,
             };
             fresh.handle(m.clone(), &mut ctx);
             discard.clear();
             self.stats.replayed += 1;
+            replayed_here += 1;
+        }
+        if let Some(tr) = self.tracing.as_mut() {
+            tr.tracers[id].on_recover(self.epochs[id], replayed_here);
         }
         // Announce the rebirth (aborts any wave in flight at the BFST
         // parent) with the bumped epoch.

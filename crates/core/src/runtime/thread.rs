@@ -23,11 +23,13 @@
 use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::node::{Ctx, Network, Process};
-use crate::runtime::RuntimeError;
+use crate::runtime::{describe_payload, trace_actor, RuntimeError, TRACE_RING_CAPACITY};
 use crate::stats::Stats;
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use mp_storage::{Relation, Tuple};
+use mp_trace::{Event, Ring, Stamp, Trace, Tracer};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Worker tick when fault injection is active: the granularity at which
@@ -45,14 +47,19 @@ const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
 /// `peer` for acks).
 #[derive(Clone, Debug)]
 enum TMsg {
-    /// A logical message on the reliable clean path.
-    Plain(Msg),
+    /// A logical message on the reliable clean path, with its causal
+    /// stamp when tracing is on (`None` otherwise — zero tracing cost).
+    Plain(Msg, Option<Stamp>),
     /// A sequenced data frame on the faulty path.
     Data {
         seq: u64,
         msg: Msg,
         /// Checksum failure injected in flight: discarded on arrival.
         corrupted: bool,
+        /// Causal stamp of the logical send, when tracing is on.
+        /// Retransmissions carry the *same* stamp — one logical send,
+        /// one stamp, however many frames it takes.
+        stamp: Option<Stamp>,
     },
     /// Cumulative ack: everything `peer` received below `upto` on the
     /// link from this endpoint is delivered.
@@ -82,6 +89,14 @@ struct Transport {
     /// Distinct hash input per ack frame (acks have no sequence number).
     ack_uid: u64,
     stats: Stats,
+    /// Event recorder for this endpoint; `None` when tracing is off.
+    tracer: Option<Tracer>,
+    /// Stamps of unacked sends, keyed by `(destination, seq)`, so
+    /// retransmissions carry the original stamp. Pruned on ack.
+    out_stamps: BTreeMap<(Endpoint, u64), Stamp>,
+    /// Stamps of frames buffered out of order at the receiver, keyed by
+    /// `(source, seq)`, popped when the frame becomes deliverable.
+    in_stamps: BTreeMap<(Endpoint, u64), Stamp>,
 }
 
 impl Transport {
@@ -91,6 +106,7 @@ impl Transport {
         start: Instant,
         senders: Vec<Sender<TMsg>>,
         engine_tx: Sender<TMsg>,
+        tracer: Option<Tracer>,
     ) -> Transport {
         Transport {
             me,
@@ -103,7 +119,15 @@ impl Transport {
             delayed: Vec::new(),
             ack_uid: 0,
             stats: Stats::default(),
+            tracer,
+            out_stamps: BTreeMap::new(),
+            in_stamps: BTreeMap::new(),
         }
+    }
+
+    /// Number of node endpoints (the engine is actor `n` in the trace).
+    fn n_nodes(&self) -> usize {
+        self.senders.len()
     }
 
     /// Milliseconds since the run started — the transport clock.
@@ -125,16 +149,28 @@ impl Transport {
     }
 
     /// A logical send: counted once (retransmissions and wire duplicates
-    /// never inflate the message counters), then framed.
+    /// never inflate the message counters), stamped when tracing, then
+    /// framed.
     fn send_logical(&mut self, m: Msg) {
         self.stats.count_send(&m.payload);
+        let n = self.n_nodes();
+        let stamp = self.tracer.as_mut().map(|tr| {
+            let (kind, items, wave, epoch) = describe_payload(&m.payload);
+            if items > 1 {
+                tr.on_flush(items);
+            }
+            tr.on_send(trace_actor(m.to, n), kind, items, wave, epoch)
+        });
         if self.plan.is_none() {
-            self.send_frame(m.to, TMsg::Plain(m));
+            self.send_frame(m.to, TMsg::Plain(m, stamp));
             return;
         }
         let to = m.to;
         let now = self.now_ms();
         let seq = self.outgoing.entry(to).or_default().send(m.clone(), now);
+        if let Some(s) = stamp {
+            self.out_stamps.insert((to, seq), s);
+        }
         self.transmit(to, seq, m, 0);
     }
 
@@ -152,10 +188,12 @@ impl Transport {
         if fate.corrupted {
             self.stats.fault_corrupted += 1;
         }
+        let stamp = self.out_stamps.get(&(to, seq)).cloned();
         let frame = TMsg::Data {
             seq,
             msg: msg.clone(),
             corrupted: fate.corrupted,
+            stamp: stamp.clone(),
         };
         if fate.delay > 0 {
             self.stats.fault_delayed += 1;
@@ -176,23 +214,45 @@ impl Transport {
                     seq,
                     msg,
                     corrupted: false,
+                    stamp,
                 },
             ));
         }
     }
 
     /// Accept one data frame from `from`; returns the logical messages
-    /// now deliverable in order (empty for duplicates and reorder gaps).
-    fn accept_data(&mut self, from: Endpoint, seq: u64, msg: Msg) -> Vec<Msg> {
-        let (accepted, upto) = {
+    /// now deliverable in order, each paired with its causal stamp
+    /// (empty for duplicates and reorder gaps).
+    fn accept_data(
+        &mut self,
+        from: Endpoint,
+        seq: u64,
+        msg: Msg,
+        stamp: Option<Stamp>,
+    ) -> Vec<(Msg, Option<Stamp>)> {
+        let (accepted, base, upto) = {
             let rl = self.incoming.entry(from).or_default();
+            // Capture `next_expected` BEFORE accepting: a stale
+            // duplicate (seq below it) must not park a stamp that
+            // nothing will ever pop.
+            let base = rl.next_expected;
+            if seq >= base {
+                if let Some(s) = stamp {
+                    self.in_stamps.entry((from, seq)).or_insert(s);
+                }
+            }
             let a = rl.accept(seq, msg);
-            (a, rl.next_expected)
+            (a, base, rl.next_expected)
         };
         match accepted {
             Accepted::Deliver(msgs) => {
                 self.send_ack(from, upto);
-                msgs
+                // In-order release: the delivered run is exactly the
+                // sequence window `base..upto`.
+                msgs.into_iter()
+                    .enumerate()
+                    .map(|(i, m)| (m, self.in_stamps.remove(&(from, base + i as u64))))
+                    .collect()
             }
             Accepted::Duplicate => {
                 self.stats.dups_discarded += 1;
@@ -214,6 +274,10 @@ impl Transport {
             return;
         };
         self.stats.acks += 1;
+        let n = self.n_nodes();
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.on_ack(trace_actor(to, n), upto);
+        }
         let fate = plan.fate(endpoint_code(self.me), endpoint_code(to), uid, u32::MAX);
         if fate.dropped || fate.corrupted {
             self.stats.fault_dropped += 1;
@@ -237,6 +301,10 @@ impl Transport {
     fn on_ack(&mut self, peer: Endpoint, upto: u64) {
         if let Some(s) = self.outgoing.get_mut(&peer) {
             s.ack_upto(upto);
+        }
+        // Acked sends can never be retransmitted; drop their stamps.
+        if !self.out_stamps.is_empty() {
+            self.out_stamps.retain(|&(p, s), _| p != peer || s >= upto);
         }
     }
 
@@ -333,16 +401,17 @@ impl Worker {
             let mut fatal = false;
             match recv {
                 Ok(TMsg::Shutdown) => break,
-                Ok(TMsg::Plain(msg)) => fatal = !self.process_msg(msg),
+                Ok(TMsg::Plain(msg, stamp)) => fatal = !self.process_msg(msg, stamp),
                 Ok(TMsg::Data {
                     seq,
                     msg,
                     corrupted,
+                    stamp,
                 }) => {
                     if !corrupted {
                         let from = msg.from;
-                        for m in self.t.accept_data(from, seq, msg) {
-                            if !self.process_msg(m) {
+                        for (m, s) in self.t.accept_data(from, seq, msg, stamp) {
+                            if !self.process_msg(m, s) {
                                 fatal = true;
                                 break;
                             }
@@ -384,6 +453,7 @@ impl Worker {
             out: &mut self.scratch,
             stats: &mut self.t.stats,
             mailbox_empty,
+            tracer: self.t.tracer.as_mut(),
         };
         self.process.poke(&mut ctx);
         for m in self.scratch.drain(..) {
@@ -393,15 +463,21 @@ impl Worker {
 
     /// Handle one delivered logical message; returns `false` when the
     /// worker must exit (crash with recovery disabled).
-    fn process_msg(&mut self, msg: Msg) -> bool {
+    fn process_msg(&mut self, msg: Msg, stamp: Option<Stamp>) -> bool {
         if self.t.plan.is_some() {
             self.log.push(msg.clone());
+        }
+        if let Some(tr) = self.t.tracer.as_mut() {
+            let (kind, items, wave, epoch) = describe_payload(&msg.payload);
+            let from = trace_actor(msg.from, self.t.senders.len());
+            tr.on_deliver(from, stamp.as_ref(), kind, items, wave, epoch);
         }
         let mailbox_empty = self.rx.is_empty();
         let mut ctx = Ctx {
             out: &mut self.scratch,
             stats: &mut self.t.stats,
             mailbox_empty,
+            tracer: self.t.tracer.as_mut(),
         };
         self.process.handle(msg, &mut ctx);
         for m in self.scratch.drain(..) {
@@ -436,6 +512,9 @@ impl Worker {
         self.t.stats.crashes += 1;
         self.epoch += 1;
         self.t.stats.epoch_bumps += 1;
+        if let Some(tr) = self.t.tracer.as_mut() {
+            tr.on_crash(self.epoch);
+        }
 
         // Volatile transport state into the node is lost; the senders'
         // unacked buffers (durable, like a WAL) retransmit the contents.
@@ -471,12 +550,18 @@ impl Worker {
                 // must not originate a probe wave whose messages would
                 // be discarded.
                 mailbox_empty: false,
+                // Replayed deliveries were already recorded pre-crash;
+                // recording them again would double-count.
+                tracer: None,
             };
             fresh.handle(m.clone(), &mut ctx);
             discard.clear();
             replayed += 1;
         }
         self.t.stats.replayed += replayed;
+        if let Some(tr) = self.t.tracer.as_mut() {
+            tr.on_recover(self.epoch, replayed);
+        }
         self.process = fresh;
         // Announce the rebirth (aborts any wave in flight at the BFST
         // parent) with the bumped epoch.
@@ -535,13 +620,16 @@ fn engine_accept(
     }
 }
 
-/// Result of a threaded run (same shape as the simulator's, no trace).
+/// Result of a threaded run (same shape as the simulator's).
 #[derive(Clone, Debug)]
 pub struct ThreadOutcome {
     /// The answer relation.
     pub answers: Relation,
     /// Merged per-node stats.
     pub stats: Stats,
+    /// Clock-stamped event trace, if requested: the input to
+    /// `mp_trace::check` and to deterministic replay in the simulator.
+    pub events: Option<Trace>,
     /// `End` messages delivered to the engine before it stopped
     /// collecting (Thm 3.1 observable: must be exactly 1 on success).
     pub engine_ends: u64,
@@ -562,6 +650,10 @@ pub struct ThreadRuntime {
     /// Recover crashed nodes by log replay. With recovery disabled a
     /// scheduled crash aborts the run with [`RuntimeError::LinkDown`].
     pub recovery: bool,
+    /// Record a clock-stamped event trace ([`ThreadOutcome::events`]).
+    /// Off by default: the untraced path carries `None` stamps and
+    /// skips every recording branch — zero measurable overhead (E12).
+    pub trace: bool,
 }
 
 impl Default for ThreadRuntime {
@@ -570,6 +662,7 @@ impl Default for ThreadRuntime {
             timeout: Duration::from_secs(60),
             fault_plan: None,
             recovery: true,
+            trace: false,
         }
     }
 }
@@ -604,6 +697,18 @@ impl ThreadRuntime {
         let probes: Vec<Receiver<TMsg>> = rxs.to_vec();
         let (engine_tx, engine_rx) = unbounded::<TMsg>();
 
+        // One shared lock-free ring for every actor's events; the trace
+        // is collected from it after the workers join.
+        let ring: Option<Arc<Ring<Event>>> = if self.trace {
+            Some(Arc::new(Ring::with_capacity(TRACE_RING_CAPACITY)))
+        } else {
+            None
+        };
+        let mk_tracer = |actor: usize| {
+            ring.as_ref()
+                .map(|r| Tracer::new(actor as u32, (n + 1) as u32, Arc::clone(r)))
+        };
+
         let mut handles = Vec::with_capacity(n);
         for ((id, process), rx) in network.processes.into_iter().enumerate().zip(rxs) {
             let plan = self.fault_plan.clone();
@@ -629,12 +734,28 @@ impl ThreadRuntime {
                     start,
                     txs.clone(),
                     engine_tx.clone(),
+                    mk_tracer(id),
                 ),
                 log: Vec::new(),
                 epoch: 0,
                 scratch: Vec::new(),
             };
-            handles.push(std::thread::spawn(move || worker.run()));
+            let spawned = std::thread::Builder::new()
+                .name(format!("mp-node-{id}"))
+                .spawn(move || worker.run());
+            match spawned {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    // Release the workers already running before bailing.
+                    for tx in &txs {
+                        let _ = tx.send(TMsg::Shutdown);
+                    }
+                    return Err(RuntimeError::WorkerSpawn {
+                        node: id,
+                        reason: e.to_string(),
+                    });
+                }
+            }
         }
 
         // The engine's own transport endpoint: injects the query and,
@@ -646,6 +767,7 @@ impl ThreadRuntime {
             start,
             txs.clone(),
             engine_tx.clone(),
+            mk_tracer(n),
         );
         let to_root = Endpoint::Node(root);
         t.send_logical(Msg {
@@ -683,18 +805,19 @@ impl ThreadRuntime {
             };
             match engine_rx.recv_timeout(wait) {
                 Ok(frame) => {
-                    let msgs: Vec<Msg> = match frame {
-                        TMsg::Plain(m) => vec![m],
+                    let msgs: Vec<(Msg, Option<Stamp>)> = match frame {
+                        TMsg::Plain(m, s) => vec![(m, s)],
                         TMsg::Data {
                             seq,
                             msg,
                             corrupted,
+                            stamp,
                         } => {
                             if corrupted {
                                 Vec::new()
                             } else {
                                 let from = msg.from;
-                                t.accept_data(from, seq, msg)
+                                t.accept_data(from, seq, msg, stamp)
                             }
                         }
                         TMsg::Ack { peer, upto } => {
@@ -705,7 +828,21 @@ impl ThreadRuntime {
                         TMsg::Shutdown => Vec::new(),
                     };
                     let mut flow: Result<bool, RuntimeError> = Ok(false);
-                    for m in msgs {
+                    for (m, s) in msgs {
+                        if let Some(tr) = t.tracer.as_mut() {
+                            let (kind, items, wave, epoch) = describe_payload(&m.payload);
+                            tr.on_deliver(
+                                trace_actor(m.from, n),
+                                s.as_ref(),
+                                kind,
+                                items,
+                                wave,
+                                epoch,
+                            );
+                            if matches!(m.payload, Payload::End) {
+                                tr.on_end();
+                            }
+                        }
                         flow = engine_accept(
                             m,
                             &mut answers,
@@ -767,9 +904,11 @@ impl ThreadRuntime {
         if let Err(RuntimeError::Timeout { unjoined: u, .. }) = &mut result {
             *u = unjoined;
         }
+        let events = ring.map(|r| mp_trace::collect((n + 1) as u32, &r));
         result.map(|()| ThreadOutcome {
             answers,
             stats,
+            events,
             engine_ends,
             post_end_answers,
         })

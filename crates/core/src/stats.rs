@@ -131,41 +131,80 @@ impl Stats {
     }
 
     /// Merge another stats block into this one (used by the threaded
-    /// runtime to sum per-node counters).
+    /// runtime to sum per-node counters). Counters sum; high-water marks
+    /// take the max.
     pub fn merge(&mut self, other: &Stats) {
-        self.relation_requests += other.relation_requests;
-        self.tuple_requests += other.tuple_requests;
-        self.tuple_request_batches += other.tuple_request_batches;
-        self.answers += other.answers;
-        self.answer_batches += other.answer_batches;
-        self.end_tuple_requests += other.end_tuple_requests;
-        self.end_tuple_request_batches += other.end_tuple_request_batches;
-        self.stream_ends += other.stream_ends;
-        self.logical_tuple_requests += other.logical_tuple_requests;
-        self.logical_answers += other.logical_answers;
-        self.logical_end_tuple_requests += other.logical_end_tuple_requests;
-        self.protocol_messages += other.protocol_messages;
-        self.probe_waves += other.probe_waves;
-        self.stored_tuples += other.stored_tuples;
-        self.goal_stored += other.goal_stored;
-        self.join_probes += other.join_probes;
-        self.derived_tuples += other.derived_tuples;
-        self.max_relation_size = self.max_relation_size.max(other.max_relation_size);
-        self.max_stage_relation = self.max_stage_relation.max(other.max_stage_relation);
-        self.edb_lookups += other.edb_lookups;
-        self.messages_processed += other.messages_processed;
-        self.fault_dropped += other.fault_dropped;
-        self.fault_duplicated += other.fault_duplicated;
-        self.fault_delayed += other.fault_delayed;
-        self.fault_corrupted += other.fault_corrupted;
-        self.retransmits += other.retransmits;
-        self.acks += other.acks;
-        self.dups_discarded += other.dups_discarded;
-        self.stale_dropped += other.stale_dropped;
-        self.malformed_dropped += other.malformed_dropped;
-        self.crashes += other.crashes;
-        self.replayed += other.replayed;
-        self.epoch_bumps += other.epoch_bumps;
+        // Exhaustive destructuring — deliberately no `..` rest pattern,
+        // so adding a counter without deciding how it merges is a
+        // compile error here, not a silently dropped statistic.
+        let Stats {
+            relation_requests,
+            tuple_requests,
+            tuple_request_batches,
+            answers,
+            answer_batches,
+            end_tuple_requests,
+            end_tuple_request_batches,
+            stream_ends,
+            logical_tuple_requests,
+            logical_answers,
+            logical_end_tuple_requests,
+            protocol_messages,
+            probe_waves,
+            stored_tuples,
+            goal_stored,
+            join_probes,
+            derived_tuples,
+            max_relation_size,
+            max_stage_relation,
+            edb_lookups,
+            messages_processed,
+            fault_dropped,
+            fault_duplicated,
+            fault_delayed,
+            fault_corrupted,
+            retransmits,
+            acks,
+            dups_discarded,
+            stale_dropped,
+            malformed_dropped,
+            crashes,
+            replayed,
+            epoch_bumps,
+        } = other;
+        self.relation_requests += relation_requests;
+        self.tuple_requests += tuple_requests;
+        self.tuple_request_batches += tuple_request_batches;
+        self.answers += answers;
+        self.answer_batches += answer_batches;
+        self.end_tuple_requests += end_tuple_requests;
+        self.end_tuple_request_batches += end_tuple_request_batches;
+        self.stream_ends += stream_ends;
+        self.logical_tuple_requests += logical_tuple_requests;
+        self.logical_answers += logical_answers;
+        self.logical_end_tuple_requests += logical_end_tuple_requests;
+        self.protocol_messages += protocol_messages;
+        self.probe_waves += probe_waves;
+        self.stored_tuples += stored_tuples;
+        self.goal_stored += goal_stored;
+        self.join_probes += join_probes;
+        self.derived_tuples += derived_tuples;
+        self.max_relation_size = self.max_relation_size.max(*max_relation_size);
+        self.max_stage_relation = self.max_stage_relation.max(*max_stage_relation);
+        self.edb_lookups += edb_lookups;
+        self.messages_processed += messages_processed;
+        self.fault_dropped += fault_dropped;
+        self.fault_duplicated += fault_duplicated;
+        self.fault_delayed += fault_delayed;
+        self.fault_corrupted += fault_corrupted;
+        self.retransmits += retransmits;
+        self.acks += acks;
+        self.dups_discarded += dups_discarded;
+        self.stale_dropped += stale_dropped;
+        self.malformed_dropped += malformed_dropped;
+        self.crashes += crashes;
+        self.replayed += replayed;
+        self.epoch_bumps += epoch_bumps;
     }
 
     /// Total fault events injected by the active plan.
@@ -220,6 +259,92 @@ impl Stats {
             | P::Reborn { .. } => self.protocol_messages += 1,
             P::Shutdown => {}
         }
+    }
+}
+
+impl std::fmt::Display for Stats {
+    /// Render every counter, one `-- `-prefixed line each (the `mpq
+    /// --stats` format). Exhaustive by construction: the destructuring
+    /// below has no `..` rest pattern, so a counter added to the struct
+    /// but not printed is a compile error, and the display test asserts
+    /// each field's line is present.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let Stats {
+            relation_requests,
+            tuple_requests,
+            tuple_request_batches,
+            answers,
+            answer_batches,
+            end_tuple_requests,
+            end_tuple_request_batches,
+            stream_ends,
+            logical_tuple_requests,
+            logical_answers,
+            logical_end_tuple_requests,
+            protocol_messages,
+            probe_waves,
+            stored_tuples,
+            goal_stored,
+            join_probes,
+            derived_tuples,
+            max_relation_size,
+            max_stage_relation,
+            edb_lookups,
+            messages_processed,
+            fault_dropped,
+            fault_duplicated,
+            fault_delayed,
+            fault_corrupted,
+            retransmits,
+            acks,
+            dups_discarded,
+            stale_dropped,
+            malformed_dropped,
+            crashes,
+            replayed,
+            epoch_bumps,
+        } = self;
+        writeln!(f, "-- messages           : {}", self.total_messages())?;
+        writeln!(f, "--   relation requests: {relation_requests}")?;
+        writeln!(f, "--   tuple requests   : {tuple_requests}")?;
+        writeln!(f, "--   request packages : {tuple_request_batches}")?;
+        writeln!(f, "--   answers          : {answers}")?;
+        writeln!(f, "--   answer packages  : {answer_batches}")?;
+        writeln!(f, "--   end requests     : {end_tuple_requests}")?;
+        writeln!(f, "--   end packages     : {end_tuple_request_batches}")?;
+        writeln!(f, "--   stream ends      : {stream_ends}")?;
+        writeln!(f, "--   protocol         : {protocol_messages}")?;
+        writeln!(f, "-- logical traffic (batching-invariant)")?;
+        writeln!(f, "--   tuple requests   : {logical_tuple_requests}")?;
+        writeln!(f, "--   answers          : {logical_answers}")?;
+        writeln!(f, "--   end requests     : {logical_end_tuple_requests}")?;
+        writeln!(f, "-- messages processed : {messages_processed}")?;
+        writeln!(f, "-- probe waves        : {probe_waves}")?;
+        writeln!(f, "-- stored tuples      : {stored_tuples}")?;
+        writeln!(f, "--   at goal nodes    : {goal_stored}")?;
+        writeln!(f, "-- join probes        : {join_probes}")?;
+        writeln!(f, "-- derived tuples     : {derived_tuples}")?;
+        writeln!(f, "-- max relation size  : {max_relation_size}")?;
+        writeln!(f, "-- max stage relation : {max_stage_relation}")?;
+        writeln!(f, "-- edb lookups        : {edb_lookups}")?;
+        writeln!(f, "-- faults injected    : {}", self.faults_injected())?;
+        writeln!(f, "--   dropped          : {fault_dropped}")?;
+        writeln!(f, "--   duplicated       : {fault_duplicated}")?;
+        writeln!(f, "--   delayed          : {fault_delayed}")?;
+        writeln!(f, "--   corrupted        : {fault_corrupted}")?;
+        writeln!(f, "-- retransmits        : {retransmits}")?;
+        writeln!(f, "-- acks               : {acks}")?;
+        writeln!(f, "-- dups discarded     : {dups_discarded}")?;
+        writeln!(f, "-- stale dropped      : {stale_dropped}")?;
+        writeln!(f, "-- malformed dropped  : {malformed_dropped}")?;
+        writeln!(f, "-- crashes            : {crashes}")?;
+        writeln!(f, "--   replayed msgs    : {replayed}")?;
+        writeln!(f, "--   epoch bumps      : {epoch_bumps}")?;
+        writeln!(
+            f,
+            "-- retransmit overhead: {:.1}%",
+            100.0 * self.retransmit_overhead()
+        )
     }
 }
 
@@ -287,5 +412,114 @@ mod tests {
     #[test]
     fn zero_work_has_zero_overhead() {
         assert_eq!(Stats::default().protocol_overhead(), 0.0);
+    }
+
+    /// Every field, no `..Default::default()`: adding a counter to the
+    /// struct forces this literal (and therefore a merge decision) to
+    /// be updated.
+    fn all_fields(v: u64) -> Stats {
+        Stats {
+            relation_requests: v,
+            tuple_requests: v,
+            tuple_request_batches: v,
+            answers: v,
+            answer_batches: v,
+            end_tuple_requests: v,
+            end_tuple_request_batches: v,
+            stream_ends: v,
+            logical_tuple_requests: v,
+            logical_answers: v,
+            logical_end_tuple_requests: v,
+            protocol_messages: v,
+            probe_waves: v,
+            stored_tuples: v,
+            goal_stored: v,
+            join_probes: v,
+            derived_tuples: v,
+            max_relation_size: v,
+            max_stage_relation: v,
+            edb_lookups: v,
+            messages_processed: v,
+            fault_dropped: v,
+            fault_duplicated: v,
+            fault_delayed: v,
+            fault_corrupted: v,
+            retransmits: v,
+            acks: v,
+            dups_discarded: v,
+            stale_dropped: v,
+            malformed_dropped: v,
+            crashes: v,
+            replayed: v,
+            epoch_bumps: v,
+        }
+    }
+
+    #[test]
+    fn merge_is_exhaustive_over_all_fields() {
+        let mut a = all_fields(1);
+        a.merge(&all_fields(2));
+        let mut expect = all_fields(3);
+        // High-water marks take the max, not the sum.
+        expect.max_relation_size = 2;
+        expect.max_stage_relation = 2;
+        assert_eq!(a, expect);
+    }
+
+    #[test]
+    fn display_mentions_every_counter() {
+        // Distinct per-field values; each must surface in the rendering.
+        let mut s = Stats::default();
+        let text = {
+            let mut v = 1000;
+            macro_rules! set {
+                ($($field:ident),* $(,)?) => {
+                    $( s.$field = v; v += 1; )*
+                };
+            }
+            set!(
+                relation_requests,
+                tuple_requests,
+                tuple_request_batches,
+                answers,
+                answer_batches,
+                end_tuple_requests,
+                end_tuple_request_batches,
+                stream_ends,
+                logical_tuple_requests,
+                logical_answers,
+                logical_end_tuple_requests,
+                protocol_messages,
+                probe_waves,
+                stored_tuples,
+                goal_stored,
+                join_probes,
+                derived_tuples,
+                max_relation_size,
+                max_stage_relation,
+                edb_lookups,
+                messages_processed,
+                fault_dropped,
+                fault_duplicated,
+                fault_delayed,
+                fault_corrupted,
+                retransmits,
+                acks,
+                dups_discarded,
+                stale_dropped,
+                malformed_dropped,
+                crashes,
+                replayed,
+                epoch_bumps,
+            );
+            let _ = v;
+            s.to_string()
+        };
+        for v in 1000..1033 {
+            assert!(
+                text.contains(&format!(": {v}")),
+                "counter value {v} missing from Display output:\n{text}"
+            );
+        }
     }
 }

@@ -5,6 +5,8 @@
 //!                                 ?- query); reads stdin when no FILE
 //!
 //!   --deny-warnings               treat warnings as errors (exit 1)
+//!   --json                        emit diagnostics as a JSON array on
+//!                                 stdout (one object per diagnostic)
 //!   --no-graph                    skip graph/protocol passes (program
 //!                                 lints only; also skips SIP planning)
 //!   --sip <greedy|left-to-right|all-free|qual-tree|cost-based>
@@ -25,6 +27,7 @@ use std::process::ExitCode;
 struct Options {
     files: Vec<String>,
     deny_warnings: bool,
+    json: bool,
     graph_passes: bool,
     sip: SipKind,
 }
@@ -33,6 +36,7 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         files: Vec::new(),
         deny_warnings: false,
+        json: false,
         graph_passes: true,
         sip: SipKind::Greedy,
     };
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-warnings" => opts.deny_warnings = true,
+            "--json" => opts.json = true,
             "--no-graph" => opts.graph_passes = false,
             "--sip" => {
                 let v = args.next().ok_or("--sip needs a value")?;
@@ -58,7 +63,7 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() {
     eprintln!(
-        "usage: mp-lint [--deny-warnings] [--no-graph] [--sip STRATEGY] [FILE...]\n\
+        "usage: mp-lint [--deny-warnings] [--json] [--no-graph] [--sip STRATEGY] [FILE...]\n\
          lints Datalog programs; reads stdin when no FILE is given"
     );
 }
@@ -130,11 +135,16 @@ fn main() -> ExitCode {
 
     let mut denies = 0usize;
     let mut warns = 0usize;
+    let mut json_objects: Vec<String> = Vec::new();
     for (name, source) in &inputs {
         match lint_source(source, &opts) {
             Ok(diags) => {
                 for d in &diags {
-                    print!("{}", d.render(name, source));
+                    if opts.json {
+                        json_objects.push(d.to_json(name));
+                    } else {
+                        print!("{}", d.render(name, source));
+                    }
                     match d.severity {
                         Severity::Deny => denies += 1,
                         Severity::Warn => warns += 1,
@@ -148,6 +158,17 @@ fn main() -> ExitCode {
         }
     }
 
+    if opts.json {
+        println!("[");
+        for (i, o) in json_objects.iter().enumerate() {
+            println!(
+                "  {}{}",
+                o,
+                if i + 1 < json_objects.len() { "," } else { "" }
+            );
+        }
+        println!("]");
+    }
     if denies + warns > 0 {
         eprintln!(
             "mp-lint: {denies} error(s), {warns} warning(s) in {} input(s)",

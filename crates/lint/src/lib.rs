@@ -105,6 +105,34 @@ pub enum Code {
     /// The component's recorded leader is missing, not a member, or not
     /// the exit node (§3.2: the unique feeder is the BFST leader).
     LeaderInconsistent,
+
+    /// A recorded trace violates clock soundness: a Lamport or vector
+    /// clock regressed, or a deliver does not dominate its send
+    /// (happens-before, trace checker).
+    TraceClockRegression,
+    /// A per-link logical sequence skipped forward (a message was lost
+    /// past the recovery transport) or an ack regressed.
+    TraceSeqGap,
+    /// An `Answer` was delivered to the engine after `End` (Thm 3.1
+    /// safety: the answer stream is complete when `End` arrives).
+    TraceAnswerAfterEnd,
+    /// A probe-wave reply was delivered for a (wave, epoch) the receiver
+    /// never requested (§3.2: stale replies must not be accepted).
+    TraceStaleEpoch,
+    /// Per-link FIFO was violated: a delivered logical sequence number
+    /// went backwards.
+    TraceFifoViolation,
+    /// A node's temporary relation shrank (§4, Thm 4.1: monotone flow —
+    /// relations only grow).
+    TraceShrinkingRelation,
+    /// A node recovered without a preceding crash.
+    TraceOrphanRecover,
+    /// A logical message was delivered twice on one link (a duplicate
+    /// frame survived transport dedup).
+    TraceDuplicateDelivery,
+    /// A matched send/deliver pair disagrees on logical item count
+    /// (batching must preserve logical counters).
+    TraceCountMismatch,
 }
 
 impl Code {
@@ -128,6 +156,15 @@ impl Code {
             Code::BfstAsymmetry => "MP202",
             Code::BfstCoverage => "MP203",
             Code::LeaderInconsistent => "MP204",
+            Code::TraceClockRegression => "MP301",
+            Code::TraceSeqGap => "MP302",
+            Code::TraceAnswerAfterEnd => "MP303",
+            Code::TraceStaleEpoch => "MP304",
+            Code::TraceFifoViolation => "MP305",
+            Code::TraceShrinkingRelation => "MP306",
+            Code::TraceOrphanRecover => "MP307",
+            Code::TraceDuplicateDelivery => "MP308",
+            Code::TraceCountMismatch => "MP309",
         }
     }
 
@@ -220,6 +257,68 @@ impl Diagnostic {
         }
         out
     }
+
+    /// Render as one JSON object with the stable machine-readable schema
+    /// used by `mp-lint --json` and `mp-check --json`:
+    ///
+    /// ```json
+    /// {"code": "MP001", "severity": "error", "message": "...",
+    ///  "file": "prog.dl", "line": 2, "col": 14, "note": "..."}
+    /// ```
+    ///
+    /// `line`/`col` are `null` when the diagnostic has no span; `note` is
+    /// `null` when absent. Keys always appear, in this order, so CI can
+    /// assert on codes without scraping human-readable text. Hand-rolled
+    /// (no serde in this workspace).
+    pub fn to_json(&self, filename: &str) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let (line, col) = match self.span {
+            Some(s) => (s.line.to_string(), s.col.to_string()),
+            None => ("null".to_string(), "null".to_string()),
+        };
+        let note = match &self.note {
+            Some(n) => format!("\"{}\"", esc(n)),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\", \
+             \"file\": \"{}\", \"line\": {}, \"col\": {}, \"note\": {}}}",
+            self.code,
+            self.severity,
+            esc(&self.message),
+            esc(filename),
+            line,
+            col,
+            note
+        )
+    }
+}
+
+/// Render a slice of diagnostics as a JSON array, one object per
+/// diagnostic (see [`Diagnostic::to_json`]).
+pub fn diagnostics_to_json(diags: &[Diagnostic], filename: &str) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&d.to_json(filename));
+        out.push_str(if i + 1 < diags.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
 }
 
 impl fmt::Display for Diagnostic {
@@ -285,6 +384,15 @@ mod tests {
             Code::BfstAsymmetry,
             Code::BfstCoverage,
             Code::LeaderInconsistent,
+            Code::TraceClockRegression,
+            Code::TraceSeqGap,
+            Code::TraceAnswerAfterEnd,
+            Code::TraceStaleEpoch,
+            Code::TraceFifoViolation,
+            Code::TraceShrinkingRelation,
+            Code::TraceOrphanRecover,
+            Code::TraceDuplicateDelivery,
+            Code::TraceCountMismatch,
         ];
         let strs: std::collections::BTreeSet<&str> = all.iter().map(|c| c.as_str()).collect();
         assert_eq!(strs.len(), all.len());
@@ -312,5 +420,51 @@ mod tests {
         ];
         sort_diagnostics(&mut v);
         assert_eq!(v[0].code, Code::UnsafeRule);
+    }
+
+    /// Golden test for the `--json` schema: key set, key order, and value
+    /// shapes are a stable contract — CI asserts on them.
+    #[test]
+    fn json_schema_is_golden() {
+        let d = Diagnostic::new(Code::UnsafeRule, "head variable `Y` is not bound")
+            .with_span(Some(Span::new(2, 14)))
+            .with_note("range restriction, §1");
+        assert_eq!(
+            d.to_json("test.dl"),
+            "{\"code\": \"MP001\", \"severity\": \"error\", \
+             \"message\": \"head variable `Y` is not bound\", \
+             \"file\": \"test.dl\", \"line\": 2, \"col\": 14, \
+             \"note\": \"range restriction, §1\"}"
+        );
+        let bare = Diagnostic::new(Code::SingletonVariable, "variable `X` used once");
+        assert_eq!(
+            bare.to_json("a.dl"),
+            "{\"code\": \"MP007\", \"severity\": \"warning\", \
+             \"message\": \"variable `X` used once\", \
+             \"file\": \"a.dl\", \"line\": null, \"col\": null, \"note\": null}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let d = Diagnostic::new(Code::UnsafeRule, "quote \" backslash \\ newline \n tab \t");
+        let j = d.to_json("x.dl");
+        assert!(
+            j.contains("quote \\\" backslash \\\\ newline \\n tab \\t"),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn json_array_shape() {
+        let v = vec![
+            Diagnostic::new(Code::UnsafeRule, "a"),
+            Diagnostic::new(Code::NoQuery, "b"),
+        ];
+        let j = diagnostics_to_json(&v, "f.dl");
+        assert!(j.starts_with("[\n"), "{j}");
+        assert!(j.ends_with("]\n"), "{j}");
+        assert_eq!(j.matches("\"code\"").count(), 2);
+        assert!(diagnostics_to_json(&[], "f.dl").contains("[\n]"));
     }
 }

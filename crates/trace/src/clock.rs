@@ -1,0 +1,96 @@
+//! Vector clocks (Fidge/Mattern) for happens-before tracking.
+
+/// Partial-order comparison result between two vector clocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Causality {
+    /// Left strictly happens-before right.
+    Before,
+    /// Right strictly happens-before left.
+    After,
+    /// Identical clocks.
+    Equal,
+    /// Neither dominates: the events are concurrent.
+    Concurrent,
+}
+
+/// A fixed-width vector clock: one component per actor in the network
+/// (graph nodes plus the engine).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(pub Vec<u64>);
+
+impl VClock {
+    /// A zeroed clock with `n` components.
+    pub fn new(n: usize) -> Self {
+        VClock(vec![0; n])
+    }
+
+    /// Advance this actor's own component by one.
+    pub fn tick(&mut self, actor: usize) {
+        if let Some(c) = self.0.get_mut(actor) {
+            *c += 1;
+        }
+    }
+
+    /// Component-wise maximum (applied on message receipt before the
+    /// local tick).
+    pub fn merge(&mut self, other: &[u64]) {
+        if self.0.len() < other.len() {
+            self.0.resize(other.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True when every component of `self` is ≥ the matching component of
+    /// `other` (missing components count as 0).
+    pub fn dominates(&self, other: &[u64]) -> bool {
+        let get = |v: &[u64], i: usize| v.get(i).copied().unwrap_or(0);
+        let n = self.0.len().max(other.len());
+        (0..n).all(|i| get(&self.0, i) >= get(other, i))
+    }
+
+    /// Partial-order comparison.
+    pub fn compare(&self, other: &[u64]) -> Causality {
+        let fwd = self.dominates(other);
+        let bwd = VClock(other.to_vec()).dominates(&self.0);
+        match (fwd, bwd) {
+            (true, true) => Causality::Equal,
+            (true, false) => Causality::After,
+            (false, true) => Causality::Before,
+            (false, false) => Causality::Concurrent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_merge() {
+        let mut a = VClock::new(3);
+        a.tick(0);
+        a.tick(0);
+        assert_eq!(a.0, vec![2, 0, 0]);
+        a.merge(&[1, 5, 0]);
+        assert_eq!(a.0, vec![2, 5, 0]);
+    }
+
+    #[test]
+    fn compare_orders() {
+        let a = VClock(vec![1, 2, 0]);
+        assert_eq!(a.compare(&[1, 2, 0]), Causality::Equal);
+        assert_eq!(a.compare(&[0, 2, 0]), Causality::After);
+        assert_eq!(a.compare(&[1, 2, 1]), Causality::Before);
+        assert_eq!(a.compare(&[2, 0, 0]), Causality::Concurrent);
+    }
+
+    #[test]
+    fn dominates_handles_width_mismatch() {
+        let a = VClock(vec![1, 2]);
+        assert!(a.dominates(&[1]));
+        assert!(!a.dominates(&[1, 2, 1]));
+        assert!(a.dominates(&[1, 2, 0]));
+    }
+}

@@ -1,0 +1,41 @@
+//! mp-trace — event recording and offline causality checking for the
+//! message passing runtimes.
+//!
+//! The engine's runtimes (simulated and threaded) record their
+//! executions as streams of clock-stamped [`Event`]s: sends, deliveries,
+//! batch flushes, crashes, recoveries, probe waves, relation stores, and
+//! the final `End`. Each event carries the recording actor's Lamport
+//! clock and vector clock, so the *causal* structure of a real threaded
+//! run — not just its final answer set — is preserved and can be
+//! verified after the fact.
+//!
+//! Three layers:
+//!
+//! * **Recording** ([`Tracer`], [`Ring`]): per-actor clock bookkeeping
+//!   pushing into a bounded lock-free ring buffer shared by all worker
+//!   threads. The simulator records through the same interface without
+//!   contention.
+//! * **Checking** ([`check`]): an offline replay of the trace against
+//!   the protocol invariant suite — happens-before soundness, per-link
+//!   FIFO/seq/ack consistency of the recovery transport, Thm 3.1's
+//!   no-answer-after-End, probe-wave ordering, monotone flow (Thm 4.1),
+//!   and batching invariance. Violations are `mp_lint::Diagnostic`s with
+//!   stable MP3xx codes; the `mp-check` binary is the CLI front end.
+//! * **Replay** ([`Trace::activation_order`]): the recorded delivery
+//!   order of a threaded run re-executes deterministically in the
+//!   simulator, so a chaotic threaded failure reproduces under a
+//!   controlled schedule.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod clock;
+pub mod event;
+pub mod record;
+pub mod ring;
+
+pub use check::{check, logical_counts, LogicalCounts};
+pub use clock::{Causality, VClock};
+pub use event::{Event, EventKind, MsgKind, Stamp, Trace, NO_SEQ};
+pub use record::{collect, Tracer};
+pub use ring::Ring;

@@ -1,0 +1,234 @@
+//! A bounded lock-free multi-producer queue (Vyukov's array-based
+//! design) used as the event sink in the threaded runtime: every worker
+//! pushes, the engine drains once after shutdown.
+//!
+//! Slot allocation is a CAS on `enqueue_pos`, so the slot order is a
+//! total order consistent with each producer's program order; because a
+//! send is recorded before its frame hits the channel and a delivery is
+//! recorded after the frame is received, slot order also respects
+//! send-before-deliver across threads. The checker and the replay
+//! machinery rely on exactly this property.
+//!
+//! When the ring is full, events are *dropped* (and counted) rather than
+//! blocking the hot path — a trace with `dropped > 0` is unusable for
+//! checking but the run itself is unaffected.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot<T> {
+    /// Vyukov sequence word: `pos` when the slot is free for the
+    /// producer of ticket `pos`, `pos + 1` once written, `pos + cap`
+    /// after the consumer frees it for the next lap.
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Bounded lock-free MPMC ring buffer (used MPSC here).
+pub struct Ring<T> {
+    buf: Box<[Slot<T>]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots hand off exclusive access via the `seq` protocol — a
+// producer writes a slot only after winning the CAS for its ticket, a
+// consumer reads it only after the producer's Release store of `pos+1`.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+impl<T> Ring<T> {
+    /// A ring with at least `capacity` slots (rounded up to a power of
+    /// two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.next_power_of_two().max(2);
+        let buf: Box<[Slot<T>]> = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Ring {
+            buf,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Push an item. Returns `false` (and bumps the dropped counter)
+    /// when the ring is full; never blocks.
+    pub fn push(&self, value: T) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: winning the CAS for ticket `pos` grants
+                        // exclusive write access to this slot until the
+                        // Release store below publishes it.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                // Consumer hasn't freed this lap's slot: full.
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Pop the oldest item, or `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.buf[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // SAFETY: the producer's Release store of `pos+1`
+                        // happens-before our Acquire load, so the slot
+                        // holds an initialized value we now own.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        slot.seq.store(
+                            pos.wrapping_add(self.mask).wrapping_add(1),
+                            Ordering::Release,
+                        );
+                        return Some(value);
+                    }
+                    Err(actual) => pos = actual,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain everything currently in the ring, in push order.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// How many pushes were rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Release any items never drained.
+        while self.pop().is_some() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let r = Ring::with_capacity(8);
+        for i in 0..8 {
+            assert!(r.push(i));
+        }
+        assert_eq!(r.drain(), (0..8).collect::<Vec<_>>());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let r = Ring::with_capacity(4);
+        for i in 0..6 {
+            let ok = r.push(i);
+            assert_eq!(ok, i < 4, "push {i}");
+        }
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.drain(), vec![0, 1, 2, 3]);
+        // Drained: accepts again.
+        assert!(r.push(99));
+        assert_eq!(r.pop(), Some(99));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let r = Ring::with_capacity(5);
+        for i in 0..8 {
+            assert!(r.push(i), "rounded capacity should hold 8");
+        }
+        assert!(!r.push(8));
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing() {
+        let r = Arc::new(Ring::with_capacity(1 << 12));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        assert!(r.push((t, i)));
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().unwrap();
+        }
+        let all = r.drain();
+        assert_eq!(all.len(), 2000);
+        // Per-producer order is preserved even though producers interleave.
+        for t in 0..4 {
+            let mine: Vec<u64> = all
+                .iter()
+                .filter(|(p, _)| *p == t)
+                .map(|(_, i)| *i)
+                .collect();
+            assert_eq!(mine, (0..500).collect::<Vec<_>>());
+        }
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_releases_undrained_items() {
+        let r = Ring::with_capacity(8);
+        let payload = Arc::new(());
+        for _ in 0..5 {
+            assert!(r.push(Arc::clone(&payload)));
+        }
+        drop(r);
+        assert_eq!(Arc::strong_count(&payload), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Checker mutation coverage: hand-corrupted traces, one per invariant,
+//! each asserting the *exact* MP3xx code fired. A checker that goes
+//! quiet on any of these has lost a protocol guarantee.
+
+use mp_lint::Code;
+use mp_trace::{check, collect, MsgKind, Ring, Trace, Tracer};
+use std::sync::Arc;
+
+/// Three actors: nodes 0 and 1, engine = 2.
+fn tracers() -> (Tracer, Tracer, Tracer, Arc<Ring<mp_trace::Event>>) {
+    let ring = Arc::new(Ring::with_capacity(1 << 10));
+    (
+        Tracer::new(0, 3, Arc::clone(&ring)),
+        Tracer::new(1, 3, Arc::clone(&ring)),
+        Tracer::new(2, 3, Arc::clone(&ring)),
+        ring,
+    )
+}
+
+fn codes(t: &Trace) -> Vec<&'static str> {
+    check(t).iter().map(|d| d.code.as_str()).collect()
+}
+
+#[test]
+fn answer_after_end_fires_mp303() {
+    let (mut n0, _n1, mut eng, ring) = tracers();
+    let s = n0.on_send(2, MsgKind::End, 1, 0, 0);
+    eng.on_deliver(0, Some(&s), MsgKind::End, 1, 0, 0);
+    eng.on_end();
+    // A straggler answer arrives after the stream was certified complete.
+    let s = n0.on_send(2, MsgKind::Answer, 1, 0, 0);
+    eng.on_deliver(0, Some(&s), MsgKind::Answer, 1, 0, 0);
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP303"]);
+}
+
+#[test]
+fn seq_gap_fires_mp302() {
+    let (mut n0, mut n1, _eng, ring) = tracers();
+    let s0 = n0.on_send(1, MsgKind::Answer, 1, 0, 0);
+    let _s1 = n0.on_send(1, MsgKind::Answer, 1, 0, 0); // lost in transit
+    let s2 = n0.on_send(1, MsgKind::Answer, 1, 0, 0);
+    n1.on_deliver(0, Some(&s0), MsgKind::Answer, 1, 0, 0);
+    n1.on_deliver(0, Some(&s2), MsgKind::Answer, 1, 0, 0);
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP302"]);
+}
+
+#[test]
+fn stale_epoch_ack_fires_mp304() {
+    let (mut n0, mut n1, _eng, ring) = tracers();
+    // Node 1 accepts a confirmation for a wave/epoch it never originated.
+    let s = n0.on_send(1, MsgKind::EndConfirmed, 1, 5, 9);
+    n1.on_deliver(0, Some(&s), MsgKind::EndConfirmed, 1, 5, 9);
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP304"]);
+}
+
+#[test]
+fn shrinking_relation_fires_mp306() {
+    let (mut n0, _n1, _eng, ring) = tracers();
+    n0.on_store(2, 5);
+    n0.on_store(2, 3); // monotone flow violated
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP306"]);
+}
+
+#[test]
+fn vector_clock_regression_fires_mp301() {
+    let (mut n0, _n1, _eng, ring) = tracers();
+    n0.on_flush(1);
+    n0.on_flush(1);
+    let mut t = collect(3, &ring);
+    // Corrupt the second event: roll its vector clock backwards.
+    t.events[1].vclock = vec![0, 0, 0];
+    assert_eq!(codes(&t), vec!["MP301"]);
+}
+
+#[test]
+fn lamport_regression_fires_mp301() {
+    let (mut n0, _n1, _eng, ring) = tracers();
+    n0.on_flush(1);
+    n0.on_flush(1);
+    let mut t = collect(3, &ring);
+    t.events[1].lamport = 0;
+    t.events[1].vclock = vec![2, 0, 0]; // keep the vector clock honest
+    assert_eq!(codes(&t), vec!["MP301"]);
+}
+
+#[test]
+fn deliver_without_happens_before_fires_mp301() {
+    let (mut n0, mut n1, _eng, ring) = tracers();
+    let s = n0.on_send(1, MsgKind::Answer, 1, 0, 0);
+    n1.on_deliver(0, Some(&s), MsgKind::Answer, 1, 0, 0);
+    let mut t = collect(3, &ring);
+    // The delivery no longer dominates the send in the sender component.
+    let send_vclock = t.events[0].vclock.clone();
+    if let Some(e) = t.events.get_mut(1) {
+        e.vclock[0] = send_vclock[0] - 1;
+    }
+    assert_eq!(codes(&t), vec!["MP301"]);
+}
+
+#[test]
+fn duplicate_frame_surviving_dedup_fires_mp308() {
+    let (mut n0, mut n1, _eng, ring) = tracers();
+    let s = n0.on_send(1, MsgKind::Answer, 1, 0, 0);
+    n1.on_deliver(0, Some(&s), MsgKind::Answer, 1, 0, 0);
+    n1.on_deliver(0, Some(&s), MsgKind::Answer, 1, 0, 0); // dedup failed
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP308"]);
+}
+
+#[test]
+fn fifo_violation_fires_mp305() {
+    let (mut n0, mut n1, _eng, ring) = tracers();
+    let s0 = n0.on_send(1, MsgKind::Answer, 1, 0, 0);
+    let s1 = n0.on_send(1, MsgKind::Answer, 1, 0, 0);
+    n1.on_deliver(0, Some(&s1), MsgKind::Answer, 1, 0, 0); // overtook s0
+    n1.on_deliver(0, Some(&s0), MsgKind::Answer, 1, 0, 0);
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP305"]);
+}
+
+#[test]
+fn orphan_recover_fires_mp307() {
+    let (mut n0, _n1, _eng, ring) = tracers();
+    n0.on_recover(1, 0); // never crashed
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP307"]);
+}
+
+#[test]
+fn logical_count_mismatch_fires_mp309() {
+    let (mut n0, mut n1, _eng, ring) = tracers();
+    let s = n0.on_send(1, MsgKind::AnswerBatch, 4, 0, 0);
+    n1.on_deliver(0, Some(&s), MsgKind::AnswerBatch, 2, 0, 0); // tuples vanished
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP309"]);
+}
+
+#[test]
+fn wave_order_regression_fires_mp304() {
+    let (mut n0, _n1, _eng, ring) = tracers();
+    n0.on_wave(2, 1);
+    n0.on_wave(1, 1); // wave number went backwards within an epoch
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP304"]);
+}
+
+#[test]
+fn mutations_survive_text_roundtrip() {
+    // Corruption is still detected after serializing and reparsing.
+    let (mut n0, _n1, _eng, ring) = tracers();
+    n0.on_store(0, 5);
+    n0.on_store(0, 3);
+    let t = collect(3, &ring);
+    let reparsed = Trace::from_text(&t.to_text()).unwrap();
+    let diags = check(&reparsed);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].code, Code::TraceShrinkingRelation);
+    assert!(diags[0].is_deny());
+}

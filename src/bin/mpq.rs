@@ -17,7 +17,13 @@
 //!   --stats                       print instrumentation counters
 //!   --dot                         print the rule/goal graph (Graphviz)
 //!                                 instead of evaluating
-//!   --trace                       print the full message log
+//!   --trace FILE                  record the clock-stamped event trace
+//!                                 and write it (mptrace v1 text) to
+//!                                 FILE; `-` writes to stderr
+//!   --check                       verify the recorded trace against the
+//!                                 protocol invariant suite (implies
+//!                                 tracing); violations print as MP3xx
+//!                                 diagnostics and fail the run
 //!   --baseline <naive|semi-naive|relevant|magic|top-down>
 //!                                 evaluate with a baseline instead
 //! ```
@@ -39,7 +45,8 @@ struct Options {
     recovery: bool,
     stats: bool,
     dot: bool,
-    trace: bool,
+    trace: Option<String>,
+    check: bool,
     baseline: Option<String>,
 }
 
@@ -54,7 +61,8 @@ fn parse_args() -> Result<Options, String> {
         recovery: true,
         stats: false,
         dot: false,
-        trace: false,
+        trace: None,
+        check: false,
         baseline: None,
     };
     let mut args = std::env::args().skip(1);
@@ -96,7 +104,10 @@ fn parse_args() -> Result<Options, String> {
             "--no-recovery" => opts.recovery = false,
             "--stats" => opts.stats = true,
             "--dot" => opts.dot = true,
-            "--trace" => opts.trace = true,
+            "--trace" => {
+                opts.trace = Some(args.next().ok_or("--trace needs a file (or `-`)")?);
+            }
+            "--check" => opts.check = true,
             "--baseline" => {
                 opts.baseline = Some(args.next().ok_or("--baseline needs a value")?);
             }
@@ -113,8 +124,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
-[--batching] [--batch-size N] [--chaos SEED] [--no-recovery] [--stats] [--dot] [--trace] \
-[--baseline B] [FILE]";
+[--batching] [--batch-size N] [--chaos SEED] [--no-recovery] [--stats] [--dot] \
+[--trace FILE] [--check] [--baseline B] [FILE]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -194,12 +205,13 @@ fn main() -> ExitCode {
         }
     }
 
+    let tracing = opts.trace.is_some() || opts.check;
     let mut engine = Engine::new(program, db)
         .with_sip(opts.sip)
         .with_runtime(opts.runtime)
         .with_batching(opts.batching)
         .with_recovery(opts.recovery)
-        .with_trace(opts.trace);
+        .with_trace(tracing);
     if let Some(n) = opts.batch_size {
         engine = engine.with_batch_size(n);
     }
@@ -211,46 +223,40 @@ fn main() -> ExitCode {
             for t in r.answers.sorted_rows() {
                 println!("{t}");
             }
-            if let Some(trace) = &r.trace {
-                for m in trace {
-                    eprintln!("{m}");
+            if let Some(events) = &r.events {
+                if let Some(path) = &opts.trace {
+                    let text = events.to_text();
+                    if path == "-" {
+                        eprint!("{text}");
+                    } else if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("mpq: cannot write trace to {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
             if opts.stats {
-                let s = &r.stats;
                 eprintln!("-- graph nodes        : {}", r.graph_nodes);
-                eprintln!("-- messages           : {}", s.total_messages());
-                eprintln!("--   tuple requests   : {}", s.tuple_requests);
-                eprintln!("--   request packages : {}", s.tuple_request_batches);
-                eprintln!("--   answers          : {}", s.answers);
-                eprintln!("--   answer packages  : {}", s.answer_batches);
-                eprintln!("--   end requests     : {}", s.end_tuple_requests);
-                eprintln!("--   end packages     : {}", s.end_tuple_request_batches);
-                eprintln!("--   protocol         : {}", s.protocol_messages);
-                eprintln!("-- logical traffic (batching-invariant)");
-                eprintln!("--   tuple requests   : {}", s.logical_tuple_requests);
-                eprintln!("--   answers          : {}", s.logical_answers);
-                eprintln!("--   end requests     : {}", s.logical_end_tuple_requests);
-                eprintln!("-- probe waves        : {}", s.probe_waves);
-                eprintln!("-- stored tuples      : {}", s.stored_tuples);
-                eprintln!("--   at goal nodes    : {}", s.goal_stored);
-                eprintln!("-- join probes        : {}", s.join_probes);
-                eprintln!("-- faults injected    : {}", s.faults_injected());
-                eprintln!("--   dropped          : {}", s.fault_dropped);
-                eprintln!("--   duplicated       : {}", s.fault_duplicated);
-                eprintln!("--   delayed          : {}", s.fault_delayed);
-                eprintln!("--   corrupted        : {}", s.fault_corrupted);
-                eprintln!("-- retransmits        : {}", s.retransmits);
-                eprintln!("-- acks               : {}", s.acks);
-                eprintln!("-- dups discarded     : {}", s.dups_discarded);
-                eprintln!("-- stale dropped      : {}", s.stale_dropped);
-                eprintln!("-- malformed dropped  : {}", s.malformed_dropped);
-                eprintln!("-- crashes            : {}", s.crashes);
-                eprintln!("--   replayed msgs    : {}", s.replayed);
-                eprintln!("--   epoch bumps      : {}", s.epoch_bumps);
+                eprint!("{}", r.stats);
+            }
+            if opts.check {
+                let Some(events) = &r.events else {
+                    eprintln!("mpq: --check requested but no trace was recorded");
+                    return ExitCode::FAILURE;
+                };
+                let diags = mp_framework::trace::check(events);
+                if !diags.is_empty() {
+                    for d in &diags {
+                        eprintln!("{}", d.render("<trace>", ""));
+                    }
+                    eprintln!(
+                        "mpq: trace verification failed with {} violation(s)",
+                        diags.len()
+                    );
+                    return ExitCode::FAILURE;
+                }
                 eprintln!(
-                    "-- retransmit overhead: {:.1}%",
-                    100.0 * s.retransmit_overhead()
+                    "-- trace verified: {} events, no protocol violations",
+                    events.events.len()
                 );
             }
             ExitCode::SUCCESS

@@ -15,4 +15,5 @@ pub use mp_engine as engine;
 pub use mp_hypergraph as hypergraph;
 pub use mp_rulegoal as rulegoal;
 pub use mp_storage as storage;
+pub use mp_trace as trace;
 pub use mp_workloads as workloads;
