@@ -137,6 +137,7 @@ pub struct Engine {
     batch_size: usize,
     fault_plan: Option<FaultPlan>,
     recovery: bool,
+    workers: usize,
 }
 
 impl Engine {
@@ -157,6 +158,7 @@ impl Engine {
             batch_size: 64,
             fault_plan: None,
             recovery: true,
+            workers: 0,
         }
     }
 
@@ -181,6 +183,14 @@ impl Engine {
     /// Cap the threaded runtime's wall-clock budget.
     pub fn with_timeout(mut self, timeout: Duration) -> Engine {
         self.timeout = timeout;
+        self
+    }
+
+    /// Size the threaded runtime's worker pool. `0` (the default) sizes
+    /// it to `std::thread::available_parallelism`; the pool is never
+    /// larger than the graph's node count. Ignored by the simulator.
+    pub fn with_workers(mut self, workers: usize) -> Engine {
+        self.workers = workers;
         self
     }
 
@@ -276,6 +286,13 @@ impl Engine {
         // of a wrong answer or a hang at runtime.
         diags.extend(mp_lint::graph::lint_graph(&graph));
         diags.extend(mp_lint::protocol::lint_protocol(&ProtocolView::of(&graph)));
+        // MP106 is deployment advice (graph size vs this machine's
+        // hardware threads → the --workers knob), not an artifact check,
+        // so it lives here rather than in `lint_graph`.
+        let parallelism = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        diags.extend(mp_lint::graph::lint_parallelism(graph.len(), parallelism));
         mp_lint::sort_diagnostics(&mut diags);
         if diags.iter().any(Diagnostic::is_deny) {
             return Err(EngineError::Lint(diags));
@@ -319,6 +336,7 @@ impl Engine {
                     fault_plan: self.fault_plan.clone(),
                     recovery: self.recovery,
                     trace: self.trace,
+                    workers: self.workers,
                 };
                 let out = rt.run(network)?;
                 Ok(QueryResult {

@@ -782,9 +782,8 @@ fn edb_on_request(cfg: &EdbCfg, common: &mut Common, ci: usize, binding: Tuple, 
     let mut seen = mp_storage::Relation::new(cfg.transmitted.len());
     let rows: Vec<&Tuple> = cfg
         .index
-        .get(&binding)
-        .iter()
-        .map(|&r| &cfg.filtered.rows()[r as usize])
+        .probe_in(&cfg.filtered, binding.values())
+        .map(|r| &cfg.filtered.rows()[r as usize])
         .collect();
     for row in rows {
         let t = row.project(&cfg.transmitted);

@@ -1,47 +1,79 @@
-//! The threaded runtime: one OS thread per node over crossbeam channels.
+//! The threaded runtime: a fixed-size worker pool with work-stealing
+//! activation deques over per-node mailboxes.
 //!
-//! This realizes the paper's deployment claim directly: "No shared memory
-//! is required … this formulation is amenable to parallel computation"
-//! (§1.2). Each node owns its temporary relations; the only communication
-//! is message passing. Channel sends are atomic enqueues, so the Fig 2
-//! protocol's `empty_queues()` check (`Receiver::is_empty`) retains the
-//! semantics it has in the simulator; the Mattern-style counters carried
-//! on confirm waves add a defence-in-depth consistency check.
+//! This realizes the paper's deployment claim — "No shared memory is
+//! required … this formulation is amenable to parallel computation"
+//! (§1.2) — without the thread-per-node structure the first cut had: a
+//! 200-node rule/goal graph must not thrash 8 cores with 200 threads,
+//! and a 5-node transitive-closure graph must still use all of them.
+//! Nodes are *tasks*, not threads. Each node owns a FIFO mailbox; a
+//! message arriving at an empty-handed node enqueues one **activation**
+//! of that node onto the sending worker's deque (or the shared injector
+//! when the engine sends). Workers drain their own deque front-first,
+//! fall back to the injector, and steal from the back of a peer's deque
+//! when both are empty.
 //!
-//! With a [`FaultPlan`] attached, every channel send is wrapped in the
-//! sequenced/acked/retransmitting transport of [`crate::fault`]: workers
-//! exchange `Data`/`Ack` frames instead of bare messages, tick on a short
-//! `recv_timeout` to release delayed frames and retransmit unacked ones,
-//! and recover from scheduled crashes by replaying their durable message
-//! log through a pristine process clone — the same write-ahead-log
-//! semantics as the simulator (see DESIGN.md). Fault fates are pure
-//! functions of `(seed, link, seq, attempt)`, so a plan injects the same
-//! faults on the same logical message stream as the simulator does. The
-//! clean path (`fault_plan: None`) sends `Plain` frames with no sequence
-//! numbers, no acks, and no ticks — zero transport overhead.
+//! The **scheduled bit** (one `AtomicBool` per node) guarantees at most
+//! one activation of a node is queued or running at any time: the sender
+//! that flips it false→true enqueues; everyone else just appends to the
+//! mailbox. An activation drains the mailbox, clears the bit, and
+//! re-checks — the re-check catches messages that raced the clear, so no
+//! wakeup is lost. One-activation-at-a-time is what preserves the
+//! simulator's semantics: a node's messages are processed sequentially
+//! in mailbox order, so per-link FIFO delivery (which the transport
+//! guarantees into the mailbox) is per-link FIFO *processing*, exactly
+//! the §3.1 model. A per-node mutex around the node state is the
+//! belt-and-braces backstop making the handoff between consecutive
+//! activations on different workers a proper synchronization edge.
+//!
+//! With a [`FaultPlan`] attached, every logical send is wrapped in the
+//! sequenced/acked/retransmitting transport of [`crate::fault`]: nodes
+//! exchange `Data`/`Ack` frames instead of bare messages, workers tick
+//! their assigned nodes every [`TICK`] to release delayed frames,
+//! retransmit unacked ones and give idle nodes their probe-origination
+//! nudge, and scheduled crashes are recovered by replaying the node's
+//! durable message log through a pristine process clone — the same
+//! write-ahead-log semantics as the simulator (see DESIGN.md). Fault
+//! fates are pure functions of `(seed, link, seq, attempt)`, so a plan
+//! injects the same faults on the same logical message stream as the
+//! simulator does. The clean path (`fault_plan: None`) sends `Plain`
+//! frames with no sequence numbers, no acks, and no ticks — zero
+//! transport overhead.
 
 use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::node::{Ctx, Network, Process};
 use crate::runtime::{describe_payload, trace_actor, RuntimeError, TRACE_RING_CAPACITY};
 use crate::stats::Stats;
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
 use mp_storage::{Relation, Tuple};
 use mp_trace::{Event, Ring, Stamp, Trace, Tracer};
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Worker tick when fault injection is active: the granularity at which
 /// delayed frames are released and retransmissions checked.
 const TICK: Duration = Duration::from_millis(2);
 
-/// How long workers get to drain and exit after `Shutdown` before the
+/// How long workers get to drain and exit after shutdown before the
 /// runtime detaches them and reports them as unjoined.
 const SHUTDOWN_GRACE: Duration = Duration::from_millis(500);
 
-/// What actually travels on a channel. The clean path sends `Plain`
-/// logical messages — the channel itself is the reliable FIFO link. The
+/// Frames one activation may process before it must yield: the node is
+/// re-enqueued (scheduled-bit re-check) so a hot node cannot monopolize
+/// a worker against the shutdown signal, and in fault mode delayed-frame
+/// release and retransmission stay timely under a steady inflow.
+const ACTIVATION_BUDGET: usize = 256;
+
+/// Within an activation, run the transport maintenance (delayed-frame
+/// release, retransmission scan) every this many frames — the threaded
+/// analogue of the simulator's 64-step retransmission cadence.
+const MAINTENANCE_EVERY: usize = 64;
+
+/// What actually travels through a mailbox. The clean path sends `Plain`
+/// logical messages — the mailbox itself is the reliable FIFO link. The
 /// fault path sends sequenced `Data` frames and cumulative `Ack`s, with
 /// the link identified by the frame's endpoints (`msg.from` for data,
 /// `peer` for acks).
@@ -64,24 +96,219 @@ enum TMsg {
     /// Cumulative ack: everything `peer` received below `upto` on the
     /// link from this endpoint is delivered.
     Ack { peer: Endpoint, upto: u64 },
-    /// A worker hit a fatal condition (crash with recovery disabled,
+    /// A node hit a fatal condition (crash with recovery disabled,
     /// retransmission budget exhausted); routed to the engine, which
     /// aborts the run with the carried error.
     Fatal(RuntimeError),
-    /// Stop the worker loop.
-    Shutdown,
 }
 
-/// Per-endpoint transport state, shared between workers and the engine:
-/// logical sends, fault-injected framing, ack bookkeeping, delayed-frame
-/// release, and retransmission. With `plan: None` it degenerates to
-/// counting stats and forwarding `Plain` frames.
+/// One node's FIFO mailbox plus its scheduled bit. The bit is true
+/// exactly while an activation for the node is queued or running; the
+/// sender that flips it false→true owns the enqueue.
+struct Mailbox {
+    q: Mutex<VecDeque<TMsg>>,
+    scheduled: AtomicBool,
+}
+
+/// Everything under the scheduler lock: the per-worker deques, the
+/// injector the engine feeds, the idle-worker count for targeted
+/// wakeups, and the behavior counters.
+struct SchedState {
+    /// Per-worker activation deques: the owner pops the front (FIFO for
+    /// its own work), thieves pop the back.
+    locals: Vec<VecDeque<u32>>,
+    /// Activations enqueued from outside the pool (the engine thread).
+    injector: VecDeque<u32>,
+    /// Workers currently parked on the condvar.
+    idle: usize,
+    shutdown: bool,
+    /// Activations handed to workers.
+    activations: u64,
+    /// Activations taken from another worker's deque.
+    steals: u64,
+    /// Idle transitions after a steal sweep found every deque empty.
+    steal_failures: u64,
+    /// High-water mark of queued activations across all deques.
+    max_queue_depth: u64,
+}
+
+/// The shared fabric of one pool run: mailboxes and the scheduler.
+struct PoolNet {
+    mailboxes: Vec<Mailbox>,
+    sched: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+/// What a worker does next.
+enum Task {
+    /// Activate this node (drain its mailbox).
+    Run(u32),
+    /// Fault-mode tick deadline reached while idle: run transport
+    /// maintenance on the worker's assigned nodes.
+    Tick,
+    /// Shutdown was signalled.
+    Stop,
+}
+
+impl PoolNet {
+    fn new(n: usize, workers: usize) -> PoolNet {
+        PoolNet {
+            mailboxes: (0..n)
+                .map(|_| Mailbox {
+                    q: Mutex::new(VecDeque::new()),
+                    scheduled: AtomicBool::new(false),
+                })
+                .collect(),
+            sched: Mutex::new(SchedState {
+                locals: vec![VecDeque::new(); workers],
+                injector: VecDeque::new(),
+                idle: 0,
+                shutdown: false,
+                activations: 0,
+                steals: 0,
+                steal_failures: 0,
+                max_queue_depth: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn n_nodes(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// Deliver a frame to a node's mailbox; if the node was unscheduled,
+    /// enqueue its activation on `hint`'s deque (a pool worker keeps its
+    /// own sends local) or the injector (the engine thread).
+    fn post(&self, to: usize, frame: TMsg, hint: Option<usize>) {
+        self.mailboxes[to].q.lock().unwrap().push_back(frame);
+        if !self.mailboxes[to].scheduled.swap(true, Ordering::AcqRel) {
+            self.enqueue(to as u32, hint);
+        }
+    }
+
+    fn enqueue(&self, node: u32, hint: Option<usize>) {
+        let mut s = self.sched.lock().unwrap();
+        match hint {
+            Some(w) => s.locals[w].push_back(node),
+            None => s.injector.push_back(node),
+        }
+        let depth = s.injector.len() + s.locals.iter().map(VecDeque::len).sum::<usize>();
+        s.max_queue_depth = s.max_queue_depth.max(depth as u64);
+        let any_idle = s.idle > 0;
+        drop(s);
+        if any_idle {
+            self.cv.notify_one();
+        }
+    }
+
+    /// Re-check a node's mailbox after clearing its scheduled bit; a
+    /// message that raced the clear re-schedules the node here (the
+    /// lost-wakeup guard of the scheduled-bit protocol).
+    fn reschedule_if_nonempty(&self, node: usize, hint: Option<usize>) {
+        let mb = &self.mailboxes[node];
+        mb.scheduled.store(false, Ordering::Release);
+        if !mb.q.lock().unwrap().is_empty() && !mb.scheduled.swap(true, Ordering::AcqRel) {
+            self.enqueue(node as u32, hint);
+        }
+    }
+
+    /// Worker `wid`'s next task: own deque front, then the injector,
+    /// then a steal from the back of a peer's deque; park when all are
+    /// empty. With `tick` set (fault mode), parking times out at the
+    /// worker's next maintenance deadline.
+    fn next_task(&self, wid: usize, tick: Option<Duration>) -> Task {
+        let mut s = self.sched.lock().unwrap();
+        loop {
+            if s.shutdown {
+                return Task::Stop;
+            }
+            if let Some(n) = s.locals[wid].pop_front() {
+                s.activations += 1;
+                return Task::Run(n);
+            }
+            if let Some(n) = s.injector.pop_front() {
+                s.activations += 1;
+                return Task::Run(n);
+            }
+            let workers = s.locals.len();
+            let mut stolen = None;
+            for k in 1..workers {
+                let victim = (wid + k) % workers;
+                if let Some(n) = s.locals[victim].pop_back() {
+                    stolen = Some(n);
+                    break;
+                }
+            }
+            if let Some(n) = stolen {
+                s.steals += 1;
+                s.activations += 1;
+                return Task::Run(n);
+            }
+            if workers > 1 {
+                s.steal_failures += 1;
+            }
+            s.idle += 1;
+            match tick {
+                Some(d) => {
+                    let (guard, timeout) = self.cv.wait_timeout(s, d).unwrap();
+                    s = guard;
+                    s.idle -= 1;
+                    if timeout.timed_out() {
+                        return Task::Tick;
+                    }
+                }
+                None => {
+                    s = self.cv.wait(s).unwrap();
+                    s.idle -= 1;
+                }
+            }
+        }
+    }
+
+    fn shutdown(&self) {
+        self.sched.lock().unwrap().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Non-empty mailboxes, for timeout diagnostics.
+    fn pending(&self) -> Vec<(usize, usize)> {
+        self.mailboxes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, mb)| {
+                let len = mb.q.lock().unwrap().len();
+                (len > 0).then_some((i, len))
+            })
+            .collect()
+    }
+
+    /// Fold the scheduler's behavior counters into the run stats.
+    fn merge_sched_stats(&self, stats: &mut Stats) {
+        let s = self.sched.lock().unwrap();
+        stats.sched_activations += s.activations;
+        stats.sched_steals += s.steals;
+        stats.sched_steal_failures += s.steal_failures;
+        stats.sched_max_queue = stats.sched_max_queue.max(s.max_queue_depth);
+    }
+}
+
+/// Per-endpoint transport state: logical sends, fault-injected framing,
+/// ack bookkeeping, delayed-frame release, and retransmission. With
+/// `plan: None` it degenerates to counting stats and forwarding `Plain`
+/// frames. Node transports live inside the node's [`NodeState`] (driven
+/// by whichever worker holds the activation); the engine thread owns its
+/// own.
 struct Transport {
     me: Endpoint,
     plan: Option<FaultPlan>,
     start: Instant,
-    senders: Vec<Sender<TMsg>>,
+    net: Arc<PoolNet>,
     engine_tx: Sender<TMsg>,
+    /// The worker currently driving this endpoint (`None` on the engine
+    /// thread): its deque receives the activations this endpoint's sends
+    /// trigger.
+    hint: Option<usize>,
     outgoing: BTreeMap<Endpoint, SenderLink>,
     incoming: BTreeMap<Endpoint, ReceiverLink>,
     /// Frames held back by an injected delay, with their release time.
@@ -104,7 +331,7 @@ impl Transport {
         me: Endpoint,
         plan: Option<FaultPlan>,
         start: Instant,
-        senders: Vec<Sender<TMsg>>,
+        net: Arc<PoolNet>,
         engine_tx: Sender<TMsg>,
         tracer: Option<Tracer>,
     ) -> Transport {
@@ -112,8 +339,9 @@ impl Transport {
             me,
             plan,
             start,
-            senders,
+            net,
             engine_tx,
+            hint: None,
             outgoing: BTreeMap::new(),
             incoming: BTreeMap::new(),
             delayed: Vec::new(),
@@ -127,7 +355,7 @@ impl Transport {
 
     /// Number of node endpoints (the engine is actor `n` in the trace).
     fn n_nodes(&self) -> usize {
-        self.senders.len()
+        self.net.n_nodes()
     }
 
     /// Milliseconds since the run started — the transport clock.
@@ -136,15 +364,13 @@ impl Transport {
     }
 
     fn send_frame(&self, to: Endpoint, frame: TMsg) {
-        // A failed send means the destination is gone (worker exited on
-        // a fatal error); the Fatal frame it sent first aborts the run.
+        // A failed engine send means the engine stopped collecting; the
+        // run is already being torn down.
         match to {
             Endpoint::Engine => {
                 let _ = self.engine_tx.send(frame);
             }
-            Endpoint::Node(t) => {
-                let _ = self.senders[t].send(frame);
-            }
+            Endpoint::Node(t) => self.net.post(t, frame, self.hint),
         }
     }
 
@@ -366,9 +592,12 @@ impl Transport {
     }
 }
 
-/// One node's worker thread: its process, transport endpoint, durable
-/// message log, and crash/recovery state.
-struct Worker {
+/// One node's state: its process, transport endpoint, durable message
+/// log, and crash/recovery bookkeeping. Behind a mutex so consecutive
+/// activations on different workers hand the state off with a proper
+/// synchronization edge (the scheduled bit already makes the lock
+/// uncontended).
+struct NodeState {
     id: usize,
     process: Process,
     /// Initial-state clone for crash recovery (fault mode only).
@@ -376,7 +605,6 @@ struct Worker {
     recovery: bool,
     /// This node's scheduled crash points.
     crashes: Vec<CrashPoint>,
-    rx: Receiver<TMsg>,
     t: Transport,
     /// Durable log of every processed message, in processing order.
     log: Vec<Msg>,
@@ -384,71 +612,49 @@ struct Worker {
     epoch: u64,
     /// Reusable output buffer for `Process::handle`.
     scratch: Vec<Msg>,
+    /// The node hit a fatal condition; its traffic is discarded from
+    /// here on (the `Fatal` frame it sent aborts the run).
+    fatal: bool,
 }
 
-impl Worker {
-    fn run(mut self) -> Stats {
-        let fault_mode = self.t.plan.is_some();
-        loop {
-            let recv = if fault_mode {
-                self.rx.recv_timeout(TICK)
-            } else {
-                match self.rx.recv() {
-                    Ok(m) => Ok(m),
-                    Err(_) => Err(RecvTimeoutError::Disconnected),
+impl NodeState {
+    /// Handle one mailbox frame.
+    fn handle_frame(&mut self, frame: TMsg, mb: &Mailbox) {
+        match frame {
+            TMsg::Plain(msg, stamp) => {
+                if !self.process_msg(msg, stamp, mb) {
+                    self.fatal = true;
                 }
-            };
-            let mut fatal = false;
-            match recv {
-                Ok(TMsg::Shutdown) => break,
-                Ok(TMsg::Plain(msg, stamp)) => fatal = !self.process_msg(msg, stamp),
-                Ok(TMsg::Data {
-                    seq,
-                    msg,
-                    corrupted,
-                    stamp,
-                }) => {
-                    if !corrupted {
-                        let from = msg.from;
-                        for (m, s) in self.t.accept_data(from, seq, msg, stamp) {
-                            if !self.process_msg(m, s) {
-                                fatal = true;
-                                break;
-                            }
+            }
+            TMsg::Data {
+                seq,
+                msg,
+                corrupted,
+                stamp,
+            } => {
+                if !corrupted {
+                    let from = msg.from;
+                    for (m, s) in self.t.accept_data(from, seq, msg, stamp) {
+                        if !self.process_msg(m, s, mb) {
+                            self.fatal = true;
+                            break;
                         }
                     }
                 }
-                Ok(TMsg::Ack { peer, upto }) => self.t.on_ack(peer, upto),
-                // Fatal frames are addressed to the engine only.
-                Ok(TMsg::Fatal(_)) => {}
-                // Idle tick: nudge the process. Transport frames drain
-                // from the same queue as logical messages, so the
-                // empty-mailbox moment that triggers batch flushes and
-                // probe origination can pass unseen by `handle`.
-                Err(RecvTimeoutError::Timeout) => self.poke(),
-                Err(RecvTimeoutError::Disconnected) => break,
             }
-            if fatal {
-                break;
-            }
-            if fault_mode {
-                self.t.flush_delayed();
-                if let Err(e) = self.t.retransmit_due() {
-                    let _ = self.t.engine_tx.send(TMsg::Fatal(e));
-                    break;
-                }
-            }
+            TMsg::Ack { peer, upto } => self.t.on_ack(peer, upto),
+            // Fatal frames are addressed to the engine only.
+            TMsg::Fatal(_) => {}
         }
-        self.t.stats
     }
 
     /// Idle-time nudge: give the process its batch-flush / probe-
-    /// origination chance when the queue has drained without a logical
+    /// origination chance when the mailbox has drained without a logical
     /// message (see [`Process::poke`]). Not logged: poke output is
     /// protocol state, which crash recovery deliberately rebuilds from
     /// fresh waves rather than replay.
-    fn poke(&mut self) {
-        let mailbox_empty = self.rx.is_empty();
+    fn poke(&mut self, mb: &Mailbox) {
+        let mailbox_empty = mb.q.lock().unwrap().is_empty();
         let mut ctx = Ctx {
             out: &mut self.scratch,
             stats: &mut self.t.stats,
@@ -462,17 +668,24 @@ impl Worker {
     }
 
     /// Handle one delivered logical message; returns `false` when the
-    /// worker must exit (crash with recovery disabled).
-    fn process_msg(&mut self, msg: Msg, stamp: Option<Stamp>) -> bool {
+    /// node must stop (crash with recovery disabled).
+    fn process_msg(&mut self, msg: Msg, stamp: Option<Stamp>, mb: &Mailbox) -> bool {
         if self.t.plan.is_some() {
             self.log.push(msg.clone());
         }
+        let n = self.t.n_nodes();
         if let Some(tr) = self.t.tracer.as_mut() {
             let (kind, items, wave, epoch) = describe_payload(&msg.payload);
-            let from = trace_actor(msg.from, self.t.senders.len());
-            tr.on_deliver(from, stamp.as_ref(), kind, items, wave, epoch);
+            tr.on_deliver(
+                trace_actor(msg.from, n),
+                stamp.as_ref(),
+                kind,
+                items,
+                wave,
+                epoch,
+            );
         }
-        let mailbox_empty = self.rx.is_empty();
+        let mailbox_empty = mb.q.lock().unwrap().is_empty();
         let mut ctx = Ctx {
             out: &mut self.scratch,
             stats: &mut self.t.stats,
@@ -572,6 +785,106 @@ impl Worker {
         }
         true
     }
+
+    /// Fault-mode transport maintenance; reports a fatal retransmission
+    /// exhaustion to the engine.
+    fn maintain(&mut self) {
+        self.t.flush_delayed();
+        if let Err(e) = self.t.retransmit_due() {
+            let _ = self.t.engine_tx.send(TMsg::Fatal(e));
+            self.fatal = true;
+        }
+    }
+}
+
+/// One pool worker: runs activations from its deque (stealing when
+/// empty) and, in fault mode, ticks its assigned nodes.
+struct PoolWorker {
+    id: usize,
+    workers: usize,
+    fault_mode: bool,
+    nodes: Arc<Vec<Mutex<NodeState>>>,
+    net: Arc<PoolNet>,
+}
+
+impl PoolWorker {
+    fn run(self) {
+        let mut next_tick = Instant::now() + TICK;
+        loop {
+            let tick_in = if self.fault_mode {
+                let now = Instant::now();
+                if now >= next_tick {
+                    self.tick_nodes();
+                    next_tick = now + TICK;
+                }
+                Some(next_tick.saturating_duration_since(Instant::now()))
+            } else {
+                None
+            };
+            match self.net.next_task(self.id, tick_in) {
+                Task::Stop => break,
+                Task::Tick => continue,
+                Task::Run(node) => self.activate(node as usize),
+            }
+        }
+    }
+
+    /// One activation: drain the node's mailbox (up to the budget),
+    /// clear the scheduled bit, re-check. The scheduled bit guarantees
+    /// no other worker is inside this node concurrently, so the state
+    /// lock is uncontended.
+    fn activate(&self, id: usize) {
+        let mb = &self.net.mailboxes[id];
+        {
+            let mut st = self.nodes[id].lock().unwrap();
+            st.t.hint = Some(self.id);
+            let mut handled = 0usize;
+            loop {
+                let Some(frame) = mb.q.lock().unwrap().pop_front() else {
+                    break;
+                };
+                // A fatal node discards its traffic (its Fatal frame is
+                // already aborting the run at the engine).
+                if !st.fatal {
+                    st.handle_frame(frame, mb);
+                }
+                handled += 1;
+                if self.fault_mode && !st.fatal && handled.is_multiple_of(MAINTENANCE_EVERY) {
+                    st.maintain();
+                }
+                if handled >= ACTIVATION_BUDGET {
+                    break;
+                }
+            }
+            if self.fault_mode && !st.fatal {
+                st.maintain();
+            }
+        }
+        self.net.reschedule_if_nonempty(id, Some(self.id));
+    }
+
+    /// Fault-mode tick over this worker's assigned nodes (round-robin by
+    /// id): release delayed frames, retransmit, and give the process its
+    /// idle poke. Claims the scheduled bit so a tick never overlaps an
+    /// activation; nodes that are active or queued are skipped — their
+    /// activation runs the same maintenance.
+    fn tick_nodes(&self) {
+        for id in (self.id..self.nodes.len()).step_by(self.workers) {
+            let mb = &self.net.mailboxes[id];
+            if mb.scheduled.swap(true, Ordering::AcqRel) {
+                continue;
+            }
+            {
+                let mut st = self.nodes[id].lock().unwrap();
+                if !st.fatal {
+                    st.t.hint = Some(self.id);
+                    st.poke(mb);
+                    st.maintain();
+                }
+            }
+            self.net.reschedule_if_nonempty(id, Some(self.id));
+        }
+    }
 }
 
 /// Consume one logical message at the engine endpoint. Returns `Ok(true)`
@@ -625,7 +938,7 @@ fn engine_accept(
 pub struct ThreadOutcome {
     /// The answer relation.
     pub answers: Relation,
-    /// Merged per-node stats.
+    /// Merged per-node stats plus the scheduler counters.
     pub stats: Stats,
     /// Clock-stamped event trace, if requested: the input to
     /// `mp_trace::check` and to deterministic replay in the simulator.
@@ -638,7 +951,7 @@ pub struct ThreadOutcome {
     pub post_end_answers: u64,
 }
 
-/// The threaded runtime.
+/// The threaded runtime: a worker pool with work-stealing deques.
 #[derive(Clone, Debug)]
 pub struct ThreadRuntime {
     /// Wall-clock budget for the whole evaluation.
@@ -654,6 +967,10 @@ pub struct ThreadRuntime {
     /// Off by default: the untraced path carries `None` stamps and
     /// skips every recording branch — zero measurable overhead (E12).
     pub trace: bool,
+    /// Worker-pool size; `0` sizes it to `available_parallelism` (and
+    /// never larger than the node count — nodes are the unit of
+    /// parallelism).
+    pub workers: usize,
 }
 
 impl Default for ThreadRuntime {
@@ -663,14 +980,27 @@ impl Default for ThreadRuntime {
             fault_plan: None,
             recovery: true,
             trace: false,
+            workers: 0,
         }
     }
 }
 
 impl ThreadRuntime {
-    /// Run the network to completion on one thread per node.
+    /// Run the network to completion on the worker pool.
     pub fn run(&self, network: Network) -> Result<ThreadOutcome, RuntimeError> {
         self.run_with_requests(network, std::iter::once(Tuple::unit()))
+    }
+
+    /// The effective pool size for a graph of `n` nodes.
+    fn pool_size(&self, n: usize) -> usize {
+        let configured = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4)
+        } else {
+            self.workers
+        };
+        configured.min(n).max(1)
     }
 
     /// [`ThreadRuntime::run`] with explicit top-level tuple requests.
@@ -684,21 +1014,13 @@ impl ThreadRuntime {
         let root = network.root;
         let fault_mode = self.fault_plan.is_some();
         let start = Instant::now();
+        let workers = self.pool_size(n);
 
-        let mut txs: Vec<Sender<TMsg>> = Vec::with_capacity(n);
-        let mut rxs: Vec<Receiver<TMsg>> = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        // Receiver clones share the queue: the engine keeps one per node
-        // to report pending mailbox depths in timeout diagnostics.
-        let probes: Vec<Receiver<TMsg>> = rxs.to_vec();
+        let net = Arc::new(PoolNet::new(n, workers));
         let (engine_tx, engine_rx) = unbounded::<TMsg>();
 
         // One shared lock-free ring for every actor's events; the trace
-        // is collected from it after the workers join.
+        // is collected from it after the workers stop.
         let ring: Option<Arc<Ring<Event>>> = if self.trace {
             Some(Arc::new(Ring::with_capacity(TRACE_RING_CAPACITY)))
         } else {
@@ -709,49 +1031,73 @@ impl ThreadRuntime {
                 .map(|r| Tracer::new(actor as u32, (n + 1) as u32, Arc::clone(r)))
         };
 
-        let mut handles = Vec::with_capacity(n);
-        for ((id, process), rx) in network.processes.into_iter().enumerate().zip(rxs) {
-            let plan = self.fault_plan.clone();
-            let crashes: Vec<CrashPoint> = plan
-                .as_ref()
-                .map(|p| p.crashes.iter().filter(|c| c.node == id).copied().collect())
-                .unwrap_or_default();
-            let pristine = if fault_mode {
-                Some(process.clone())
-            } else {
-                None
+        let nodes: Arc<Vec<Mutex<NodeState>>> = Arc::new(
+            network
+                .processes
+                .into_iter()
+                .enumerate()
+                .map(|(id, process)| {
+                    let plan = self.fault_plan.clone();
+                    let crashes: Vec<CrashPoint> = plan
+                        .as_ref()
+                        .map(|p| p.crashes.iter().filter(|c| c.node == id).copied().collect())
+                        .unwrap_or_default();
+                    let pristine = if fault_mode {
+                        Some(process.clone())
+                    } else {
+                        None
+                    };
+                    Mutex::new(NodeState {
+                        id,
+                        process,
+                        pristine,
+                        recovery: self.recovery,
+                        crashes,
+                        t: Transport::new(
+                            Endpoint::Node(id),
+                            plan,
+                            start,
+                            Arc::clone(&net),
+                            engine_tx.clone(),
+                            mk_tracer(id),
+                        ),
+                        log: Vec::new(),
+                        epoch: 0,
+                        scratch: Vec::new(),
+                        fatal: false,
+                    })
+                })
+                .collect(),
+        );
+
+        // Spawn the pool. Each worker signals `done_tx` on exit — the
+        // condvar/channel join below replaces any sleep-polling.
+        let (done_tx, done_rx) = unbounded::<usize>();
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let worker = PoolWorker {
+                id: w,
+                workers,
+                fault_mode,
+                nodes: Arc::clone(&nodes),
+                net: Arc::clone(&net),
             };
-            let worker = Worker {
-                id,
-                process,
-                pristine,
-                recovery: self.recovery,
-                crashes,
-                rx,
-                t: Transport::new(
-                    Endpoint::Node(id),
-                    plan,
-                    start,
-                    txs.clone(),
-                    engine_tx.clone(),
-                    mk_tracer(id),
-                ),
-                log: Vec::new(),
-                epoch: 0,
-                scratch: Vec::new(),
-            };
+            let tx = done_tx.clone();
             let spawned = std::thread::Builder::new()
-                .name(format!("mp-node-{id}"))
-                .spawn(move || worker.run());
+                .name(format!("mp-worker-{w}"))
+                .spawn(move || {
+                    worker.run();
+                    let _ = tx.send(w);
+                });
             match spawned {
                 Ok(h) => handles.push(h),
                 Err(e) => {
-                    // Release the workers already running before bailing.
-                    for tx in &txs {
-                        let _ = tx.send(TMsg::Shutdown);
+                    net.shutdown();
+                    for h in handles {
+                        let _ = h.join();
                     }
                     return Err(RuntimeError::WorkerSpawn {
-                        node: id,
+                        node: w,
                         reason: e.to_string(),
                     });
                 }
@@ -765,7 +1111,7 @@ impl ThreadRuntime {
             Endpoint::Engine,
             self.fault_plan.clone(),
             start,
-            txs.clone(),
+            Arc::clone(&net),
             engine_tx.clone(),
             mk_tracer(n),
         );
@@ -796,7 +1142,7 @@ impl ThreadRuntime {
         let mut result: Result<(), RuntimeError> = loop {
             let now = Instant::now();
             if now >= deadline {
-                break Err(self.timeout_error(start, &answers, &probes));
+                break Err(self.timeout_error(start, &answers, &net));
             }
             let wait = if fault_mode {
                 TICK.min(deadline - now)
@@ -825,7 +1171,6 @@ impl ThreadRuntime {
                             Vec::new()
                         }
                         TMsg::Fatal(e) => break Err(e),
-                        TMsg::Shutdown => Vec::new(),
                     };
                     let mut flow: Result<bool, RuntimeError> = Ok(false);
                     for (m, s) in msgs {
@@ -871,36 +1216,51 @@ impl ThreadRuntime {
             }
         };
 
-        // Shut everything down: broadcast Shutdown, then join with a
-        // bounded grace period — a stuck worker is detached and reported
-        // instead of hanging the caller past its own deadline.
-        for tx in &txs {
-            let _ = tx.send(TMsg::Shutdown);
-        }
-        let mut stats = t.stats;
+        // Shut the pool down: signal, then block on the workers' done
+        // channel with a bounded grace period — a stuck worker is
+        // detached and reported instead of hanging the caller past its
+        // own deadline (and instead of a sleep-polling loop).
+        net.shutdown();
         let grace_deadline = Instant::now() + SHUTDOWN_GRACE;
-        let mut remaining: Vec<(usize, std::thread::JoinHandle<Stats>)> =
-            handles.into_iter().enumerate().collect();
-        loop {
-            let mut still = Vec::new();
-            for (id, h) in remaining {
-                if h.is_finished() {
-                    if let Ok(s) = h.join() {
-                        stats.merge(&s);
-                    }
-                } else {
-                    still.push((id, h));
-                }
-            }
-            remaining = still;
-            if remaining.is_empty() || Instant::now() >= grace_deadline {
+        let mut done = vec![false; workers];
+        let mut done_count = 0usize;
+        while done_count < workers {
+            let now = Instant::now();
+            if now >= grace_deadline {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(2));
+            match done_rx.recv_timeout(grace_deadline - now) {
+                Ok(w) => {
+                    if !done[w] {
+                        done[w] = true;
+                        done_count += 1;
+                    }
+                }
+                Err(_) => break,
+            }
         }
-        let unjoined: Vec<usize> = remaining.iter().map(|(id, _)| *id).collect();
-        // Dropping the handles detaches the stuck workers.
-        drop(remaining);
+        let mut unjoined: Vec<usize> = Vec::new();
+        for (w, h) in handles.into_iter().enumerate() {
+            if done[w] {
+                let _ = h.join();
+            } else {
+                // Dropping the handle detaches the stuck worker.
+                unjoined.push(w);
+                drop(h);
+            }
+        }
+
+        // Fold the per-node and scheduler counters into the engine's.
+        // `try_lock`: a detached worker may still hold one node's state;
+        // its counters are lost, exactly as a stuck thread's were.
+        let mut stats = t.stats;
+        for node in nodes.iter() {
+            if let Ok(st) = node.try_lock() {
+                stats.merge(&st.t.stats);
+            }
+        }
+        net.merge_sched_stats(&mut stats);
+
         if let Err(RuntimeError::Timeout { unjoined: u, .. }) = &mut result {
             *u = unjoined;
         }
@@ -915,23 +1275,14 @@ impl ThreadRuntime {
     }
 
     /// Build the diagnostic timeout error from abort-time state; the
-    /// `unjoined` list is filled in after the shutdown drain.
-    fn timeout_error(
-        &self,
-        start: Instant,
-        answers: &Relation,
-        probes: &[Receiver<TMsg>],
-    ) -> RuntimeError {
+    /// `unjoined` list (worker ids) is filled in after the shutdown
+    /// drain.
+    fn timeout_error(&self, start: Instant, answers: &Relation, net: &PoolNet) -> RuntimeError {
         RuntimeError::Timeout {
             budget_millis: self.timeout.as_millis() as u64,
             elapsed_millis: start.elapsed().as_millis() as u64,
             partial_answers: answers.len(),
-            pending: probes
-                .iter()
-                .enumerate()
-                .filter(|(_, r)| !r.is_empty())
-                .map(|(i, r)| (i, r.len()))
-                .collect(),
+            pending: net.pending(),
             unjoined: Vec::new(),
         }
     }

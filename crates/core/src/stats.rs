@@ -86,6 +86,17 @@ pub struct Stats {
     pub replayed: u64,
     /// Restart-generation bumps (one per recovered node incarnation).
     pub epoch_bumps: u64,
+
+    // ---- worker-pool scheduler (zero on the simulator) ----
+    /// Node activations executed by the worker pool (one activation =
+    /// one mailbox drain).
+    pub sched_activations: u64,
+    /// Activations a worker took from another worker's deque.
+    pub sched_steals: u64,
+    /// Idle transitions after a steal sweep found every deque empty.
+    pub sched_steal_failures: u64,
+    /// High-water mark of queued activations across all deques.
+    pub sched_max_queue: u64,
 }
 
 impl Stats {
@@ -171,6 +182,10 @@ impl Stats {
             crashes,
             replayed,
             epoch_bumps,
+            sched_activations,
+            sched_steals,
+            sched_steal_failures,
+            sched_max_queue,
         } = other;
         self.relation_requests += relation_requests;
         self.tuple_requests += tuple_requests;
@@ -205,6 +220,10 @@ impl Stats {
         self.crashes += crashes;
         self.replayed += replayed;
         self.epoch_bumps += epoch_bumps;
+        self.sched_activations += sched_activations;
+        self.sched_steals += sched_steals;
+        self.sched_steal_failures += sched_steal_failures;
+        self.sched_max_queue = self.sched_max_queue.max(*sched_max_queue);
     }
 
     /// Total fault events injected by the active plan.
@@ -303,6 +322,10 @@ impl std::fmt::Display for Stats {
             crashes,
             replayed,
             epoch_bumps,
+            sched_activations,
+            sched_steals,
+            sched_steal_failures,
+            sched_max_queue,
         } = self;
         writeln!(f, "-- messages           : {}", self.total_messages())?;
         writeln!(f, "--   relation requests: {relation_requests}")?;
@@ -340,6 +363,10 @@ impl std::fmt::Display for Stats {
         writeln!(f, "-- crashes            : {crashes}")?;
         writeln!(f, "--   replayed msgs    : {replayed}")?;
         writeln!(f, "--   epoch bumps      : {epoch_bumps}")?;
+        writeln!(f, "-- sched activations  : {sched_activations}")?;
+        writeln!(f, "--   steals           : {sched_steals}")?;
+        writeln!(f, "--   steal failures   : {sched_steal_failures}")?;
+        writeln!(f, "--   max queue depth  : {sched_max_queue}")?;
         writeln!(
             f,
             "-- retransmit overhead: {:.1}%",
@@ -452,6 +479,10 @@ mod tests {
             crashes: v,
             replayed: v,
             epoch_bumps: v,
+            sched_activations: v,
+            sched_steals: v,
+            sched_steal_failures: v,
+            sched_max_queue: v,
         }
     }
 
@@ -463,6 +494,7 @@ mod tests {
         // High-water marks take the max, not the sum.
         expect.max_relation_size = 2;
         expect.max_stage_relation = 2;
+        expect.sched_max_queue = 2;
         assert_eq!(a, expect);
     }
 
@@ -511,11 +543,15 @@ mod tests {
                 crashes,
                 replayed,
                 epoch_bumps,
+                sched_activations,
+                sched_steals,
+                sched_steal_failures,
+                sched_max_queue,
             );
             let _ = v;
             s.to_string()
         };
-        for v in 1000..1033 {
+        for v in 1000..1037 {
             assert!(
                 text.contains(&format!(": {v}")),
                 "counter value {v} missing from Display output:\n{text}"

@@ -84,6 +84,12 @@ fn lint_source(source: &str, opts: &Options) -> Result<Vec<Diagnostic>, String> 
             Ok(graph) => {
                 diags.extend(mp_lint::graph::lint_graph(&graph));
                 diags.extend(mp_lint::protocol::lint_protocol(&ProtocolView::of(&graph)));
+                // MP106: deployment advice for this machine (graph size
+                // vs hardware threads → the --workers pool knob).
+                let parallelism = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1);
+                diags.extend(mp_lint::graph::lint_parallelism(graph.len(), parallelism));
             }
             Err(e) => {
                 // Program lints passed but graph construction failed

@@ -493,6 +493,35 @@ pub fn lint_graph(graph: &RuleGoalGraph) -> Vec<Diagnostic> {
     diags
 }
 
+/// `MP106`: warn when the rule/goal graph has more nodes than the
+/// machine has hardware threads. Correctness is unaffected — the
+/// threaded runtime's worker pool multiplexes node activations onto a
+/// fixed set of workers — but node-level parallelism has saturated, so
+/// the `--workers` knob (`Engine::with_workers`), not graph size, is
+/// what governs concurrency from here. Machine-dependent by nature, so
+/// it is *not* part of [`lint_graph`] (a pure artifact check): callers
+/// that know the deployment pass the real `available_parallelism`
+/// (`Engine::compile`, the `mp-lint` binary), and tests pin the
+/// hardware-thread count.
+pub fn lint_parallelism(nodes: usize, parallelism: usize) -> Option<Diagnostic> {
+    (nodes > parallelism).then(|| {
+        Diagnostic::new(
+            Code::OversubscribedGraph,
+            format!(
+                "rule/goal graph has {nodes} nodes but the machine has only \
+                 {parallelism} hardware thread{}",
+                if parallelism == 1 { "" } else { "s" }
+            ),
+        )
+        .with_note(
+            "the worker pool schedules node activations onto available_parallelism \
+             workers by default; use --workers N (Engine::with_workers) to size the \
+             pool explicitly — adding graph nodes beyond the worker count adds no \
+             concurrency",
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,5 +783,21 @@ mod tests {
             ds.iter().any(|d| d.code == Code::CycleEdgeInconsistent),
             "{ds:?}"
         );
+    }
+
+    #[test]
+    fn oversubscribed_graph_fires_mp106_as_warning() {
+        let d = lint_parallelism(9, 8).expect("9 nodes on 8 threads must warn");
+        assert_eq!(d.code, Code::OversubscribedGraph);
+        assert_eq!(d.severity, crate::Severity::Warn);
+        assert!(d.message.contains("9 nodes"), "{}", d.message);
+        // The actionable knob is the pool size, not the graph shape.
+        assert!(d.note.as_deref().unwrap_or("").contains("--workers"));
+    }
+
+    #[test]
+    fn fitting_graph_is_silent_under_mp106() {
+        assert!(lint_parallelism(8, 8).is_none());
+        assert!(lint_parallelism(3, 8).is_none());
     }
 }

@@ -11,11 +11,12 @@
 //!   the §1 well-formedness conditions over the Datalog AST — rule
 //!   safety/range restriction, arity consistency, EDB/IDB separation,
 //!   reachability from the query, singleton variables, ground facts.
-//! * **Graph lints** (`MP101`–`MP105`, [`graph::lint_graph`]) check
+//! * **Graph lints** (`MP101`–`MP106`, [`graph::lint_graph`]) check
 //!   compiled rule/goal artifacts — argument-class soundness under the
 //!   chosen SIP, a supplier for every `d` position (Def 2.4), variant
-//!   closure (Thm 2.1), cycle-edge consistency, and indexability of
-//!   every semijoin key under the data plane's index planner.
+//!   closure (Thm 2.1), cycle-edge consistency, indexability of every
+//!   semijoin key under the data plane's index planner, and graph size
+//!   against the machine's hardware parallelism.
 //! * **Protocol lints** (`MP201`–`MP204`, [`protocol::lint_protocol`])
 //!   check the per-strong-component state the §3.2 termination protocol
 //!   relies on — exactly one exit node, BFST parent/child symmetry and
@@ -94,6 +95,13 @@ pub enum Code {
     /// a `KeyIndex` for the probe and the join kernel degrades to a full
     /// scan (cross product).
     UnindexedSemijoinKey,
+    /// The rule/goal graph has more nodes than the machine has hardware
+    /// threads. Harmless for correctness — the threaded runtime's worker
+    /// pool multiplexes node activations onto a fixed number of workers —
+    /// but per-node parallelism has plateaued; tune `--workers`
+    /// (`Engine::with_workers`) rather than expecting more nodes to run
+    /// concurrently.
+    OversubscribedGraph,
 
     /// A nontrivial strong component does not have exactly one exit node
     /// (Thm 3.1's unique-feeder precondition).
@@ -152,6 +160,7 @@ impl Code {
             Code::VariantClosure => "MP103",
             Code::CycleEdgeInconsistent => "MP104",
             Code::UnindexedSemijoinKey => "MP105",
+            Code::OversubscribedGraph => "MP106",
             Code::ExitNodeCount => "MP201",
             Code::BfstAsymmetry => "MP202",
             Code::BfstCoverage => "MP203",
@@ -171,9 +180,10 @@ impl Code {
     /// The default severity of this code.
     pub fn severity(self) -> Severity {
         match self {
-            Code::UnreachablePredicate | Code::SingletonVariable | Code::UnindexedSemijoinKey => {
-                Severity::Warn
-            }
+            Code::UnreachablePredicate
+            | Code::SingletonVariable
+            | Code::UnindexedSemijoinKey
+            | Code::OversubscribedGraph => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -380,6 +390,7 @@ mod tests {
             Code::VariantClosure,
             Code::CycleEdgeInconsistent,
             Code::UnindexedSemijoinKey,
+            Code::OversubscribedGraph,
             Code::ExitNodeCount,
             Code::BfstAsymmetry,
             Code::BfstCoverage,

@@ -30,6 +30,15 @@ pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
 /// Fibonacci hashing); spreads consecutive interned ids across buckets.
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
+/// Fold one word into a running key hash — the same rotate/xor/multiply
+/// step [`FastHasher`] applies per word, exposed as a pure function so
+/// the columnar join kernels can hash a whole key column in one batched
+/// pass per column (see `Relation::key_hashes`).
+#[inline]
+pub(crate) fn fold_key_word(h: u64, word: u64) -> u64 {
+    (h.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
 /// An FxHash-style streaming hasher: rotate, xor, multiply per word.
 ///
 /// Word-sized writes (`u64`/`u32`/`u8`/`usize`) mix one word each, so

@@ -1,4 +1,4 @@
-//! Relational algebra operators.
+//! Relational algebra operators over columnar kernels.
 //!
 //! "Rule nodes combine their subgoal relations using join, select, and
 //! project" (§2.2 of the paper); class-`d` arguments "function as a
@@ -6,12 +6,17 @@
 //! engine's pipelined per-tuple forms live in `mp-engine` and are tested
 //! against these as oracles.
 //!
-//! Batch and pipelined forms share one probe kernel: every operator here
-//! resolves matches through [`KeyIndex::probe`] / [`Relation::probe`] —
-//! the same entry points the engine's rule nodes call per tuple — reusing
+//! Batch and pipelined forms share one probe kernel: hash-bucket
+//! candidates from a [`KeyIndex`] verified against the owning relation's
+//! column mirror — the same entry point ([`KeyIndex::probe_in`] /
+//! [`Relation::probe`]) the engine's rule nodes call per tuple — reusing
 //! a [`Relation::ensure_index`]-prepared index when the operand has one
-//! and building a transient index otherwise. Nothing nested-loops over
-//! the right operand.
+//! and building a transient index otherwise. The batch forms here add
+//! the columnar refinement: probe-key hashes for the whole left operand
+//! are computed in batched column-at-a-time passes
+//! (`Relation::key_hashes`), and selection scans run as tight loops over
+//! [`Relation::column`] slices. Nothing nested-loops over the right
+//! operand and nothing dereferences a row `Arc` to decide a mismatch.
 //!
 //! All operators preserve determinism: outputs are produced in the
 //! insertion order induced by scanning the left operand.
@@ -41,12 +46,22 @@ fn check_cols(rel: &Relation, cols: &[usize]) -> Result<(), StorageError> {
     Ok(())
 }
 
-/// Select rows where column `col` equals `value`.
+/// Select rows where column `col` equals `value`: an index probe when
+/// one is prepared, else one tight pass over the column slice.
 pub fn select_eq(rel: &Relation, col: usize, value: &Value) -> Result<Relation, StorageError> {
     check_cols(rel, &[col])?;
     let mut out = Relation::new(rel.arity());
-    for t in rel.probe(&[col], std::slice::from_ref(value)) {
-        out.insert(t.clone())?;
+    if let Some(idx) = rel.index_for(&[col]) {
+        for id in idx.probe_in(rel, std::slice::from_ref(value)) {
+            out.insert(rel.rows()[id as usize].clone())?;
+        }
+    } else {
+        let rows = rel.rows();
+        for (i, v) in rel.column(col).iter().enumerate() {
+            if v == value {
+                out.insert(rows[i].clone())?;
+            }
+        }
     }
     Ok(out)
 }
@@ -82,12 +97,43 @@ pub fn project(rel: &Relation, cols: &[usize]) -> Result<Relation, StorageError>
     Ok(out)
 }
 
+/// One left row's verified matches in the right operand, driven by the
+/// batched hash column. Gathers the probe key from the left's column
+/// slices only when the bucket is non-empty (a hash miss touches no row
+/// data at all), then verifies each candidate against the right's column
+/// mirror.
+fn probe_matches(
+    idx: &KeyIndex,
+    right: &Relation,
+    lslices: &[&[Value]],
+    i: usize,
+    hash: u64,
+    key: &mut Vec<Value>,
+    mut on_match: impl FnMut(u32) -> Result<(), StorageError>,
+) -> Result<bool, StorageError> {
+    let cands = idx.candidates(hash);
+    if cands.is_empty() {
+        return Ok(false);
+    }
+    key.clear();
+    key.extend(lslices.iter().map(|s| s[i]));
+    let mut any = false;
+    for &rid in cands {
+        if idx.verify(right, rid, key) {
+            any = true;
+            on_match(rid)?;
+        }
+    }
+    Ok(any)
+}
+
 /// Equi-join on column pairs `(left_col, right_col)`.
 ///
 /// Output schema is the concatenation of the left and right schemas (the
 /// right join columns are retained; callers project afterwards). Probes a
 /// hash index on the right operand — the right's own prepared index when
-/// it has one on exactly the join columns.
+/// it has one on exactly the join columns — with the probe hashes for
+/// every left row computed up front in batched per-column passes.
 pub fn join(
     left: &Relation,
     right: &Relation,
@@ -98,20 +144,22 @@ pub fn join(
     check_cols(left, &lcols)?;
     let idx = index_on(right, &rcols)?;
     let mut out = Relation::new(left.arity() + right.arity());
+    let hashes = left.key_hashes(&lcols);
+    let lslices: Vec<&[Value]> = lcols.iter().map(|&c| left.column(c)).collect();
+    let (lrows, rrows) = (left.rows(), right.rows());
     let mut key: Vec<Value> = Vec::with_capacity(lcols.len());
-    for lt in left.iter() {
-        key.clear();
-        key.extend(lcols.iter().map(|&c| lt[c]));
-        for &rid in idx.probe(&key) {
-            let rt = &right.rows()[rid as usize];
-            out.insert(lt.concat(rt))?;
-        }
+    for (i, &h) in hashes.iter().enumerate() {
+        probe_matches(&idx, right, &lslices, i, h, &mut key, |rid| {
+            out.insert(lrows[i].concat(&rrows[rid as usize]))
+                .map(|_| ())
+        })?;
     }
     Ok(out)
 }
 
 /// Semi-join: rows of `left` that match at least one row of `right` on the
-/// column pairs.
+/// column pairs. Same batched-hash probe as [`join`], but a left row is
+/// emitted once on its first verified match.
 pub fn semijoin(
     left: &Relation,
     right: &Relation,
@@ -122,12 +170,13 @@ pub fn semijoin(
     check_cols(left, &lcols)?;
     let idx = index_on(right, &rcols)?;
     let mut out = Relation::new(left.arity());
+    let hashes = left.key_hashes(&lcols);
+    let lslices: Vec<&[Value]> = lcols.iter().map(|&c| left.column(c)).collect();
+    let lrows = left.rows();
     let mut key: Vec<Value> = Vec::with_capacity(lcols.len());
-    for lt in left.iter() {
-        key.clear();
-        key.extend(lcols.iter().map(|&c| lt[c]));
-        if !idx.probe(&key).is_empty() {
-            out.insert(lt.clone())?;
+    for (i, &h) in hashes.iter().enumerate() {
+        if probe_matches(&idx, right, &lslices, i, h, &mut key, |_| Ok(()))? {
+            out.insert(lrows[i].clone())?;
         }
     }
     Ok(out)
@@ -144,12 +193,13 @@ pub fn antijoin(
     check_cols(left, &lcols)?;
     let idx = index_on(right, &rcols)?;
     let mut out = Relation::new(left.arity());
+    let hashes = left.key_hashes(&lcols);
+    let lslices: Vec<&[Value]> = lcols.iter().map(|&c| left.column(c)).collect();
+    let lrows = left.rows();
     let mut key: Vec<Value> = Vec::with_capacity(lcols.len());
-    for lt in left.iter() {
-        key.clear();
-        key.extend(lcols.iter().map(|&c| lt[c]));
-        if idx.probe(&key).is_empty() {
-            out.insert(lt.clone())?;
+    for (i, &h) in hashes.iter().enumerate() {
+        if !probe_matches(&idx, right, &lslices, i, h, &mut key, |_| Ok(()))? {
+            out.insert(lrows[i].clone())?;
         }
     }
     Ok(out)
@@ -217,6 +267,14 @@ mod tests {
     }
 
     #[test]
+    fn select_eq_uses_prepared_index() {
+        let mut rel = r(vec![tuple![1, 10], tuple![2, 20], tuple![1, 11]]);
+        rel.ensure_index(&[0]).unwrap();
+        let out = select_eq(&rel, 0, &Value::int(1)).unwrap();
+        assert_eq!(out.rows(), &[tuple![1, 10], tuple![1, 11]]);
+    }
+
+    #[test]
     fn select_eq_rejects_column_zero_on_zero_arity() {
         // Regression: the old carve-out accepted column 0 on a zero-arity
         // relation and indexed out of bounds on its first row.
@@ -265,6 +323,19 @@ mod tests {
                 tuple![2, 3, 3, 40],
                 tuple![2, 3, 3, 41]
             ]
+        );
+    }
+
+    #[test]
+    fn join_mixed_value_kinds() {
+        // Ints and symbols in the key columns: the tagged key words must
+        // keep them apart through the hash fold and the verification.
+        let l = r(vec![tuple![1, "x"], tuple![2, "y"], tuple![3, "z"]]);
+        let rr = r(vec![tuple!["x", 10], tuple!["z", 30]]);
+        let out = join(&l, &rr, &[(1, 0)]).unwrap();
+        assert_eq!(
+            out.sorted_rows(),
+            vec![tuple![1, "x", "x", 10], tuple![3, "z", "z", 30]]
         );
     }
 

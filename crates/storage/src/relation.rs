@@ -1,5 +1,5 @@
 //! Duplicate-free, insertion-ordered relations with incrementally
-//! maintained hash indexes.
+//! maintained hash indexes over column-major storage.
 //!
 //! Deletion of duplicates is load-bearing in the paper: "Detection of
 //! duplicates is necessary to allow loops to terminate" (§3.1). Every
@@ -7,29 +7,50 @@
 //! was genuinely new, which is exactly the signal nodes use to decide
 //! whether to forward an answer tuple.
 //!
-//! Rows live once in an append-only arena (`Vec<Tuple>`); the dedup
-//! structure and every [`KeyIndex`] hold `u32` row ids into that arena,
-//! so a tuple is never stored twice and indexes stay valid as rows are
-//! appended.
+//! Rows are stored twice, deliberately:
+//!
+//! * a row arena (`Vec<Tuple>`) keeps the `Arc<[Value]>` tuple view the
+//!   message plane ships — cloning a row out of the arena is a refcount
+//!   bump, and
+//! * a column-major mirror (one `Vec<Value>` per column of interned
+//!   tagged words) feeds the scan, probe-verification, and batched
+//!   key-hashing kernels with contiguous slices — no per-row `Arc`
+//!   dereference, no pointer chasing, in the hot loops.
+//!
+//! The dedup structure and every [`KeyIndex`] hold `u32` row ids into the
+//! arena and store *hashes*, not keys: candidates are verified against
+//! the column mirror, so a tuple's values are never stored a third time
+//! and indexes stay valid as rows are appended.
 
-use crate::fast_hash::{FastMap, FastSet};
+use crate::fast_hash::{fold_key_word, FastMap, FastSet};
 use crate::{FastHasher, StorageError, Tuple, Value};
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault};
 
+/// Fold a probe key into the `u64` bucket hash all key indexes share.
+/// The fold must match [`Relation::key_hashes`] word for word: the
+/// batched per-column pass and the per-key pass land in the same bucket.
+#[inline]
+pub(crate) fn key_hash(key: &[Value]) -> u64 {
+    key.iter().fold(0, |h, v| fold_key_word(h, v.key_word()))
+}
+
 /// A set of same-arity tuples, iterated in insertion order.
 ///
-/// The relation owns its rows in an arena and maintains, on demand, hash
-/// indexes over arbitrary column sets ([`Relation::ensure_index`]) that
-/// are updated incrementally on every [`Relation::insert`]. Rule nodes
-/// store their subgoals' temporary relations (§3.1) and probe them by
-/// `d`-column values on every arriving tuple; prepared indexes keep
-/// those probes O(1) amortized as tuples trickle in.
+/// The relation owns its rows in an arena (plus the column-major mirror)
+/// and maintains, on demand, hash indexes over arbitrary column sets
+/// ([`Relation::ensure_index`]) that are updated incrementally on every
+/// [`Relation::insert`]. Rule nodes store their subgoals' temporary
+/// relations (§3.1) and probe them by `d`-column values on every
+/// arriving tuple; prepared indexes keep those probes O(1) amortized as
+/// tuples trickle in.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     arity: usize,
     rows: Vec<Tuple>,
+    /// Column-major mirror of `rows`: `cols[c][i] == rows[i][c]`. The
+    /// scan and verification kernels loop over these contiguous slices.
+    cols: Vec<Vec<Value>>,
     /// Dedup set: row hash → ids of rows with that hash. Holds ids, not
     /// cloned tuples; candidates are verified against the arena. Keys
     /// are interned engine data, so the deterministic [`FastHasher`]
@@ -46,6 +67,7 @@ impl Relation {
         Relation {
             arity,
             rows: Vec::new(),
+            cols: vec![Vec::new(); arity],
             dedup: FastMap::default(),
             state: BuildHasherDefault::default(),
             indexes: HashMap::new(),
@@ -111,6 +133,9 @@ impl Relation {
         for idx in self.indexes.values_mut() {
             idx.add(row_id, &t);
         }
+        for (col, &v) in self.cols.iter_mut().zip(t.values()) {
+            col.push(v);
+        }
         self.rows.push(t);
         self.dedup.entry(h).or_default().push(row_id);
         Ok(true)
@@ -129,6 +154,34 @@ impl Relation {
     /// The rows as a slice (insertion order).
     pub fn rows(&self) -> &[Tuple] {
         &self.rows
+    }
+
+    /// One column of the column-major mirror, as a contiguous slice of
+    /// interned words: `column(c)[i] == rows()[i][c]`. This is the slice
+    /// the tight scan/join kernels loop over.
+    ///
+    /// # Panics
+    /// Panics if `c >= arity()`.
+    pub fn column(&self, c: usize) -> &[Value] {
+        &self.cols[c]
+    }
+
+    /// Batched key hashing over the column mirror: one pass per key
+    /// column, folding each row's word into its running bucket hash.
+    /// `key_hashes(cols)[i]` equals [`key_hash`] of row `i` projected
+    /// onto `cols` — the join kernels compute the whole probe-hash
+    /// column in column-at-a-time passes instead of gathering per row.
+    ///
+    /// Callers validate `cols` against the arity first.
+    pub(crate) fn key_hashes(&self, cols: &[usize]) -> Vec<u64> {
+        let mut hashes = vec![0u64; self.rows.len()];
+        for &c in cols {
+            let col = &self.cols[c];
+            for (h, v) in hashes.iter_mut().zip(col) {
+                *h = fold_key_word(*h, v.key_word());
+            }
+        }
+        hashes
     }
 
     /// A canonically sorted copy of the rows, for order-insensitive
@@ -169,24 +222,43 @@ impl Relation {
         self.probe(cols, key.values())
     }
 
+    /// The shared probe kernel: row ids matching `key` on `cols`, fed to
+    /// `f` in arena order. Index-backed when a prepared index exists on
+    /// exactly `cols` (hash-bucket candidates verified against the
+    /// column mirror), else a tight scan over the column slices.
+    fn probe_ids(&self, cols: &[usize], key: &[Value], mut f: impl FnMut(u32)) {
+        if let Some(idx) = self.indexes.get(cols) {
+            for id in idx.probe_in(self, key) {
+                f(id);
+            }
+            return;
+        }
+        // Columnar scan fallback. A column outside the arity matches
+        // nothing (same contract the tuple-at-a-time scan had); extra
+        // probe columns beyond the key (or vice versa) are ignored.
+        let mut pairs: Vec<(&[Value], Value)> = Vec::with_capacity(cols.len().min(key.len()));
+        for (&c, &v) in cols.iter().zip(key) {
+            match self.cols.get(c) {
+                Some(col) => pairs.push((col.as_slice(), v)),
+                None => return,
+            }
+        }
+        'row: for i in 0..self.rows.len() {
+            for (col, v) in &pairs {
+                if col[i] != *v {
+                    continue 'row;
+                }
+            }
+            f(i as u32);
+        }
+    }
+
     /// [`Relation::lookup`] with a borrowed key slice — the engine's
     /// per-tuple probe form, no key allocation when an index exists.
     pub fn probe<'a>(&'a self, cols: &[usize], key: &[Value]) -> Vec<&'a Tuple> {
-        if let Some(idx) = self.indexes.get(cols) {
-            idx.probe(key)
-                .iter()
-                .map(|&i| &self.rows[i as usize])
-                .collect()
-        } else {
-            self.rows
-                .iter()
-                .filter(|t| {
-                    cols.iter()
-                        .zip(key)
-                        .all(|(&c, v)| t.values().get(c) == Some(v))
-                })
-                .collect()
-        }
+        let mut out = Vec::new();
+        self.probe_ids(cols, key, |i| out.push(&self.rows[i as usize]));
+        out
     }
 
     /// Owned-tuples form of [`Relation::probe`]: clones the matches
@@ -194,30 +266,16 @@ impl Relation {
     /// intermediate reference vector. The engine's join kernels use this
     /// when they must release the borrow before acting on the matches.
     pub fn probe_cloned(&self, cols: &[usize], key: &[Value]) -> Vec<Tuple> {
-        if let Some(idx) = self.indexes.get(cols) {
-            idx.probe(key)
-                .iter()
-                .map(|&i| self.rows[i as usize].clone())
-                .collect()
-        } else {
-            self.rows
-                .iter()
-                .filter(|t| {
-                    cols.iter()
-                        .zip(key)
-                        .all(|(&c, v)| t.values().get(c) == Some(v))
-                })
-                .cloned()
-                .collect()
-        }
+        let mut out = Vec::new();
+        self.probe_ids(cols, key, |i| out.push(self.rows[i as usize].clone()));
+        out
     }
 
     /// Distinct values of a single column (insertion order of first sight).
     pub fn distinct_column(&self, col: usize) -> Vec<Value> {
         let mut seen = FastSet::default();
         let mut out = Vec::new();
-        for t in self.iter() {
-            let v = t[col];
+        for &v in &self.cols[col] {
             if seen.insert(v) {
                 out.push(v);
             }
@@ -238,15 +296,23 @@ impl Eq for Relation {}
 /// call sites and tests readable.
 pub type IndexedRelation = Relation;
 
-/// A hash index from values of a column subset to row ids.
+/// A hash index from values of a column subset to candidate row ids.
+///
+/// The map is keyed by the *hash* of the key, not the key itself — the
+/// index never stores tuple data, only `u32` ids into the owning
+/// relation's arena. Probes verify candidates against the relation's
+/// column mirror ([`KeyIndex::probe_in`]), so hash collisions are
+/// benign; they cost a failed comparison, never a wrong answer.
 #[derive(Clone, Debug, Default)]
 pub struct KeyIndex {
     cols: Vec<usize>,
-    map: FastMap<Tuple, Vec<u32>>,
+    /// Bucket-hash of the projected key → candidate row ids.
+    buckets: FastMap<u64, Vec<u32>>,
 }
 
 impl KeyIndex {
-    /// Build an index over `cols` for all rows of `rel`.
+    /// Build an index over `cols` for all rows of `rel`, hashing the key
+    /// columns in batched column-at-a-time passes.
     pub fn build(rel: &Relation, cols: &[usize]) -> Result<Self, StorageError> {
         for &c in cols {
             if c >= rel.arity() {
@@ -258,10 +324,10 @@ impl KeyIndex {
         }
         let mut idx = KeyIndex {
             cols: cols.to_vec(),
-            map: FastMap::default(),
+            buckets: FastMap::default(),
         };
-        for (i, t) in rel.iter().enumerate() {
-            idx.add(i as u32, t);
+        for (i, h) in rel.key_hashes(cols).into_iter().enumerate() {
+            idx.buckets.entry(h).or_default().push(i as u32);
         }
         Ok(idx)
     }
@@ -271,42 +337,57 @@ impl KeyIndex {
         &self.cols
     }
 
-    /// Register a row in the index. Probes by a stack-projected key
-    /// slice first, so rows landing on an existing key (the common case
-    /// on skewed columns) allocate nothing.
+    /// Register a row in the index. Hashes the key columns straight out
+    /// of the tuple — nothing is projected or stored.
     pub fn add(&mut self, row_id: u32, t: &Tuple) {
-        if self.cols.len() <= 16 {
-            let mut buf = [Value::int(0); 16];
-            for (i, &c) in self.cols.iter().enumerate() {
-                buf[i] = t[c];
-            }
-            if let Some(ids) = self.map.get_mut(&buf[..self.cols.len()]) {
-                ids.push(row_id);
-                return;
-            }
-        }
-        let key = t.project(&self.cols);
-        match self.map.entry(key) {
-            Entry::Occupied(mut e) => e.get_mut().push(row_id),
-            Entry::Vacant(e) => {
-                e.insert(vec![row_id]);
-            }
-        }
+        let h = self
+            .cols
+            .iter()
+            .fold(0, |h, &c| fold_key_word(h, t[c].key_word()));
+        self.buckets.entry(h).or_default().push(row_id);
     }
 
-    /// Row ids whose projection onto the indexed columns equals `key`.
-    pub fn get(&self, key: &Tuple) -> &[u32] {
-        self.probe(key.values())
+    /// Unverified candidate row ids in the bucket for a precomputed key
+    /// hash. The batch join kernels pair this with [`KeyIndex::verify`]
+    /// after a [`Relation::key_hashes`] pass.
+    pub(crate) fn candidates(&self, hash: u64) -> &[u32] {
+        self.buckets.get(&hash).map_or(&[], Vec::as_slice)
     }
 
-    /// [`KeyIndex::get`] with a borrowed key slice (no allocation).
-    pub fn probe(&self, key: &[Value]) -> &[u32] {
-        self.map.get(key).map_or(&[], Vec::as_slice)
+    /// True if arena row `id` of `rel` matches `key` on the indexed
+    /// columns — a tight comparison against the column mirror.
+    pub(crate) fn verify(&self, rel: &Relation, id: u32, key: &[Value]) -> bool {
+        self.cols
+            .iter()
+            .zip(key)
+            .all(|(&c, v)| rel.cols[c][id as usize] == *v)
     }
 
-    /// Number of distinct keys.
+    /// Row ids of `rel` whose projection onto the indexed columns equals
+    /// `key`, in arena order: bucket candidates verified against the
+    /// column mirror. `rel` must be the relation the index was built
+    /// over (or is maintained by).
+    pub fn probe_in<'a>(
+        &'a self,
+        rel: &'a Relation,
+        key: &'a [Value],
+    ) -> impl Iterator<Item = u32> + 'a {
+        let cands = if key.len() == self.cols.len() {
+            self.candidates(key_hash(key))
+        } else {
+            // A mis-sized key can never equal a projection onto `cols`.
+            &[]
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(move |&id| self.verify(rel, id, key))
+    }
+
+    /// Number of distinct key hashes (equals the number of distinct keys
+    /// up to hash collisions, which the probes tolerate).
     pub fn distinct_keys(&self) -> usize {
-        self.map.len()
+        self.buckets.len()
     }
 }
 
@@ -364,13 +445,40 @@ mod tests {
     }
 
     #[test]
+    fn column_mirror_tracks_rows() {
+        let r = rel(&[tuple![1, 10], tuple![2, 20], tuple![3, 30]]);
+        assert_eq!(r.column(0), &[Value::int(1), Value::int(2), Value::int(3)]);
+        assert_eq!(
+            r.column(1),
+            &[Value::int(10), Value::int(20), Value::int(30)]
+        );
+        for (i, t) in r.iter().enumerate() {
+            assert_eq!(r.column(0)[i], t[0]);
+            assert_eq!(r.column(1)[i], t[1]);
+        }
+    }
+
+    #[test]
+    fn batched_key_hashes_match_scalar_fold() {
+        let r = rel(&[tuple![1, 10, "a"], tuple![2, 20, "b"], tuple![1, 20, "a"]]);
+        let cols = [2usize, 0];
+        let batched = r.key_hashes(&cols);
+        for (i, t) in r.iter().enumerate() {
+            let key: Vec<Value> = cols.iter().map(|&c| t[c]).collect();
+            assert_eq!(batched[i], key_hash(&key), "row {i}");
+        }
+    }
+
+    #[test]
     fn key_index_lookup() {
         let r = rel(&[tuple![1, 10], tuple![1, 11], tuple![2, 20]]);
         let idx = KeyIndex::build(&r, &[0]).unwrap();
-        assert_eq!(idx.get(&tuple![1]).len(), 2);
-        assert_eq!(idx.get(&tuple![2]), &[2]);
-        assert_eq!(idx.get(&tuple![9]), &[] as &[u32]);
-        assert_eq!(idx.probe(tuple![1].values()).len(), 2);
+        let ids = |key: &Tuple| -> Vec<u32> { idx.probe_in(&r, key.values()).collect() };
+        assert_eq!(ids(&tuple![1]), vec![0, 1]);
+        assert_eq!(ids(&tuple![2]), vec![2]);
+        assert_eq!(ids(&tuple![9]), Vec::<u32>::new());
+        // A mis-sized probe key matches nothing.
+        assert_eq!(ids(&tuple![1, 10]), Vec::<u32>::new());
         assert_eq!(idx.distinct_keys(), 2);
     }
 
@@ -421,5 +529,6 @@ mod tests {
         assert_eq!(c.lookup(&[0], &tuple![1]).len(), 2);
         // The original is untouched.
         assert_eq!(r.len(), 1);
+        assert_eq!(c.column(1).len(), 2);
     }
 }

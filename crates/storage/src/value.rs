@@ -87,6 +87,19 @@ impl Value {
             Value::Str(s) => Some(s.as_str()),
         }
     }
+
+    /// The word fed to the key-hash fold (`fast_hash::fold_key_word`):
+    /// payload plus a tag bit separating symbols from small integers.
+    /// Not injective across the whole domain — key-index probes verify
+    /// candidates against the column mirror, so a collision costs a
+    /// comparison, never a wrong answer.
+    #[inline]
+    pub(crate) fn key_word(self) -> u64 {
+        match self {
+            Value::Int(i) => i as u64,
+            Value::Str(s) => u64::from(s.0) | (1 << 63),
+        }
+    }
 }
 
 impl fmt::Debug for Value {

@@ -27,9 +27,8 @@ proptest! {
         let key_t: Tuple = vec![Value::from(key.0), Value::from(key.1)]
             .into_iter().collect();
         let via_index: Vec<&Tuple> = idx
-            .get(&key_t)
-            .iter()
-            .map(|&i| &r.rows()[i as usize])
+            .probe_in(&r, key_t.values())
+            .map(|i| &r.rows()[i as usize])
             .collect();
         let via_scan: Vec<&Tuple> =
             r.iter().filter(|t| t.matches_on(&cols, &key_t)).collect();
@@ -53,9 +52,8 @@ proptest! {
         let mut from_inc: Vec<Tuple> =
             inc.lookup(&[1], &k).into_iter().cloned().collect();
         let mut from_batch: Vec<Tuple> = idx
-            .get(&k)
-            .iter()
-            .map(|&i| batch.rows()[i as usize].clone())
+            .probe_in(&batch, k.values())
+            .map(|i| batch.rows()[i as usize].clone())
             .collect();
         from_inc.sort();
         from_batch.sort();

@@ -6,7 +6,10 @@
 //!
 //!   --sip <greedy|left-to-right|all-free|qual-tree|cost-based>
 //!   --schedule <fifo|random:SEED> simulator delivery order
-//!   --threads                     one OS thread per graph node
+//!   --threads                     worker-pool runtime (work-stealing
+//!                                 node scheduler)
+//!   --workers N                   pool size (implies --threads; 0 or
+//!                                 omitted = available parallelism)
 //!   --batching                    package tuple requests (§3.1 fn 2)
 //!   --batch-size N                tuples per data-plane frame (implies
 //!                                 --batching; 1 = scalar framing)
@@ -39,6 +42,7 @@ struct Options {
     file: Option<String>,
     sip: SipKind,
     runtime: RuntimeKind,
+    workers: Option<usize>,
     batching: bool,
     batch_size: Option<usize>,
     chaos: Option<u64>,
@@ -55,6 +59,7 @@ fn parse_args() -> Result<Options, String> {
         file: None,
         sip: SipKind::Greedy,
         runtime: RuntimeKind::Sim(Schedule::Fifo),
+        workers: None,
         batching: false,
         batch_size: None,
         chaos: None,
@@ -87,6 +92,12 @@ fn parse_args() -> Result<Options, String> {
                 opts.runtime = RuntimeKind::Sim(schedule);
             }
             "--threads" => opts.runtime = RuntimeKind::Threads,
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
+                opts.workers = Some(n);
+                opts.runtime = RuntimeKind::Threads;
+            }
             "--batching" => opts.batching = true,
             "--batch-size" => {
                 let v = args.next().ok_or("--batch-size needs a value")?;
@@ -124,8 +135,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
-[--batching] [--batch-size N] [--chaos SEED] [--no-recovery] [--stats] [--dot] \
-[--trace FILE] [--check] [--baseline B] [FILE]";
+[--workers N] [--batching] [--batch-size N] [--chaos SEED] [--no-recovery] [--stats] \
+[--dot] [--trace FILE] [--check] [--baseline B] [FILE]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -212,6 +223,9 @@ fn main() -> ExitCode {
         .with_batching(opts.batching)
         .with_recovery(opts.recovery)
         .with_trace(tracing);
+    if let Some(n) = opts.workers {
+        engine = engine.with_workers(n);
+    }
     if let Some(n) = opts.batch_size {
         engine = engine.with_batch_size(n);
     }
