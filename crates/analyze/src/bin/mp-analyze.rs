@@ -1,0 +1,208 @@
+//! `mp-analyze` — abstract-interpretation analysis of Datalog programs.
+//!
+//! ```text
+//! mp-analyze [OPTIONS] [FILE...]  analyze .dl programs (facts + rules +
+//!                                 ?- query); reads stdin when no FILE
+//!
+//!   --json                        emit one JSON object per input file
+//!                                 (annotation plan + MP4xx diagnostics,
+//!                                 sharing mp-lint's diagnostic schema)
+//!   --sip <greedy|left-to-right|all-free|qual-tree|cost-based>
+//!                                 SIP strategy for graph construction
+//!   --widen-cap <N>               sort-lattice widening cap (default 256)
+//!   --hot-link <N>                MP404 volume threshold (default 100000)
+//! ```
+//!
+//! Exit status: 0 when the program analyzed cleanly, 1 when a deny-level
+//! lint blocked analysis, 2 on usage or I/O errors. MP4xx findings are
+//! warnings and do not affect the exit status.
+
+use mp_analyze::{analyze, AnalyzeOptions};
+use mp_datalog::parser::parse_program_with_spans;
+use mp_datalog::Database;
+use mp_lint::Diagnostic;
+use mp_rulegoal::{RuleGoalGraph, SipKind};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Options {
+    files: Vec<String>,
+    json: bool,
+    sip: SipKind,
+    analyze: AnalyzeOptions,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        files: Vec::new(),
+        json: false,
+        sip: SipKind::Greedy,
+        analyze: AnalyzeOptions::default(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--sip" => {
+                let v = args.next().ok_or("--sip needs a value")?;
+                opts.sip = SipKind::ALL
+                    .into_iter()
+                    .find(|s| s.name() == v)
+                    .ok_or_else(|| format!("unknown sip strategy `{v}`"))?;
+            }
+            "--widen-cap" => {
+                let v = args.next().ok_or("--widen-cap needs a value")?;
+                opts.analyze.widen_cap = v
+                    .parse()
+                    .map_err(|_| format!("invalid --widen-cap `{v}`"))?;
+            }
+            "--hot-link" => {
+                let v = args.next().ok_or("--hot-link needs a value")?;
+                opts.analyze.hot_link_threshold =
+                    v.parse().map_err(|_| format!("invalid --hot-link `{v}`"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if !other.starts_with('-') => opts.files.push(other.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: mp-analyze [--json] [--sip STRATEGY] [--widen-cap N] [--hot-link N] [FILE...]\n\
+         analyzes Datalog programs; reads stdin when no FILE is given"
+    );
+}
+
+/// What analyzing one input produced.
+enum Outcome {
+    /// Full analysis: diagnostics plus the JSON report body.
+    Analyzed(Box<mp_analyze::Analysis>, String),
+    /// A deny-level lint blocked analysis; only diagnostics to show.
+    Blocked(Vec<Diagnostic>),
+}
+
+fn analyze_source(name: &str, source: &str, opts: &Options) -> Result<Outcome, String> {
+    let (program, spans) =
+        parse_program_with_spans(source).map_err(|e| format!("parse error: {e}"))?;
+    let mut db = Database::new();
+    let _ = program.load_facts(&mut db);
+
+    // The MP0xx gate runs first: analysis assumes a well-formed program.
+    let mut lints = mp_lint::program::lint_program(&program, Some(&db), Some(&spans));
+    if lints.iter().any(Diagnostic::is_deny) {
+        mp_lint::sort_diagnostics(&mut lints);
+        return Ok(Outcome::Blocked(lints));
+    }
+
+    let graph = RuleGoalGraph::build(&program, &db, opts.sip)
+        .map_err(|e| format!("rule/goal graph construction failed: {e}"))?;
+    let analysis = analyze(&program, &db, &graph, Some(&spans), &opts.analyze);
+    let json = analysis.to_json(name, opts.sip.name());
+    Ok(Outcome::Analyzed(Box::new(analysis), json))
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("mp-analyze: {msg}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    if opts.files.is_empty() {
+        let mut src = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut src) {
+            eprintln!("mp-analyze: reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        inputs.push(("<stdin>".to_string(), src));
+    } else {
+        for f in &opts.files {
+            match std::fs::read_to_string(f) {
+                Ok(src) => inputs.push((f.clone(), src)),
+                Err(e) => {
+                    eprintln!("mp-analyze: {f}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+
+    let mut blocked = 0usize;
+    let mut json_objects: Vec<String> = Vec::new();
+    for (name, source) in &inputs {
+        match analyze_source(name, source, &opts) {
+            Ok(Outcome::Analyzed(analysis, json)) => {
+                if opts.json {
+                    json_objects.push(json);
+                } else {
+                    for d in &analysis.diagnostics {
+                        print!("{}", d.render(name, source));
+                    }
+                    println!("{name}:");
+                    print!("{}", analysis.render_explain());
+                }
+            }
+            Ok(Outcome::Blocked(lints)) => {
+                blocked += 1;
+                if opts.json {
+                    // Keep the schema: an object with the diagnostics and
+                    // an empty plan, so consumers can still key on "file".
+                    let mut out = String::new();
+                    out.push_str("{\n");
+                    out.push_str(&format!("  \"file\": \"{name}\",\n"));
+                    out.push_str("  \"blocked\": true,\n");
+                    out.push_str("  \"plan\": [],\n");
+                    out.push_str("  \"diagnostics\": [\n");
+                    for (i, d) in lints.iter().enumerate() {
+                        out.push_str("    ");
+                        out.push_str(&d.to_json(name));
+                        out.push_str(if i + 1 < lints.len() { ",\n" } else { "\n" });
+                    }
+                    out.push_str("  ]\n");
+                    out.push('}');
+                    json_objects.push(out);
+                } else {
+                    for d in &lints {
+                        print!("{}", d.render(name, source));
+                    }
+                    eprintln!("mp-analyze: {name}: deny-level lint blocked analysis");
+                }
+            }
+            Err(msg) => {
+                eprintln!("mp-analyze: {name}: {msg}");
+                blocked += 1;
+            }
+        }
+    }
+
+    if opts.json {
+        println!("[");
+        for (i, o) in json_objects.iter().enumerate() {
+            // Indent each object's lines to sit inside the array.
+            for (j, line) in o.lines().enumerate() {
+                let last = j + 1 == o.lines().count();
+                let comma = if last && i + 1 < json_objects.len() {
+                    ","
+                } else {
+                    ""
+                };
+                println!("  {line}{comma}");
+            }
+        }
+        println!("]");
+    }
+    if blocked > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

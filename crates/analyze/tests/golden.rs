@@ -1,0 +1,95 @@
+//! Golden tests for the `mp-analyze` CLI: its `--json` output over the
+//! example programs and the deliberately defective fixtures in
+//! `examples/analyze/` must match the committed annotation plans byte
+//! for byte (the CI `analyze-golden` job runs the same comparison with
+//! `diff`). Regenerate after an intentional analysis change with
+//! `scripts/regen-analyze-golden.sh`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analyze sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Run `mp-analyze --json <file>` from the workspace root (golden files
+/// embed the repo-relative path) and return stdout.
+fn analyze_json(rel: &str) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_mp-analyze"))
+        .current_dir(workspace_root())
+        .args(["--json", rel])
+        .output()
+        .expect("mp-analyze runs");
+    assert!(
+        out.status.success(),
+        "mp-analyze --json {rel} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("JSON output is UTF-8")
+}
+
+fn fixtures() -> Vec<PathBuf> {
+    let root = workspace_root();
+    let mut dls: Vec<PathBuf> = ["examples/analyze", "examples/programs"]
+        .iter()
+        .flat_map(|dir| std::fs::read_dir(root.join(dir)).expect("fixture dir exists"))
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dl"))
+        .collect();
+    dls.sort();
+    assert!(
+        dls.len() >= 7,
+        "expected ≥7 fixture programs, found {}",
+        dls.len()
+    );
+    dls
+}
+
+#[test]
+fn json_output_matches_committed_golden_plans() {
+    let root = workspace_root();
+    for dl in fixtures() {
+        let rel = dl
+            .strip_prefix(&root)
+            .expect("fixture under root")
+            .to_str()
+            .expect("UTF-8 path")
+            .to_string();
+        let name = dl.file_stem().unwrap().to_str().unwrap();
+        let golden_path = root.join(format!("examples/analyze/golden/{name}.json"));
+        let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+            panic!(
+                "{rel} has no committed golden plan at {}: {e}\n\
+                 (run scripts/regen-analyze-golden.sh)",
+                golden_path.display()
+            )
+        });
+        let actual = analyze_json(&rel);
+        assert_eq!(
+            actual, golden,
+            "{rel}: mp-analyze --json drifted from its committed golden plan \
+             (if intentional, run scripts/regen-analyze-golden.sh and review the diff)"
+        );
+    }
+}
+
+/// The defective fixtures earn their keep: each one actually triggers
+/// the MP4xx code it was written to demonstrate.
+#[test]
+fn defective_fixtures_trigger_their_codes() {
+    for (name, code) in [
+        ("type_clash", "MP401"),
+        ("dead_rule", "MP403"),
+        ("cross_product", "MP405"),
+    ] {
+        let json = analyze_json(&format!("examples/analyze/{name}.dl"));
+        assert!(
+            json.contains(&format!("\"code\": \"{code}\"")),
+            "examples/analyze/{name}.dl no longer triggers {code}:\n{json}"
+        );
+    }
+}

@@ -25,7 +25,7 @@ pub enum RuntimeKind {
 pub enum EngineError {
     /// Static verification rejected the program or a compiled artifact.
     /// Holds *all* diagnostics from the run (at least one deny-level),
-    /// sorted most severe first.
+    /// sorted by (code, location).
     Lint(Vec<Diagnostic>),
     /// Program/graph construction failure.
     Graph(GraphError),
@@ -74,11 +74,22 @@ impl From<RuntimeError> for EngineError {
 /// advisory diagnostics that survived the deny gate.
 #[derive(Clone, Debug)]
 pub struct Compiled {
-    /// The verified rule/goal graph.
+    /// The verified rule/goal graph — with provably-dead rules and their
+    /// unreachable subtrees already pruned when analysis is enabled.
     pub graph: RuleGoalGraph,
     /// Warn-level diagnostics (e.g. unreachable predicates, singleton
-    /// variables). Never contains a deny-level entry.
+    /// variables, MP4xx analysis findings). Never contains a deny-level
+    /// entry.
     pub warnings: Vec<Diagnostic>,
+    /// The abstract-interpretation analysis over the *unpruned* graph:
+    /// per-node cardinality/volume estimates, batch-size hints, and
+    /// partition keys (the `mpq --explain` payload).
+    pub analysis: mp_analyze::Analysis,
+    /// Nodes removed from the graph by analysis pruning (0 when analysis
+    /// is disabled or nothing was dead).
+    pub pruned_nodes: usize,
+    /// Rule nodes among [`Compiled::pruned_nodes`].
+    pub pruned_rules: usize,
 }
 
 /// The result of evaluating a query.
@@ -138,6 +149,7 @@ pub struct Engine {
     fault_plan: Option<FaultPlan>,
     recovery: bool,
     workers: usize,
+    analysis: bool,
 }
 
 impl Engine {
@@ -159,7 +171,18 @@ impl Engine {
             fault_plan: None,
             recovery: true,
             workers: 0,
+            analysis: true,
         }
+    }
+
+    /// Enable or disable abstract-interpretation analysis pruning
+    /// (default: enabled). With analysis off, `compile` still runs the
+    /// analysis passes for their annotations and MP4xx warnings but
+    /// evaluates the unpruned graph — pruning on and off must produce
+    /// bit-identical answers (the analysis soundness property).
+    pub fn with_analysis(mut self, analysis: bool) -> Engine {
+        self.analysis = analysis;
+        self
     }
 
     /// Choose the sideways information passing strategy.
@@ -293,19 +316,63 @@ impl Engine {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
         diags.extend(mp_lint::graph::lint_parallelism(graph.len(), parallelism));
-        mp_lint::sort_diagnostics(&mut diags);
         if diags.iter().any(Diagnostic::is_deny) {
+            mp_lint::sort_diagnostics(&mut diags);
             return Err(EngineError::Lint(diags));
         }
+
+        // Abstract interpretation over the verified artifact: sort
+        // inference, dead-rule detection, cardinality/partition planning.
+        // Its MP4xx findings are all warnings and ride along with the
+        // lint output.
+        let analysis = mp_analyze::analyze(
+            &self.program,
+            &self.db,
+            &graph,
+            None,
+            &mp_analyze::AnalyzeOptions::default(),
+        );
+        diags.extend(analysis.diagnostics.iter().cloned());
+        mp_lint::sort_diagnostics(&mut diags);
+
+        // Apply the pruning for real: dead rules and their unreachable
+        // subtrees never become network nodes. Soundness rests on the
+        // sort abstraction over-approximating the least model; the
+        // re-lint below is defense in depth — the pruned artifact must
+        // still satisfy the structural and protocol theorems.
+        let (graph, pruned_nodes, pruned_rules) = match self
+            .analysis
+            .then(|| analysis.pruned_graph(&graph))
+            .flatten()
+        {
+            Some(pruned) => {
+                let mut post = mp_lint::graph::lint_graph(&pruned);
+                post.extend(mp_lint::protocol::lint_protocol(&ProtocolView::of(&pruned)));
+                // Warn-level findings on the pruned graph are re-runs of
+                // advice already reported above; only a deny (a structural
+                // theorem violated by `retain`) aborts.
+                if post.iter().any(Diagnostic::is_deny) {
+                    mp_lint::sort_diagnostics(&mut post);
+                    return Err(EngineError::Lint(post));
+                }
+                (pruned, analysis.pruned_nodes, analysis.pruned_rules)
+            }
+            None => (graph, 0, 0),
+        };
         Ok(Compiled {
             graph,
             warnings: diags,
+            analysis,
+            pruned_nodes,
+            pruned_rules,
         })
     }
 
     /// Evaluate the query.
     pub fn evaluate(&self) -> Result<QueryResult, EngineError> {
-        let graph = self.compile()?.graph;
+        let compiled = self.compile()?;
+        let (pruned_nodes, pruned_rules) = (compiled.pruned_nodes, compiled.pruned_rules);
+        let graph = compiled.graph;
         let graph_nodes = graph.len();
         let mut network = Network::compile(&graph, &self.db);
         network.set_batching(self.batching);
@@ -320,9 +387,12 @@ impl Engine {
                     recovery: self.recovery,
                 };
                 let out = sim.run(&mut network)?;
+                let mut stats = out.stats;
+                stats.pruned_nodes = pruned_nodes as u64;
+                stats.pruned_rules = pruned_rules as u64;
                 Ok(QueryResult {
                     answers: out.answers,
-                    stats: out.stats,
+                    stats,
                     graph_nodes,
                     trace: out.trace,
                     events: out.events,
@@ -339,9 +409,12 @@ impl Engine {
                     workers: self.workers,
                 };
                 let out = rt.run(network)?;
+                let mut stats = out.stats;
+                stats.pruned_nodes = pruned_nodes as u64;
+                stats.pruned_rules = pruned_rules as u64;
                 Ok(QueryResult {
                     answers: out.answers,
-                    stats: out.stats,
+                    stats,
                     graph_nodes,
                     trace: None,
                     events: out.events,

@@ -61,6 +61,14 @@ pub struct Stats {
     /// Messages processed in total.
     pub messages_processed: u64,
 
+    // ---- static analysis (set by Engine from compile, not by nodes) ----
+    /// Rule/goal-graph nodes removed by analysis pruning before the
+    /// network was compiled.
+    pub pruned_nodes: u64,
+    /// Rule nodes among [`Stats::pruned_nodes`] (the rest are goal/EDB
+    /// nodes that became unreachable with them).
+    pub pruned_rules: u64,
+
     // ---- fault injection and recovery (zero on a fault-free run) ----
     /// Message copies dropped by the fault plan.
     pub fault_dropped: u64,
@@ -170,6 +178,8 @@ impl Stats {
             max_stage_relation,
             edb_lookups,
             messages_processed,
+            pruned_nodes,
+            pruned_rules,
             fault_dropped,
             fault_duplicated,
             fault_delayed,
@@ -208,6 +218,8 @@ impl Stats {
         self.max_stage_relation = self.max_stage_relation.max(*max_stage_relation);
         self.edb_lookups += edb_lookups;
         self.messages_processed += messages_processed;
+        self.pruned_nodes += pruned_nodes;
+        self.pruned_rules += pruned_rules;
         self.fault_dropped += fault_dropped;
         self.fault_duplicated += fault_duplicated;
         self.fault_delayed += fault_delayed;
@@ -310,6 +322,8 @@ impl std::fmt::Display for Stats {
             max_stage_relation,
             edb_lookups,
             messages_processed,
+            pruned_nodes,
+            pruned_rules,
             fault_dropped,
             fault_duplicated,
             fault_delayed,
@@ -350,6 +364,8 @@ impl std::fmt::Display for Stats {
         writeln!(f, "-- max relation size  : {max_relation_size}")?;
         writeln!(f, "-- max stage relation : {max_stage_relation}")?;
         writeln!(f, "-- edb lookups        : {edb_lookups}")?;
+        writeln!(f, "-- pruned nodes       : {pruned_nodes}")?;
+        writeln!(f, "--   pruned rules     : {pruned_rules}")?;
         writeln!(f, "-- faults injected    : {}", self.faults_injected())?;
         writeln!(f, "--   dropped          : {fault_dropped}")?;
         writeln!(f, "--   duplicated       : {fault_duplicated}")?;
@@ -467,6 +483,8 @@ mod tests {
             max_stage_relation: v,
             edb_lookups: v,
             messages_processed: v,
+            pruned_nodes: v,
+            pruned_rules: v,
             fault_dropped: v,
             fault_duplicated: v,
             fault_delayed: v,
@@ -531,6 +549,8 @@ mod tests {
                 max_stage_relation,
                 edb_lookups,
                 messages_processed,
+                pruned_nodes,
+                pruned_rules,
                 fault_dropped,
                 fault_duplicated,
                 fault_delayed,
@@ -551,7 +571,7 @@ mod tests {
             let _ = v;
             s.to_string()
         };
-        for v in 1000..1037 {
+        for v in 1000..1039 {
             assert!(
                 text.contains(&format!(": {v}")),
                 "counter value {v} missing from Display output:\n{text}"

@@ -16,6 +16,13 @@ pub struct RelationStats {
     pub rows: usize,
     /// Distinct values per column.
     pub distinct: Vec<usize>,
+    /// For binary relations: the largest number of rows sharing one
+    /// column-0 value (the max out-degree when the relation is read as a
+    /// graph edge set). `None` for other arities.
+    pub max_out_degree: Option<usize>,
+    /// For binary relations: the largest number of rows sharing one
+    /// column-1 value (max in-degree). `None` for other arities.
+    pub max_in_degree: Option<usize>,
 }
 
 impl RelationStats {
@@ -50,11 +57,30 @@ impl DbStats {
                     s.insert(&t[c]);
                 }
             }
+            // Degree statistics only make sense for edge-shaped (binary)
+            // relations; they bound the fan-out of one join step and feed
+            // the mp-analyze message-volume estimator.
+            let (max_out_degree, max_in_degree) = if arity == 2 {
+                let mut out: BTreeMap<&mp_storage::Value, usize> = BTreeMap::new();
+                let mut inn: BTreeMap<&mp_storage::Value, usize> = BTreeMap::new();
+                for t in rel.iter() {
+                    *out.entry(&t[0]).or_insert(0) += 1;
+                    *inn.entry(&t[1]).or_insert(0) += 1;
+                }
+                (
+                    Some(out.values().copied().max().unwrap_or(0)),
+                    Some(inn.values().copied().max().unwrap_or(0)),
+                )
+            } else {
+                (None, None)
+            };
             per_relation.insert(
                 pred.clone(),
                 RelationStats {
                     rows: rel.len(),
                     distinct: seen.iter().map(HashSet::len).collect(),
+                    max_out_degree,
+                    max_in_degree,
                 },
             );
         }
@@ -97,10 +123,32 @@ mod tests {
     }
 
     #[test]
+    fn binary_relations_get_degree_bounds() {
+        let mut db = Database::new();
+        // Node 1 has out-degree 3; node 10 has in-degree 2.
+        for (a, b) in [(1, 10), (1, 11), (1, 12), (2, 10), (3, 12)] {
+            db.insert("e", tuple![a, b]).unwrap();
+        }
+        db.insert("u", tuple![7]).unwrap();
+        db.insert("t", tuple![1, 2, 3]).unwrap();
+        let stats = DbStats::of(&db);
+        let e = stats.relation(&Predicate::new("e")).unwrap();
+        assert_eq!(e.max_out_degree, Some(3));
+        assert_eq!(e.max_in_degree, Some(2));
+        // Non-binary relations carry no degree bounds.
+        let u = stats.relation(&Predicate::new("u")).unwrap();
+        assert_eq!((u.max_out_degree, u.max_in_degree), (None, None));
+        let t = stats.relation(&Predicate::new("t")).unwrap();
+        assert_eq!((t.max_out_degree, t.max_in_degree), (None, None));
+    }
+
+    #[test]
     fn selection_estimates_divide_by_distincts() {
         let rs = RelationStats {
             rows: 100,
             distinct: vec![10, 50],
+            max_out_degree: Some(10),
+            max_in_degree: Some(2),
         };
         assert_eq!(rs.selected_rows(&[]), 100.0);
         assert_eq!(rs.selected_rows(&[0]), 10.0);

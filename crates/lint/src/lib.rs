@@ -21,6 +21,10 @@
 //!   check the per-strong-component state the §3.2 termination protocol
 //!   relies on — exactly one exit node, BFST parent/child symmetry and
 //!   full coverage, leader uniqueness (Thm 3.1's preconditions).
+//! * **Analysis diagnostics** (`MP401`–`MP406`) are emitted by the
+//!   `mp-analyze` crate's abstract interpreter (sort/type inference,
+//!   cardinality planning, partition-key inference); the codes live here
+//!   so every tool shares one registry and one `--json` schema.
 //!
 //! Deny-level diagnostics abort `Engine::compile` with a typed error;
 //! warnings are surfaced but do not block. The `mp-lint` binary lints
@@ -141,6 +145,28 @@ pub enum Code {
     /// A matched send/deliver pair disagrees on logical item count
     /// (batching must preserve logical counters).
     TraceCountMismatch,
+
+    /// Two occurrences of a join variable range over type-disjoint value
+    /// sorts (one side only integers, the other only symbols): the join
+    /// can never match (mp-analyze sort inference).
+    TypeClashJoin,
+    /// A subgoal can never match: a constant argument lies outside the
+    /// column's inferred value sort, or the relation is empty.
+    EmptySubgoal,
+    /// A rule body is guaranteed empty under the EDB-seeded sort
+    /// abstraction — the rule can never fire and is pruned from the
+    /// rule/goal graph when analysis pruning is enabled.
+    DeadRule,
+    /// A link's estimated message volume exceeds the hot-link threshold;
+    /// consider a larger `--batch-size` on this program.
+    HotLink,
+    /// A temporary relation has no hash-partition key consistent with all
+    /// of its producing/consuming links: K-way sharding (ROADMAP item 1)
+    /// would have to broadcast it to every shard.
+    BroadcastRequired,
+    /// Goal nodes became unreachable after dead-rule elimination and were
+    /// pruned from the rule/goal graph.
+    PrunedUnreachable,
 }
 
 impl Code {
@@ -174,16 +200,31 @@ impl Code {
             Code::TraceOrphanRecover => "MP307",
             Code::TraceDuplicateDelivery => "MP308",
             Code::TraceCountMismatch => "MP309",
+            Code::TypeClashJoin => "MP401",
+            Code::EmptySubgoal => "MP402",
+            Code::DeadRule => "MP403",
+            Code::HotLink => "MP404",
+            Code::BroadcastRequired => "MP405",
+            Code::PrunedUnreachable => "MP406",
         }
     }
 
     /// The default severity of this code.
     pub fn severity(self) -> Severity {
         match self {
+            // The MP4xx analysis family is advisory by design: the
+            // abstraction over-approximates, so a "dead" rule is truly
+            // dead (safe to prune) but none of these block evaluation.
             Code::UnreachablePredicate
             | Code::SingletonVariable
             | Code::UnindexedSemijoinKey
-            | Code::OversubscribedGraph => Severity::Warn,
+            | Code::OversubscribedGraph
+            | Code::TypeClashJoin
+            | Code::EmptySubgoal
+            | Code::DeadRule
+            | Code::HotLink
+            | Code::BroadcastRequired
+            | Code::PrunedUnreachable => Severity::Warn,
             _ => Severity::Deny,
         }
     }
@@ -341,15 +382,19 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Sort diagnostics for stable output: deny first, then by code, span,
-/// and message.
+/// Sort diagnostics for stable output: by (code, location), then message
+/// and severity. Every printing path (mp-lint, mp-check, mp-analyze,
+/// `Engine::compile`) sorts with this one function so golden tests and
+/// `--json` diffs are order-stable across runs and tools. Codes are
+/// numbered so that within each family the deny-level conditions come
+/// first; severity is only a final tiebreak.
 pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
-        b.severity
-            .cmp(&a.severity)
-            .then(a.code.cmp(&b.code))
+        a.code
+            .cmp(&b.code)
             .then(a.span.cmp(&b.span))
             .then(a.message.cmp(&b.message))
+            .then(b.severity.cmp(&a.severity))
     });
 }
 
@@ -404,6 +449,12 @@ mod tests {
             Code::TraceOrphanRecover,
             Code::TraceDuplicateDelivery,
             Code::TraceCountMismatch,
+            Code::TypeClashJoin,
+            Code::EmptySubgoal,
+            Code::DeadRule,
+            Code::HotLink,
+            Code::BroadcastRequired,
+            Code::PrunedUnreachable,
         ];
         let strs: std::collections::BTreeSet<&str> = all.iter().map(|c| c.as_str()).collect();
         assert_eq!(strs.len(), all.len());
@@ -431,6 +482,39 @@ mod tests {
         ];
         sort_diagnostics(&mut v);
         assert_eq!(v[0].code, Code::UnsafeRule);
+    }
+
+    /// Regression test for deterministic output ordering: diagnostics
+    /// sort by (code, location) regardless of insertion order or
+    /// severity, so golden files and `--json` diffs are order-stable.
+    #[test]
+    fn sorting_is_by_code_then_location() {
+        let build = |perm: &[usize]| {
+            let pool = [
+                Diagnostic::new(Code::SingletonVariable, "w").with_span(Some(Span::new(9, 1))),
+                Diagnostic::new(Code::UnsafeRule, "e").with_span(Some(Span::new(5, 2))),
+                Diagnostic::new(Code::UnsafeRule, "e").with_span(Some(Span::new(2, 7))),
+                Diagnostic::new(Code::BroadcastRequired, "b"),
+                Diagnostic::new(Code::ExitNodeCount, "x"),
+                Diagnostic::new(Code::DeadRule, "d").with_span(Some(Span::new(3, 1))),
+            ];
+            perm.iter().map(|&i| pool[i].clone()).collect::<Vec<_>>()
+        };
+        let mut a = build(&[0, 1, 2, 3, 4, 5]);
+        let mut b = build(&[5, 3, 1, 4, 0, 2]);
+        sort_diagnostics(&mut a);
+        sort_diagnostics(&mut b);
+        assert_eq!(a, b, "order must not depend on insertion order");
+        let codes: Vec<&str> = a.iter().map(|d| d.code.as_str()).collect();
+        // Strict (code, then location) order — a warning with a lower code
+        // (MP007) prints before a deny with a higher code (MP201).
+        assert_eq!(
+            codes,
+            ["MP001", "MP001", "MP007", "MP201", "MP403", "MP405"]
+        );
+        // Within one code, spans order the output (2:7 before 5:2).
+        assert_eq!(a[0].span, Some(Span::new(2, 7)));
+        assert_eq!(a[1].span, Some(Span::new(5, 2)));
     }
 
     /// Golden test for the `--json` schema: key set, key order, and value

@@ -397,6 +397,68 @@ impl RuleGoalGraph {
         counts.values().map(|&c| c - 1).sum()
     }
 
+    /// Prune the graph down to the nodes marked `true` in `keep`,
+    /// compacting node ids and recomputing strong-component information.
+    ///
+    /// Used by the mp-analyze dead-rule elimination: the caller computes
+    /// liveness (root-reachability avoiding abstractly-empty rule nodes)
+    /// and this method performs the structural surgery. Invariants the
+    /// caller must uphold, asserted here where cheap:
+    ///
+    /// * the root is kept;
+    /// * a kept rule node keeps all of its subgoal feeders (pruning is
+    ///   whole-subtree, so feeder *order* — which `Network::compile` maps
+    ///   onto SIP plan order — is preserved verbatim);
+    /// * a kept cycle-ref's ancestor is kept (the ancestor lies on the
+    ///   ref's own tree path to the root).
+    pub fn retain(&self, keep: &[bool]) -> RuleGoalGraph {
+        assert_eq!(keep.len(), self.nodes.len(), "keep mask length");
+        assert!(keep[self.root], "the root goal node cannot be pruned");
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut nodes: Vec<Node> = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if keep[id] {
+                remap[id] = nodes.len();
+                nodes.push(node.clone());
+            }
+        }
+        for node in &mut nodes {
+            if let Node::Goal {
+                kind: GoalKind::CycleRef { ancestor },
+                ..
+            } = node
+            {
+                assert!(keep[*ancestor], "kept cycle-ref with pruned ancestor");
+                *ancestor = remap[*ancestor];
+            }
+        }
+        // Filter the original adjacency lists in place of rebuilding them,
+        // so the relative order of surviving arcs is untouched.
+        let filter_arcs = |arcs: &[Vec<(NodeId, ArcKind)>]| -> Vec<Vec<(NodeId, ArcKind)>> {
+            arcs.iter()
+                .enumerate()
+                .filter(|&(id, _)| keep[id])
+                .map(|(_, list)| {
+                    list.iter()
+                        .filter(|&&(other, _)| keep[other])
+                        .map(|&(other, kind)| (remap[other], kind))
+                        .collect()
+                })
+                .collect()
+        };
+        let out_arcs = filter_arcs(&self.out_arcs);
+        let in_arcs = filter_arcs(&self.in_arcs);
+        let scc = SccInfo::compute(nodes.len(), &out_arcs, &in_arcs);
+        RuleGoalGraph {
+            nodes,
+            out_arcs,
+            in_arcs,
+            root: remap[self.root],
+            scc,
+            sip: self.sip,
+        }
+    }
+
     /// Count of nodes by type: (goal, rule, edb-leaf, cycle-ref).
     pub fn census(&self) -> (usize, usize, usize, usize) {
         let mut goal = 0;
@@ -624,6 +686,86 @@ mod tests {
         db.insert("down", tuple!["n", "y"]).unwrap();
         let g = RuleGoalGraph::build(&program, &db, SipKind::Greedy).unwrap();
         assert!(g.scc().nontrivial_components().count() >= 1);
+    }
+
+    #[test]
+    fn retain_prunes_subtrees_and_compacts_ids() {
+        // p has two rules; pruning the second rule's whole subtree must
+        // keep ids dense, preserve feeder order, and remap cycle refs.
+        let (program, db) = p1();
+        let g = RuleGoalGraph::build(&program, &db, SipKind::Greedy).unwrap();
+
+        // Kill the p(d,f) goal node's recursive rule subtree: mark the
+        // recursive rule node under the *second* expanded p goal plus all
+        // nodes only reachable (by feeders) through it.
+        let victim = g
+            .nodes()
+            .filter(|(_, n)| n.is_rule())
+            .map(|(id, _)| id)
+            .filter(|&id| {
+                // A recursive rule: has a cycle-ref feeder.
+                g.feeders(id).iter().any(|&(f, _)| {
+                    matches!(
+                        g.node(f),
+                        Node::Goal {
+                            kind: GoalKind::CycleRef { .. },
+                            ..
+                        }
+                    )
+                })
+            })
+            .max()
+            .expect("p1 has recursive rules");
+        // Liveness: BFS from root over feeders, never entering the victim.
+        let mut keep = vec![false; g.len()];
+        let mut stack = vec![g.root()];
+        keep[g.root()] = true;
+        while let Some(n) = stack.pop() {
+            for &(f, _) in g.feeders(n) {
+                if f != victim && !keep[f] {
+                    keep[f] = true;
+                    stack.push(f);
+                }
+            }
+        }
+        let pruned = g.retain(&keep);
+        let kept = keep.iter().filter(|&&k| k).count();
+        assert_eq!(pruned.len(), kept);
+        assert!(pruned.len() < g.len());
+        assert_eq!(
+            pruned.node(pruned.root()).goal_label().map(|l| l.render()),
+            g.node(g.root()).goal_label().map(|l| l.render())
+        );
+        // Structural sanity: arcs stay in range, cycle refs stay paired
+        // with their (remapped) ancestors, rule feeders keep plan arity.
+        for (id, n) in pruned.nodes() {
+            for &(c, _) in pruned.customers(id) {
+                assert!(c < pruned.len());
+            }
+            if let Node::Goal {
+                kind: GoalKind::CycleRef { ancestor },
+                ..
+            } = n
+            {
+                assert!(pruned
+                    .customers(*ancestor)
+                    .iter()
+                    .any(|&(c, k)| c == id && k == ArcKind::Cycle));
+            }
+            if let Node::Rule { rule, .. } = n {
+                assert_eq!(
+                    pruned
+                        .feeders(id)
+                        .iter()
+                        .filter(|&&(_, k)| k == ArcKind::Tree)
+                        .count(),
+                    rule.body.len(),
+                    "kept rules keep every subgoal feeder"
+                );
+            }
+        }
+        // SCC info was recomputed for the smaller graph.
+        assert!(pruned.scc().component_count() <= pruned.len());
     }
 
     #[test]

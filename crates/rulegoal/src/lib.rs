@@ -35,4 +35,4 @@ pub mod sip;
 pub use adornment::{Adornment, ArgClass, BadClass, GoalLabel, LabelArg};
 pub use graph::{ArcKind, GoalKind, GraphError, Node, NodeId, RuleGoalGraph};
 pub use scc::{SccId, SccInfo};
-pub use sip::{SipKind, SipPlan, SipSource};
+pub use sip::{SipEdge, SipKind, SipPlan, SipSource};

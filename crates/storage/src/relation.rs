@@ -531,4 +531,47 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(c.column(1).len(), 2);
     }
+
+    #[test]
+    fn column_mirror_matches_rows_exactly() {
+        // The columnar kernels read `column(c)` where the row-major path
+        // reads `rows()[i][c]`; the mirror must track every insert
+        // (including rejected duplicates) word for word.
+        let mut r = Relation::new(3);
+        for i in 0..32i64 {
+            r.insert(tuple![i % 7, i * 3, i]).unwrap();
+            r.insert(tuple![i % 7, i * 3, i]).unwrap(); // duplicate: no-op
+        }
+        assert_eq!(r.len(), 32);
+        for c in 0..3 {
+            let col = r.column(c);
+            assert_eq!(col.len(), r.len());
+            for (i, row) in r.rows().iter().enumerate() {
+                assert_eq!(col[i], row[c], "mirror diverged at row {i} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_key_hashes_match_scalar_key_hash() {
+        // `key_hashes` computes the probe-hash column in per-column
+        // passes; it must agree with the scalar `key_hash` of each row's
+        // projection for any key column set, else batched joins probe
+        // the wrong buckets.
+        let mut r = Relation::new(3);
+        for i in 0..24i64 {
+            r.insert(tuple![i % 5, i % 3, i]).unwrap();
+        }
+        for cols in [&[0usize][..], &[1], &[2], &[0, 2], &[2, 0], &[0, 1, 2]] {
+            let batched = r.key_hashes(cols);
+            for (i, row) in r.rows().iter().enumerate() {
+                let key: Vec<Value> = cols.iter().map(|&c| row[c]).collect();
+                assert_eq!(
+                    batched[i],
+                    key_hash(&key),
+                    "cols {cols:?} row {i}: batched hash diverged from scalar"
+                );
+            }
+        }
+    }
 }

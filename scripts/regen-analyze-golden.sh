@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate the committed mp-analyze annotation plans after an
+# intentional analysis change. Run from the repository root, then review
+# the diff — every hunk is a change to the analysis contract (plans,
+# estimates, partition keys, or MP4xx diagnostics) and should be
+# explainable by the change you just made.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p mp-analyze
+for f in examples/analyze/*.dl examples/programs/*.dl; do
+    name=$(basename "$f" .dl)
+    ./target/release/mp-analyze --json "$f" > "examples/analyze/golden/$name.json"
+    echo "regenerated examples/analyze/golden/$name.json"
+done

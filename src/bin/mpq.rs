@@ -20,6 +20,10 @@
 //!   --stats                       print instrumentation counters
 //!   --dot                         print the rule/goal graph (Graphviz)
 //!                                 instead of evaluating
+//!   --explain                     compile only: print analysis warnings
+//!                                 and the annotated plan (per-node
+//!                                 cardinality/volume estimates, batch
+//!                                 hints, partition keys)
 //!   --trace FILE                  record the clock-stamped event trace
 //!                                 and write it (mptrace v1 text) to
 //!                                 FILE; `-` writes to stderr
@@ -49,6 +53,7 @@ struct Options {
     recovery: bool,
     stats: bool,
     dot: bool,
+    explain: bool,
     trace: Option<String>,
     check: bool,
     baseline: Option<String>,
@@ -66,6 +71,7 @@ fn parse_args() -> Result<Options, String> {
         recovery: true,
         stats: false,
         dot: false,
+        explain: false,
         trace: None,
         check: false,
         baseline: None,
@@ -115,6 +121,7 @@ fn parse_args() -> Result<Options, String> {
             "--no-recovery" => opts.recovery = false,
             "--stats" => opts.stats = true,
             "--dot" => opts.dot = true,
+            "--explain" => opts.explain = true,
             "--trace" => {
                 opts.trace = Some(args.next().ok_or("--trace needs a file (or `-`)")?);
             }
@@ -136,7 +143,7 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
 [--workers N] [--batching] [--batch-size N] [--chaos SEED] [--no-recovery] [--stats] \
-[--dot] [--trace FILE] [--check] [--baseline B] [FILE]";
+[--dot] [--explain] [--trace FILE] [--check] [--baseline B] [FILE]";
 
 fn main() -> ExitCode {
     let opts = match parse_args() {
@@ -231,6 +238,24 @@ fn main() -> ExitCode {
     }
     if let Some(seed) = opts.chaos {
         engine = engine.with_fault_plan(FaultPlan::seeded(seed));
+    }
+    if opts.explain {
+        // Compile only: static verification + abstract interpretation,
+        // no evaluation. Warnings go to stderr, the plan to stdout.
+        let name = opts.file.as_deref().unwrap_or("<stdin>");
+        return match engine.compile() {
+            Ok(compiled) => {
+                for d in &compiled.warnings {
+                    eprint!("{}", d.render(name, &source));
+                }
+                print!("{}", compiled.analysis.render_explain());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mpq: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     match engine.evaluate() {
         Ok(r) => {

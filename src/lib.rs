@@ -9,6 +9,7 @@
 //! This facade crate re-exports the workspace members; see the README for
 //! an architecture overview and `examples/quickstart.rs` for a tour.
 
+pub use mp_analyze as analyze;
 pub use mp_baselines as baselines;
 pub use mp_datalog as datalog;
 pub use mp_engine as engine;
