@@ -2,7 +2,7 @@
 
 use crate::fault::FaultPlan;
 use crate::node::Network;
-use crate::runtime::{RuntimeError, Schedule, SimRuntime, ThreadRuntime};
+use crate::runtime::{CancelToken, QueryBudget, RuntimeError, Schedule, SimRuntime, ThreadRuntime};
 use crate::stats::Stats;
 use mp_datalog::{Database, DatalogError, Program};
 use mp_lint::protocol::ProtocolView;
@@ -141,8 +141,8 @@ pub struct Engine {
     db: Database,
     sip: SipKind,
     runtime: RuntimeKind,
-    max_steps: u64,
-    timeout: Duration,
+    budget: QueryBudget,
+    cancel: CancelToken,
     trace: bool,
     batching: bool,
     batch_size: usize,
@@ -163,8 +163,8 @@ impl Engine {
             db,
             sip: SipKind::Greedy,
             runtime: RuntimeKind::Sim(Schedule::Fifo),
-            max_steps: 200_000_000,
-            timeout: Duration::from_secs(60),
+            budget: QueryBudget::default(),
+            cancel: CancelToken::default(),
             trace: false,
             batching: false,
             batch_size: 64,
@@ -197,15 +197,40 @@ impl Engine {
         self
     }
 
-    /// Cap the simulator's step budget.
-    pub fn with_max_steps(mut self, max_steps: u64) -> Engine {
-        self.max_steps = max_steps;
+    /// Set the full resource budget: step guard, wall-clock deadline,
+    /// logical-message and memory high-water limits, and the per-node
+    /// mailbox bound that drives credit-based backpressure. Crossing the
+    /// message or memory limit runs a cancel drain wave and returns
+    /// [`RuntimeError::BudgetExceeded`] carrying the partial answers and
+    /// per-node accounting; the step guard and deadline keep their
+    /// historical errors ([`RuntimeError::Diverged`] /
+    /// [`RuntimeError::Timeout`]).
+    pub fn with_budget(mut self, budget: QueryBudget) -> Engine {
+        self.budget = budget;
         self
     }
 
-    /// Cap the threaded runtime's wall-clock budget.
+    /// The engine's cooperative cancellation handle. Clone it to another
+    /// thread and call [`CancelToken::cancel`] to stop a running
+    /// evaluation: a cancel wave drains the network and `evaluate`
+    /// returns [`RuntimeError::Cancelled`] with the partial answers.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Cap the step budget. Deprecated shim: forwards to the
+    /// [`QueryBudget`] — use `with_budget(QueryBudget::new()
+    /// .with_max_steps(..))` in new code.
+    pub fn with_max_steps(mut self, max_steps: u64) -> Engine {
+        self.budget.max_steps = max_steps;
+        self
+    }
+
+    /// Cap the wall-clock budget. Deprecated shim: forwards to the
+    /// [`QueryBudget`] — use `with_budget(QueryBudget::new()
+    /// .with_deadline(..))` in new code.
     pub fn with_timeout(mut self, timeout: Duration) -> Engine {
-        self.timeout = timeout;
+        self.budget.deadline = timeout;
         self
     }
 
@@ -316,6 +341,17 @@ impl Engine {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
         diags.extend(mp_lint::graph::lint_parallelism(graph.len(), parallelism));
+        // MP107 likewise: whether this *run* is resource-governed is
+        // engine configuration, not an artifact property.
+        let recursive = graph.scc().nontrivial_components().next().is_some();
+        let has_resource_budget =
+            self.budget.max_messages.is_some() || self.budget.max_bytes.is_some();
+        diags.extend(mp_lint::graph::lint_budget(
+            graph.len(),
+            recursive,
+            has_resource_budget,
+            self.budget.mailbox_bound.is_some(),
+        ));
         if diags.iter().any(Diagnostic::is_deny) {
             mp_lint::sort_diagnostics(&mut diags);
             return Err(EngineError::Lint(diags));
@@ -381,10 +417,12 @@ impl Engine {
             RuntimeKind::Sim(schedule) => {
                 let sim = SimRuntime {
                     schedule,
-                    max_steps: self.max_steps,
+                    max_steps: self.budget.max_steps,
                     trace: self.trace,
                     fault_plan: self.fault_plan.clone(),
                     recovery: self.recovery,
+                    budget: self.budget.clone(),
+                    cancel: self.cancel.clone(),
                 };
                 let out = sim.run(&mut network)?;
                 let mut stats = out.stats;
@@ -402,11 +440,13 @@ impl Engine {
             }
             RuntimeKind::Threads => {
                 let rt = ThreadRuntime {
-                    timeout: self.timeout,
+                    timeout: self.budget.deadline,
                     fault_plan: self.fault_plan.clone(),
                     recovery: self.recovery,
                     trace: self.trace,
                     workers: self.workers,
+                    budget: self.budget.clone(),
+                    cancel: self.cancel.clone(),
                 };
                 let out = rt.run(network)?;
                 let mut stats = out.stats;
@@ -444,10 +484,12 @@ impl Engine {
         network.set_batch_max(self.batch_size);
         let sim = SimRuntime {
             schedule: Schedule::Fifo,
-            max_steps: self.max_steps,
+            max_steps: self.budget.max_steps,
             trace: self.trace,
             fault_plan: None,
             recovery: self.recovery,
+            budget: self.budget.clone(),
+            cancel: self.cancel.clone(),
         };
         let activations = recorded.activation_order();
         let out = sim.run_replay(

@@ -221,6 +221,15 @@ pub struct SenderLink {
     pub last_activity: u64,
     /// Consecutive retransmission rounds without an ack.
     pub retries: u32,
+    /// Credit window: cap on frames in flight (transmitted but unacked).
+    /// `None` = unlimited (the pre-governance behavior). Frames past the
+    /// window stay queued in `unacked` and reach the wire when a
+    /// cumulative ack slides the window — backpressure, not loss.
+    pub window: Option<u64>,
+    /// Sequence numbers below this have been handed to the wire at least
+    /// once. Everything in `unacked` at or above it is *stalled*: queued
+    /// by the window, never yet transmitted.
+    pub wire_hi: u64,
 }
 
 impl SenderLink {
@@ -245,6 +254,60 @@ impl SenderLink {
     /// True when a retransmission is due at `now`.
     pub fn due(&self, now: u64, retransmit_after: u64) -> bool {
         !self.unacked.is_empty() && now.saturating_sub(self.last_activity) >= retransmit_after
+    }
+
+    /// Oldest unacked sequence number — the window base.
+    fn base(&self) -> u64 {
+        self.unacked.keys().next().copied().unwrap_or(self.next_seq)
+    }
+
+    /// True when `seq` fits inside the current send window. Always true
+    /// without a window; retransmission paths use this so a stalled
+    /// frame is never forced onto the wire by a timer.
+    pub fn in_window(&self, seq: u64) -> bool {
+        match self.window {
+            None => true,
+            Some(w) => seq < self.base().saturating_add(w),
+        }
+    }
+
+    /// Ask to transmit `seq` now (call right after [`SenderLink::send`]
+    /// or when a retransmission timer picks it). True marks the frame as
+    /// on the wire; false means the window is full — the frame stays
+    /// queued and the caller should count a `credits_stalled` event.
+    pub fn admit(&mut self, seq: u64) -> bool {
+        let ok = self.in_window(seq);
+        if ok {
+            self.wire_hi = self.wire_hi.max(seq + 1);
+        }
+        ok
+    }
+
+    /// Stalled frames that the last cumulative ack just released into
+    /// the window, oldest first; marks them transmitted. The caller
+    /// puts each on the wire (first attempt).
+    pub fn release(&mut self) -> Vec<(u64, Msg)> {
+        let Some(w) = self.window else {
+            return Vec::new();
+        };
+        let limit = self.base().saturating_add(w);
+        let mut out = Vec::new();
+        for (&seq, msg) in self.unacked.range(self.wire_hi..) {
+            if seq >= limit {
+                break;
+            }
+            out.push((seq, msg.clone()));
+        }
+        if let Some((s, _)) = out.last() {
+            self.wire_hi = s + 1;
+        }
+        out
+    }
+
+    /// Frames currently stalled by the window (queued, never on the
+    /// wire).
+    pub fn stalled(&self) -> usize {
+        self.unacked.range(self.wire_hi..).count()
     }
 }
 
@@ -390,6 +453,41 @@ mod tests {
         // Replays of either are duplicates.
         assert_eq!(rl.accept(0, msg(0)), Accepted::Duplicate);
         assert_eq!(rl.accept(1, msg(1)), Accepted::Duplicate);
+    }
+
+    #[test]
+    fn window_stalls_and_releases_in_order() {
+        let mut sl = SenderLink {
+            window: Some(2),
+            ..SenderLink::default()
+        };
+        let s0 = sl.send(msg(0), 0);
+        assert!(sl.admit(s0));
+        let s1 = sl.send(msg(1), 0);
+        assert!(sl.admit(s1));
+        let s2 = sl.send(msg(2), 0);
+        assert!(!sl.admit(s2), "third frame must stall on a window of 2");
+        assert_eq!(sl.stalled(), 1);
+        assert!(!sl.in_window(s2));
+        // Ack of the first frame slides the window: the stalled frame is
+        // released exactly once, in order.
+        sl.ack_upto(1);
+        let rel = sl.release();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel[0].0, s2);
+        assert_eq!(sl.stalled(), 0);
+        assert!(sl.release().is_empty());
+    }
+
+    #[test]
+    fn no_window_admits_everything() {
+        let mut sl = SenderLink::default();
+        for i in 0..100 {
+            let s = sl.send(msg(i), 0);
+            assert!(sl.admit(s));
+        }
+        assert_eq!(sl.stalled(), 0);
+        assert!(sl.release().is_empty());
     }
 
     #[test]

@@ -41,5 +41,5 @@ pub mod termination;
 pub use engine::{evaluate_str, Compiled, Engine, EngineError, QueryResult, RuntimeKind};
 pub use fault::{CrashPoint, FaultPlan};
 pub use msg::{Endpoint, Msg, Payload};
-pub use runtime::Schedule;
+pub use runtime::{CancelToken, QueryBudget, Schedule};
 pub use stats::Stats;

@@ -141,6 +141,20 @@ pub enum Payload {
         epoch: u64,
     },
 
+    /// Engine → every node (and node → BFST children within a strong
+    /// component): abandon the query. A cancelled node clears its
+    /// outgoing buffers, stops emitting answers, and keeps draining the
+    /// termination protocol so the network reaches quiescence instead of
+    /// wedging. Epoch-tagged like the §3.2 probe waves: a reborn node
+    /// re-learns cancellation from its durable log replay, so a crash in
+    /// the middle of a cancel wave still drains.
+    Cancel {
+        /// Cancel wave number (diagnostics; one wave per trip/cancel).
+        wave: u64,
+        /// Engine cancel generation (tags the wave for MP310).
+        epoch: u64,
+    },
+
     /// Engine → node: exit (threaded runtime only).
     Shutdown,
 }
@@ -156,7 +170,32 @@ impl Payload {
                 | Payload::EndConfirmed { .. }
                 | Payload::SccFinished
                 | Payload::Reborn { .. }
+                | Payload::Cancel { .. }
         )
+    }
+
+    /// Approximate heap footprint of this payload, for the memory
+    /// budget's mailbox accounting: tuple payloads (Arc header + values)
+    /// plus a flat per-message overhead. Deterministic arithmetic over
+    /// message shape — an estimate, not an allocator census.
+    pub fn approx_bytes(&self) -> u64 {
+        const MSG: u64 = 48; // enum discriminant + queue-slot overhead
+        fn tup(t: &Tuple) -> u64 {
+            16 + 8 * t.arity() as u64
+        }
+        fn tups(ts: &[Tuple]) -> u64 {
+            24 + ts.iter().map(tup).sum::<u64>()
+        }
+        MSG + match self {
+            Payload::TupleRequest { binding } | Payload::EndTupleRequest { binding } => {
+                tup(binding)
+            }
+            Payload::TupleRequestBatch { bindings }
+            | Payload::EndTupleRequestBatch { bindings } => tups(bindings),
+            Payload::Answer { tuple } => tup(tuple),
+            Payload::AnswerBatch { tuples } => tups(tuples),
+            _ => 0,
+        }
     }
 
     /// Short name for stats buckets.
@@ -176,6 +215,7 @@ impl Payload {
             Payload::EndConfirmed { .. } => "end_confirmed",
             Payload::SccFinished => "scc_finished",
             Payload::Reborn { .. } => "reborn",
+            Payload::Cancel { .. } => "cancel",
             Payload::Shutdown => "shutdown",
         }
     }
@@ -208,6 +248,7 @@ mod tests {
         assert!(Payload::EndRequest { wave: 1, epoch: 0 }.is_protocol());
         assert!(Payload::SccFinished.is_protocol());
         assert!(Payload::Reborn { epoch: 1 }.is_protocol());
+        assert!(Payload::Cancel { wave: 1, epoch: 0 }.is_protocol());
         assert!(!Payload::Answer { tuple: tuple![1] }.is_protocol());
         assert!(!Payload::End.is_protocol());
     }

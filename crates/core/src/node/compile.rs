@@ -234,6 +234,12 @@ pub struct Common {
     /// end-of-handle flush. Flushed after `answer_buf` on the same arc,
     /// so a binding's answers always precede its end (per-arc FIFO).
     pub etr_buf: Vec<Vec<Tuple>>,
+    /// Set on the first delivered `Cancel` wave (resource governance):
+    /// the node keeps draining the protocol — frames are still acked —
+    /// but drops work, discards its buffers, and never emits another
+    /// answer (MP310). Sticky for the life of the process; a reborn
+    /// node re-learns it from log replay.
+    pub cancelled: bool,
 }
 
 /// One compiled process.
@@ -271,6 +277,30 @@ impl Network {
         for p in &mut self.processes {
             p.common.batch_max = max.max(1);
         }
+    }
+
+    /// Directed (from, to) node pairs that lie inside a nontrivial
+    /// strong component, in both message directions. Credit windows are
+    /// never applied to these links: stalling a recursive answer that
+    /// its own producer transitively waits on could deadlock the cycle,
+    /// so flow control gates only cross-component links and the engine
+    /// injector.
+    pub fn intra_pairs(&self) -> std::collections::BTreeSet<(NodeId, NodeId)> {
+        let mut pairs = std::collections::BTreeSet::new();
+        for p in &self.processes {
+            let id = p.common.id;
+            for c in &p.common.customers {
+                if let (true, crate::msg::Endpoint::Node(n)) = (c.intra, c.ep) {
+                    pairs.insert((id, n));
+                    pairs.insert((n, id));
+                }
+            }
+            for f in p.common.feeders.iter().filter(|f| f.intra) {
+                pairs.insert((id, f.node));
+                pairs.insert((f.node, id));
+            }
+        }
+        pairs
     }
 
     /// Compile `graph` over `db`.
@@ -375,6 +405,7 @@ impl Network {
                     batch_buf: vec![Vec::new(); feeder_count],
                     answer_buf: vec![Vec::new(); customer_count],
                     etr_buf: vec![Vec::new(); customer_count],
+                    cancelled: false,
                 },
                 behavior,
             });

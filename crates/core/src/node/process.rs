@@ -37,6 +37,12 @@ pub struct Ctx<'a> {
     /// True if the node's mailbox is empty (not counting the message
     /// being processed) — the `empty_queues()` input of Fig 2.
     pub mailbox_empty: bool,
+    /// True when the runtime is under backpressure for this node (credit
+    /// windows on its outgoing links hold stalled frames). Batch buffers
+    /// flush early instead of accumulating — the graceful-degradation
+    /// path of credit-based flow control: smaller frames enter the
+    /// window as credits free up rather than growing node memory.
+    pub pressure: bool,
     /// Event recorder for this node when tracing is enabled. `None` on
     /// the untraced path and during crash-recovery log replay (replayed
     /// messages were already recorded the first time around).
@@ -149,6 +155,12 @@ impl Common {
     /// tuple is buffered and flushed (as one packaged message per arc)
     /// by the flush policy below.
     fn send_answer(&mut self, ctx: &mut Ctx<'_>, ci: usize, tuple: Tuple) {
+        if self.cancelled {
+            // MP310: a node that acked a cancel wave never produces
+            // another answer. This chokepoint covers both the scalar
+            // and the batched framing (batches are fed only from here).
+            return;
+        }
         if self.batching {
             self.answer_buf[ci].push(tuple);
             if self.answer_buf[ci].len() >= self.batch_max {
@@ -188,7 +200,7 @@ impl Common {
     /// so the §3.2 protocol can never declare a node idle while it holds
     /// unsent traffic.
     fn flush_batches(&mut self, ctx: &mut Ctx<'_>) {
-        if !self.batching || !ctx.mailbox_empty {
+        if !self.batching || !(ctx.mailbox_empty || ctx.pressure) {
             return;
         }
         self.flush_batches_now(ctx);
@@ -324,6 +336,16 @@ impl Process {
     pub fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
         ctx.stats.messages_processed += 1;
         let from = msg.from;
+        // A cancelled node drains everything without processing it: no
+        // joins, no new requests, no probe-wave participation (a
+        // suppressed `conclude` would otherwise leave the leader
+        // re-probing forever), and — the MP310 obligation — no further
+        // answers. The frame still counts as processed so the Mattern
+        // counters and the transport's acks stay honest. Only `Cancel`
+        // itself is still inspected, for duplicate accounting.
+        if self.common.cancelled && !matches!(msg.payload, Payload::Cancel { .. }) {
+            return;
+        }
         match msg.payload {
             Payload::Shutdown => return,
             Payload::EndRequest { wave, epoch } => {
@@ -376,6 +398,9 @@ impl Process {
             }
             Payload::SccFinished => {
                 self.on_scc_finished(ctx);
+            }
+            Payload::Cancel { wave, epoch } => {
+                self.on_cancel(wave, epoch, ctx);
             }
             work => {
                 // Any non-protocol message is work: it resets idleness and
@@ -592,6 +617,11 @@ impl Process {
     /// After every message: flush per-binding ends when settled (trivial
     /// nodes), or give the leader a chance to originate a probe.
     fn post_step(&mut self, ctx: &mut Ctx<'_>) {
+        if self.common.cancelled {
+            // No per-binding ends, no probe origination: the component
+            // is being drained, not concluded.
+            return;
+        }
         match &self.common.term {
             None => {
                 if self.common.pending.is_empty() {
@@ -612,6 +642,12 @@ impl Process {
     /// Leader probe conclusion: the whole component is idle (Thm 3.1), so
     /// every binding received so far is complete.
     fn conclude(&mut self, ctx: &mut Ctx<'_>) {
+        if self.common.cancelled {
+            // A wave already in flight when the cancel landed may still
+            // conclude; the conclusion is moot — nothing may be flushed
+            // or ended on a component that is being drained.
+            return;
+        }
         ctx.stats.probe_waves += self
             .common
             .term
@@ -642,6 +678,58 @@ impl Process {
                 self.common
                     .send(ctx, Endpoint::Node(c), Payload::SccFinished, true);
             }
+        }
+    }
+
+    /// Cancel wave (resource governance): first delivery cancels the
+    /// node — buffered traffic is *discarded* (never flushed: a
+    /// cancelled node must not produce more answers, and unsent
+    /// requests are work the budget already declined) — and the wave is
+    /// forwarded down the BFST once, so cancellation reaches recursive
+    /// components even if an engine broadcast frame is delayed by the
+    /// transport. Duplicates (engine broadcast + BFST forward + log
+    /// replay after a crash) are dropped.
+    fn on_cancel(&mut self, wave: u64, epoch: u64, ctx: &mut Ctx<'_>) {
+        if self.common.cancelled {
+            ctx.stats.stale_dropped += 1;
+            return;
+        }
+        self.cancel_local();
+        let children: Vec<_> = self
+            .common
+            .term
+            .as_ref()
+            .map(|t| t.bfst_children.clone())
+            .unwrap_or_default();
+        for c in children {
+            self.common.send(
+                ctx,
+                Endpoint::Node(c),
+                Payload::Cancel { wave, epoch },
+                true,
+            );
+        }
+    }
+
+    /// Locally observe a tripped budget at an activation boundary:
+    /// identical to receiving the cancel wave, minus the BFST forward
+    /// (the engine's broadcast still reaches every node and is then
+    /// dropped here as a duplicate). Lets pool workers stop deriving
+    /// within one activation instead of waiting for the wave to be
+    /// scheduled through a deep mailbox.
+    pub fn cancel_local(&mut self) {
+        if self.common.cancelled {
+            return;
+        }
+        self.common.cancelled = true;
+        for b in &mut self.common.batch_buf {
+            b.clear();
+        }
+        for b in &mut self.common.answer_buf {
+            b.clear();
+        }
+        for b in &mut self.common.etr_buf {
+            b.clear();
         }
     }
 

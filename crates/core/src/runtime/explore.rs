@@ -226,6 +226,7 @@ impl State {
                     out,
                     stats,
                     mailbox_empty,
+                    pressure: false,
                     tracer: None,
                 };
                 self.network.processes[id].handle(msg, &mut ctx);

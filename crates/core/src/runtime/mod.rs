@@ -1,14 +1,17 @@
 //! Runtimes executing the process network.
 
 pub mod explore;
+pub mod govern;
 mod sim;
 mod thread;
 
 pub use explore::{explore, ExploreConfig, ExploreReport, ScheduleViolation};
+pub use govern::{CancelToken, Governor, NodeUsage, QueryBudget, Trip};
 pub use sim::{Schedule, SimOutcome, SimRuntime};
 pub use thread::{ThreadOutcome, ThreadRuntime};
 
 use crate::msg::{Endpoint, Payload};
+use mp_storage::Tuple;
 use mp_trace::MsgKind;
 
 /// Ring capacity for recorded events (per run). Large enough for every
@@ -22,6 +25,36 @@ pub(crate) fn trace_actor(ep: Endpoint, n_nodes: usize) -> u32 {
     match ep.node() {
         Some(id) => id as u32,
         None => n_nodes as u32,
+    }
+}
+
+/// Build the typed governance error for a tripped run, after the cancel
+/// wave drained the network. Shared by the simulator and the pool so
+/// both runtimes surface identical error shapes.
+pub(crate) fn budget_error(
+    t: govern::Trip,
+    governor: &govern::Governor,
+    partial: Vec<mp_storage::Tuple>,
+    accounting: Vec<govern::NodeUsage>,
+    cancel_waves: u64,
+) -> RuntimeError {
+    match t {
+        govern::Trip::Cancelled => RuntimeError::Cancelled {
+            partial,
+            accounting,
+            cancel_waves,
+        },
+        govern::Trip::Messages | govern::Trip::Bytes => {
+            let (limit, used) = governor.trip_report(t);
+            RuntimeError::BudgetExceeded {
+                resource: t,
+                limit,
+                used,
+                partial,
+                accounting,
+                cancel_waves,
+            }
+        }
     }
 }
 
@@ -47,6 +80,7 @@ pub(crate) fn describe_payload(p: &Payload) -> (MsgKind, u64, u64, u64) {
         Payload::EndConfirmed { wave, epoch, .. } => (MsgKind::EndConfirmed, 1, *wave, *epoch),
         Payload::SccFinished => (MsgKind::SccFinished, 1, 0, 0),
         Payload::Reborn { epoch } => (MsgKind::Reborn, 1, 0, *epoch),
+        Payload::Cancel { wave, epoch } => (MsgKind::Cancel, 1, *wave, *epoch),
         Payload::Shutdown => (MsgKind::Shutdown, 1, 0, 0),
     }
 }
@@ -120,6 +154,53 @@ pub enum RuntimeError {
         /// The OS error text.
         reason: String,
     },
+    /// A [`QueryBudget`] limit (logical messages or memory high-water)
+    /// was crossed: the runtime ran a cancel drain wave and stopped
+    /// cleanly, keeping the answers derived so far.
+    BudgetExceeded {
+        /// Which limit tripped.
+        resource: Trip,
+        /// The configured limit (messages, or bytes).
+        limit: u64,
+        /// Usage observed when the trip was reported.
+        used: u64,
+        /// Answers collected before the abort, in arrival order.
+        partial: Vec<Tuple>,
+        /// Per-node resource accounting at abort, in node-id order.
+        accounting: Vec<NodeUsage>,
+        /// Cancel waves run while draining (≥ 1).
+        cancel_waves: u64,
+    },
+    /// The evaluation was cancelled through the engine's
+    /// [`CancelToken`]: a cancel drain wave ran and the runtime stopped
+    /// cleanly, keeping the answers derived so far.
+    Cancelled {
+        /// Answers collected before the cancel, in arrival order.
+        partial: Vec<Tuple>,
+        /// Per-node resource accounting at abort, in node-id order.
+        accounting: Vec<NodeUsage>,
+        /// Cancel waves run while draining (≥ 1).
+        cancel_waves: u64,
+    },
+}
+
+/// Render the busiest rows of a per-node accounting vector (bounded, so
+/// error strings stay readable on large graphs).
+fn fmt_accounting(f: &mut std::fmt::Formatter<'_>, accounting: &[NodeUsage]) -> std::fmt::Result {
+    if accounting.is_empty() {
+        return Ok(());
+    }
+    let mut rows: Vec<&NodeUsage> = accounting.iter().collect();
+    rows.sort_by_key(|u| std::cmp::Reverse(u.messages_processed));
+    write!(f, "; busiest nodes:")?;
+    for u in rows.iter().take(4) {
+        write!(
+            f,
+            " #{}={}msg/{}q/{}B",
+            u.node, u.messages_processed, u.mailbox_depth, u.mem_bytes
+        )?;
+    }
+    Ok(())
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -196,6 +277,40 @@ impl std::fmt::Display for RuntimeError {
                     f,
                     "could not spawn worker thread for node #{node}: {reason}"
                 )
+            }
+            RuntimeError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+                partial,
+                accounting,
+                cancel_waves,
+            } => {
+                let what = match resource {
+                    Trip::Messages => "logical messages",
+                    Trip::Bytes => "memory bytes",
+                    Trip::Cancelled => "cancelled",
+                };
+                write!(
+                    f,
+                    "query budget exceeded ({what}: used {used} of limit {limit}); \
+                     {} partial answers kept after {cancel_waves} cancel wave(s)",
+                    partial.len()
+                )?;
+                fmt_accounting(f, accounting)
+            }
+            RuntimeError::Cancelled {
+                partial,
+                accounting,
+                cancel_waves,
+            } => {
+                write!(
+                    f,
+                    "evaluation cancelled; {} partial answers kept after \
+                     {cancel_waves} cancel wave(s)",
+                    partial.len()
+                )?;
+                fmt_accounting(f, accounting)
             }
         }
     }

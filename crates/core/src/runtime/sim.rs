@@ -20,14 +20,18 @@
 use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::node::{Ctx, Network, Process};
-use crate::runtime::{describe_payload, trace_actor, RuntimeError, TRACE_RING_CAPACITY};
+use crate::runtime::govern::{CancelToken, Governor, NodeUsage, QueryBudget, Trip};
+use crate::runtime::{
+    budget_error, describe_payload, trace_actor, RuntimeError, TRACE_RING_CAPACITY,
+};
 use crate::stats::Stats;
 use mp_storage::{Relation, Tuple};
 use mp_trace::{Event, Ring, Stamp, Trace, Tracer};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Event recording for a simulated run: one [`Tracer`] per node plus the
 /// engine, and per-link stamp queues standing in for the wire. Logical
@@ -138,6 +142,13 @@ pub struct SimRuntime {
     /// Recover crashed nodes by log replay. With recovery disabled a
     /// scheduled crash aborts the run with [`RuntimeError::LinkDown`].
     pub recovery: bool,
+    /// Resource budget (logical messages, memory, deadline, mailbox
+    /// bound). `max_steps` above is the same guard the budget's
+    /// `max_steps` folds into — the engine keeps them in sync.
+    pub budget: QueryBudget,
+    /// Cooperative cancellation handle; tripping it triggers a cancel
+    /// wave and a typed [`RuntimeError::Cancelled`].
+    pub cancel: CancelToken,
 }
 
 impl Default for SimRuntime {
@@ -148,6 +159,8 @@ impl Default for SimRuntime {
             trace: false,
             fault_plan: None,
             recovery: true,
+            budget: QueryBudget::default(),
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -258,6 +271,10 @@ impl SimRuntime {
         let mut engine_ends: u64 = 0;
         let mut post_end_answers: u64 = 0;
         let answer_arity = network.answer_arity;
+        let governor = Governor::new(self.budget.clone(), self.cancel.clone());
+        let mut processed: Vec<u64> = vec![0; n];
+        let started = Instant::now();
+        let mut trip: Option<Trip> = None;
 
         let route = |msg: Msg,
                      mailboxes: &mut Vec<VecDeque<Msg>>,
@@ -270,6 +287,7 @@ impl SimRuntime {
                      post_end_answers: &mut u64|
          -> Result<(), RuntimeError> {
             stats.count_send(&msg.payload);
+            governor.note_messages(describe_payload(&msg.payload).1);
             if let Some(t) = trace.as_mut() {
                 t.push(msg.clone());
             }
@@ -323,7 +341,10 @@ impl SimRuntime {
                     }
                 },
                 Endpoint::Node(id) => {
+                    governor.note_enqueue(msg.payload.approx_bytes());
                     mailboxes[id].push_back(msg);
+                    stats.mailbox_high_water =
+                        stats.mailbox_high_water.max(mailboxes[id].len() as u64);
                     fifo_tokens.push_back(id);
                 }
             }
@@ -348,6 +369,35 @@ impl SimRuntime {
         let mut steps: u64 = 0;
         let mut replay_cursor = 0usize;
         loop {
+            // Resource-governance trip: on the first observed trip,
+            // broadcast one cancel wave to every node and keep
+            // scheduling. Cancelled nodes drain their mailboxes without
+            // producing more answers (MP310), so the loop reaches
+            // quiescence and returns the typed error below instead of
+            // aborting mid-protocol with frames still in flight.
+            if trip.is_none() {
+                if let Some(t) = governor.tripped() {
+                    trip = Some(t);
+                    stats.cancel_waves += 1;
+                    for id in 0..n {
+                        route(
+                            Msg {
+                                from: Endpoint::Engine,
+                                to: Endpoint::Node(id),
+                                payload: Payload::Cancel { wave: 1, epoch: 0 },
+                            },
+                            &mut mailboxes,
+                            &mut fifo_tokens,
+                            &mut stats,
+                            &mut trace,
+                            &mut tracing,
+                            &mut engine_answers,
+                            &mut engine_ends,
+                            &mut post_end_answers,
+                        )?;
+                    }
+                }
+            }
             // A recorded schedule takes precedence; its activations with
             // an empty mailbox are skipped (the recorded run may contain
             // protocol traffic a re-execution doesn't reproduce 1:1) and
@@ -387,9 +437,28 @@ impl SimRuntime {
             let Some(msg) = mailboxes[id].pop_front() else {
                 continue;
             };
+            governor.note_dequeue(msg.payload.approx_bytes());
             steps += 1;
             if steps > self.max_steps {
                 return Err(RuntimeError::Diverged { steps });
+            }
+            // Wall-clock and arena sampling are amortized: a syscall and
+            // an interner read every 1024 steps keep the unlimited-
+            // budget clean path within noise of the ungoverned loop.
+            if steps.is_multiple_of(1024) {
+                governor.sample_arena();
+                if started.elapsed() >= self.budget.deadline {
+                    return Err(RuntimeError::Timeout {
+                        budget_millis: self.budget.deadline.as_millis() as u64,
+                        elapsed_millis: started.elapsed().as_millis() as u64,
+                        partial_answers: engine_answers.len(),
+                        pending: (0..n)
+                            .map(|i| (i, mailboxes[i].len()))
+                            .filter(|&(_, d)| d > 0)
+                            .collect(),
+                        unjoined: Vec::new(),
+                    });
+                }
             }
             if let Some(tr) = tracing.as_mut() {
                 tr.on_deliver(&msg);
@@ -398,9 +467,13 @@ impl SimRuntime {
                 out: &mut out,
                 stats: &mut stats,
                 mailbox_empty: mailboxes[id].is_empty(),
+                // Flow control lives on the recovery transport; the
+                // pristine path has no stalled frames.
+                pressure: false,
                 tracer: tracing.as_mut().map(|t| &mut t.tracers[id]),
             };
             network.processes[id].handle(msg, &mut ctx);
+            processed[id] += 1;
             for m in out.drain(..) {
                 route(
                     m,
@@ -416,6 +489,25 @@ impl SimRuntime {
             }
         }
 
+        governor.sample_arena();
+        stats.mem_high_water_bytes = governor.mem_high_water();
+        if let Some(t) = trip {
+            let accounting = (0..n)
+                .map(|i| NodeUsage {
+                    node: i,
+                    messages_processed: processed[i],
+                    mailbox_depth: mailboxes[i].len(),
+                    mem_bytes: mailboxes[i].iter().map(|m| m.payload.approx_bytes()).sum(),
+                })
+                .collect();
+            return Err(budget_error(
+                t,
+                &governor,
+                engine_answers.iter().cloned().collect(),
+                accounting,
+                stats.cancel_waves,
+            ));
+        }
         if engine_ends == 0 {
             return Err(RuntimeError::NoTermination);
         }
@@ -442,6 +534,9 @@ impl SimRuntime {
         let mut sim = FaultySim {
             plan,
             recovery: self.recovery,
+            governor: Governor::new(self.budget.clone(), self.cancel.clone()),
+            window: self.budget.mailbox_bound.map(|b| b as u64),
+            intra: network.intra_pairs(),
             pristine: network.processes.clone(),
             mailboxes: vec![VecDeque::new(); n],
             fifo_tokens: VecDeque::new(),
@@ -476,7 +571,26 @@ impl SimRuntime {
 
         let mut out: Vec<Msg> = Vec::new();
         let mut steps: u64 = 0;
+        let started = Instant::now();
+        let mut trip: Option<Trip> = None;
         loop {
+            // Same trip discipline as the clean path, but the cancel
+            // wave rides the recovery transport: each Cancel frame is
+            // sequenced and logged, so a node that crashes mid-drain
+            // re-learns its cancellation from log replay.
+            if trip.is_none() {
+                if let Some(t) = sim.governor.tripped() {
+                    trip = Some(t);
+                    sim.stats.cancel_waves += 1;
+                    for id in 0..n {
+                        sim.logical_send(Msg {
+                            from: Endpoint::Engine,
+                            to: Endpoint::Node(id),
+                            payload: Payload::Cancel { wave: 1, epoch: 0 },
+                        })?;
+                    }
+                }
+            }
             sim.deliver_due()?;
 
             let next = match &mut rng {
@@ -503,18 +617,36 @@ impl SimRuntime {
                     let Some(msg) = sim.mailboxes[id].pop_front() else {
                         continue;
                     };
+                    sim.governor.note_dequeue(msg.payload.approx_bytes());
                     steps += 1;
                     sim.now += 1;
                     if steps > self.max_steps {
                         return Err(RuntimeError::Diverged { steps });
                     }
+                    if steps.is_multiple_of(1024) {
+                        sim.governor.sample_arena();
+                        if started.elapsed() >= self.budget.deadline {
+                            return Err(RuntimeError::Timeout {
+                                budget_millis: self.budget.deadline.as_millis() as u64,
+                                elapsed_millis: started.elapsed().as_millis() as u64,
+                                partial_answers: sim.engine_answers.len(),
+                                pending: (0..n)
+                                    .map(|i| (i, sim.mailboxes[i].len()))
+                                    .filter(|&(_, d)| d > 0)
+                                    .collect(),
+                                unjoined: Vec::new(),
+                            });
+                        }
+                    }
                     if let Some(tr) = sim.tracing.as_mut() {
                         tr.on_deliver(&msg);
                     }
+                    let pressure = sim.node_pressure(id);
                     let mut ctx = Ctx {
                         out: &mut out,
                         stats: &mut sim.stats,
                         mailbox_empty: sim.mailboxes[id].is_empty(),
+                        pressure,
                         tracer: sim.tracing.as_mut().map(|t| &mut t.tracers[id]),
                     };
                     network.processes[id].handle(msg, &mut ctx);
@@ -548,6 +680,28 @@ impl SimRuntime {
             }
         }
 
+        sim.governor.sample_arena();
+        sim.stats.mem_high_water_bytes = sim.governor.mem_high_water();
+        if let Some(t) = trip {
+            let accounting = (0..n)
+                .map(|i| NodeUsage {
+                    node: i,
+                    messages_processed: sim.processed[i],
+                    mailbox_depth: sim.mailboxes[i].len(),
+                    mem_bytes: sim.mailboxes[i]
+                        .iter()
+                        .map(|m| m.payload.approx_bytes())
+                        .sum(),
+                })
+                .collect();
+            return Err(budget_error(
+                t,
+                &sim.governor,
+                sim.engine_answers.iter().cloned().collect(),
+                accounting,
+                sim.stats.cancel_waves,
+            ));
+        }
         if sim.engine_ends == 0 {
             return Err(RuntimeError::NoTermination);
         }
@@ -590,6 +744,16 @@ enum Frame {
 struct FaultySim {
     plan: FaultPlan,
     recovery: bool,
+    /// Resource accounting and trip state for this run.
+    governor: Governor,
+    /// Credit window (frames in flight per link) derived from the
+    /// budget's mailbox bound; `None` = unlimited (pre-governance
+    /// behavior).
+    window: Option<u64>,
+    /// Directed node pairs inside nontrivial strong components; their
+    /// links are never windowed (deadlock freedom — see
+    /// [`Network::intra_pairs`]).
+    intra: BTreeSet<(usize, usize)>,
     /// Pristine process clones for crash recovery (initial state).
     pristine: Vec<Process>,
     mailboxes: Vec<VecDeque<Msg>>,
@@ -622,10 +786,39 @@ struct FaultySim {
 }
 
 impl FaultySim {
+    /// The credit window for `link`: the budget's mailbox bound on
+    /// cross-component links and the engine injector, unlimited on
+    /// intra-component links (a window that stalls a recursive answer
+    /// its own producer transitively waits on could deadlock the
+    /// cycle).
+    fn link_window(&self, link: (Endpoint, Endpoint)) -> Option<u64> {
+        let intra = match (link.0, link.1) {
+            (Endpoint::Node(a), Endpoint::Node(b)) => self.intra.contains(&(a, b)),
+            _ => false,
+        };
+        if intra {
+            None
+        } else {
+            self.window
+        }
+    }
+
+    /// True when any of `id`'s outgoing links holds window-stalled
+    /// frames — the node's [`Ctx::pressure`] input.
+    fn node_pressure(&self, id: usize) -> bool {
+        self.senders
+            .iter()
+            .any(|(l, s)| l.0 == Endpoint::Node(id) && s.stalled() > 0)
+    }
+
     /// A logical send: counted once (retransmissions and wire duplicates
-    /// never inflate the message counters), then framed onto the wire.
+    /// never inflate the message counters), then framed onto the wire —
+    /// unless the link's credit window is full, in which case the frame
+    /// waits in the sender's durable buffer until acks free credits.
     fn logical_send(&mut self, msg: Msg) -> Result<(), RuntimeError> {
         self.stats.count_send(&msg.payload);
+        self.governor
+            .note_messages(describe_payload(&msg.payload).1);
         if let Some(t) = self.trace.as_mut() {
             t.push(msg.clone());
         }
@@ -633,9 +826,17 @@ impl FaultySim {
             tr.on_send(&msg);
         }
         let link = (msg.from, msg.to);
-        let sender = self.senders.entry(link).or_default();
+        let window = self.link_window(link);
+        let sender = self.senders.entry(link).or_insert_with(|| SenderLink {
+            window,
+            ..SenderLink::default()
+        });
         let seq = sender.send(msg.clone(), self.now);
-        self.transmit(link, seq, msg, 0);
+        if sender.admit(seq) {
+            self.transmit(link, seq, msg, 0);
+        } else {
+            self.stats.credits_stalled += 1;
+        }
         Ok(())
     }
 
@@ -720,8 +921,16 @@ impl FaultySim {
     fn deliver_frame(&mut self, frame: Frame) -> Result<(), RuntimeError> {
         match frame {
             Frame::Ack { link, upto } => {
-                if let Some(s) = self.senders.get_mut(&link) {
-                    s.ack_upto(upto);
+                let released = match self.senders.get_mut(&link) {
+                    Some(s) => {
+                        s.ack_upto(upto);
+                        // Freed credits admit stalled frames, in order.
+                        s.release()
+                    }
+                    None => Vec::new(),
+                };
+                for (seq, msg) in released {
+                    self.transmit(link, seq, msg, 0);
                 }
                 Ok(())
             }
@@ -806,8 +1015,13 @@ impl FaultySim {
                 }),
             },
             Endpoint::Node(id) => {
+                self.governor.note_enqueue(msg.payload.approx_bytes());
                 self.logs[id].push(msg.clone());
                 self.mailboxes[id].push_back(msg);
+                self.stats.mailbox_high_water = self
+                    .stats
+                    .mailbox_high_water
+                    .max(self.mailboxes[id].len() as u64);
                 self.fifo_tokens.push_back(id);
                 Ok(())
             }
@@ -882,6 +1096,7 @@ impl FaultySim {
                 // must not originate a probe wave whose messages would
                 // be discarded.
                 mailbox_empty: false,
+                pressure: false,
                 // Replayed deliveries were already recorded pre-crash;
                 // recording them again would double-count.
                 tracer: None,
@@ -929,8 +1144,16 @@ impl FaultySim {
                 };
                 s.retries += 1;
                 s.last_activity = self.now;
-                let frames: Vec<(u64, Msg)> =
-                    s.unacked.iter().map(|(&q, m)| (q, m.clone())).collect();
+                // Admit whatever the window now covers (the release
+                // bumps `wire_hi`), then retransmit only frames that
+                // have been on the wire: stalled frames beyond the
+                // window are never forced out by a timer.
+                let _ = s.release();
+                let frames: Vec<(u64, Msg)> = s
+                    .unacked
+                    .range(..s.wire_hi)
+                    .map(|(&q, m)| (q, m.clone()))
+                    .collect();
                 (s.retries, frames)
             };
             if retries > self.plan.max_retries {

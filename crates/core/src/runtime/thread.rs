@@ -43,13 +43,16 @@
 use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::node::{Ctx, Network, Process};
-use crate::runtime::{describe_payload, trace_actor, RuntimeError, TRACE_RING_CAPACITY};
+use crate::runtime::govern::{CancelToken, Governor, NodeUsage, QueryBudget, Trip};
+use crate::runtime::{
+    budget_error, describe_payload, trace_actor, RuntimeError, TRACE_RING_CAPACITY,
+};
 use crate::stats::Stats;
 use crossbeam_channel::{unbounded, RecvTimeoutError, Sender};
 use mp_storage::{Relation, Tuple};
 use mp_trace::{Event, Ring, Stamp, Trace, Tracer};
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -137,6 +140,21 @@ struct PoolNet {
     mailboxes: Vec<Mailbox>,
     sched: Mutex<SchedState>,
     cv: Condvar,
+    /// Shared resource accounting: every enqueue/dequeue is charged to
+    /// the memory budget here, whichever thread performs it.
+    governor: Arc<Governor>,
+    /// High-water mark of any single mailbox's depth.
+    mailbox_hw: AtomicU64,
+}
+
+/// Approximate heap bytes of a mailbox frame, for the memory budget.
+/// Transport control frames (acks, fatals) carry no tuples and are
+/// free.
+fn frame_bytes(f: &TMsg) -> u64 {
+    match f {
+        TMsg::Plain(m, _) | TMsg::Data { msg: m, .. } => m.payload.approx_bytes(),
+        TMsg::Ack { .. } | TMsg::Fatal(_) => 0,
+    }
 }
 
 /// What a worker does next.
@@ -151,7 +169,7 @@ enum Task {
 }
 
 impl PoolNet {
-    fn new(n: usize, workers: usize) -> PoolNet {
+    fn new(n: usize, workers: usize, governor: Arc<Governor>) -> PoolNet {
         PoolNet {
             mailboxes: (0..n)
                 .map(|_| Mailbox {
@@ -170,6 +188,8 @@ impl PoolNet {
                 max_queue_depth: 0,
             }),
             cv: Condvar::new(),
+            governor,
+            mailbox_hw: AtomicU64::new(0),
         }
     }
 
@@ -181,7 +201,13 @@ impl PoolNet {
     /// enqueue its activation on `hint`'s deque (a pool worker keeps its
     /// own sends local) or the injector (the engine thread).
     fn post(&self, to: usize, frame: TMsg, hint: Option<usize>) {
-        self.mailboxes[to].q.lock().unwrap().push_back(frame);
+        self.governor.note_enqueue(frame_bytes(&frame));
+        let depth = {
+            let mut q = self.mailboxes[to].q.lock().unwrap();
+            q.push_back(frame);
+            q.len()
+        };
+        self.mailbox_hw.fetch_max(depth as u64, Ordering::Relaxed);
         if !self.mailboxes[to].scheduled.swap(true, Ordering::AcqRel) {
             self.enqueue(to as u32, hint);
         }
@@ -290,6 +316,9 @@ impl PoolNet {
         stats.sched_steals += s.steals;
         stats.sched_steal_failures += s.steal_failures;
         stats.sched_max_queue = stats.sched_max_queue.max(s.max_queue_depth);
+        stats.mailbox_high_water = stats
+            .mailbox_high_water
+            .max(self.mailbox_hw.load(Ordering::Relaxed));
     }
 }
 
@@ -311,6 +340,15 @@ struct Transport {
     hint: Option<usize>,
     outgoing: BTreeMap<Endpoint, SenderLink>,
     incoming: BTreeMap<Endpoint, ReceiverLink>,
+    /// Shared resource accounting (logical-message budget).
+    governor: Arc<Governor>,
+    /// Credit window (frames in flight per link) from the budget's
+    /// mailbox bound; `None` = unlimited.
+    window: Option<u64>,
+    /// Directed node pairs inside nontrivial strong components; their
+    /// links are never windowed (deadlock freedom — see
+    /// [`Network::intra_pairs`]).
+    intra: Arc<BTreeSet<(usize, usize)>>,
     /// Frames held back by an injected delay, with their release time.
     delayed: Vec<(Instant, Endpoint, TMsg)>,
     /// Distinct hash input per ack frame (acks have no sequence number).
@@ -327,6 +365,7 @@ struct Transport {
 }
 
 impl Transport {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         me: Endpoint,
         plan: Option<FaultPlan>,
@@ -334,7 +373,10 @@ impl Transport {
         net: Arc<PoolNet>,
         engine_tx: Sender<TMsg>,
         tracer: Option<Tracer>,
+        window: Option<u64>,
+        intra: Arc<BTreeSet<(usize, usize)>>,
     ) -> Transport {
+        let governor = Arc::clone(&net.governor);
         Transport {
             me,
             plan,
@@ -344,6 +386,9 @@ impl Transport {
             hint: None,
             outgoing: BTreeMap::new(),
             incoming: BTreeMap::new(),
+            governor,
+            window,
+            intra,
             delayed: Vec::new(),
             ack_uid: 0,
             stats: Stats::default(),
@@ -374,11 +419,37 @@ impl Transport {
         }
     }
 
+    /// The credit window for the link to `to`: the budget's mailbox
+    /// bound on cross-component links and the engine injector,
+    /// unlimited on intra-component links (a window that stalls a
+    /// recursive answer its own producer transitively waits on could
+    /// deadlock the cycle).
+    fn link_window(&self, to: Endpoint) -> Option<u64> {
+        let intra = match (self.me, to) {
+            (Endpoint::Node(a), Endpoint::Node(b)) => self.intra.contains(&(a, b)),
+            _ => false,
+        };
+        if intra {
+            None
+        } else {
+            self.window
+        }
+    }
+
+    /// True when any outgoing link holds window-stalled frames — the
+    /// node's [`Ctx::pressure`] input.
+    fn under_pressure(&self) -> bool {
+        self.window.is_some() && self.outgoing.values().any(|s| s.stalled() > 0)
+    }
+
     /// A logical send: counted once (retransmissions and wire duplicates
     /// never inflate the message counters), stamped when tracing, then
-    /// framed.
+    /// framed — unless the link's credit window is full, in which case
+    /// the frame waits in the sender's durable buffer until acks free
+    /// credits.
     fn send_logical(&mut self, m: Msg) {
         self.stats.count_send(&m.payload);
+        self.governor.note_messages(describe_payload(&m.payload).1);
         let n = self.n_nodes();
         let stamp = self.tracer.as_mut().map(|tr| {
             let (kind, items, wave, epoch) = describe_payload(&m.payload);
@@ -393,11 +464,21 @@ impl Transport {
         }
         let to = m.to;
         let now = self.now_ms();
-        let seq = self.outgoing.entry(to).or_default().send(m.clone(), now);
+        let window = self.link_window(to);
+        let link = self.outgoing.entry(to).or_insert_with(|| SenderLink {
+            window,
+            ..SenderLink::default()
+        });
+        let seq = link.send(m.clone(), now);
+        let admitted = link.admit(seq);
         if let Some(s) = stamp {
             self.out_stamps.insert((to, seq), s);
         }
-        self.transmit(to, seq, m, 0);
+        if admitted {
+            self.transmit(to, seq, m, 0);
+        } else {
+            self.stats.credits_stalled += 1;
+        }
     }
 
     /// Put one copy of a data frame on the wire, consulting the fault
@@ -525,12 +606,20 @@ impl Transport {
     }
 
     fn on_ack(&mut self, peer: Endpoint, upto: u64) {
-        if let Some(s) = self.outgoing.get_mut(&peer) {
-            s.ack_upto(upto);
-        }
+        let released = match self.outgoing.get_mut(&peer) {
+            Some(s) => {
+                s.ack_upto(upto);
+                // Freed credits admit stalled frames, in order.
+                s.release()
+            }
+            None => Vec::new(),
+        };
         // Acked sends can never be retransmitted; drop their stamps.
         if !self.out_stamps.is_empty() {
             self.out_stamps.retain(|&(p, s), _| p != peer || s >= upto);
+        }
+        for (seq, msg) in released {
+            self.transmit(peer, seq, msg, 0);
         }
     }
 
@@ -572,8 +661,16 @@ impl Transport {
                 };
                 s.retries += 1;
                 s.last_activity = now;
-                let frames: Vec<(u64, Msg)> =
-                    s.unacked.iter().map(|(&q, m)| (q, m.clone())).collect();
+                // Admit whatever the window now covers, then retransmit
+                // only frames that have been on the wire: stalled
+                // frames beyond the window are never forced out by a
+                // timer.
+                let _ = s.release();
+                let frames: Vec<(u64, Msg)> = s
+                    .unacked
+                    .range(..s.wire_hi)
+                    .map(|(&q, m)| (q, m.clone()))
+                    .collect();
                 (s.retries, frames)
             };
             if retries > max_retries {
@@ -610,6 +707,9 @@ struct NodeState {
     log: Vec<Msg>,
     /// Restart generation.
     epoch: u64,
+    /// Logical messages processed (budget accounting; the durable log
+    /// only exists in fault mode, so this is counted separately).
+    processed: u64,
     /// Reusable output buffer for `Process::handle`.
     scratch: Vec<Msg>,
     /// The node hit a fatal condition; its traffic is discarded from
@@ -655,10 +755,12 @@ impl NodeState {
     /// fresh waves rather than replay.
     fn poke(&mut self, mb: &Mailbox) {
         let mailbox_empty = mb.q.lock().unwrap().is_empty();
+        let pressure = self.t.under_pressure();
         let mut ctx = Ctx {
             out: &mut self.scratch,
             stats: &mut self.t.stats,
             mailbox_empty,
+            pressure,
             tracer: self.t.tracer.as_mut(),
         };
         self.process.poke(&mut ctx);
@@ -686,13 +788,16 @@ impl NodeState {
             );
         }
         let mailbox_empty = mb.q.lock().unwrap().is_empty();
+        let pressure = self.t.under_pressure();
         let mut ctx = Ctx {
             out: &mut self.scratch,
             stats: &mut self.t.stats,
             mailbox_empty,
+            pressure,
             tracer: self.t.tracer.as_mut(),
         };
         self.process.handle(msg, &mut ctx);
+        self.processed += 1;
         for m in self.scratch.drain(..) {
             self.t.send_logical(m);
         }
@@ -763,6 +868,7 @@ impl NodeState {
                 // must not originate a probe wave whose messages would
                 // be discarded.
                 mailbox_empty: false,
+                pressure: false,
                 // Replayed deliveries were already recorded pre-crash;
                 // recording them again would double-count.
                 tracer: None,
@@ -838,11 +944,18 @@ impl PoolWorker {
         {
             let mut st = self.nodes[id].lock().unwrap();
             st.t.hint = Some(self.id);
+            // Cooperative cancellation check at the activation boundary:
+            // a tripped budget quiesces the node now, without waiting
+            // for the engine's cancel wave to traverse a deep mailbox.
+            if self.net.governor.tripped().is_some() {
+                st.process.cancel_local();
+            }
             let mut handled = 0usize;
             loop {
                 let Some(frame) = mb.q.lock().unwrap().pop_front() else {
                     break;
                 };
+                self.net.governor.note_dequeue(frame_bytes(&frame));
                 // A fatal node discards its traffic (its Fatal frame is
                 // already aborting the run at the engine).
                 if !st.fatal {
@@ -971,6 +1084,14 @@ pub struct ThreadRuntime {
     /// never larger than the node count — nodes are the unit of
     /// parallelism).
     pub workers: usize,
+    /// Resource budget: logical-message and memory high-water limits
+    /// plus the per-link credit window (mailbox bound). The wall-clock
+    /// deadline lives in `timeout` here (kept as its own field so the
+    /// existing chaos/pool configuration keeps working).
+    pub budget: QueryBudget,
+    /// Cooperative cancellation handle; trip it from any thread to run
+    /// a cancel drain wave and return [`RuntimeError::Cancelled`].
+    pub cancel: CancelToken,
 }
 
 impl Default for ThreadRuntime {
@@ -981,6 +1102,8 @@ impl Default for ThreadRuntime {
             recovery: true,
             trace: false,
             workers: 0,
+            budget: QueryBudget::default(),
+            cancel: CancelToken::default(),
         }
     }
 }
@@ -1016,7 +1139,20 @@ impl ThreadRuntime {
         let start = Instant::now();
         let workers = self.pool_size(n);
 
-        let net = Arc::new(PoolNet::new(n, workers));
+        let governor = Arc::new(Governor::new(self.budget.clone(), self.cancel.clone()));
+        // Credit windows need the intra-component pairs (never windowed)
+        // before the network is consumed into per-node state.
+        let intra = Arc::new(network.intra_pairs());
+        let window = if fault_mode {
+            self.budget.mailbox_bound.map(|b| b as u64)
+        } else {
+            // Without a transport (no seq/ack stream) there is nothing
+            // to carry credits; the bound still caps nothing here, but
+            // `mailbox_high_water` is tracked either way.
+            None
+        };
+
+        let net = Arc::new(PoolNet::new(n, workers, Arc::clone(&governor)));
         let (engine_tx, engine_rx) = unbounded::<TMsg>();
 
         // One shared lock-free ring for every actor's events; the trace
@@ -1060,9 +1196,12 @@ impl ThreadRuntime {
                             Arc::clone(&net),
                             engine_tx.clone(),
                             mk_tracer(id),
+                            window,
+                            Arc::clone(&intra),
                         ),
                         log: Vec::new(),
                         epoch: 0,
+                        processed: 0,
                         scratch: Vec::new(),
                         fatal: false,
                     })
@@ -1114,6 +1253,8 @@ impl ThreadRuntime {
             Arc::clone(&net),
             engine_tx.clone(),
             mk_tracer(n),
+            window,
+            Arc::clone(&intra),
         );
         let to_root = Endpoint::Node(root);
         t.send_logical(Msg {
@@ -1134,20 +1275,42 @@ impl ThreadRuntime {
             payload: Payload::EndOfRequests,
         });
 
-        // Collect until the final End (or timeout).
+        // Collect until the final End (or timeout / budget trip).
         let deadline = start + self.timeout;
         let mut answers = Relation::new(answer_arity);
         let mut engine_ends: u64 = 0;
         let mut post_end_answers: u64 = 0;
+        let mut tripped: Option<Trip> = None;
         let mut result: Result<(), RuntimeError> = loop {
             let now = Instant::now();
             if now >= deadline {
                 break Err(self.timeout_error(start, &answers, &net));
             }
-            let wait = if fault_mode {
+            governor.sample_arena();
+            if tripped.is_none() {
+                if let Some(tr) = governor.tripped() {
+                    // First trip: run one cancel drain wave. Nodes stop
+                    // deriving, forward the wave down the spanning tree,
+                    // and keep acking frames; the loop then waits for
+                    // the mailboxes to drain instead of for `End`.
+                    tripped = Some(tr);
+                    t.stats.cancel_waves += 1;
+                    for id in 0..n {
+                        t.send_logical(Msg {
+                            from: Endpoint::Engine,
+                            to: Endpoint::Node(id),
+                            payload: Payload::Cancel { wave: 1, epoch: 0 },
+                        });
+                    }
+                }
+            }
+            let wait = if fault_mode || tripped.is_some() {
                 TICK.min(deadline - now)
             } else {
-                deadline - now
+                // Short poll so an explicit cancel (or a byte budget
+                // crossed by node-side allocation) is noticed promptly
+                // even while the engine sits idle between answers.
+                Duration::from_millis(25).min(deadline - now)
             };
             match engine_rx.recv_timeout(wait) {
                 Ok(frame) => {
@@ -1205,7 +1368,11 @@ impl ThreadRuntime {
                         Ok(false) => {}
                     }
                 }
-                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    if tripped.is_some() && net.pending().is_empty() {
+                        break Ok(());
+                    }
+                }
                 Err(RecvTimeoutError::Disconnected) => break Err(RuntimeError::NoTermination),
             }
             if fault_mode {
@@ -1260,9 +1427,41 @@ impl ThreadRuntime {
             }
         }
         net.merge_sched_stats(&mut stats);
+        governor.sample_arena();
+        stats.mem_high_water_bytes = stats.mem_high_water_bytes.max(governor.mem_high_water());
 
         if let Err(RuntimeError::Timeout { unjoined: u, .. }) = &mut result {
             *u = unjoined;
+        }
+        // A tripped run surfaces the typed governance error, whatever
+        // the drain ended with (a final `End` racing the wave, a clean
+        // quiescence, or a deadline crossed mid-drain); genuine fatal
+        // errors from the drain still win.
+        if let Some(tr) = tripped {
+            if matches!(result, Ok(()) | Err(RuntimeError::Timeout { .. })) {
+                let accounting: Vec<NodeUsage> = (0..n)
+                    .map(|id| {
+                        let processed = nodes[id]
+                            .try_lock()
+                            .map(|st| st.processed)
+                            .unwrap_or_default();
+                        let q = net.mailboxes[id].q.lock().unwrap();
+                        NodeUsage {
+                            node: id,
+                            messages_processed: processed,
+                            mailbox_depth: q.len(),
+                            mem_bytes: q.iter().map(frame_bytes).sum(),
+                        }
+                    })
+                    .collect();
+                result = Err(budget_error(
+                    tr,
+                    &governor,
+                    answers.iter().cloned().collect(),
+                    accounting,
+                    stats.cancel_waves,
+                ));
+            }
         }
         let events = ring.map(|r| mp_trace::collect((n + 1) as u32, &r));
         result.map(|()| ThreadOutcome {

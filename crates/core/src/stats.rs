@@ -105,6 +105,19 @@ pub struct Stats {
     pub sched_steal_failures: u64,
     /// High-water mark of queued activations across all deques.
     pub sched_max_queue: u64,
+
+    // ---- resource governance (zero without a budget or cancel) ----
+    /// High-water mark of interned-arena + queued-mailbox bytes observed
+    /// by the governor.
+    pub mem_high_water_bytes: u64,
+    /// High-water mark of any single node mailbox's depth (frames).
+    pub mailbox_high_water: u64,
+    /// Cancel drain waves broadcast by the engine (budget trips and
+    /// explicit cancels).
+    pub cancel_waves: u64,
+    /// Frames the credit window held back from the wire until a
+    /// cumulative ack opened it (backpressure events, not losses).
+    pub credits_stalled: u64,
 }
 
 impl Stats {
@@ -196,6 +209,10 @@ impl Stats {
             sched_steals,
             sched_steal_failures,
             sched_max_queue,
+            mem_high_water_bytes,
+            mailbox_high_water,
+            cancel_waves,
+            credits_stalled,
         } = other;
         self.relation_requests += relation_requests;
         self.tuple_requests += tuple_requests;
@@ -236,6 +253,10 @@ impl Stats {
         self.sched_steals += sched_steals;
         self.sched_steal_failures += sched_steal_failures;
         self.sched_max_queue = self.sched_max_queue.max(*sched_max_queue);
+        self.mem_high_water_bytes = self.mem_high_water_bytes.max(*mem_high_water_bytes);
+        self.mailbox_high_water = self.mailbox_high_water.max(*mailbox_high_water);
+        self.cancel_waves += cancel_waves;
+        self.credits_stalled += credits_stalled;
     }
 
     /// Total fault events injected by the active plan.
@@ -287,7 +308,8 @@ impl Stats {
             | P::EndNegative { .. }
             | P::EndConfirmed { .. }
             | P::SccFinished
-            | P::Reborn { .. } => self.protocol_messages += 1,
+            | P::Reborn { .. }
+            | P::Cancel { .. } => self.protocol_messages += 1,
             P::Shutdown => {}
         }
     }
@@ -340,6 +362,10 @@ impl std::fmt::Display for Stats {
             sched_steals,
             sched_steal_failures,
             sched_max_queue,
+            mem_high_water_bytes,
+            mailbox_high_water,
+            cancel_waves,
+            credits_stalled,
         } = self;
         writeln!(f, "-- messages           : {}", self.total_messages())?;
         writeln!(f, "--   relation requests: {relation_requests}")?;
@@ -383,6 +409,10 @@ impl std::fmt::Display for Stats {
         writeln!(f, "--   steals           : {sched_steals}")?;
         writeln!(f, "--   steal failures   : {sched_steal_failures}")?;
         writeln!(f, "--   max queue depth  : {sched_max_queue}")?;
+        writeln!(f, "-- mem high water (B) : {mem_high_water_bytes}")?;
+        writeln!(f, "-- mailbox high water : {mailbox_high_water}")?;
+        writeln!(f, "-- cancel waves       : {cancel_waves}")?;
+        writeln!(f, "-- credits stalled    : {credits_stalled}")?;
         writeln!(
             f,
             "-- retransmit overhead: {:.1}%",
@@ -501,6 +531,10 @@ mod tests {
             sched_steals: v,
             sched_steal_failures: v,
             sched_max_queue: v,
+            mem_high_water_bytes: v,
+            mailbox_high_water: v,
+            cancel_waves: v,
+            credits_stalled: v,
         }
     }
 
@@ -513,6 +547,8 @@ mod tests {
         expect.max_relation_size = 2;
         expect.max_stage_relation = 2;
         expect.sched_max_queue = 2;
+        expect.mem_high_water_bytes = 2;
+        expect.mailbox_high_water = 2;
         assert_eq!(a, expect);
     }
 
@@ -567,11 +603,15 @@ mod tests {
                 sched_steals,
                 sched_steal_failures,
                 sched_max_queue,
+                mem_high_water_bytes,
+                mailbox_high_water,
+                cancel_waves,
+                credits_stalled,
             );
             let _ = v;
             s.to_string()
         };
-        for v in 1000..1039 {
+        for v in 1000..1043 {
             assert!(
                 text.contains(&format!(": {v}")),
                 "counter value {v} missing from Display output:\n{text}"

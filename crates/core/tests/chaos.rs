@@ -466,3 +466,62 @@ proptest! {
         prop_assert_eq!(rows(&r), rows(&baseline));
     }
 }
+
+/// Chaos × cancellation (ISSUE 8 acceptance sweep): a tight message
+/// budget trips mid-run while the transport is busy with wire faults
+/// AND log-replay crash recovery. Every seed must drain into the typed
+/// `BudgetExceeded` error (or finish first under budget) — never hang —
+/// with accounting for every node and partial answers drawn from the
+/// true fixpoint. Crash seeds also exercise the Cancel-in-the-log
+/// replay path: a reborn node re-learns its cancellation.
+#[test]
+fn chaos_cancel_sweep_32_seeds_drains_mid_recovery() {
+    use mp_engine::runtime::RuntimeError;
+    use mp_engine::QueryBudget;
+    use std::collections::BTreeSet;
+    for w in CANONICAL {
+        let baseline = engine_for(w).evaluate().unwrap();
+        let truth: BTreeSet<Tuple> = rows(&baseline).into_iter().collect();
+        let nodes = baseline.graph_nodes;
+        for seed in 0..32u64 {
+            let plan =
+                FaultPlan::seeded(seed).with_crash((seed as usize * 7 + 1) % nodes, 1 + seed % 3);
+            let started = std::time::Instant::now();
+            let result = engine_for(w)
+                .with_fault_plan(plan)
+                .with_budget(QueryBudget::new().with_max_messages(25))
+                .evaluate();
+            assert!(
+                started.elapsed() < Duration::from_secs(30),
+                "{} seed {seed}: cancel drain burned the whole deadline",
+                w.name
+            );
+            match result {
+                // The whole run fit under the budget.
+                Ok(r) => assert_confluent(w.name, &format!("seed {seed}"), &baseline, &r),
+                Err(mp_engine::EngineError::Runtime(RuntimeError::BudgetExceeded {
+                    partial,
+                    accounting,
+                    cancel_waves,
+                    ..
+                })) => {
+                    assert!(cancel_waves >= 1, "{} seed {seed}: no wave ran", w.name);
+                    assert_eq!(
+                        accounting.len(),
+                        nodes,
+                        "{} seed {seed}: accounting misses nodes",
+                        w.name
+                    );
+                    for t in &partial {
+                        assert!(
+                            truth.contains(t),
+                            "{} seed {seed}: partial answer {t} outside the fixpoint",
+                            w.name
+                        );
+                    }
+                }
+                Err(e) => panic!("{} seed {seed}: unexpected error {e}", w.name),
+            }
+        }
+    }
+}

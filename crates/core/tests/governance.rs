@@ -1,0 +1,336 @@
+//! Resource-governance acceptance suite: query budgets, cooperative
+//! cancellation waves, and credit-based backpressure.
+//!
+//! The contract under test (ISSUE 8 / DESIGN.md "Resource governance"):
+//!
+//! 1. crossing the message or memory budget returns the **typed**
+//!    `BudgetExceeded` error, carrying the partial answers derived so
+//!    far plus per-node accounting — identically on the simulator and
+//!    the worker pool;
+//! 2. an explicit [`CancelToken`] trip returns `Cancelled` with the
+//!    same payload, and always drains (never hangs), also mid-chaos;
+//! 3. with a mailbox bound, credit windows on the recovery transport
+//!    cap queue depth under adversarial fan-in without deadlocking
+//!    recursive components (intra-SCC links are never windowed);
+//! 4. an unlimited budget is observably free: the legacy
+//!    `with_max_steps`/`with_timeout` shims keep their historical
+//!    errors, and governed clean-path runs stay bit-identical.
+
+use mp_datalog::parser::parse_program;
+use mp_datalog::Database;
+use mp_engine::runtime::RuntimeError;
+use mp_engine::runtime::Trip;
+use mp_engine::{Engine, EngineError, FaultPlan, QueryBudget, QueryResult, RuntimeKind, Schedule};
+use mp_storage::{tuple, Tuple};
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+/// Recursive workload with heavy fan-in: dense transitive closure over
+/// a random-ish graph. Enough traffic to trip small budgets mid-run.
+fn tc_dense(n: i64) -> Engine {
+    let program = parse_program(
+        "path(X, Y) :- edge(X, Y).
+         path(X, Z) :- path(X, Y), edge(Y, Z).
+         ?- path(0, Z).",
+    )
+    .unwrap();
+    let mut db = Database::new();
+    for i in 0..n {
+        db.insert("edge", tuple![i, (i + 1) % n]).unwrap();
+        db.insert("edge", tuple![i, (i * 3 + 1) % n]).unwrap();
+        db.insert("edge", tuple![(i * 5 + 2) % n, i]).unwrap();
+    }
+    Engine::new(program, db)
+}
+
+fn rows(r: &QueryResult) -> Vec<Tuple> {
+    r.answers.sorted_rows()
+}
+
+fn runtime_err(e: EngineError) -> RuntimeError {
+    match e {
+        EngineError::Runtime(r) => r,
+        other => panic!("expected a runtime error, got {other}"),
+    }
+}
+
+/// The shims forward into the budget: `with_max_steps` still raises
+/// `Diverged`, `with_timeout` still raises `Timeout`, on both runtimes.
+#[test]
+fn legacy_shims_keep_their_historical_errors() {
+    let err = runtime_err(tc_dense(8).with_max_steps(5).evaluate().unwrap_err());
+    assert!(matches!(err, RuntimeError::Diverged { .. }), "{err}");
+
+    // Same through the explicit budget API.
+    let err = runtime_err(
+        tc_dense(8)
+            .with_budget(QueryBudget::new().with_max_steps(5))
+            .evaluate()
+            .unwrap_err(),
+    );
+    assert!(matches!(err, RuntimeError::Diverged { .. }), "{err}");
+
+    // A zero wall-clock budget on the pool times out before any End.
+    let err = runtime_err(
+        tc_dense(8)
+            .with_runtime(RuntimeKind::Threads)
+            .with_timeout(Duration::from_nanos(1))
+            .evaluate()
+            .unwrap_err(),
+    );
+    assert!(matches!(err, RuntimeError::Timeout { .. }), "{err}");
+}
+
+/// A tripped message budget returns the typed error with partial
+/// answers (a subset of the full fixpoint) and full per-node accounting.
+#[test]
+fn message_budget_trips_with_partial_answers_and_accounting() {
+    let full = tc_dense(12).evaluate().unwrap();
+    let full_rows: BTreeSet<Tuple> = rows(&full).into_iter().collect();
+
+    let err = runtime_err(
+        tc_dense(12)
+            .with_budget(QueryBudget::new().with_max_messages(40))
+            .evaluate()
+            .unwrap_err(),
+    );
+    let RuntimeError::BudgetExceeded {
+        resource,
+        limit,
+        used,
+        partial,
+        accounting,
+        cancel_waves,
+    } = err
+    else {
+        panic!("expected BudgetExceeded, got {err}");
+    };
+    assert_eq!(resource, Trip::Messages);
+    assert_eq!(limit, 40);
+    assert!(used >= limit, "trip reported below the limit: {used}");
+    assert!(cancel_waves >= 1);
+    assert!(
+        partial.iter().all(|t| full_rows.contains(t)),
+        "partial answers must be a subset of the fixpoint"
+    );
+    assert_eq!(
+        accounting.len(),
+        full.graph_nodes,
+        "accounting carries one row per node"
+    );
+    assert!(
+        accounting.iter().any(|u| u.messages_processed > 0),
+        "some node processed work before the trip"
+    );
+}
+
+/// The same trip on the deterministic FIFO schedule is bit-identical
+/// across runs: same partial answers, same accounting, same counters.
+#[test]
+fn budget_trip_is_deterministic_on_fifo() {
+    let run = || {
+        runtime_err(
+            tc_dense(12)
+                .with_runtime(RuntimeKind::Sim(Schedule::Fifo))
+                .with_budget(QueryBudget::new().with_max_messages(60))
+                .evaluate()
+                .unwrap_err(),
+        )
+    };
+    assert_eq!(run(), run(), "FIFO budget trips must be reproducible");
+}
+
+/// A memory budget low enough to be crossed by the first injection
+/// trips as `Bytes`.
+#[test]
+fn memory_budget_trips_as_bytes() {
+    let err = runtime_err(
+        tc_dense(12)
+            .with_budget(QueryBudget::new().with_max_bytes(1))
+            .evaluate()
+            .unwrap_err(),
+    );
+    let RuntimeError::BudgetExceeded { resource, used, .. } = err else {
+        panic!("expected BudgetExceeded, got {err}");
+    };
+    assert_eq!(resource, Trip::Bytes);
+    assert!(used > 1);
+}
+
+/// A pre-tripped cancel token returns `Cancelled` immediately — the
+/// wave drains the network instead of evaluating it.
+#[test]
+fn explicit_cancel_returns_cancelled_with_drain() {
+    for runtime in [RuntimeKind::Sim(Schedule::Fifo), RuntimeKind::Threads] {
+        let engine = tc_dense(12).with_runtime(runtime);
+        engine.cancel_token().cancel();
+        let err = runtime_err(engine.evaluate().unwrap_err());
+        let RuntimeError::Cancelled { cancel_waves, .. } = &err else {
+            panic!("expected Cancelled, got {err}");
+        };
+        assert_eq!(*cancel_waves, 1, "exactly one wave per trip");
+    }
+}
+
+/// Cancelling from another thread mid-evaluation stops the pool run
+/// with the typed error (or finishes first on a fast machine) — it must
+/// never hang or panic.
+#[test]
+fn cross_thread_cancel_stops_the_pool() {
+    let engine = tc_dense(48).with_runtime(RuntimeKind::Threads);
+    let token = engine.cancel_token();
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(2));
+        token.cancel();
+    });
+    match engine.evaluate() {
+        Ok(_) => {} // finished before the cancel landed
+        Err(e) => {
+            let err = runtime_err(e);
+            assert!(
+                matches!(err, RuntimeError::Cancelled { .. }),
+                "expected Cancelled, got {err}"
+            );
+        }
+    }
+    canceller.join().unwrap();
+}
+
+/// Sim and pool surface the same error *shape* for the same budget:
+/// same variant, same resource, accounting for every node. (Message
+/// interleaving differs on the pool, so `used` and the partial set may
+/// legitimately differ.)
+#[test]
+fn sim_and_pool_trip_identically_shaped_errors() {
+    let budget = QueryBudget::new().with_max_messages(40);
+    let sim = runtime_err(
+        tc_dense(12)
+            .with_budget(budget.clone())
+            .evaluate()
+            .unwrap_err(),
+    );
+    let pool = runtime_err(
+        tc_dense(12)
+            .with_runtime(RuntimeKind::Threads)
+            .with_budget(budget)
+            .evaluate()
+            .unwrap_err(),
+    );
+    match (&sim, &pool) {
+        (
+            RuntimeError::BudgetExceeded {
+                resource: ra,
+                limit: la,
+                accounting: aa,
+                ..
+            },
+            RuntimeError::BudgetExceeded {
+                resource: rb,
+                limit: lb,
+                accounting: ab,
+                ..
+            },
+        ) => {
+            assert_eq!(ra, rb);
+            assert_eq!(la, lb);
+            assert_eq!(aa.len(), ab.len(), "both account for every node");
+        }
+        other => panic!("expected two BudgetExceeded errors, got {other:?}"),
+    }
+}
+
+/// Credit-based backpressure: with a mailbox bound on a zero-fault
+/// transport, queue depth under fan-in is capped (high water no worse
+/// than unbounded, stalls observed) while the answers stay bit-identical
+/// — bounding never deadlocks the recursive component.
+#[test]
+fn mailbox_bound_caps_queues_without_changing_answers() {
+    let unbounded = tc_dense(16)
+        .with_fault_plan(FaultPlan::default())
+        .evaluate()
+        .unwrap();
+    let bounded = tc_dense(16)
+        .with_fault_plan(FaultPlan::default())
+        .with_budget(QueryBudget::new().with_mailbox_bound(1))
+        .evaluate()
+        .unwrap();
+    assert_eq!(rows(&bounded), rows(&unbounded), "answers diverged");
+    assert_eq!(bounded.engine_ends, 1);
+    assert!(
+        bounded.stats.credits_stalled > 0,
+        "window of 1 on this fan-in must stall at least one frame"
+    );
+    assert!(
+        bounded.stats.mailbox_high_water <= unbounded.stats.mailbox_high_water,
+        "bounded run queued deeper than unbounded: {} > {}",
+        bounded.stats.mailbox_high_water,
+        unbounded.stats.mailbox_high_water
+    );
+}
+
+/// Backpressure composes with real faults: drops/dups/delays plus a
+/// tight window still converge to the exact fixpoint.
+#[test]
+fn mailbox_bound_survives_chaos() {
+    let baseline = tc_dense(12).evaluate().unwrap();
+    for seed in 0..8u64 {
+        let r = tc_dense(12)
+            .with_fault_plan(FaultPlan::seeded(seed))
+            .with_budget(QueryBudget::new().with_mailbox_bound(2))
+            .evaluate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(rows(&r), rows(&baseline), "seed {seed} diverged");
+        assert_eq!(r.engine_ends, 1, "seed {seed}");
+        assert_eq!(r.post_end_answers, 0, "seed {seed}");
+    }
+}
+
+/// An unlimited budget is free: the governed run's answers, logical
+/// message counters, and Thm 3.1 observables are bit-identical to the
+/// ungoverned seed behaviour, and the new counters stay quiet.
+#[test]
+fn unlimited_budget_is_observably_free() {
+    let r = tc_dense(12)
+        .with_budget(QueryBudget::default())
+        .evaluate()
+        .unwrap();
+    let baseline = tc_dense(12).evaluate().unwrap();
+    assert_eq!(rows(&r), rows(&baseline));
+    assert_eq!(
+        r.stats.logical_messages(),
+        baseline.stats.logical_messages()
+    );
+    assert_eq!(r.stats.cancel_waves, 0);
+    assert_eq!(r.stats.credits_stalled, 0);
+    assert!(
+        r.stats.mem_high_water_bytes > 0,
+        "memory accounting runs even without a limit"
+    );
+}
+
+/// The budget counts *logical* messages, so a trip threshold behaves
+/// identically at every batch size (batching invariance, Thm 4.1 style).
+#[test]
+fn message_budget_is_batching_invariant() {
+    let scalar = runtime_err(
+        tc_dense(12)
+            .with_budget(QueryBudget::new().with_max_messages(40))
+            .evaluate()
+            .unwrap_err(),
+    );
+    let batched = runtime_err(
+        tc_dense(12)
+            .with_batching(true)
+            .with_batch_size(16)
+            .with_budget(QueryBudget::new().with_max_messages(40))
+            .evaluate()
+            .unwrap_err(),
+    );
+    match (&scalar, &batched) {
+        (
+            RuntimeError::BudgetExceeded { resource: ra, .. },
+            RuntimeError::BudgetExceeded { resource: rb, .. },
+        ) => assert_eq!(ra, rb),
+        other => panic!("expected two BudgetExceeded errors, got {other:?}"),
+    }
+}

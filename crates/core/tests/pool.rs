@@ -257,3 +257,56 @@ fn single_worker_pool_never_steals() {
     assert_eq!(r.stats.sched_steals, 0);
     assert_eq!(r.stats.sched_steal_failures, 0);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Budget trips on the pool are schedule-invariant in what they
+    /// claim: whatever the steal order and worker count, a tripped run
+    /// surfaces the typed `BudgetExceeded` (right resource, ≥ 1 cancel
+    /// wave, accounting for every node, partial answers from the true
+    /// fixpoint) — and a run that outraces the trip still satisfies the
+    /// Thm 3.1 observables exactly.
+    #[test]
+    fn budget_trips_are_typed_at_any_width(
+        workload in 0usize..3,
+        workers in 1usize..=6,
+        budget in 10u64..80,
+    ) {
+        use mp_engine::runtime::{RuntimeError, Trip};
+        use mp_engine::QueryBudget;
+        let w = &WORKLOADS[workload];
+        let sim = engine_for(w).evaluate().unwrap();
+        let truth: std::collections::BTreeSet<Tuple> = rows(&sim).into_iter().collect();
+        let result = engine_for(w)
+            .with_runtime(RuntimeKind::Threads)
+            .with_workers(workers)
+            .with_budget(QueryBudget::new().with_max_messages(budget))
+            .evaluate();
+        match result {
+            Ok(r) => {
+                prop_assert_eq!(rows(&r), rows(&sim));
+                prop_assert_eq!(r.engine_ends, 1);
+                prop_assert_eq!(r.post_end_answers, 0);
+            }
+            Err(mp_engine::EngineError::Runtime(RuntimeError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+                partial,
+                accounting,
+                cancel_waves,
+            })) => {
+                prop_assert_eq!(resource, Trip::Messages);
+                prop_assert_eq!(limit, budget);
+                prop_assert!(used >= limit);
+                prop_assert!(cancel_waves >= 1);
+                prop_assert_eq!(accounting.len(), sim.graph_nodes);
+                for t in &partial {
+                    prop_assert!(truth.contains(t), "partial answer {} outside the fixpoint", t);
+                }
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+}

@@ -111,6 +111,7 @@ fn check_invariants(trace: &[Msg]) {
             | Payload::EndConfirmed { .. }
             | Payload::Reborn { .. }
             | Payload::SccFinished
+            | Payload::Cancel { .. }
             | Payload::Shutdown => {}
         }
     }

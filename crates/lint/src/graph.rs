@@ -522,6 +522,35 @@ pub fn lint_parallelism(nodes: usize, parallelism: usize) -> Option<Diagnostic> 
     })
 }
 
+/// `MP107`: warn when a recursive graph runs with an effectively
+/// unbounded budget — no logical-message or memory limit and no
+/// mailbox bound (credit window). Correctness is unaffected, but a hot
+/// cycle can grow mailboxes without limit before the step guard or
+/// deadline trips. Like [`lint_parallelism`] this depends on engine
+/// configuration, not the artifact, so it is *not* part of
+/// [`lint_graph`]: `Engine::compile` passes its own budget fields.
+pub fn lint_budget(
+    nodes: usize,
+    recursive: bool,
+    has_resource_budget: bool,
+    has_mailbox_bound: bool,
+) -> Option<Diagnostic> {
+    (recursive && !has_resource_budget && !has_mailbox_bound).then(|| {
+        Diagnostic::new(
+            Code::UnboundedBudget,
+            format!(
+                "recursive graph with {nodes} nodes runs without a resource budget \
+                 or mailbox bound"
+            ),
+        )
+        .with_note(
+            "only the step guard and wall-clock deadline bound this evaluation; set \
+             --msg-budget/--mem-budget (Engine::with_budget) to cap logical work, or \
+             --mailbox-bound to cap per-node queues via credit-based backpressure",
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -799,5 +828,23 @@ mod tests {
     fn fitting_graph_is_silent_under_mp106() {
         assert!(lint_parallelism(8, 8).is_none());
         assert!(lint_parallelism(3, 8).is_none());
+    }
+
+    #[test]
+    fn unbounded_recursive_budget_fires_mp107_as_warning() {
+        let d = lint_budget(5, true, false, false).expect("unbounded recursion must warn");
+        assert_eq!(d.code, Code::UnboundedBudget);
+        assert_eq!(d.severity, crate::Severity::Warn);
+        assert!(d.message.contains("5 nodes"), "{}", d.message);
+        assert!(d.note.as_deref().unwrap_or("").contains("--msg-budget"));
+    }
+
+    #[test]
+    fn bounded_or_acyclic_is_silent_under_mp107() {
+        // Acyclic graphs terminate by structure alone.
+        assert!(lint_budget(5, false, false, false).is_none());
+        // Either a resource budget or a mailbox bound silences the warning.
+        assert!(lint_budget(5, true, true, false).is_none());
+        assert!(lint_budget(5, true, false, true).is_none());
     }
 }

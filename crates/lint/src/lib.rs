@@ -106,6 +106,13 @@ pub enum Code {
     /// (`Engine::with_workers`) rather than expecting more nodes to run
     /// concurrently.
     OversubscribedGraph,
+    /// The evaluation budget is effectively unbounded for this graph:
+    /// no logical-message or memory budget is set and mailboxes are
+    /// unbounded (no credit window), so a hot recursive workload can
+    /// grow queues without limit. Harmless for correctness; set
+    /// `Engine::with_budget` (`mpq --msg-budget`/`--mem-budget`/
+    /// `--mailbox-bound`) to bound it.
+    UnboundedBudget,
 
     /// A nontrivial strong component does not have exactly one exit node
     /// (Thm 3.1's unique-feeder precondition).
@@ -145,6 +152,10 @@ pub enum Code {
     /// A matched send/deliver pair disagrees on logical item count
     /// (batching must preserve logical counters).
     TraceCountMismatch,
+    /// A node sent an `Answer`/`AnswerBatch` after acking a `Cancel`
+    /// wave epoch (resource governance: cancelled nodes drain the
+    /// protocol but must never produce more answers).
+    TraceAnswerAfterCancel,
 
     /// Two occurrences of a join variable range over type-disjoint value
     /// sorts (one side only integers, the other only symbols): the join
@@ -187,6 +198,7 @@ impl Code {
             Code::CycleEdgeInconsistent => "MP104",
             Code::UnindexedSemijoinKey => "MP105",
             Code::OversubscribedGraph => "MP106",
+            Code::UnboundedBudget => "MP107",
             Code::ExitNodeCount => "MP201",
             Code::BfstAsymmetry => "MP202",
             Code::BfstCoverage => "MP203",
@@ -200,6 +212,7 @@ impl Code {
             Code::TraceOrphanRecover => "MP307",
             Code::TraceDuplicateDelivery => "MP308",
             Code::TraceCountMismatch => "MP309",
+            Code::TraceAnswerAfterCancel => "MP310",
             Code::TypeClashJoin => "MP401",
             Code::EmptySubgoal => "MP402",
             Code::DeadRule => "MP403",
@@ -219,6 +232,7 @@ impl Code {
             | Code::SingletonVariable
             | Code::UnindexedSemijoinKey
             | Code::OversubscribedGraph
+            | Code::UnboundedBudget
             | Code::TypeClashJoin
             | Code::EmptySubgoal
             | Code::DeadRule
@@ -436,6 +450,7 @@ mod tests {
             Code::CycleEdgeInconsistent,
             Code::UnindexedSemijoinKey,
             Code::OversubscribedGraph,
+            Code::UnboundedBudget,
             Code::ExitNodeCount,
             Code::BfstAsymmetry,
             Code::BfstCoverage,
@@ -449,6 +464,7 @@ mod tests {
             Code::TraceOrphanRecover,
             Code::TraceDuplicateDelivery,
             Code::TraceCountMismatch,
+            Code::TraceAnswerAfterCancel,
             Code::TypeClashJoin,
             Code::EmptySubgoal,
             Code::DeadRule,

@@ -71,6 +71,18 @@ pub fn symbol_count() -> usize {
         .len()
 }
 
+/// Approximate bytes held by the interner arena (process-wide): the
+/// leaked string payloads plus per-entry table overhead (one `Vec` slot,
+/// one `HashMap` entry). Used by the runtime memory-budget accounting;
+/// an estimate, not an allocator census.
+pub fn symbol_bytes() -> usize {
+    let t = table().read().unwrap_or_else(|e| e.into_inner());
+    let payload: usize = t.strings.iter().map(|s| s.len()).sum();
+    // &'static str in the Vec (16) + HashMap entry (&str key + u32 value,
+    // bucket overhead) ≈ 32.
+    payload + t.strings.len() * 48
+}
+
 /// Pre-reserve capacity for `additional` more distinct symbols, so bulk
 /// EDB loads do not rehash the table repeatedly. Harmless to over- or
 /// under-estimate.
@@ -99,6 +111,13 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(resolve(a), "interner-test-x");
         assert_eq!(resolve(b), "interner-test-y");
+    }
+
+    #[test]
+    fn symbol_bytes_grows_with_interning() {
+        let before = symbol_bytes();
+        intern("interner-test-bytes-probe");
+        assert!(symbol_bytes() > before);
     }
 
     #[test]

@@ -33,7 +33,7 @@ mod tuple;
 mod value;
 
 pub use fast_hash::{FastHasher, FastMap, FastSet};
-pub use interner::{reserve_symbols, symbol_count};
+pub use interner::{reserve_symbols, symbol_bytes, symbol_count};
 pub use relation::{IndexedRelation, KeyIndex, Relation};
 pub use tuple::Tuple;
 pub use value::{Sym, Value};

@@ -23,6 +23,9 @@
 //!   twice on one link (duplicates must die in transport dedup).
 //! * **MP309** batching invariance — matched send/deliver pairs agree on
 //!   kind and logical item count (PR 4 logical counters).
+//! * **MP310** cancel discipline — after a node delivers (acks) a
+//!   `Cancel` wave epoch it must not emit another `Answer`/`AnswerBatch`
+//!   (PR 8 resource governance: cancelled nodes drain, never produce).
 
 use crate::event::{EventKind, MsgKind, Trace, NO_SEQ};
 use mp_lint::{Code, Diagnostic};
@@ -85,6 +88,9 @@ struct ActorState {
     /// Cumulative ack points: peer → last upto.
     acks: BTreeMap<u32, u64>,
     end_seen: bool,
+    /// The cancel-wave epoch this actor acked, if any (sticky: log
+    /// replay re-delivers the cancel to a reborn node).
+    cancelled_epoch: Option<u64>,
 }
 
 fn diag(code: Code, msg: String, note: &str) -> Diagnostic {
@@ -173,6 +179,21 @@ pub fn check(trace: &Trace) -> Vec<Diagnostic> {
                 if *kind == MsgKind::EndRequest {
                     a.requested.insert((*wave, *epoch));
                 }
+                // MP310: a cancelled node's answer stream is closed.
+                if kind.is_answer() && e.actor != engine {
+                    if let Some(ce) = a.cancelled_epoch {
+                        out.push(diag(
+                            Code::TraceAnswerAfterCancel,
+                            format!(
+                                "event {i}: actor {} sent {kind} after acking cancel \
+                                 wave epoch {ce}",
+                                e.actor
+                            ),
+                            "a cancelled node drains the protocol but must never \
+                             produce more answers",
+                        ));
+                    }
+                }
             }
             EventKind::Deliver {
                 from,
@@ -194,6 +215,11 @@ pub fn check(trace: &Trace) -> Vec<Diagnostic> {
                     if *kind == MsgKind::End {
                         a.end_seen = true;
                     }
+                }
+
+                // MP310: record the acked cancel-wave epoch.
+                if *kind == MsgKind::Cancel {
+                    a.cancelled_epoch = Some(a.cancelled_epoch.map_or(*epoch, |c| c.max(*epoch)));
                 }
 
                 // MP304: wave replies must name a requested (wave, epoch).

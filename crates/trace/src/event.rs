@@ -27,6 +27,7 @@ pub enum MsgKind {
     EndConfirmed,
     SccFinished,
     Reborn,
+    Cancel,
     Shutdown,
 }
 
@@ -48,6 +49,7 @@ impl MsgKind {
             MsgKind::EndConfirmed => "end_confirmed",
             MsgKind::SccFinished => "scc_finished",
             MsgKind::Reborn => "reborn",
+            MsgKind::Cancel => "cancel",
             MsgKind::Shutdown => "shutdown",
         }
     }
@@ -69,6 +71,7 @@ impl MsgKind {
             "end_confirmed" => MsgKind::EndConfirmed,
             "scc_finished" => MsgKind::SccFinished,
             "reborn" => MsgKind::Reborn,
+            "cancel" => MsgKind::Cancel,
             "shutdown" => MsgKind::Shutdown,
             _ => return None,
         })
@@ -470,6 +473,7 @@ mod tests {
             MsgKind::EndConfirmed,
             MsgKind::SccFinished,
             MsgKind::Reborn,
+            MsgKind::Cancel,
             MsgKind::Shutdown,
         ] {
             assert_eq!(MsgKind::parse(k.as_str()), Some(k));

@@ -140,6 +140,30 @@ fn wave_order_regression_fires_mp304() {
 }
 
 #[test]
+fn answer_after_cancel_fires_mp310() {
+    let (mut n0, mut n1, mut eng, ring) = tracers();
+    // The engine broadcasts a cancel wave; node 1 acks it...
+    let s = eng.on_send(1, MsgKind::Cancel, 1, 1, 0);
+    n1.on_deliver(2, Some(&s), MsgKind::Cancel, 1, 1, 0);
+    // ...then keeps deriving: an answer leaves the cancelled node.
+    let s = n1.on_send(0, MsgKind::Answer, 1, 0, 0);
+    n0.on_deliver(1, Some(&s), MsgKind::Answer, 1, 0, 0);
+    assert_eq!(codes(&collect(3, &ring)), vec!["MP310"]);
+}
+
+#[test]
+fn cancelled_node_may_still_drain_protocol_traffic() {
+    // MP310 closes the *answer* stream only: wave replies and the final
+    // End from a cancelled node are legitimate drain traffic.
+    let (mut n0, mut n1, mut eng, ring) = tracers();
+    let s = eng.on_send(1, MsgKind::Cancel, 1, 1, 0);
+    n1.on_deliver(2, Some(&s), MsgKind::Cancel, 1, 1, 0);
+    let s = n1.on_send(0, MsgKind::End, 1, 0, 0);
+    n0.on_deliver(1, Some(&s), MsgKind::End, 1, 0, 0);
+    assert_eq!(codes(&collect(3, &ring)), Vec::<&str>::new());
+}
+
+#[test]
 fn mutations_survive_text_roundtrip() {
     // Corruption is still detected after serializing and reparsing.
     let (mut n0, _n1, _eng, ring) = tracers();

@@ -17,6 +17,16 @@
 //!                                 duplicate, delay, corrupt) and rely
 //!                                 on the recovery transport
 //!   --no-recovery                 crashes abort instead of replaying
+//!   --deadline SECS               wall-clock budget (default 60)
+//!   --msg-budget N                logical-message budget; crossing it
+//!                                 cancels the run, keeping partial
+//!                                 answers and per-node accounting
+//!   --mem-budget BYTES            memory high-water budget (interned
+//!                                 arena + mailbox payload bytes)
+//!   --mailbox-bound N             per-link credit window: bounds node
+//!                                 mailboxes by backpressure (takes
+//!                                 effect with --chaos, where the
+//!                                 seq/ack transport carries credits)
 //!   --stats                       print instrumentation counters
 //!   --dot                         print the rule/goal graph (Graphviz)
 //!                                 instead of evaluating
@@ -37,7 +47,7 @@
 
 use mp_datalog::{parser::parse_program, Database};
 use mp_framework::baselines::all_baselines;
-use mp_framework::engine::{Engine, FaultPlan, RuntimeKind, Schedule};
+use mp_framework::engine::{Engine, FaultPlan, QueryBudget, RuntimeKind, Schedule};
 use mp_framework::rulegoal::{dot, RuleGoalGraph, SipKind};
 use std::io::Read;
 use std::process::ExitCode;
@@ -51,6 +61,10 @@ struct Options {
     batch_size: Option<usize>,
     chaos: Option<u64>,
     recovery: bool,
+    deadline: Option<u64>,
+    msg_budget: Option<u64>,
+    mem_budget: Option<u64>,
+    mailbox_bound: Option<usize>,
     stats: bool,
     dot: bool,
     explain: bool,
@@ -69,6 +83,10 @@ fn parse_args() -> Result<Options, String> {
         batch_size: None,
         chaos: None,
         recovery: true,
+        deadline: None,
+        msg_budget: None,
+        mem_budget: None,
+        mailbox_bound: None,
         stats: false,
         dot: false,
         explain: false,
@@ -119,6 +137,26 @@ fn parse_args() -> Result<Options, String> {
                 opts.chaos = Some(v.parse().map_err(|_| "bad chaos seed")?);
             }
             "--no-recovery" => opts.recovery = false,
+            "--deadline" => {
+                let v = args.next().ok_or("--deadline needs seconds")?;
+                opts.deadline = Some(v.parse().map_err(|_| format!("bad deadline `{v}`"))?);
+            }
+            "--msg-budget" => {
+                let v = args.next().ok_or("--msg-budget needs a count")?;
+                opts.msg_budget = Some(v.parse().map_err(|_| format!("bad msg budget `{v}`"))?);
+            }
+            "--mem-budget" => {
+                let v = args.next().ok_or("--mem-budget needs bytes")?;
+                opts.mem_budget = Some(v.parse().map_err(|_| format!("bad mem budget `{v}`"))?);
+            }
+            "--mailbox-bound" => {
+                let v = args.next().ok_or("--mailbox-bound needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad mailbox bound `{v}`"))?;
+                if n == 0 {
+                    return Err("--mailbox-bound must be at least 1".to_string());
+                }
+                opts.mailbox_bound = Some(n);
+            }
             "--stats" => opts.stats = true,
             "--dot" => opts.dot = true,
             "--explain" => opts.explain = true,
@@ -142,7 +180,8 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
-[--workers N] [--batching] [--batch-size N] [--chaos SEED] [--no-recovery] [--stats] \
+[--workers N] [--batching] [--batch-size N] [--chaos SEED] [--no-recovery] \
+[--deadline SECS] [--msg-budget N] [--mem-budget BYTES] [--mailbox-bound N] [--stats] \
 [--dot] [--explain] [--trace FILE] [--check] [--baseline B] [FILE]";
 
 fn main() -> ExitCode {
@@ -238,6 +277,26 @@ fn main() -> ExitCode {
     }
     if let Some(seed) = opts.chaos {
         engine = engine.with_fault_plan(FaultPlan::seeded(seed));
+    }
+    if opts.deadline.is_some()
+        || opts.msg_budget.is_some()
+        || opts.mem_budget.is_some()
+        || opts.mailbox_bound.is_some()
+    {
+        let mut budget = QueryBudget::new();
+        if let Some(secs) = opts.deadline {
+            budget = budget.with_deadline(std::time::Duration::from_secs(secs));
+        }
+        if let Some(n) = opts.msg_budget {
+            budget = budget.with_max_messages(n);
+        }
+        if let Some(b) = opts.mem_budget {
+            budget = budget.with_max_bytes(b);
+        }
+        if let Some(n) = opts.mailbox_bound {
+            budget = budget.with_mailbox_bound(n);
+        }
+        engine = engine.with_budget(budget);
     }
     if opts.explain {
         // Compile only: static verification + abstract interpretation,
