@@ -148,7 +148,7 @@ fn main() -> ExitCode {
                         print!("{}", d.render(name, source));
                     }
                     println!("{name}:");
-                    print!("{}", analysis.render_explain());
+                    print!("{}", analysis.render_explain(1));
                 }
             }
             Ok(Outcome::Blocked(lints)) => {

@@ -36,7 +36,7 @@ use mp_lint::{Code, Diagnostic};
 use mp_rulegoal::{Node, RuleGoalGraph};
 use sorts::EmptyReason;
 
-pub use plan::{NodeAnnotation, PartitionKey};
+pub use plan::{shard_fan_outs, NodeAnnotation, PartitionKey};
 pub use sorts::{SortAnalysis, SortSet};
 
 /// Tunables for the analysis passes.
@@ -99,7 +99,9 @@ impl Analysis {
     }
 
     /// Human-readable annotated plan (the body of `mpq --explain`).
-    pub fn render_explain(&self) -> String {
+    /// `shards` is the requested `--shards K` (1 when unsharded); the
+    /// `fan` column shows how many instances each node would get.
+    pub fn render_explain(&self, shards: usize) -> String {
         let mut out = String::new();
         let (mut goals, mut rules, mut edbs, mut refs) = (0, 0, 0, 0);
         for a in &self.nodes {
@@ -118,18 +120,19 @@ impl Analysis {
             self.pruned_rules
         ));
         out.push_str(&format!(
-            "{:<5} {:<9} {:>10} {:>10} {:>5}  {:<12} node\n",
-            "id", "kind", "card", "volume", "batch", "partition"
+            "{:<5} {:<9} {:>10} {:>10} {:>5}  {:<12} {:>3}  node\n",
+            "id", "kind", "card", "volume", "batch", "partition", "fan"
         ));
         for a in &self.nodes {
             out.push_str(&format!(
-                "#{:<4} {:<9} {:>10} {:>10} {:>5}  {:<12} {}{}\n",
+                "#{:<4} {:<9} {:>10} {:>10} {:>5}  {:<12} {:>3}  {}{}\n",
                 a.id,
                 a.kind,
                 fmt_card(a.card),
                 fmt_card(a.volume),
                 a.batch_hint,
                 a.partition.render(),
+                a.fan_out(shards),
                 a.desc,
                 if a.pruned { "  [pruned]" } else { "" }
             ));
@@ -571,7 +574,35 @@ mod tests {
         assert_eq!(j1, j2);
         assert!(j1.contains("\"plan\": ["), "{j1}");
         assert!(j1.contains("\"partition\""), "{j1}");
-        let e = a.render_explain();
+        let e = a.render_explain(1);
         assert!(e.contains("gather"), "{e}");
+    }
+
+    #[test]
+    fn explain_fan_out_tracks_shards() {
+        let (a, g) = run(
+            "path(X, Y) :- edge(X, Y).
+             path(X, Y) :- edge(X, Z), path(Z, Y).
+             ?- path(0, Z).",
+            &[("edge", &[0, 1]), ("edge", &[1, 2])],
+        );
+        // At K=1 every node is single-instance.
+        assert!(a.nodes.iter().all(|n| n.fan_out(1) == 1));
+        // At K=4 some goal-kind node fans out; the root (Gather) and
+        // every rule node stay single-instance.
+        assert!(a.nodes.iter().any(|n| n.fan_out(4) == 4), "no fan-out");
+        assert_eq!(a.nodes[g.root()].fan_out(4), 1);
+        assert!(a
+            .nodes
+            .iter()
+            .filter(|n| n.kind == "rule")
+            .all(|n| n.fan_out(4) == 1));
+        // The fan-out vector the compiler consumes agrees with the
+        // per-node accessor.
+        let parts: Vec<_> = a.nodes.iter().map(|n| n.partition.clone()).collect();
+        let fo = shard_fan_outs(&g, &parts, 4);
+        for n in &a.nodes {
+            assert_eq!(fo[n.id], n.fan_out(4), "node #{}", n.id);
+        }
     }
 }

@@ -61,6 +61,16 @@ pub enum PartitionKey {
 }
 
 impl PartitionKey {
+    /// Shard fan-out this verdict permits at `--shards K`: `Key`
+    /// relations spread over all `shards`; `Gather`, `Singleton`, and
+    /// `Broadcast` relations stay single-instance.
+    pub fn fan_out(&self, shards: usize) -> usize {
+        match self {
+            PartitionKey::Key(_) => shards.max(1),
+            _ => 1,
+        }
+    }
+
     /// Compact human form: `key[1]`, `gather`, `singleton`, `broadcast`.
     pub fn render(&self) -> String {
         match self {
@@ -92,8 +102,27 @@ pub struct NodeAnnotation {
     pub batch_hint: u32,
     /// Inferred shard placement for the node's temporary relation.
     pub partition: PartitionKey,
+    /// True when every tuple request this node receives already carries
+    /// its full partition key (a goal-kind node whose `Key` columns are
+    /// its label's non-empty `d` columns) and the node is free to
+    /// replicate — it is not the leader of a nontrivial SCC. Only such
+    /// nodes are actually instantiated K ways; see [`shard_fan_outs`].
+    pub request_keyed: bool,
     /// True when analysis pruning removes this node.
     pub pruned: bool,
+}
+
+impl NodeAnnotation {
+    /// How many instances this node gets at `--shards K`: `K` for
+    /// request-keyed `Key` relations, 1 for everything else (`Gather`,
+    /// `Singleton`, `Broadcast`, rule nodes, SCC leaders).
+    pub fn fan_out(&self, shards: usize) -> usize {
+        if self.request_keyed {
+            self.partition.fan_out(shards)
+        } else {
+            1
+        }
+    }
 }
 
 /// A batch-size suggestion from an estimated link volume: one flush per
@@ -485,6 +514,61 @@ pub fn partition_keys(graph: &RuleGoalGraph) -> Vec<PartitionKey> {
         .collect()
 }
 
+/// Whether node `id` is request-keyed (shardable): a goal-kind node
+/// whose `Key` verdict is its label's non-empty `d` columns — so every
+/// tuple request already carries the full partition key and the router
+/// can pick the owning shard without coordination — and not the leader
+/// of a nontrivial SCC. The exclusions are load-bearing:
+///
+/// * **Rule nodes never shard.** A rule's `requested[level]` dedup is
+///   per instance; two seed bindings landing on different shards can
+///   project to the *same* subgoal request, which would then be issued
+///   twice — inflating the logical tuple-request/answer counters that
+///   sharding must preserve bit-identically. The rule body stays
+///   colocated with its dedup tables; its head answers hash-route up.
+/// * **SCC leaders never shard.** Only the leader concludes the probe
+///   wave and ends the component's cross streams; a replicated exit's
+///   sibling instances would never `End` their customers.
+/// * **Free-choice keys (no `d` columns) never shard.** Their requests
+///   carry no key values, so routing would have to broadcast.
+fn is_request_keyed(graph: &RuleGoalGraph, id: NodeId, partition: &PartitionKey) -> bool {
+    let Node::Goal { label, .. } = graph.node(id) else {
+        return false;
+    };
+    if !matches!(partition, PartitionKey::Key(_)) {
+        return false;
+    }
+    let adorn = label.adornment();
+    let has_d = adorn
+        .transmitted_positions()
+        .iter()
+        .any(|&p| adorn.class(p) == ArgClass::D);
+    if !has_d {
+        return false;
+    }
+    let scc = graph.scc();
+    !(scc.in_nontrivial(id) && scc.leader_of(scc.component_of(id)) == Some(id))
+}
+
+/// Per-node shard fan-out for `--shards K`: `K` for request-keyed nodes
+/// (see [`NodeAnnotation::request_keyed`]), 1 for everything else. This
+/// is the vector the compiler's `ShardPlan` consumes.
+pub fn shard_fan_outs(
+    graph: &RuleGoalGraph,
+    partition: &[PartitionKey],
+    shards: usize,
+) -> Vec<usize> {
+    (0..graph.len())
+        .map(|id| {
+            if shards > 1 && is_request_keyed(graph, id, &partition[id]) {
+                shards
+            } else {
+                1
+            }
+        })
+        .collect()
+}
+
 /// Node kind as a stable lowercase string for reports.
 pub fn kind_str(node: &Node) -> &'static str {
     match node {
@@ -522,6 +606,7 @@ pub fn annotate(
                 card: c,
                 volume,
                 batch_hint: batch_hint(volume),
+                request_keyed: is_request_keyed(graph, id, &partitions[id]),
                 partition: partitions[id].clone(),
                 pruned,
             }

@@ -1,7 +1,7 @@
 //! The top-level query evaluation API.
 
 use crate::fault::FaultPlan;
-use crate::node::Network;
+use crate::node::{Network, ShardPlan};
 use crate::runtime::{CancelToken, QueryBudget, RuntimeError, Schedule, SimRuntime, ThreadRuntime};
 use crate::stats::Stats;
 use mp_datalog::{Database, DatalogError, Program};
@@ -150,6 +150,7 @@ pub struct Engine {
     recovery: bool,
     workers: usize,
     analysis: bool,
+    shards: usize,
 }
 
 impl Engine {
@@ -172,7 +173,23 @@ impl Engine {
             recovery: true,
             workers: 0,
             analysis: true,
+            shards: 1,
         }
+    }
+
+    /// Replicate every request-keyed node `K` ways (default 1: no
+    /// sharding). Each eligible goal node — one whose partition verdict
+    /// is `Key(cols)` and whose every tuple request carries the full key
+    /// — is compiled into `K` shard instances; requests and head answers
+    /// route to the owning instance by a deterministic hash of the
+    /// partition-key columns, so both runtimes route identically.
+    /// `Gather`/`Singleton` nodes, rule nodes, and SCC leaders stay
+    /// single-instance. Sharding is answer-invariant: for every workload
+    /// and `K`, answers and logical message counts are bit-identical to
+    /// `with_shards(1)`.
+    pub fn with_shards(mut self, shards: usize) -> Engine {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Enable or disable abstract-interpretation analysis pruning
@@ -395,6 +412,18 @@ impl Engine {
             }
             None => (graph, 0, 0),
         };
+        // MP108 is checked against the *final* (post-pruning) artifact —
+        // the same graph the shard plan is built from — so the warning
+        // tracks what evaluation will actually do, not what analysis saw
+        // before dead rules were removed.
+        if self.shards > 1 {
+            let parts = mp_analyze::plan::partition_keys(&graph);
+            let any_fan_out = mp_analyze::shard_fan_outs(&graph, &parts, self.shards)
+                .iter()
+                .any(|&f| f > 1);
+            diags.extend(mp_lint::graph::lint_sharding(self.shards, any_fan_out));
+            mp_lint::sort_diagnostics(&mut diags);
+        }
         Ok(Compiled {
             graph,
             warnings: diags,
@@ -404,13 +433,24 @@ impl Engine {
         })
     }
 
+    /// Build the shard plan for a compiled (post-pruning) graph: the
+    /// per-node fan-out from the partition-key analysis of the final
+    /// artifact, clamped to 1 for every node the router cannot key.
+    fn shard_plan(&self, graph: &RuleGoalGraph) -> ShardPlan {
+        let parts = mp_analyze::plan::partition_keys(graph);
+        ShardPlan {
+            shards: self.shards,
+            fan_out: mp_analyze::shard_fan_outs(graph, &parts, self.shards),
+        }
+    }
+
     /// Evaluate the query.
     pub fn evaluate(&self) -> Result<QueryResult, EngineError> {
         let compiled = self.compile()?;
         let (pruned_nodes, pruned_rules) = (compiled.pruned_nodes, compiled.pruned_rules);
         let graph = compiled.graph;
         let graph_nodes = graph.len();
-        let mut network = Network::compile(&graph, &self.db);
+        let mut network = Network::compile_sharded(&graph, &self.db, &self.shard_plan(&graph));
         network.set_batching(self.batching);
         network.set_batch_max(self.batch_size);
         match self.runtime {
@@ -479,7 +519,7 @@ impl Engine {
     pub fn replay(&self, recorded: &mp_trace::Trace) -> Result<QueryResult, EngineError> {
         let graph = self.compile()?.graph;
         let graph_nodes = graph.len();
-        let mut network = Network::compile(&graph, &self.db);
+        let mut network = Network::compile_sharded(&graph, &self.db, &self.shard_plan(&graph));
         network.set_batching(self.batching);
         network.set_batch_max(self.batch_size);
         let sim = SimRuntime {

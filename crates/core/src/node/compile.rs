@@ -47,10 +47,14 @@ impl CustState {
 /// A feeder arc's static configuration.
 #[derive(Clone, Debug)]
 pub struct FeederCfg {
-    /// The feeder node.
+    /// The feeder node (physical id under sharding).
     pub node: NodeId,
     /// Same-nontrivial-SCC flag (see [`CustState::intra`]).
     pub intra: bool,
+    /// Logical feeder index this arc belongs to (the rule stage for rule
+    /// nodes). A sharded feeder contributes one arc per shard, all with
+    /// the same slot; [`StageCfg::arcs`] lists them in shard order.
+    pub slot: usize,
 }
 
 /// Static configuration of an IDB goal node.
@@ -96,8 +100,11 @@ pub enum HeadSource {
 /// accumulated bindings.
 #[derive(Clone, Debug)]
 pub struct StageCfg {
-    /// Feeder index of the subgoal's goal node.
-    pub feeder_idx: usize,
+    /// Feeder arc indices of the subgoal's goal node, one per shard in
+    /// shard order. A tuple request routes to
+    /// `arcs[shard_hash(request) % arcs.len()]`; end-of-requests and the
+    /// stage-close bookkeeping address every arc of the stage.
+    pub arcs: Vec<usize>,
     /// Stage schema *after* this join (liveness-projected).
     pub schema: Vec<Var>,
     /// For each `d` position of the subgoal (in position order): the
@@ -137,6 +144,15 @@ pub struct RuleCfg {
     pub stages: Vec<StageCfg>,
     /// Output map for the head label's transmitted positions.
     pub head_out: Vec<HeadSource>,
+    /// Customer arc indices of the parent goal, one per shard in shard
+    /// order (`[0]` when the parent is single-instance). A head answer
+    /// routes to `head_arcs[shard_hash(key) % head_arcs.len()]`.
+    pub head_arcs: Vec<usize>,
+    /// Columns of the head answer (transmitted space) forming the
+    /// routing key: the parent goal's `d` columns, so an answer lands on
+    /// the shard that owns the binding it responds to. Empty when the
+    /// parent is single-instance.
+    pub head_hash_cols: Vec<usize>,
 }
 
 /// Per-rule-node mutable state.
@@ -234,6 +250,11 @@ pub struct Common {
     /// end-of-handle flush. Flushed after `answer_buf` on the same arc,
     /// so a binding's answers always precede its end (per-arc FIFO).
     pub etr_buf: Vec<Vec<Tuple>>,
+    /// Per-arc logical items routed onto sharded links, feeder arcs
+    /// first then customer arcs (stats only: feeds the
+    /// `shard_routed_frames` counter and the `shard_max_skew` gauge).
+    /// Stays all-zero on unsharded networks.
+    pub shard_sent: Vec<u64>,
     /// Set on the first delivered `Cancel` wave (resource governance):
     /// the node keeps draining the protocol — frames are still acked —
     /// but drops work, discards its buffers, and never emits another
@@ -251,15 +272,58 @@ pub struct Process {
     pub behavior: Behavior,
 }
 
+/// How the compiler replicates nodes under `--shards K`: the requested
+/// shard count and the per-logical-node fan-out vector (mp-analyze's
+/// `shard_fan_outs`, each entry 1 or `shards`). The default plan is the
+/// unsharded network.
+#[derive(Clone, Debug, Default)]
+pub struct ShardPlan {
+    /// Requested shard count (0/1 = unsharded).
+    pub shards: usize,
+    /// Instances per logical node; missing entries default to 1.
+    pub fan_out: Vec<usize>,
+}
+
+/// Deterministic shard router: fold the key values through
+/// [`mp_storage::FastHasher`] (fixed seed, no per-process state), so the
+/// simulated and pooled runtimes — and a replaying process — route every
+/// frame identically.
+pub fn shard_hash(values: &[Value]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = mp_storage::FastHasher::default();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// [`shard_hash`] over a projection of `t`, without allocating the
+/// projected tuple. The fold visits `cols` in order, so hashing a stored
+/// row on its `d` positions equals hashing the request binding built
+/// from those positions.
+pub fn shard_hash_cols(t: &Tuple, cols: &[usize]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = mp_storage::FastHasher::default();
+    for &c in cols {
+        t[c].hash(&mut h);
+    }
+    h.finish()
+}
+
 /// The compiled network.
 #[derive(Clone, Debug)]
 pub struct Network {
-    /// Processes indexed by [`NodeId`].
+    /// Processes indexed by physical id (== [`NodeId`] when unsharded).
     pub processes: Vec<Process>,
-    /// The root goal node (its customer is the engine).
+    /// The root goal node's physical id (its customer is the engine; the
+    /// root is a gather point and never sharded).
     pub root: NodeId,
     /// Answer arity (the goal predicate's transmitted width).
     pub answer_arity: usize,
+    /// Requested shard count (1 = unsharded).
+    pub shards: usize,
+    /// Physical id → (logical node id, shard index).
+    pub shard_of: Vec<(NodeId, usize)>,
 }
 
 impl Network {
@@ -299,116 +363,242 @@ impl Network {
                 pairs.insert((id, f.node));
                 pairs.insert((f.node, id));
             }
+            // Probe-tree links: at K=1 the BFST follows component arcs,
+            // so these are already present; under sharding a captain's
+            // shard siblings are protocol-only neighbors with no data
+            // arc, and their wave traffic must never be credit-windowed
+            // (stalling an EndConfirmed a concluding leader transitively
+            // waits on could deadlock the wave).
+            if let Some(t) = &p.common.term {
+                if let Some(parent) = t.bfst_parent {
+                    pairs.insert((id, parent));
+                    pairs.insert((parent, id));
+                }
+                for &child in &t.bfst_children {
+                    pairs.insert((id, child));
+                    pairs.insert((child, id));
+                }
+            }
         }
         pairs
     }
 
-    /// Compile `graph` over `db`.
+    /// Compile `graph` over `db`, unsharded (every node single-instance).
     pub fn compile(graph: &RuleGoalGraph, db: &Database) -> Network {
+        Self::compile_sharded(graph, db, &ShardPlan::default())
+    }
+
+    /// Compile `graph` over `db`, replicating each node `plan.fan_out`
+    /// ways (ROADMAP item 1's data-parallel evaluation).
+    ///
+    /// Physical layout: logical node `X`'s instances occupy the
+    /// contiguous physical ids `offsets[X] .. offsets[X] + fan_out[X]`.
+    /// Only request-keyed goal-kind nodes fan out (see mp-analyze's
+    /// `shard_fan_outs`), so every arc pairs a single-instance side with
+    /// each shard of the other: a rule holds one feeder arc per shard of
+    /// a sharded subgoal ([`StageCfg::arcs`]) and one customer arc per
+    /// shard of a sharded parent ([`RuleCfg::head_arcs`]), routing both
+    /// by [`shard_hash`]. The one shard-to-shard case is a sharded cycle
+    /// reference over an equally-sharded (non-leader) ancestor, which
+    /// pairs shard `s` with shard `s`: the reference forwards the very
+    /// binding tuple its own requests were hash-routed by, so shard `s`
+    /// only ever sees bindings it also owns at the ancestor.
+    ///
+    /// For the §3.2 protocol, shard 0 is its group's *captain*: it keeps
+    /// the logical node's BFST parent/children (mapped to captains) and
+    /// adopts its shard siblings as extra protocol children — the probe
+    /// wave aggregates a shard group's idleness and Mattern counters
+    /// through the captain before the (never-sharded) leader concludes,
+    /// which is the two-level termination wave.
+    pub fn compile_sharded(graph: &RuleGoalGraph, db: &Database, plan: &ShardPlan) -> Network {
         let scc = graph.scc();
         let intra = |a: NodeId, b: NodeId| -> bool {
             scc.component_of(a) == scc.component_of(b) && scc.in_nontrivial(a)
         };
+        let fo = |id: NodeId| plan.fan_out.get(id).copied().unwrap_or(1).max(1);
 
-        let mut processes = Vec::with_capacity(graph.len());
+        let mut offsets = Vec::with_capacity(graph.len());
+        let mut n_phys = 0usize;
+        for id in 0..graph.len() {
+            offsets.push(n_phys);
+            n_phys += fo(id);
+        }
+
+        let mut processes = Vec::with_capacity(n_phys);
+        let mut shard_of = Vec::with_capacity(n_phys);
         for (id, node) in graph.nodes() {
-            let mut customers: Vec<CustState> = graph
-                .customers(id)
-                .iter()
-                .map(|&(c, _)| CustState::new(Endpoint::Node(c), intra(id, c)))
-                .collect();
-            if id == graph.root() {
-                customers.push(CustState::new(Endpoint::Engine, false));
-            }
-            let feeders: Vec<FeederCfg> = graph
-                .feeders(id)
-                .iter()
-                .map(|&(f, _)| FeederCfg {
-                    node: f,
-                    intra: intra(id, f),
-                })
-                .collect();
-            let term = if scc.in_nontrivial(id) {
-                let comp = scc.component_of(id);
-                let leader = scc.leader_of(comp).expect("nontrivial SCC has a leader");
-                Some(TermState::new(
-                    leader == id,
-                    scc.bfst_parent(id),
-                    scc.bfst_children(id).to_vec(),
-                ))
-            } else {
-                None
+            let k = fo(id);
+            // Shared per-logical-node precomputation.
+            let edb_template = match node {
+                Node::Goal {
+                    label,
+                    kind: GoalKind::Edb,
+                    ..
+                } => Some(compile_edb(label, db)),
+                _ => None,
             };
-
-            let behavior = match node {
-                Node::Goal { label, kind, .. } => match kind {
-                    GoalKind::Idb => {
-                        let ad = label.adornment();
-                        let transmitted = ad.transmitted_positions();
-                        let d_in_transmitted = ad
-                            .d_positions()
-                            .iter()
-                            .map(|p| {
-                                transmitted
-                                    .iter()
-                                    .position(|t| t == p)
-                                    .expect("d positions are transmitted")
-                            })
-                            .collect();
-                        let mut st = GoalState {
-                            answers: IndexedRelation::new(transmitted.len()),
-                            ..GoalState::default()
-                        };
-                        let cfg = GoalCfg {
-                            d_in_transmitted,
-                            transmitted_len: transmitted.len(),
-                        };
-                        st.answers
-                            .ensure_index(&cfg.d_in_transmitted)
-                            .expect("columns in range");
-                        Behavior::Goal { cfg, st }
+            for s in 0..k {
+                shard_of.push((id, s));
+                let mut customers: Vec<CustState> = Vec::new();
+                for &(c, _) in graph.customers(id) {
+                    let ck = fo(c);
+                    if ck > 1 && k > 1 {
+                        // Sharded cycle ref over a sharded ancestor:
+                        // shard-aligned (fan-outs are equal by
+                        // construction — both label variants share the
+                        // same `d` structure and neither is the leader).
+                        debug_assert_eq!(ck, k, "aligned shard groups");
+                        customers
+                            .push(CustState::new(Endpoint::Node(offsets[c] + s), intra(id, c)));
+                    } else {
+                        for t in 0..ck {
+                            customers
+                                .push(CustState::new(Endpoint::Node(offsets[c] + t), intra(id, c)));
+                        }
                     }
-                    GoalKind::Edb => Behavior::Edb {
-                        cfg: compile_edb(label, db),
-                    },
-                    GoalKind::CycleRef { ancestor } => Behavior::CycleRef {
-                        cfg: CycleCfg {
-                            ancestor: *ancestor,
+                }
+                if id == graph.root() {
+                    customers.push(CustState::new(Endpoint::Engine, false));
+                }
+
+                let mut feeders: Vec<FeederCfg> = Vec::new();
+                let mut feeder_arcs: Vec<Vec<usize>> = Vec::new();
+                for &(f, _) in graph.feeders(id) {
+                    let fk = fo(f);
+                    let slot = feeder_arcs.len();
+                    let mut arcs = Vec::with_capacity(fk);
+                    if fk > 1 && k > 1 {
+                        debug_assert_eq!(fk, k, "aligned shard groups");
+                        arcs.push(feeders.len());
+                        feeders.push(FeederCfg {
+                            node: offsets[f] + s,
+                            intra: intra(id, f),
+                            slot,
+                        });
+                    } else {
+                        for t in 0..fk {
+                            arcs.push(feeders.len());
+                            feeders.push(FeederCfg {
+                                node: offsets[f] + t,
+                                intra: intra(id, f),
+                                slot,
+                            });
+                        }
+                    }
+                    feeder_arcs.push(arcs);
+                }
+
+                let term = if scc.in_nontrivial(id) {
+                    let comp = scc.component_of(id);
+                    let leader = scc.leader_of(comp).expect("nontrivial SCC has a leader");
+                    debug_assert!(leader != id || k == 1, "leaders are never sharded");
+                    if s == 0 {
+                        // Captain: the logical BFST links (captains are
+                        // shard 0, so `offsets` maps node → captain)
+                        // plus the shard siblings as protocol children.
+                        let mut children: Vec<NodeId> =
+                            scc.bfst_children(id).iter().map(|&c| offsets[c]).collect();
+                        children.extend((1..k).map(|t| offsets[id] + t));
+                        Some(TermState::new(
+                            leader == id,
+                            scc.bfst_parent(id).map(|p| offsets[p]),
+                            children,
+                        ))
+                    } else {
+                        Some(TermState::new(false, Some(offsets[id]), Vec::new()))
+                    }
+                } else {
+                    None
+                };
+
+                let behavior = match node {
+                    Node::Goal { label, kind, .. } => match kind {
+                        GoalKind::Idb => {
+                            let d_in_transmitted = d_in_transmitted(label);
+                            let transmitted_len = label.adornment().transmitted_positions().len();
+                            let mut st = GoalState {
+                                answers: IndexedRelation::new(transmitted_len),
+                                ..GoalState::default()
+                            };
+                            let cfg = GoalCfg {
+                                d_in_transmitted,
+                                transmitted_len,
+                            };
+                            st.answers
+                                .ensure_index(&cfg.d_in_transmitted)
+                                .expect("columns in range");
+                            Behavior::Goal { cfg, st }
+                        }
+                        GoalKind::Edb => {
+                            let template =
+                                edb_template.as_ref().expect("precomputed for EDB leaves");
+                            Behavior::Edb {
+                                cfg: if k > 1 {
+                                    shard_edb(template, label, s, k)
+                                } else {
+                                    template.clone()
+                                },
+                            }
+                        }
+                        GoalKind::CycleRef { ancestor } => Behavior::CycleRef {
+                            cfg: CycleCfg {
+                                ancestor: *ancestor,
+                            },
                         },
                     },
-                },
-                Node::Rule {
-                    rule,
-                    plan,
-                    head_label,
-                    ..
-                } => {
-                    let (cfg, st) = compile_rule(rule, plan, head_label);
-                    Behavior::Rule { cfg, st }
-                }
-            };
+                    Node::Rule {
+                        rule,
+                        plan: sip,
+                        head_label,
+                        ..
+                    } => {
+                        let (mut cfg, st) = compile_rule(rule, sip, head_label);
+                        debug_assert_eq!(k, 1, "rule nodes are never sharded");
+                        for (i, stage) in cfg.stages.iter_mut().enumerate() {
+                            stage.arcs = feeder_arcs[i].clone();
+                        }
+                        // Head routing: one arc per parent-goal shard
+                        // (rules have exactly one logical customer).
+                        cfg.head_arcs = (0..customers.len()).collect();
+                        if customers.len() > 1 {
+                            let parent = graph
+                                .customers(id)
+                                .first()
+                                .map(|&(c, _)| c)
+                                .expect("rule nodes have a parent goal");
+                            let parent_label = graph
+                                .node(parent)
+                                .goal_label()
+                                .expect("a rule's parent is a goal");
+                            cfg.head_hash_cols = d_in_transmitted(parent_label);
+                        }
+                        Behavior::Rule { cfg, st }
+                    }
+                };
 
-            let feeder_count = feeders.len();
-            let customer_count = customers.len();
-            processes.push(Process {
-                common: Common {
-                    id,
-                    customers,
-                    feeders,
-                    feeder_end: vec![false; graph.feeders(id).len()],
-                    pending: FastSet::default(),
-                    relreq_forwarded: false,
-                    eor_sent_to_feeders: false,
-                    term,
-                    batching: false,
-                    batch_max: 64,
-                    batch_buf: vec![Vec::new(); feeder_count],
-                    answer_buf: vec![Vec::new(); customer_count],
-                    etr_buf: vec![Vec::new(); customer_count],
-                    cancelled: false,
-                },
-                behavior,
-            });
+                let feeder_count = feeders.len();
+                let customer_count = customers.len();
+                processes.push(Process {
+                    common: Common {
+                        id: offsets[id] + s,
+                        customers,
+                        feeders,
+                        feeder_end: vec![false; feeder_count],
+                        pending: FastSet::default(),
+                        relreq_forwarded: false,
+                        eor_sent_to_feeders: false,
+                        term,
+                        batching: false,
+                        batch_max: 64,
+                        batch_buf: vec![Vec::new(); feeder_count],
+                        answer_buf: vec![Vec::new(); customer_count],
+                        etr_buf: vec![Vec::new(); customer_count],
+                        shard_sent: vec![0; feeder_count + customer_count],
+                        cancelled: false,
+                    },
+                    behavior,
+                });
+            }
         }
 
         let root_label = graph
@@ -417,9 +607,51 @@ impl Network {
             .expect("root is a goal node");
         Network {
             processes,
-            root: graph.root(),
+            root: offsets[graph.root()],
             answer_arity: root_label.adornment().transmitted_positions().len(),
+            shards: plan.shards.max(1),
+            shard_of,
         }
+    }
+}
+
+/// Positions of a label's `d` arguments within its transmitted (non-`e`)
+/// schema — the columns request bindings address and answers are routed
+/// by.
+fn d_in_transmitted(label: &mp_rulegoal::GoalLabel) -> Vec<usize> {
+    let ad = label.adornment();
+    let transmitted = ad.transmitted_positions();
+    ad.d_positions()
+        .iter()
+        .map(|p| {
+            transmitted
+                .iter()
+                .position(|t| t == p)
+                .expect("d positions are transmitted")
+        })
+        .collect()
+}
+
+/// Shard `s`'s slice of a compiled EDB leaf: the rows whose `d`-position
+/// projection hashes to `s`. A request binding is exactly those values
+/// in the same order, so the shard a request routes to holds every row
+/// that can answer it.
+fn shard_edb(template: &EdbCfg, label: &mp_rulegoal::GoalLabel, s: usize, k: usize) -> EdbCfg {
+    let d_positions = label.adornment().d_positions();
+    debug_assert!(!d_positions.is_empty(), "sharded EDB leaves are keyed");
+    let mut filtered = Relation::new(template.filtered.arity());
+    for t in template.filtered.iter() {
+        if shard_hash_cols(t, &d_positions) % k as u64 == s as u64 {
+            filtered
+                .insert(t.clone())
+                .expect("same arity as the template");
+        }
+    }
+    let index = KeyIndex::build(&filtered, &d_positions).expect("d positions in range");
+    EdbCfg {
+        filtered,
+        index,
+        transmitted: template.transmitted.clone(),
     }
 }
 
@@ -574,7 +806,9 @@ fn compile_rule(
             .collect();
 
         stages.push(StageCfg {
-            feeder_idx: i,
+            // Identity stage↔arc map; `compile_sharded` rewrites this
+            // when a subgoal fans out.
+            arcs: vec![i],
             schema: schema.clone(),
             request_from_prev,
             join_prev_cols,
@@ -634,6 +868,8 @@ fn compile_rule(
             stage0_schema,
             stages,
             head_out,
+            head_arcs: vec![0],
+            head_hash_cols: Vec::new(),
         },
         st,
     )

@@ -8,7 +8,7 @@ mod compile;
 mod process;
 
 pub use compile::{
-    Behavior, Common, CustState, CycleCfg, EdbCfg, FeederCfg, GoalCfg, GoalState, HeadSource,
-    Network, Process, RuleCfg, RuleState, StageCfg, StageSource,
+    shard_hash, shard_hash_cols, Behavior, Common, CustState, CycleCfg, EdbCfg, FeederCfg, GoalCfg,
+    GoalState, HeadSource, Network, Process, RuleCfg, RuleState, ShardPlan, StageCfg, StageSource,
 };
 pub use process::Ctx;

@@ -19,8 +19,8 @@
 //!   streams there are closed by the probe protocol instead.
 
 use super::compile::{
-    Behavior, Common, EdbCfg, GoalCfg, GoalState, HeadSource, Process, RuleCfg, RuleState,
-    StageSource,
+    shard_hash, shard_hash_cols, Behavior, Common, EdbCfg, GoalCfg, GoalState, HeadSource, Process,
+    RuleCfg, RuleState, StageSource,
 };
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::stats::Stats;
@@ -108,6 +108,16 @@ impl Common {
 
     fn customer_idx(&self, ep: Endpoint) -> Option<usize> {
         self.customers.iter().position(|c| c.ep == ep)
+    }
+
+    /// Note one logical item routed onto a sharded link (`arc` is a
+    /// feeder arc index, or `feeders.len() + ci` for customer arc `ci`):
+    /// bump the global routed-frame counter and fold this arc's running
+    /// total into the max-skew gauge.
+    fn note_shard_route(&mut self, ctx: &mut Ctx<'_>, arc: usize) {
+        ctx.stats.shard_routed_frames += 1;
+        self.shard_sent[arc] += 1;
+        ctx.stats.shard_max_skew = ctx.stats.shard_max_skew.max(self.shard_sent[arc]);
     }
 
     fn feeder_idx(&self, ep: Endpoint) -> Option<usize> {
@@ -529,8 +539,17 @@ impl Process {
                 if self.common.term.is_none() {
                     match &mut self.behavior {
                         Behavior::Rule { cfg, st } => {
-                            // Stream end from the stage-(fi+1) subgoal.
-                            rule_close_stage(cfg, st, &mut self.common, fi + 1, ctx);
+                            // Stream end from one shard of a subgoal; the
+                            // stage closes once every shard of that
+                            // subgoal (every arc sharing the slot) ended.
+                            let slot = self.common.feeders[fi].slot;
+                            if cfg.stages[slot]
+                                .arcs
+                                .iter()
+                                .all(|&a| self.common.feeder_end[a])
+                            {
+                                rule_close_stage(cfg, st, &mut self.common, slot + 1, ctx);
+                            }
                         }
                         Behavior::Goal { .. } => {
                             goal_maybe_end(&mut self.common, ctx);
@@ -560,7 +579,12 @@ impl Process {
                             }
                         }
                         Behavior::Rule { cfg, st } => {
-                            rule_close_stage(cfg, st, &mut self.common, 0, ctx);
+                            // Seeds arrive from every parent shard; the
+                            // request stream is only over once each of
+                            // them has promised no further bindings.
+                            if self.common.customers.iter().all(|c| c.eor) {
+                                rule_close_stage(cfg, st, &mut self.common, 0, ctx);
+                            }
                         }
                         Behavior::CycleRef { .. } => {
                             // Cycle-ref customers are intra-component, so
@@ -978,10 +1002,19 @@ fn rule_propagate(
     }
     let stage = &cfg.stages[level];
 
-    // Issue the tuple request for the next subgoal.
+    // Issue the tuple request for the next subgoal, hash-routed to the
+    // shard that owns the binding when the subgoal is replicated.
     let req = tuple.project(&stage.request_from_prev);
     if st.requested[level].insert(req.clone()) {
-        common.request_feeder(ctx, stage.feeder_idx, req);
+        let arc = if stage.arcs.len() == 1 {
+            stage.arcs[0]
+        } else {
+            let pick = (shard_hash(req.values()) % stage.arcs.len() as u64) as usize;
+            let arc = stage.arcs[pick];
+            common.note_shard_route(ctx, arc);
+            arc
+        };
+        common.request_feeder(ctx, arc, req);
     }
 
     // Join against the already-stored answers of that subgoal.
@@ -1020,7 +1053,8 @@ fn rule_on_answer(
     tuple: Tuple,
     ctx: &mut Ctx<'_>,
 ) {
-    let level = feeder_idx; // stage cfg i consumes feeder i
+    // Every arc of a sharded subgoal shares the subgoal's stage slot.
+    let level = common.feeders[feeder_idx].slot;
     let Some(stage) = cfg.stages.get(level) else {
         ctx.stats.malformed_dropped += 1;
         return;
@@ -1086,7 +1120,18 @@ fn emit_head(cfg: &RuleCfg, common: &mut Common, final_tuple: &Tuple, ctx: &mut 
         })
         .collect();
     ctx.stats.derived_tuples += 1;
-    common.send_answer(ctx, 0, answer);
+    // Hash-route the answer to the parent-goal shard that owns its
+    // binding (the projection on the parent's `d` columns hashes
+    // identically to the request binding it responds to).
+    let ci = if cfg.head_arcs.len() == 1 {
+        cfg.head_arcs[0]
+    } else {
+        let h = shard_hash_cols(&answer, &cfg.head_hash_cols);
+        let ci = cfg.head_arcs[(h % cfg.head_arcs.len() as u64) as usize];
+        common.note_shard_route(ctx, common.feeders.len() + ci);
+        ci
+    };
+    common.send_answer(ctx, ci, answer);
 }
 
 /// Close stage `level` (0 = the head's end-of-requests; `l` = subgoal
@@ -1112,15 +1157,14 @@ fn rule_close_stage(
     let k = cfg.stages.len();
     if level < k {
         // All requests to subgoal `level+1` have been issued; flush any
-        // buffered ones so the release cannot overtake them.
+        // buffered ones so the release cannot overtake them. Every shard
+        // of the subgoal is released.
         common.flush_batches_now(ctx);
-        let stage_feeder = cfg.stages[level].feeder_idx;
-        let (node, intra) = (
-            common.feeders[stage_feeder].node,
-            common.feeders[stage_feeder].intra,
-        );
-        debug_assert!(!intra, "trivial rule nodes have only cross feeders");
-        common.send(ctx, Endpoint::Node(node), Payload::EndOfRequests, intra);
+        for a in cfg.stages[level].arcs.clone() {
+            let (node, intra) = (common.feeders[a].node, common.feeders[a].intra);
+            debug_assert!(!intra, "trivial rule nodes have only cross feeders");
+            common.send(ctx, Endpoint::Node(node), Payload::EndOfRequests, intra);
+        }
     } else {
         // Head stream complete.
         common.flush_etrs(ctx);

@@ -148,8 +148,12 @@ pub enum Trip {
 /// went (the PR 3 `Timeout` diagnostics, extended).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NodeUsage {
-    /// The node.
+    /// The node (physical process id — one row per shard instance when
+    /// evaluation runs sharded).
     pub node: usize,
+    /// Which shard instance of the logical node this row accounts for
+    /// (always 0 at `--shards 1` and for single-instance nodes).
+    pub shard: usize,
     /// Messages this node processed before the abort.
     pub messages_processed: u64,
     /// The node's mailbox depth at abort.

@@ -16,6 +16,14 @@
 //! clone (write-ahead-log semantics — see DESIGN.md). The fault path is
 //! a separate loop so the clean path stays byte-identical to the
 //! fault-free simulator.
+//!
+//! Sharded evaluation needs no simulator changes: shard instances are
+//! ordinary physical processes, and the two-level termination wave —
+//! per-shard-group idleness aggregated at each group's captain (shard 0)
+//! before the cross-group leader concludes — is just the §3.2 probe wave
+//! over the deeper captain-extended BFST that [`Network::compile_sharded`]
+//! builds. The epoch tags and Mattern counters work unchanged because the
+//! captain links are counted like any other intra-component edge.
 
 use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
@@ -495,6 +503,7 @@ impl SimRuntime {
             let accounting = (0..n)
                 .map(|i| NodeUsage {
                     node: i,
+                    shard: network.shard_of.get(i).map_or(0, |&(_, s)| s),
                     messages_processed: processed[i],
                     mailbox_depth: mailboxes[i].len(),
                     mem_bytes: mailboxes[i].iter().map(|m| m.payload.approx_bytes()).sum(),
@@ -686,6 +695,7 @@ impl SimRuntime {
             let accounting = (0..n)
                 .map(|i| NodeUsage {
                     node: i,
+                    shard: network.shard_of.get(i).map_or(0, |&(_, s)| s),
                     messages_processed: sim.processed[i],
                     mailbox_depth: sim.mailboxes[i].len(),
                     mem_bytes: sim.mailboxes[i]

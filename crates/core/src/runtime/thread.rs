@@ -39,6 +39,15 @@
 //! simulator does. The clean path (`fault_plan: None`) sends `Plain`
 //! frames with no sequence numbers, no acks, and no ticks — zero
 //! transport overhead.
+//!
+//! Sharded evaluation is likewise invisible here: the pool schedules
+//! physical processes, of which a sharded node simply contributes `K`.
+//! Routing by partition-key hash happens inside the node layer with the
+//! same deterministic hasher as the simulator, so both runtimes split
+//! traffic across shard links identically; the two-level termination
+//! wave rides the captain-extended BFST compiled into each instance's
+//! `TermState`, and those captain links are registered as intra pairs so
+//! the credit window never throttles the wave (see DESIGN.md).
 
 use crate::fault::{endpoint_code, Accepted, CrashPoint, FaultPlan, ReceiverLink, SenderLink};
 use crate::msg::{Endpoint, Msg, Payload};
@@ -1143,6 +1152,8 @@ impl ThreadRuntime {
         // Credit windows need the intra-component pairs (never windowed)
         // before the network is consumed into per-node state.
         let intra = Arc::new(network.intra_pairs());
+        // Likewise the shard map, for per-instance abort accounting.
+        let shard_of: Vec<usize> = network.shard_of.iter().map(|&(_, s)| s).collect();
         let window = if fault_mode {
             self.budget.mailbox_bound.map(|b| b as u64)
         } else {
@@ -1448,6 +1459,7 @@ impl ThreadRuntime {
                         let q = net.mailboxes[id].q.lock().unwrap();
                         NodeUsage {
                             node: id,
+                            shard: shard_of.get(id).copied().unwrap_or(0),
                             messages_processed: processed,
                             mailbox_depth: q.len(),
                             mem_bytes: q.iter().map(frame_bytes).sum(),

@@ -118,6 +118,16 @@ pub struct Stats {
     /// Frames the credit window held back from the wire until a
     /// cumulative ack opened it (backpressure events, not losses).
     pub credits_stalled: u64,
+
+    // ---- sharded evaluation (zero at --shards 1) ----
+    /// Logical items (requests or head answers) routed across a sharded
+    /// link by partition-key hash — a measure of how much traffic the
+    /// shard router actually split.
+    pub shard_routed_frames: u64,
+    /// High-water mark of any single shard arc's routed-item count — the
+    /// worst hash skew observed (perfectly balanced traffic keeps this
+    /// near `shard_routed_frames / K`).
+    pub shard_max_skew: u64,
 }
 
 impl Stats {
@@ -213,6 +223,8 @@ impl Stats {
             mailbox_high_water,
             cancel_waves,
             credits_stalled,
+            shard_routed_frames,
+            shard_max_skew,
         } = other;
         self.relation_requests += relation_requests;
         self.tuple_requests += tuple_requests;
@@ -257,6 +269,8 @@ impl Stats {
         self.mailbox_high_water = self.mailbox_high_water.max(*mailbox_high_water);
         self.cancel_waves += cancel_waves;
         self.credits_stalled += credits_stalled;
+        self.shard_routed_frames += shard_routed_frames;
+        self.shard_max_skew = self.shard_max_skew.max(*shard_max_skew);
     }
 
     /// Total fault events injected by the active plan.
@@ -366,6 +380,8 @@ impl std::fmt::Display for Stats {
             mailbox_high_water,
             cancel_waves,
             credits_stalled,
+            shard_routed_frames,
+            shard_max_skew,
         } = self;
         writeln!(f, "-- messages           : {}", self.total_messages())?;
         writeln!(f, "--   relation requests: {relation_requests}")?;
@@ -413,6 +429,8 @@ impl std::fmt::Display for Stats {
         writeln!(f, "-- mailbox high water : {mailbox_high_water}")?;
         writeln!(f, "-- cancel waves       : {cancel_waves}")?;
         writeln!(f, "-- credits stalled    : {credits_stalled}")?;
+        writeln!(f, "-- shard routed frames: {shard_routed_frames}")?;
+        writeln!(f, "-- shard max skew     : {shard_max_skew}")?;
         writeln!(
             f,
             "-- retransmit overhead: {:.1}%",
@@ -535,6 +553,8 @@ mod tests {
             mailbox_high_water: v,
             cancel_waves: v,
             credits_stalled: v,
+            shard_routed_frames: v,
+            shard_max_skew: v,
         }
     }
 
@@ -549,6 +569,7 @@ mod tests {
         expect.sched_max_queue = 2;
         expect.mem_high_water_bytes = 2;
         expect.mailbox_high_water = 2;
+        expect.shard_max_skew = 2;
         assert_eq!(a, expect);
     }
 
@@ -607,11 +628,13 @@ mod tests {
                 mailbox_high_water,
                 cancel_waves,
                 credits_stalled,
+                shard_routed_frames,
+                shard_max_skew,
             );
             let _ = v;
             s.to_string()
         };
-        for v in 1000..1043 {
+        for v in 1000..1045 {
             assert!(
                 text.contains(&format!(": {v}")),
                 "counter value {v} missing from Display output:\n{text}"

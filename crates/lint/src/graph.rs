@@ -551,6 +551,31 @@ pub fn lint_budget(
     })
 }
 
+/// `MP108`: warn when `--shards K>1` was requested but no node of this
+/// graph can actually be replicated — every partition verdict is
+/// `Gather`/`Singleton`/`Broadcast`, or the only `Key` nodes are SCC
+/// leaders or free-choice keys that requests cannot route by. Like
+/// [`lint_budget`] this depends on engine configuration (the requested
+/// shard count), not the artifact alone, so it is *not* part of
+/// [`lint_graph`]: `Engine::compile` passes the fan-out vector computed
+/// by mp-analyze.
+pub fn lint_sharding(shards: usize, any_fan_out: bool) -> Option<Diagnostic> {
+    (shards > 1 && !any_fan_out).then(|| {
+        Diagnostic::new(
+            Code::ShardingIneffective,
+            format!(
+                "--shards {shards} requested but no temporary relation is \
+                 request-keyed; sharding cannot split any node of this program"
+            ),
+        )
+        .with_note(
+            "every partition verdict is gather/singleton/broadcast (or the only \
+             keyed nodes are SCC leaders), so evaluation is identical to \
+             --shards 1 plus routing overhead; see mpq --explain's fan column",
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -837,6 +862,17 @@ mod tests {
         assert_eq!(d.severity, crate::Severity::Warn);
         assert!(d.message.contains("5 nodes"), "{}", d.message);
         assert!(d.note.as_deref().unwrap_or("").contains("--msg-budget"));
+    }
+
+    #[test]
+    fn ineffective_sharding_fires_mp108_as_warning() {
+        let d = lint_sharding(4, false).expect("K>1 with no fan-out must warn");
+        assert_eq!(d.code, Code::ShardingIneffective);
+        assert_eq!(d.severity, crate::Severity::Warn);
+        assert!(d.message.contains("--shards 4"), "{}", d.message);
+        // Silent when sharding helps, and always silent at K=1.
+        assert!(lint_sharding(4, true).is_none());
+        assert!(lint_sharding(1, false).is_none());
     }
 
     #[test]

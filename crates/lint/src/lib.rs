@@ -11,7 +11,7 @@
 //!   the §1 well-formedness conditions over the Datalog AST — rule
 //!   safety/range restriction, arity consistency, EDB/IDB separation,
 //!   reachability from the query, singleton variables, ground facts.
-//! * **Graph lints** (`MP101`–`MP106`, [`graph::lint_graph`]) check
+//! * **Graph lints** (`MP101`–`MP108`, [`graph::lint_graph`]) check
 //!   compiled rule/goal artifacts — argument-class soundness under the
 //!   chosen SIP, a supplier for every `d` position (Def 2.4), variant
 //!   closure (Thm 2.1), cycle-edge consistency, indexability of every
@@ -113,6 +113,12 @@ pub enum Code {
     /// `Engine::with_budget` (`mpq --msg-budget`/`--mem-budget`/
     /// `--mailbox-bound`) to bound it.
     UnboundedBudget,
+    /// `--shards K>1` was requested but no temporary relation is
+    /// request-keyed (every verdict is `Gather`/`Singleton`/`Broadcast`,
+    /// or the only `Key` nodes are SCC leaders/free-choice keys):
+    /// sharding cannot split any node of this program, so evaluation is
+    /// identical to `--shards 1` plus routing overhead.
+    ShardingIneffective,
 
     /// A nontrivial strong component does not have exactly one exit node
     /// (Thm 3.1's unique-feeder precondition).
@@ -199,6 +205,7 @@ impl Code {
             Code::UnindexedSemijoinKey => "MP105",
             Code::OversubscribedGraph => "MP106",
             Code::UnboundedBudget => "MP107",
+            Code::ShardingIneffective => "MP108",
             Code::ExitNodeCount => "MP201",
             Code::BfstAsymmetry => "MP202",
             Code::BfstCoverage => "MP203",
@@ -233,6 +240,7 @@ impl Code {
             | Code::UnindexedSemijoinKey
             | Code::OversubscribedGraph
             | Code::UnboundedBudget
+            | Code::ShardingIneffective
             | Code::TypeClashJoin
             | Code::EmptySubgoal
             | Code::DeadRule
@@ -451,6 +459,7 @@ mod tests {
             Code::UnindexedSemijoinKey,
             Code::OversubscribedGraph,
             Code::UnboundedBudget,
+            Code::ShardingIneffective,
             Code::ExitNodeCount,
             Code::BfstAsymmetry,
             Code::BfstCoverage,

@@ -26,6 +26,16 @@
 //! * **MP310** cancel discipline — after a node delivers (acks) a
 //!   `Cancel` wave epoch it must not emit another `Answer`/`AnswerBatch`
 //!   (PR 8 resource governance: cancelled nodes drain, never produce).
+//!
+//! **Actor identity under sharding.** A trace actor is a *physical*
+//! process id. At `--shards K > 1` each request-keyed node contributes
+//! `K` actors — the `(node, shard)` instances of the engine's
+//! `Network::shard_of` map — so every invariant above applies per shard
+//! instance and per shard link, with no special cases: clocks, seq/ack
+//! prefixes, FIFO, exactly-once, and cancel discipline are checked on
+//! each instance exactly as on an unsharded node, and the two-level
+//! termination wave is just MP304's wave discipline over the
+//! captain-extended spanning tree.
 
 use crate::event::{EventKind, MsgKind, Trace, NO_SEQ};
 use mp_lint::{Code, Diagnostic};

@@ -10,6 +10,11 @@
 //!                                 node scheduler)
 //!   --workers N                   pool size (implies --threads; 0 or
 //!                                 omitted = available parallelism)
+//!   --shards K                    replicate every request-keyed node K
+//!                                 ways; requests and head answers route
+//!                                 by partition-key hash (answers are
+//!                                 bit-identical to --shards 1; MP108
+//!                                 warns when no node can split)
 //!   --batching                    package tuple requests (§3.1 fn 2)
 //!   --batch-size N                tuples per data-plane frame (implies
 //!                                 --batching; 1 = scalar framing)
@@ -33,7 +38,8 @@
 //!   --explain                     compile only: print analysis warnings
 //!                                 and the annotated plan (per-node
 //!                                 cardinality/volume estimates, batch
-//!                                 hints, partition keys)
+//!                                 hints, partition keys, and the shard
+//!                                 fan-out each node gets at --shards K)
 //!   --trace FILE                  record the clock-stamped event trace
 //!                                 and write it (mptrace v1 text) to
 //!                                 FILE; `-` writes to stderr
@@ -57,6 +63,7 @@ struct Options {
     sip: SipKind,
     runtime: RuntimeKind,
     workers: Option<usize>,
+    shards: Option<usize>,
     batching: bool,
     batch_size: Option<usize>,
     chaos: Option<u64>,
@@ -79,6 +86,7 @@ fn parse_args() -> Result<Options, String> {
         sip: SipKind::Greedy,
         runtime: RuntimeKind::Sim(Schedule::Fifo),
         workers: None,
+        shards: None,
         batching: false,
         batch_size: None,
         chaos: None,
@@ -121,6 +129,14 @@ fn parse_args() -> Result<Options, String> {
                 let n: usize = v.parse().map_err(|_| format!("bad worker count `{v}`"))?;
                 opts.workers = Some(n);
                 opts.runtime = RuntimeKind::Threads;
+            }
+            "--shards" => {
+                let v = args.next().ok_or("--shards needs a value")?;
+                let k: usize = v.parse().map_err(|_| format!("bad shard count `{v}`"))?;
+                if k == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                opts.shards = Some(k);
             }
             "--batching" => opts.batching = true,
             "--batch-size" => {
@@ -180,7 +196,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: mpq [--sip S] [--schedule fifo|random:SEED] [--threads] \
-[--workers N] [--batching] [--batch-size N] [--chaos SEED] [--no-recovery] \
+[--workers N] [--shards K] [--batching] [--batch-size N] [--chaos SEED] [--no-recovery] \
 [--deadline SECS] [--msg-budget N] [--mem-budget BYTES] [--mailbox-bound N] [--stats] \
 [--dot] [--explain] [--trace FILE] [--check] [--baseline B] [FILE]";
 
@@ -272,6 +288,9 @@ fn main() -> ExitCode {
     if let Some(n) = opts.workers {
         engine = engine.with_workers(n);
     }
+    if let Some(k) = opts.shards {
+        engine = engine.with_shards(k);
+    }
     if let Some(n) = opts.batch_size {
         engine = engine.with_batch_size(n);
     }
@@ -307,7 +326,10 @@ fn main() -> ExitCode {
                 for d in &compiled.warnings {
                     eprint!("{}", d.render(name, &source));
                 }
-                print!("{}", compiled.analysis.render_explain());
+                print!(
+                    "{}",
+                    compiled.analysis.render_explain(opts.shards.unwrap_or(1))
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {

@@ -1,0 +1,119 @@
+//! CLI surface of sharded evaluation: `mpq --shards K` must keep
+//! answers bit-identical to `--shards 1`, `--explain` must print the
+//! per-node shard fan-out column, `--stats` must carry the `shard_*`
+//! counters, and the deliberately unshardable fixture must earn its
+//! MP108 warning.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).to_path_buf()
+}
+
+fn mpq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mpq"))
+        .current_dir(workspace_root())
+        .args(args)
+        .output()
+        .expect("mpq runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("stdout is UTF-8")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8(out.stderr.clone()).expect("stderr is UTF-8")
+}
+
+const REACH: &str = "examples/programs/reachability.dl";
+const UNSHARDABLE: &str = "examples/analyze/unshardable.dl";
+
+#[test]
+fn shards_flag_is_answer_invariant() {
+    let one = mpq(&[REACH]);
+    assert!(one.status.success(), "{}", stderr(&one));
+    for k in ["2", "4", "8"] {
+        let sharded = mpq(&["--shards", k, REACH]);
+        assert!(sharded.status.success(), "K={k}: {}", stderr(&sharded));
+        assert_eq!(
+            stdout(&sharded),
+            stdout(&one),
+            "--shards {k} changed the answers"
+        );
+    }
+}
+
+#[test]
+fn explain_prints_shard_fan_out_column() {
+    let out = mpq(&["--shards", "4", "--explain", REACH]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let plan = stdout(&out);
+    assert!(plan.contains("fan"), "missing fan column header:\n{plan}");
+    // The request-keyed edge leaf splits 4 ways; the gather root not.
+    assert!(
+        plan.lines().any(|l| l.contains("edb") && l.contains(" 4 ")),
+        "no EDB row reports fan-out 4:\n{plan}"
+    );
+    assert!(
+        plan.lines()
+            .any(|l| l.contains("gather") && l.contains(" 1 ")),
+        "gather rows must stay single-instance:\n{plan}"
+    );
+}
+
+#[test]
+fn stats_carry_shard_counters() {
+    let out = mpq(&["--shards", "4", "--stats", REACH]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stats = stderr(&out);
+    let routed = stats
+        .lines()
+        .find(|l| l.contains("shard routed frames"))
+        .unwrap_or_else(|| panic!("no shard routed frames line:\n{stats}"));
+    let n: u64 = routed.rsplit(':').next().unwrap().trim().parse().unwrap();
+    assert!(n > 0, "sharding never routed a frame:\n{stats}");
+    assert!(
+        stats.contains("shard max skew"),
+        "no shard max skew line:\n{stats}"
+    );
+
+    // At --shards 1 the router must never engage.
+    let out = mpq(&["--stats", REACH]);
+    let stats = stderr(&out);
+    assert!(
+        stats.contains("shard routed frames: 0"),
+        "router engaged at K=1:\n{stats}"
+    );
+}
+
+#[test]
+fn unshardable_fixture_warns_mp108() {
+    let out = mpq(&["--shards", "4", "--explain", UNSHARDABLE]);
+    assert!(out.status.success(), "MP108 is a warning, not an error");
+    let diag = stderr(&out);
+    assert!(
+        diag.contains("warning[MP108]"),
+        "fixture no longer triggers MP108:\n{diag}"
+    );
+    assert!(diag.contains("--shards 4"), "{diag}");
+
+    // Silent without --shards.
+    let out = mpq(&["--explain", UNSHARDABLE]);
+    assert!(!stderr(&out).contains("MP108"), "MP108 fired at K=1");
+}
+
+#[test]
+fn shards_zero_is_a_usage_error() {
+    let out = mpq(&["--shards", "0", REACH]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--shards must be at least 1"));
+}
+
+#[test]
+fn sharded_chaos_run_verifies_its_own_trace() {
+    let out = mpq(&["--shards", "4", "--chaos", "11", "--check", REACH]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stderr(&out).contains("trace verified"), "{}", stderr(&out));
+}
