@@ -91,7 +91,11 @@ fn analyze_source(name: &str, source: &str, opts: &Options) -> Result<Outcome, S
     let _ = program.load_facts(&mut db);
 
     // The MP0xx gate runs first: analysis assumes a well-formed program.
+    // Stratum inference (MP009/MP010) gates alongside the rule-local
+    // lints — an unstratifiable program has no plan to report.
     let mut lints = mp_lint::program::lint_program(&program, Some(&db), Some(&spans));
+    let (_, strat_diags) = mp_analyze::stratify(&program, Some(&spans));
+    lints.extend(strat_diags);
     if lints.iter().any(Diagnostic::is_deny) {
         mp_lint::sort_diagnostics(&mut lints);
         return Ok(Outcome::Blocked(lints));

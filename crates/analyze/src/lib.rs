@@ -30,6 +30,7 @@
 
 pub mod plan;
 pub mod sorts;
+pub mod stratify;
 
 use mp_datalog::{Database, DbStats, Program, SourceMap};
 use mp_lint::{Code, Diagnostic};
@@ -38,6 +39,7 @@ use sorts::EmptyReason;
 
 pub use plan::{shard_fan_outs, NodeAnnotation, PartitionKey};
 pub use sorts::{SortAnalysis, SortSet};
+pub use stratify::{stratify, uses_negation_or_aggregates, StratumPlan};
 
 /// Tunables for the analysis passes.
 #[derive(Clone, Debug)]
@@ -73,6 +75,10 @@ pub struct Analysis {
     pub pruned_rules: usize,
     /// The sort-inference fixpoint (exposed for soundness tests).
     pub sorts: SortAnalysis,
+    /// The stratification plan ([`stratify`]): predicate strata for the
+    /// staged evaluation pipeline. Flat (single-stratum) for pure
+    /// positive programs.
+    pub strata: StratumPlan,
 }
 
 impl Analysis {
@@ -114,18 +120,19 @@ impl Analysis {
         }
         out.push_str(&format!(
             "nodes {} (goals {goals}, rules {rules}, edb {edbs}, refs {refs}); \
-             pruned {} node(s), {} rule(s)\n",
+             pruned {} node(s), {} rule(s); strata {}\n",
             self.nodes.len(),
             self.pruned_nodes,
-            self.pruned_rules
+            self.pruned_rules,
+            self.strata.count().max(1)
         ));
         out.push_str(&format!(
-            "{:<5} {:<9} {:>10} {:>10} {:>5}  {:<12} {:>3}  node\n",
-            "id", "kind", "card", "volume", "batch", "partition", "fan"
+            "{:<5} {:<9} {:>10} {:>10} {:>5}  {:<12} {:>3} {:>5}  node\n",
+            "id", "kind", "card", "volume", "batch", "partition", "fan", "strat"
         ));
         for a in &self.nodes {
             out.push_str(&format!(
-                "#{:<4} {:<9} {:>10} {:>10} {:>5}  {:<12} {:>3}  {}{}\n",
+                "#{:<4} {:<9} {:>10} {:>10} {:>5}  {:<12} {:>3} {:>5}  {}{}\n",
                 a.id,
                 a.kind,
                 fmt_card(a.card),
@@ -133,6 +140,7 @@ impl Analysis {
                 a.batch_hint,
                 a.partition.render(),
                 a.fan_out(shards),
+                a.stratum,
                 a.desc,
                 if a.pruned { "  [pruned]" } else { "" }
             ));
@@ -150,6 +158,7 @@ impl Analysis {
         out.push_str(&format!("  \"nodes\": {},\n", self.nodes.len()));
         out.push_str(&format!("  \"pruned_nodes\": {},\n", self.pruned_nodes));
         out.push_str(&format!("  \"pruned_rules\": {},\n", self.pruned_rules));
+        out.push_str(&format!("  \"strata\": {},\n", self.strata.count().max(1)));
         out.push_str("  \"plan\": [\n");
         for (i, a) in self.nodes.iter().enumerate() {
             let key = match &a.partition {
@@ -171,7 +180,7 @@ impl Analysis {
             out.push_str(&format!(
                 "    {{\"id\": {}, \"kind\": \"{}\", \"desc\": \"{}\", \
                  \"card\": \"{}\", \"volume\": \"{}\", \"batch_hint\": {}, \
-                 \"partition\": \"{}\", \"key\": {}, \"pruned\": {}}}{}\n",
+                 \"partition\": \"{}\", \"key\": {}, \"stratum\": {}, \"pruned\": {}}}{}\n",
                 a.id,
                 a.kind,
                 json_escape(&a.desc),
@@ -180,6 +189,7 @@ impl Analysis {
                 a.batch_hint,
                 part,
                 key,
+                a.stratum,
                 a.pruned,
                 if i + 1 < self.nodes.len() { "," } else { "" }
             ));
@@ -322,7 +332,11 @@ pub fn analyze(
 ) -> Analysis {
     let sort_fix = SortAnalysis::infer(program, db, opts.widen_cap);
     let stats = DbStats::of(db);
-    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    // Stratum inference. Unstratifiable programs are denied before graph
+    // construction (Engine::compile, mp-analyze), so reaching this point
+    // normally means no MP009/MP010; the diagnostics are merged anyway so
+    // every caller sees one consistent report.
+    let (strata, mut diagnostics) = stratify(program, spans);
 
     // Program-level pass: each source rule, in its own variable space.
     let mut program_dead = vec![false; program.rules.len()];
@@ -389,7 +403,7 @@ pub fn analyze(
 
     // Annotations over the full (unpruned) graph, so reports can show
     // what was cut and why.
-    let nodes = plan::annotate(graph, db, &stats, &sort_fix, &dead, &keep);
+    let nodes = plan::annotate(graph, db, &stats, &sort_fix, &dead, &keep, &strata);
     for a in &nodes {
         if a.pruned {
             continue;
@@ -436,6 +450,7 @@ pub fn analyze(
         pruned_nodes,
         pruned_rules,
         sorts: sort_fix,
+        strata,
     }
 }
 

@@ -102,6 +102,9 @@ pub struct NodeAnnotation {
     pub batch_hint: u32,
     /// Inferred shard placement for the node's temporary relation.
     pub partition: PartitionKey,
+    /// Stratum of the node's predicate under the stratification plan
+    /// (0 for every node of a flat program).
+    pub stratum: usize,
     /// True when every tuple request this node receives already carries
     /// its full partition key (a goal-kind node whose `Key` columns are
     /// its label's non-empty `d` columns) and the node is free to
@@ -590,6 +593,7 @@ pub fn annotate(
     sorts: &SortAnalysis,
     dead: &[bool],
     keep: &[bool],
+    strata: &crate::stratify::StratumPlan,
 ) -> Vec<NodeAnnotation> {
     let card = estimate_cards(graph, db, stats, sorts, dead);
     let partitions = partition_keys(graph);
@@ -599,6 +603,10 @@ pub fn annotate(
             let pruned = !keep[id];
             let c = if pruned { 0.0 } else { card[id] };
             let volume = c * graph.customers(id).len() as f64;
+            let pred = match node {
+                Node::Rule { rule, .. } => &rule.head.pred,
+                Node::Goal { atom, .. } => &atom.pred,
+            };
             NodeAnnotation {
                 id,
                 kind: kind_str(node),
@@ -608,6 +616,7 @@ pub fn annotate(
                 batch_hint: batch_hint(volume),
                 request_keyed: is_request_keyed(graph, id, &partitions[id]),
                 partition: partitions[id].clone(),
+                stratum: strata.stratum(pred),
                 pruned,
             }
         })

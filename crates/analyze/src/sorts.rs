@@ -19,8 +19,16 @@
 //! no adornments. The graph-level planner (`plan`) reuses the fixpoint to
 //! test per-instance rule bodies (with the goal's constants substituted
 //! in), which is strictly more precise than the program-level pass.
+//!
+//! **Negation and aggregation.** Negated subgoals *weaken* rather than
+//! bind: a `!q(..)` can only remove tuples, so ignoring it keeps the
+//! fixpoint an over-approximation of the perfect model — MP401–MP403
+//! pruning stays sound under stratified negation. Aggregate output
+//! columns for `count`/`sum` widen to the integer type bit (the fold
+//! synthesizes values outside the fold variable's sort); `min`/`max`
+//! select an existing value and keep the variable's sort.
 
-use mp_datalog::{Atom, Database, Predicate, Program, Var};
+use mp_datalog::{AggFunc, Atom, Database, Predicate, Program, Var};
 use mp_storage::Value;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -221,6 +229,22 @@ impl SortAnalysis {
                     .entry(rule.head.pred.clone())
                     .or_insert_with(|| vec![SortSet::empty(); head_arity]);
                 for (i, t) in rule.head.terms.iter().enumerate() {
+                    // Aggregate output columns: `count`/`sum` synthesize
+                    // integers outside the fold variable's sort, so only
+                    // the type bit is sound; `min`/`max` select one of the
+                    // variable's own values and keep its sort.
+                    if rule.agg.as_ref().is_some_and(|a| {
+                        a.position == i && matches!(a.func, AggFunc::Count | AggFunc::Sum)
+                    }) {
+                        changed |= entry[i].union_with(
+                            &SortSet::Top {
+                                ints: true,
+                                syms: false,
+                            },
+                            cap,
+                        );
+                        continue;
+                    }
                     let col_sort = match t {
                         mp_datalog::Term::Const(v) => SortSet::Values(BTreeSet::from([*v])),
                         // Safe rules bind every head var in the body; an
@@ -425,5 +449,57 @@ mod tests {
         assert!(matches!(edge[0], SortSet::Top { ints: true, .. }));
         assert!(edge[0].contains(&Value::int(999)), "Top admits by type");
         assert!(!edge[0].contains(&Value::str("zzz")));
+    }
+
+    #[test]
+    fn negated_subgoals_weaken_instead_of_bind() {
+        // `stuck` holds at most the positive bindings of `pos`; the
+        // negation only removes tuples, so its sort must cover pos's
+        // column even though `!moved(X)` could (concretely) filter
+        // everything out. The abstraction must NOT treat the negated
+        // subgoal as a binder (which could wrongly shrink the sort).
+        let (program, db) = setup(
+            "moved(X) :- move(X, _Y).
+             stuck(X) :- pos(X, _P), !moved(X).
+             ?- stuck(X).",
+            &[("move", 1, 2), ("pos", 1, 0), ("pos", 7, 0)],
+        );
+        let sa = SortAnalysis::infer(&program, &db, DEFAULT_WIDEN_CAP);
+        let stuck = sa.of(&Predicate::new("stuck")).unwrap();
+        // 1 is concretely removed by !moved(1), but must stay in the
+        // over-approximation; 7 truly survives.
+        assert!(stuck[0].contains(&Value::int(1)));
+        assert!(stuck[0].contains(&Value::int(7)));
+        assert!(!stuck[0].contains(&Value::int(2)));
+    }
+
+    #[test]
+    fn aggregate_columns_widen_by_function() {
+        let (program, db) = setup(
+            "n(D, count<S>) :- pay(D, S).
+             t(D, sum<S>) :- pay(D, S).
+             m(D, min<S>) :- pay(D, S).
+             ?- n(D, C).",
+            &[("pay", 1, 10), ("pay", 1, 20)],
+        );
+        let sa = SortAnalysis::infer(&program, &db, DEFAULT_WIDEN_CAP);
+        // count/sum synthesize integers outside S's sort: the column is
+        // integer-Top (2 and 30 are derivable but not in {10, 20}).
+        for pred in ["n", "t"] {
+            let cols = sa.of(&Predicate::new(pred)).unwrap();
+            assert_eq!(
+                cols[1],
+                SortSet::Top {
+                    ints: true,
+                    syms: false
+                },
+                "{pred}"
+            );
+            assert!(cols[0].contains(&Value::int(1)), "grouping col is exact");
+        }
+        // min/max pick an existing value: the fold variable's own sort.
+        let m = sa.of(&Predicate::new("m")).unwrap();
+        assert!(m[1].contains(&Value::int(10)));
+        assert!(!m[1].contains(&Value::int(30)));
     }
 }

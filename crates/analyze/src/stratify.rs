@@ -1,0 +1,312 @@
+//! Stratification analysis (**mp-stratify**): stratum inference for
+//! programs with negation and aggregation.
+//!
+//! Pure positive Datalog has a least fixpoint regardless of evaluation
+//! order; `!` and `count/sum/min/max` break that monotonicity. The
+//! standard repair is *stratification*: partition the IDB predicates into
+//! strata such that
+//!
+//! * a positive dependency stays in the same stratum or looks down,
+//! * a negated dependency looks **strictly** down (the negated relation
+//!   is complete before it is complemented),
+//! * an aggregate rule's body looks strictly down (the fold sees the full
+//!   extension of its body).
+//!
+//! Evaluating strata in order then computes the *perfect model* — each
+//! stratum is an ordinary monotone fixpoint over the (now EDB-like)
+//! results of the strata below, which is exactly a pipeline of
+//! message-passing engine runs sealed by the §3.2 quiescence barrier.
+//!
+//! This pass assigns strata by Kleene iteration of the max-formula
+//! above and **denies** when no assignment exists:
+//!
+//! * `MP009 UnstratifiableNegation` — a negated subgoal's predicate is
+//!   mutually recursive with the rule's head (negation on a cycle),
+//! * `MP010 AggregateInRecursion` — an aggregate rule's body predicate is
+//!   mutually recursive with its head (the fold feeds itself).
+//!
+//! The rule-local safety half (`MP011`/`MP012`) lives in
+//! `mp_lint::program`; both report through the shared diagnostic schema.
+
+use mp_datalog::analysis::DependencyAnalysis;
+use mp_datalog::{Predicate, Program, SourceMap};
+use mp_lint::{Code, Diagnostic};
+use std::collections::BTreeMap;
+
+/// The stratum assignment: a first-class analysis artifact surfaced in
+/// `mp-analyze --json` and `mpq --explain`, and consumed by
+/// `Engine::compile` to stage evaluation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StratumPlan {
+    /// Stratum of every IDB predicate (rule heads). EDB predicates are
+    /// implicitly stratum 0.
+    pub stratum_of: BTreeMap<Predicate, usize>,
+    /// Predicates grouped by stratum, name-ordered within each group.
+    /// `strata.len()` is the number of strata (1 for a flat program).
+    pub strata: Vec<Vec<Predicate>>,
+}
+
+impl StratumPlan {
+    /// Stratum of a predicate (0 for EDB predicates).
+    pub fn stratum(&self, p: &Predicate) -> usize {
+        self.stratum_of.get(p).copied().unwrap_or(0)
+    }
+
+    /// Number of strata (0 only for the empty/denied plan).
+    pub fn count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// True when every predicate sits in stratum 0 — evaluation needs no
+    /// staging and the engine runs exactly as it would without this pass.
+    pub fn is_flat(&self) -> bool {
+        self.count() <= 1
+    }
+}
+
+/// True if the program uses negation or aggregation anywhere — the only
+/// programs whose evaluation the stratum plan can change.
+pub fn uses_negation_or_aggregates(program: &Program) -> bool {
+    program
+        .rules
+        .iter()
+        .any(|r| !r.neg.is_empty() || r.agg.is_some())
+}
+
+/// Infer the stratum plan, denying unstratifiable programs.
+///
+/// On a deny (`MP009`/`MP010`) the returned plan is empty — there is no
+/// consistent assignment to report.
+pub fn stratify(program: &Program, spans: Option<&SourceMap>) -> (StratumPlan, Vec<Diagnostic>) {
+    let mut diags = Vec::new();
+    let rule_span = |i: usize| spans.and_then(|m| m.rule(i));
+    let deps = DependencyAnalysis::of(program);
+
+    // Cycle checks via the SCC condensation: an edge that must look
+    // strictly down cannot stay inside a strongly connected component.
+    for (i, r) in program.rules.iter().enumerate() {
+        for n in &r.neg {
+            if deps.mutually_recursive(&r.head.pred, &n.pred) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::UnstratifiableNegation,
+                        format!(
+                            "negated subgoal `!{n}` in rule `{r}` closes a dependency \
+                             cycle: `{}` depends on its own negation",
+                            r.head.pred.name()
+                        ),
+                    )
+                    .with_span(rule_span(i))
+                    .with_note(
+                        "no stratification exists — the perfect model is undefined; break \
+                         the cycle (e.g. the win-move stratified fragment) or drop the negation",
+                    ),
+                );
+            }
+        }
+        if r.agg.is_some() {
+            for b in r.body.iter().chain(r.neg.iter()) {
+                if deps.mutually_recursive(&r.head.pred, &b.pred) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::AggregateInRecursion,
+                            format!(
+                                "aggregate rule `{r}` lies on a dependency cycle through \
+                                 `{}`: the fold would consume its own output",
+                                b.pred.name()
+                            ),
+                        )
+                        .with_span(rule_span(i))
+                        .with_note(
+                            "an aggregate needs the full extension of its body; move the \
+                             recursion into a lower predicate and aggregate its fixpoint",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if diags.iter().any(Diagnostic::is_deny) {
+        return (StratumPlan::default(), diags);
+    }
+
+    // Kleene iteration of
+    //   stratum(p) = max over rules r with head p, dependency q of r:
+    //     positive q, r not aggregating  -> stratum(q)
+    //     negated q, or r aggregating    -> stratum(q) + 1
+    // with EDB predicates pinned at 0. The condensation is acyclic along
+    // +1 edges (checked above), so this converges within |preds| rounds;
+    // the bound below is a belt-and-braces guard, not a control path.
+    let mut stratum: BTreeMap<Predicate, usize> = program
+        .rules
+        .iter()
+        .map(|r| (r.head.pred.clone(), 0))
+        .collect();
+    let bound = stratum.len() + 2;
+    for _ in 0..bound {
+        let mut changed = false;
+        for r in &program.rules {
+            let lift = usize::from(r.agg.is_some());
+            let mut need = 0usize;
+            for b in &r.body {
+                need = need.max(stratum.get(&b.pred).copied().unwrap_or(0) + lift);
+            }
+            for n in &r.neg {
+                need = need.max(stratum.get(&n.pred).copied().unwrap_or(0) + 1);
+            }
+            let cur = stratum.entry(r.head.pred.clone()).or_insert(0);
+            if need > *cur {
+                *cur = need;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let max = stratum.values().copied().max().unwrap_or(0);
+    let mut strata: Vec<Vec<Predicate>> = vec![Vec::new(); max + 1];
+    for (p, &s) in &stratum {
+        strata[s].push(p.clone());
+    }
+    // BTreeMap iteration already yields name order within each stratum.
+    (
+        StratumPlan {
+            stratum_of: stratum,
+            strata,
+        },
+        diags,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datalog::parser::{parse_program, parse_program_with_spans};
+
+    fn plan(src: &str) -> StratumPlan {
+        let (p, d) = stratify(&parse_program(src).unwrap(), None);
+        assert!(d.iter().all(|d| !d.is_deny()), "{d:?}");
+        p
+    }
+
+    fn denies(src: &str) -> Vec<Code> {
+        let (_, d) = stratify(&parse_program(src).unwrap(), None);
+        d.into_iter()
+            .filter(|d| d.is_deny())
+            .map(|d| d.code)
+            .collect()
+    }
+
+    #[test]
+    fn positive_program_is_flat() {
+        let p = plan(
+            "tc(X, Y) :- e(X, Y).
+             tc(X, Z) :- tc(X, Y), e(Y, Z).
+             ?- tc(1, X).",
+        );
+        assert!(p.is_flat());
+        assert_eq!(p.stratum(&Predicate::new("tc")), 0);
+        assert_eq!(p.stratum(&Predicate::new("goal")), 0);
+        assert_eq!(p.stratum(&Predicate::new("e")), 0);
+    }
+
+    #[test]
+    fn negation_lifts_a_stratum() {
+        let p = plan(
+            "moved(X) :- move(X, _Y).
+             stuck(X) :- pos(X), !moved(X).
+             ?- stuck(X).",
+        );
+        assert_eq!(p.stratum(&Predicate::new("moved")), 0);
+        assert_eq!(p.stratum(&Predicate::new("stuck")), 1);
+        assert_eq!(p.stratum(&Predicate::new("goal")), 1);
+        assert_eq!(p.count(), 2);
+    }
+
+    #[test]
+    fn win_move_fragment_has_three_strata() {
+        let p = plan(
+            "moved(X) :- move(X, _Y).
+             lose(X) :- pos(X), !moved(X).
+             win(X) :- move(X, Y), lose(Y).
+             unresolved(X) :- pos(X), !win(X), !lose(X).
+             ?- unresolved(X).",
+        );
+        assert_eq!(p.stratum(&Predicate::new("moved")), 0);
+        assert_eq!(p.stratum(&Predicate::new("lose")), 1);
+        assert_eq!(p.stratum(&Predicate::new("win")), 1);
+        assert_eq!(p.stratum(&Predicate::new("unresolved")), 2);
+        assert_eq!(p.count(), 3);
+    }
+
+    #[test]
+    fn aggregate_rule_lifts_over_its_body() {
+        let p = plan(
+            "reach(X, Y) :- e(X, Y).
+             reach(X, Z) :- reach(X, Y), e(Y, Z).
+             rcount(X, count<Y>) :- reach(X, Y).
+             ?- rcount(X, C).",
+        );
+        assert_eq!(p.stratum(&Predicate::new("reach")), 0);
+        assert_eq!(p.stratum(&Predicate::new("rcount")), 1);
+        assert_eq!(p.stratum(&Predicate::new("goal")), 1);
+    }
+
+    #[test]
+    fn win_move_is_denied_mp009() {
+        let d = denies("win(X) :- move(X, Y), !win(Y). ?- win(1).");
+        assert_eq!(d, vec![Code::UnstratifiableNegation]);
+    }
+
+    #[test]
+    fn mutual_negation_is_denied_mp009() {
+        let d = denies(
+            "p(X) :- e(X), !q(X).
+             q(X) :- e(X), !p(X).
+             ?- p(1).",
+        );
+        assert!(d.iter().all(|c| *c == Code::UnstratifiableNegation));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn aggregate_in_recursion_is_denied_mp010() {
+        let d = denies(
+            "total(X, sum<S>) :- part(X, Y), total(Y, S).
+             ?- total(1, S).",
+        );
+        assert!(d.contains(&Code::AggregateInRecursion));
+    }
+
+    #[test]
+    fn denied_plan_is_empty() {
+        let (p, d) = stratify(
+            &parse_program("win(X) :- move(X, Y), !win(Y). ?- win(1).").unwrap(),
+            None,
+        );
+        assert!(d.iter().any(Diagnostic::is_deny));
+        assert_eq!(p, StratumPlan::default());
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    fn deny_spans_point_at_the_rule() {
+        let src = "moved(X) :- move(X, _Y).\nwin(X) :- move(X, Y), !win(Y).\n?- win(1).\n";
+        let (prog, map) = parse_program_with_spans(src).unwrap();
+        let (_, d) = stratify(&prog, Some(&map));
+        let deny = d.iter().find(|d| d.is_deny()).unwrap();
+        assert_eq!(deny.span.map(|s| s.line), Some(2));
+    }
+
+    #[test]
+    fn uses_negation_or_aggregates_detects_both() {
+        let pos = parse_program("p(X) :- e(X). ?- p(X).").unwrap();
+        assert!(!uses_negation_or_aggregates(&pos));
+        let neg = parse_program("p(X) :- e(X), !q(X). ?- p(X).").unwrap();
+        assert!(uses_negation_or_aggregates(&neg));
+        let agg = parse_program("t(count<X>) :- e(X). ?- t(C).").unwrap();
+        assert!(uses_negation_or_aggregates(&agg));
+    }
+}

@@ -17,7 +17,10 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Run `mp-analyze --json <file>` from the workspace root (golden files
-/// embed the repo-relative path) and return stdout.
+/// embed the repo-relative path) and return stdout. Exit code 1 is the
+/// documented "deny-level lint blocked analysis" status — the blocked
+/// JSON report is still the golden contract for those fixtures — so
+/// only code 2 (usage/I/O) and crashes fail the harness.
 fn analyze_json(rel: &str) -> String {
     let out = Command::new(env!("CARGO_BIN_EXE_mp-analyze"))
         .current_dir(workspace_root())
@@ -25,8 +28,9 @@ fn analyze_json(rel: &str) -> String {
         .output()
         .expect("mp-analyze runs");
     assert!(
-        out.status.success(),
-        "mp-analyze --json {rel} failed: {}",
+        matches!(out.status.code(), Some(0 | 1)),
+        "mp-analyze --json {rel} failed ({:?}): {}",
+        out.status.code(),
         String::from_utf8_lossy(&out.stderr)
     );
     String::from_utf8(out.stdout).expect("JSON output is UTF-8")
@@ -91,5 +95,40 @@ fn defective_fixtures_trigger_their_codes() {
             json.contains(&format!("\"code\": \"{code}\"")),
             "examples/analyze/{name}.dl no longer triggers {code}:\n{json}"
         );
+    }
+}
+
+/// The deny fixtures are rejected, not planned: each triggers the
+/// stratification/safety code it demonstrates, reports itself blocked
+/// with an empty plan, and makes the CLI exit with status 1.
+#[test]
+fn deny_fixtures_are_blocked_with_their_codes() {
+    for (name, codes) in [
+        ("unstratifiable", &["MP009"][..]),
+        ("unsafe-negation", &["MP011"][..]),
+        ("aggregate-cycle", &["MP010", "MP012"][..]),
+    ] {
+        let rel = format!("examples/analyze/{name}.dl");
+        let out = Command::new(env!("CARGO_BIN_EXE_mp-analyze"))
+            .current_dir(workspace_root())
+            .args(["--json", &rel])
+            .output()
+            .expect("mp-analyze runs");
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rel}: a deny fixture must exit 1"
+        );
+        let json = String::from_utf8(out.stdout).expect("JSON output is UTF-8");
+        assert!(
+            json.contains("\"blocked\": true") && json.contains("\"plan\": []"),
+            "{rel}: expected a blocked report with an empty plan:\n{json}"
+        );
+        for code in codes {
+            assert!(
+                json.contains(&format!("\"code\": \"{code}\"")),
+                "{rel} no longer triggers {code}:\n{json}"
+            );
+        }
     }
 }

@@ -151,6 +151,30 @@ fn eval_body(
     stats: &mut EvalStats,
 ) {
     if idx == rule.body.len() {
+        // Stratified negation: the binding survives only if every negated
+        // subgoal misses the store. Strata run bottom-up, so the negated
+        // relations are already sealed here. A negated variable left
+        // unbound by the positive subgoals violates range restriction
+        // (MP011); such a rule derives nothing.
+        for neg in &rule.neg {
+            let ground: Option<Tuple> = neg
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(*c),
+                    Term::Var(v) => env.get(v).cloned(),
+                })
+                .collect();
+            match ground {
+                Some(t) => {
+                    stats.join_probes += 1;
+                    if store.get(&neg.pred).is_some_and(|rel| rel.contains(&t)) {
+                        return;
+                    }
+                }
+                None => return,
+            }
+        }
         let head: Option<Tuple> = rule
             .head
             .terms

@@ -25,10 +25,17 @@
 //! relation plus comparable work counters, so benches can report the
 //! observables the paper argues about (tuples computed, join work,
 //! iterations) across methods.
+//!
+//! Separately from the five baselines, [`PerfectModel`] evaluates
+//! stratified programs with negation and aggregates by iterated
+//! fixpoints over independently inferred strata. It is the semantics
+//! oracle the engine's staged pipeline is tested against, and is *not*
+//! part of [`all_baselines`] (the positive-program comparison space).
 
 mod common;
 mod magic;
 mod naive;
+mod perfect;
 mod relevant;
 mod seminaive;
 mod topdown;
@@ -36,6 +43,7 @@ mod topdown;
 pub use common::{EvalStats, RelStore};
 pub use magic::MagicSets;
 pub use naive::Naive;
+pub use perfect::PerfectModel;
 pub use relevant::Relevant;
 pub use seminaive::SemiNaive;
 pub use topdown::TopDown;

@@ -1,0 +1,334 @@
+//! The stratified perfect-model oracle: iterated monotone fixpoints over
+//! an independently inferred stratification.
+//!
+//! This evaluator exists to *check* the engine's staged pipeline, so it
+//! deliberately shares nothing with `mp-analyze`: strata are inferred
+//! here by a direct Kleene iteration over the rules, negation is applied
+//! as a membership test against sealed lower strata, and aggregates are
+//! folded once per stratum from the fully materialized body extension.
+//! Any disagreement between this evaluator and the engine on a
+//! stratifiable program is a bug in one of them.
+//!
+//! It is exported separately from [`crate::all_baselines`]: the five
+//! paper baselines model §1.1's comparison space for positive programs,
+//! while the perfect model is the semantics reference for programs with
+//! `!` and aggregates.
+
+use crate::common::{eval_rule, prepare_rule_indexes, EvalStats, RelStore};
+use crate::{EvalResult, Evaluator};
+use mp_datalog::{Atom, Database, DatalogError, Predicate, Program, Rule, Term, Var};
+use mp_storage::{ops, Relation, Tuple};
+use std::collections::BTreeMap;
+
+/// Bottom-up evaluation of the perfect (stratified) model: strata run in
+/// order, each to a monotone fixpoint, with negated subgoals reading the
+/// sealed result of lower strata and aggregate heads folded once their
+/// bodies are complete.
+pub struct PerfectModel;
+
+/// Assign each IDB predicate a stratum by Kleene iteration:
+///
+/// * a positive, non-aggregate dependency requires `stratum(head) >=
+///   stratum(dep)`,
+/// * a negated dependency — or any dependency of an aggregate rule —
+///   requires `stratum(head) >= stratum(dep) + 1`.
+///
+/// EDB (and undefined) predicates sit at stratum 0. A stratifiable
+/// program needs no stratum above the number of IDB predicates; a value
+/// escaping that cap means the `+1` edges lie on a cycle, and the
+/// program has no perfect model.
+fn infer_strata(program: &Program) -> Result<BTreeMap<Predicate, usize>, DatalogError> {
+    let mut stratum: BTreeMap<Predicate, usize> = BTreeMap::new();
+    for r in &program.rules {
+        stratum.entry(r.head.pred.clone()).or_insert(0);
+    }
+    let cap = stratum.len();
+    loop {
+        let mut changed = false;
+        for r in &program.rules {
+            let mut s = 0usize;
+            for b in &r.body {
+                let dep = stratum.get(&b.pred).copied().unwrap_or(0);
+                s = s.max(if r.agg.is_some() { dep + 1 } else { dep });
+            }
+            for n in &r.neg {
+                s = s.max(stratum.get(&n.pred).copied().unwrap_or(0) + 1);
+            }
+            let cur = stratum.get_mut(&r.head.pred).expect("seeded above");
+            if s > *cur {
+                *cur = s;
+                changed = true;
+            }
+        }
+        if let Some((p, _)) = stratum.iter().find(|(_, s)| **s > cap) {
+            return Err(DatalogError::Unstratifiable {
+                pred: p.to_string(),
+            });
+        }
+        if !changed {
+            return Ok(stratum);
+        }
+    }
+}
+
+/// Fold one aggregate rule from its fully materialized body extension
+/// and insert the resulting head tuples.
+///
+/// The body is evaluated as an ordinary (aggregate-free) rule whose head
+/// exposes the distinct head variables in first-occurrence order; the
+/// fold then groups on every exposed column except the aggregated one.
+/// This mirrors the grouping the MP012 safety check licenses.
+fn materialize_aggregate(r: &Rule, store: &mut RelStore, stats: &mut EvalStats) {
+    let agg = r.agg.as_ref().expect("caller filters on agg rules");
+    let mut head_vars: Vec<Var> = Vec::new();
+    for t in &r.head.terms {
+        if let Term::Var(v) = t {
+            if !head_vars.contains(v) {
+                head_vars.push(v.clone());
+            }
+        }
+    }
+    let mut body_rule = r.clone();
+    body_rule.agg = None;
+    body_rule.head = Atom::new(
+        "agg$body",
+        head_vars.iter().cloned().map(Term::Var).collect(),
+    );
+    let rows = eval_rule(&body_rule, store, None, stats);
+    let rel = Relation::from_tuples(head_vars.len(), rows)
+        .expect("synthesized body head has a fixed arity");
+
+    let agg_idx = head_vars
+        .iter()
+        .position(|v| v == &agg.var)
+        .expect("MP012: the fold variable occurs in the head");
+    let group: Vec<usize> = (0..head_vars.len()).filter(|&i| i != agg_idx).collect();
+    let group_vars: Vec<&Var> = group.iter().map(|&i| &head_vars[i]).collect();
+    let folded = ops::aggregate(&rel, &group, agg_idx, agg.func)
+        .expect("oracle workloads aggregate integers within range");
+
+    // Rebuild full-arity head tuples: grouped columns come back in
+    // `group` order, the fold value rides in the final column.
+    for row in folded.iter() {
+        let t: Tuple = r
+            .head
+            .terms
+            .iter()
+            .map(|term| match term {
+                Term::Const(c) => *c,
+                Term::Var(v) if v == &agg.var => row[group.len()],
+                Term::Var(v) => {
+                    let i = group_vars
+                        .iter()
+                        .position(|g| *g == v)
+                        .expect("head variable is grouped");
+                    row[i]
+                }
+            })
+            .collect();
+        if store.insert(&r.head.pred, t) {
+            stats.derived_tuples += 1;
+        }
+    }
+}
+
+impl Evaluator for PerfectModel {
+    fn name(&self) -> &'static str {
+        "perfect"
+    }
+
+    fn evaluate(&self, program: &Program, db: &Database) -> Result<EvalResult, DatalogError> {
+        let mut db = db.clone();
+        program.load_facts(&mut db)?;
+        program.validate(&db)?;
+        let strata = infer_strata(program)?;
+        let top = strata.values().copied().max().unwrap_or(0);
+
+        let mut store = RelStore::from_database(&db);
+        prepare_rule_indexes(&mut store, &program.rules);
+        let mut stats = EvalStats::default();
+
+        for s in 0..=top {
+            // Aggregate heads first: their bodies live strictly below
+            // this stratum (the `+1` lift), so they are already sealed.
+            for r in &program.rules {
+                if r.agg.is_some() && strata[&r.head.pred] == s {
+                    materialize_aggregate(r, &mut store, &mut stats);
+                }
+            }
+            // Monotone fixpoint over the stratum's remaining rules;
+            // negated subgoals read sealed lower strata only.
+            let rules: Vec<&Rule> = program
+                .rules
+                .iter()
+                .filter(|r| r.agg.is_none() && strata[&r.head.pred] == s)
+                .collect();
+            loop {
+                stats.iterations += 1;
+                let mut new_any = false;
+                for r in &rules {
+                    for t in eval_rule(r, &store, None, &mut stats) {
+                        if store.insert(&r.head.pred, t) {
+                            new_any = true;
+                        }
+                    }
+                }
+                if !new_any {
+                    break;
+                }
+            }
+        }
+
+        stats.stored_tuples = store.total_tuples();
+        Ok(EvalResult {
+            answers: store.goal_relation(program),
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mp_datalog::parser::parse_program;
+    use mp_storage::tuple;
+
+    fn eval(src: &str, edb: &[(&str, Tuple)]) -> Result<Vec<Tuple>, DatalogError> {
+        let program = parse_program(src).unwrap();
+        let mut db = Database::new();
+        for (p, t) in edb {
+            db.insert(*p, t.clone()).unwrap();
+        }
+        PerfectModel
+            .evaluate(&program, &db)
+            .map(|r| r.answers.sorted_rows())
+    }
+
+    #[test]
+    fn positive_programs_match_naive() {
+        let src = "path(X, Y) :- edge(X, Y).
+                   path(X, Z) :- path(X, Y), edge(Y, Z).
+                   ?- path(0, Z).";
+        let edb: Vec<(&str, Tuple)> = vec![("edge", tuple![0, 1]), ("edge", tuple![1, 2])];
+        assert_eq!(eval(src, &edb).unwrap(), vec![tuple![1], tuple![2]]);
+    }
+
+    #[test]
+    fn win_move_stratified_fragment() {
+        // The stratifiable fragment of win-move: a position with no
+        // outgoing move is lost, and a position that can move to a lost
+        // position is won.
+        let src = "moved(X) :- move(X, Y).
+                   lose(X) :- pos(X), !moved(X).
+                   win(X) :- move(X, Y), lose(Y).
+                   ?- win(X).";
+        // Chain 0 -> 1 -> 2 -> 3: only the sink 3 is lost, so 2 wins.
+        let edb: Vec<(&str, Tuple)> = vec![
+            ("pos", tuple![0]),
+            ("pos", tuple![1]),
+            ("pos", tuple![2]),
+            ("pos", tuple![3]),
+            ("move", tuple![0, 1]),
+            ("move", tuple![1, 2]),
+            ("move", tuple![2, 3]),
+        ];
+        assert_eq!(eval(src, &edb).unwrap(), vec![tuple![2]]);
+    }
+
+    #[test]
+    fn negation_on_sealed_stratum() {
+        // unreached(X) = node(X) minus the transitive closure from 0.
+        let src = "reach(X) :- edge(0, X).
+                   reach(Y) :- reach(X), edge(X, Y).
+                   unreached(X) :- node(X), !reach(X).
+                   ?- unreached(X).";
+        let edb: Vec<(&str, Tuple)> = vec![
+            ("node", tuple![0]),
+            ("node", tuple![1]),
+            ("node", tuple![2]),
+            ("node", tuple![3]),
+            ("edge", tuple![0, 1]),
+            ("edge", tuple![1, 2]),
+        ];
+        assert_eq!(eval(src, &edb).unwrap(), vec![tuple![0], tuple![3]]);
+    }
+
+    #[test]
+    fn aggregate_after_recursion() {
+        // Count reachable nodes per source over a transitive closure.
+        let src = "reach(S, Y) :- edge(S, Y), src(S).
+                   reach(S, Z) :- reach(S, Y), edge(Y, Z).
+                   rcount(S, count<Y>) :- reach(S, Y).
+                   ?- rcount(S, N).";
+        let edb: Vec<(&str, Tuple)> = vec![
+            ("src", tuple![0]),
+            ("src", tuple![2]),
+            ("edge", tuple![0, 1]),
+            ("edge", tuple![1, 2]),
+            ("edge", tuple![2, 3]),
+        ];
+        assert_eq!(eval(src, &edb).unwrap(), vec![tuple![0, 3], tuple![2, 1]]);
+    }
+
+    #[test]
+    fn sum_aggregate_groups_correctly() {
+        let src = "tot(C, sum<A>) :- owns(C, A).
+                   big(C) :- tot(C, S), thresh(T), !small(C, S, T).
+                   small(C, S, T) :- tot(C, S), thresh(T), less(S, T).
+                   ?- big(C).";
+        // less is an EDB comparison table for this tiny domain.
+        let mut edb: Vec<(&str, Tuple)> = vec![
+            ("owns", tuple![1, 30]),
+            ("owns", tuple![1, 40]),
+            ("owns", tuple![2, 20]),
+            ("thresh", tuple![50]),
+        ];
+        for s in [20i64, 50, 70] {
+            for t in [20i64, 50, 70] {
+                if s < t {
+                    edb.push(("less", tuple![s, t]));
+                }
+            }
+        }
+        assert_eq!(eval(src, &edb).unwrap(), vec![tuple![1]]);
+    }
+
+    #[test]
+    fn negation_in_recursion_is_rejected() {
+        let src = "p(X) :- node(X), !q(X).
+                   q(X) :- node(X), !p(X).
+                   ?- p(X).";
+        assert!(matches!(
+            eval(src, &[("node", tuple![1])]),
+            Err(DatalogError::Unstratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_in_recursion_is_rejected() {
+        let src = "p(X, Y) :- e(X, Y).
+                   p(X, sum<Y>) :- p(X, Y).
+                   ?- p(X, Y).";
+        assert!(matches!(
+            eval(src, &[("e", tuple![1, 2])]),
+            Err(DatalogError::Unstratifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_negated_variable_derives_nothing() {
+        // Programs that reach the evaluator unchecked (the engine's lint
+        // gate would deny this as MP011) must still not misbehave: an
+        // unbound negated variable simply derives nothing.
+        let program = parse_program(
+            "p(X) :- node(X), !q(X, Z).
+             ?- p(X).",
+        )
+        .unwrap();
+        let mut db = Database::new();
+        db.insert("node", tuple![1]).unwrap();
+        db.insert("q", tuple![1, 5]).unwrap();
+        let r = PerfectModel.evaluate(&program, &db).unwrap();
+        assert!(r.answers.is_empty());
+    }
+}

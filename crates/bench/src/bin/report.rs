@@ -53,8 +53,9 @@ fn main() {
         Some("e13") => print!("{}", render(&experiments::e13(scale), json)),
         Some("e14") => print!("{}", render(&experiments::e14(scale), json)),
         Some("e15") => print!("{}", render(&experiments::e15(scale), json)),
+        Some("e16") => print!("{}", render(&experiments::e16(scale), json)),
         Some("a1") => print!("{}", render(&experiments::a1(scale), json)),
         Some("a2") => print!("{}", render(&experiments::a2(scale), json)),
-        Some(other) => eprintln!("unknown experiment {other}; use e1..e15, a1, a2"),
+        Some(other) => eprintln!("unknown experiment {other}; use e1..e16, a1, a2"),
     }
 }

@@ -4,12 +4,14 @@ use crate::fault::FaultPlan;
 use crate::node::{Network, ShardPlan};
 use crate::runtime::{CancelToken, QueryBudget, RuntimeError, Schedule, SimRuntime, ThreadRuntime};
 use crate::stats::Stats;
-use mp_datalog::{Database, DatalogError, Program};
+use mp_datalog::analysis::DependencyAnalysis;
+use mp_datalog::{Atom, Database, DatalogError, Predicate, Program, Rule, Term, Var};
 use mp_lint::protocol::ProtocolView;
 use mp_lint::Diagnostic;
 use mp_rulegoal::{GraphError, RuleGoalGraph, SipKind};
-use mp_storage::Relation;
-use std::time::Duration;
+use mp_storage::{AggError, Relation, Tuple};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
 
 /// Which runtime executes the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,6 +33,9 @@ pub enum EngineError {
     Graph(GraphError),
     /// Runtime failure.
     Runtime(RuntimeError),
+    /// An aggregate fold failed while materializing a stratum (sum/min/
+    /// max over a symbol, or an i64 overflow).
+    Aggregate(AggError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -46,6 +51,7 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::Graph(e) => write!(f, "{e}"),
             EngineError::Runtime(e) => write!(f, "{e}"),
+            EngineError::Aggregate(e) => write!(f, "{e}"),
         }
     }
 }
@@ -67,6 +73,12 @@ impl From<DatalogError> for EngineError {
 impl From<RuntimeError> for EngineError {
     fn from(e: RuntimeError) -> Self {
         EngineError::Runtime(e)
+    }
+}
+
+impl From<AggError> for EngineError {
+    fn from(e: AggError) -> Self {
+        EngineError::Aggregate(e)
     }
 }
 
@@ -151,6 +163,7 @@ pub struct Engine {
     workers: usize,
     analysis: bool,
     shards: usize,
+    stratify: bool,
 }
 
 impl Engine {
@@ -174,6 +187,7 @@ impl Engine {
             workers: 0,
             analysis: true,
             shards: 1,
+            stratify: true,
         }
     }
 
@@ -199,6 +213,20 @@ impl Engine {
     /// bit-identical answers (the analysis soundness property).
     pub fn with_analysis(mut self, analysis: bool) -> Engine {
         self.analysis = analysis;
+        self
+    }
+
+    /// Enable or disable the compile-time stratification gate (default:
+    /// enabled). The gate runs mp-stratify's MP009/MP010 cycle checks in
+    /// [`Engine::compile`]; a negation-free, aggregate-free program
+    /// compiles and evaluates bit-identically — answers and the Thm 4.1
+    /// logical counters — with the pass on or off. Disabling the gate
+    /// does *not* disable staged evaluation itself: a program that uses
+    /// `!` or an aggregate is always evaluated stratum by stratum (the
+    /// pipeline is what makes those constructs well-defined), and an
+    /// unstratifiable program is still rejected by the staging driver.
+    pub fn with_stratification(mut self, stratify: bool) -> Engine {
+        self.stratify = stratify;
         self
     }
 
@@ -338,6 +366,13 @@ impl Engine {
     /// [`Compiled::warnings`].
     pub fn compile(&self) -> Result<Compiled, EngineError> {
         let mut diags = mp_lint::program::lint_program(&self.program, Some(&self.db), None);
+        // Stratum inference gates alongside the rule-local lints: an
+        // unstratifiable program (MP009/MP010) has no perfect model to
+        // evaluate, so it is rejected here with the same typed error.
+        if self.stratify {
+            let (_, strat) = mp_analyze::stratify(&self.program, None);
+            diags.extend(strat);
+        }
         mp_lint::sort_diagnostics(&mut diags);
         if diags.iter().any(Diagnostic::is_deny) {
             return Err(EngineError::Lint(diags));
@@ -445,7 +480,25 @@ impl Engine {
     }
 
     /// Evaluate the query.
+    ///
+    /// A negation-free, aggregate-free program runs as a single
+    /// message-passing network. A program that uses `!` or an aggregate
+    /// runs as a *pipeline* of such networks, one per stratum of the
+    /// [`mp_analyze::StratumPlan`]: each stratum's fixpoint is sealed by
+    /// the §3.2 quiescence barrier and its answers become EDB facts for
+    /// the strata above it (the perfect-model semantics). One budget
+    /// spans all strata; [`Stats::strata_evaluated`] counts the runs.
     pub fn evaluate(&self) -> Result<QueryResult, EngineError> {
+        if mp_analyze::uses_negation_or_aggregates(&self.program) {
+            self.evaluate_staged()
+        } else {
+            self.evaluate_direct()
+        }
+    }
+
+    /// Evaluate as a single engine run, with negated subgoals compiled
+    /// into antijoin filters against the (already materialized) EDB.
+    fn evaluate_direct(&self) -> Result<QueryResult, EngineError> {
         let compiled = self.compile()?;
         let (pruned_nodes, pruned_rules) = (compiled.pruned_nodes, compiled.pruned_rules);
         let graph = compiled.graph;
@@ -468,6 +521,7 @@ impl Engine {
                 let mut stats = out.stats;
                 stats.pruned_nodes = pruned_nodes as u64;
                 stats.pruned_rules = pruned_rules as u64;
+                stats.strata_evaluated = 1;
                 Ok(QueryResult {
                     answers: out.answers,
                     stats,
@@ -492,6 +546,7 @@ impl Engine {
                 let mut stats = out.stats;
                 stats.pruned_nodes = pruned_nodes as u64;
                 stats.pruned_rules = pruned_rules as u64;
+                stats.strata_evaluated = 1;
                 Ok(QueryResult {
                     answers: out.answers,
                     stats,
@@ -503,6 +558,223 @@ impl Engine {
                 })
             }
         }
+    }
+
+    /// A clone of this engine pointed at a sub-program over the staged
+    /// working database, with whatever budget is left for the pipeline.
+    fn sub_engine(&self, program: Program, db: &Database, budget: QueryBudget) -> Engine {
+        let mut sub = self.clone();
+        sub.program = program;
+        sub.db = db.clone();
+        sub.budget = budget;
+        sub
+    }
+
+    /// The budget remaining after `spent`, for the next pipeline run:
+    /// the wall-clock deadline shrinks by elapsed time, the step and
+    /// logical-message budgets by what earlier strata consumed — so one
+    /// budget spans the whole pipeline and a runaway stratum trips the
+    /// same typed errors a flat run would.
+    fn remaining_budget(&self, started: Instant, spent: &Stats) -> QueryBudget {
+        let mut b = self.budget.clone();
+        b.max_steps = b.max_steps.saturating_sub(spent.messages_processed);
+        b.deadline = b.deadline.saturating_sub(started.elapsed());
+        b.max_messages = b
+            .max_messages
+            .map(|m| m.saturating_sub(spent.logical_messages()));
+        b
+    }
+
+    /// Evaluate stratum by stratum (the staged pipeline).
+    ///
+    /// Stratum `s` runs as ordinary engine evaluations over a working
+    /// database holding the strata below it: aggregate predicates of the
+    /// stratum are materialized first (their bodies are strictly
+    /// lower-stratum, so the fold sees complete extensions), then every
+    /// stratum-`s` predicate some higher stratum reads is materialized
+    /// through a synthesized `goal(V..) :- p(V..)` query. The final
+    /// stratum is the original query; its result carries the merged
+    /// stats of the whole pipeline. Traces and events, when enabled,
+    /// cover the final stratum's run.
+    fn evaluate_staged(&self) -> Result<QueryResult, EngineError> {
+        let started = Instant::now();
+        // Full-program static gate: MP0xx program lints, MP009–MP012,
+        // graph/protocol lints, and the analysis warnings.
+        self.compile()?;
+        let (plan, mut strat_diags) = mp_analyze::stratify(&self.program, None);
+        if strat_diags.iter().any(Diagnostic::is_deny) {
+            // Only reachable with the compile-time gate disabled via
+            // `with_stratification(false)`: staging still refuses to
+            // evaluate a program with no perfect model.
+            mp_lint::sort_diagnostics(&mut strat_diags);
+            return Err(EngineError::Lint(strat_diags));
+        }
+
+        let deps = DependencyAnalysis::of(&self.program);
+        let relevant = deps.relevant_to_goal();
+        let goal_stratum = plan.stratum(&Program::goal_pred());
+        let mut working_db = self.db.clone();
+        let mut spent = Stats::default();
+
+        for s in 0..=goal_stratum {
+            // Aggregate predicates of this stratum first: same-stratum
+            // rules may read them positively, and MP010 guarantees their
+            // bodies look strictly down.
+            for r in self.program.rules.iter().filter(|r| {
+                r.agg.is_some()
+                    && plan.stratum(&r.head.pred) == s
+                    && relevant.contains(&r.head.pred)
+            }) {
+                let (stats, tuples) =
+                    self.materialize_aggregate(r, &working_db, started, &spent)?;
+                spent.merge(&stats);
+                for t in tuples {
+                    working_db.insert(r.head.pred.clone(), t)?;
+                }
+            }
+
+            // The stratum's ordinary rules (aggregate rules became EDB
+            // facts above; lower strata were materialized earlier).
+            let stratum_rules: Vec<Rule> = self
+                .program
+                .rules
+                .iter()
+                .filter(|r| r.agg.is_none() && plan.stratum(&r.head.pred) == s)
+                .cloned()
+                .collect();
+
+            if s == goal_stratum {
+                let sub = Program {
+                    rules: stratum_rules,
+                    facts: Vec::new(),
+                };
+                let eng = self.sub_engine(sub, &working_db, self.remaining_budget(started, &spent));
+                let mut out = eng.evaluate_direct()?;
+                out.stats.merge(&spent);
+                return Ok(out);
+            }
+
+            // Materialize every stratum-`s` predicate a higher stratum
+            // reads (positively or under negation) into the working EDB.
+            let defined_here: BTreeSet<&Predicate> =
+                stratum_rules.iter().map(|r| &r.head.pred).collect();
+            let mut needed: Vec<(Predicate, usize)> = Vec::new();
+            for r in &self.program.rules {
+                if plan.stratum(&r.head.pred) <= s {
+                    continue;
+                }
+                for a in r.body.iter().chain(r.neg.iter()) {
+                    if defined_here.contains(&a.pred)
+                        && relevant.contains(&a.pred)
+                        && !needed.iter().any(|(p, _)| *p == a.pred)
+                    {
+                        needed.push((a.pred.clone(), a.terms.len()));
+                    }
+                }
+            }
+            needed.sort();
+            // Every needed predicate is computed from the same sealed
+            // snapshot; answers land in the working EDB only once the
+            // stratum is done. Inserting mid-stratum would make an
+            // already-materialized predicate EDB *and* IDB for its
+            // siblings' runs — exactly the §1 overlap compile() denies.
+            let mut sealed: Vec<(Predicate, Vec<Tuple>)> = Vec::new();
+            for (pred, arity) in needed {
+                let vars: Vec<Term> = (0..arity)
+                    .map(|i| Term::Var(Var::new(format!("V{i}"))))
+                    .collect();
+                let query = Rule::new(
+                    Atom::new(Program::goal_pred(), vars.clone()),
+                    vec![Atom::new(pred.clone(), vars)],
+                );
+                let mut rules = stratum_rules.clone();
+                rules.push(query);
+                let sub = Program {
+                    rules,
+                    facts: Vec::new(),
+                };
+                let eng = self
+                    .sub_engine(sub, &working_db, self.remaining_budget(started, &spent))
+                    .with_trace(false);
+                let out = eng.evaluate_direct()?;
+                spent.merge(&out.stats);
+                sealed.push((pred, out.answers.iter().cloned().collect()));
+            }
+            for (pred, tuples) in sealed {
+                for t in tuples {
+                    working_db.insert(pred.clone(), t)?;
+                }
+            }
+        }
+        unreachable!("the final stratum returns above");
+    }
+
+    /// Materialize one aggregate rule over the working database: run its
+    /// body as a plain query exposing the head's variables, then fold
+    /// with the shared aggregate kernel. Returns the sub-run's stats and
+    /// the full-arity head tuples (constants re-inserted, the fold value
+    /// at the aggregate position).
+    fn materialize_aggregate(
+        &self,
+        r: &Rule,
+        db: &Database,
+        started: Instant,
+        spent: &Stats,
+    ) -> Result<(Stats, Vec<Tuple>), EngineError> {
+        let agg = r.agg.as_ref().expect("caller filters on aggregate rules");
+        // Distinct head variables in first-occurrence order — the
+        // grouping keys plus the fold variable (MP012 keeps them apart).
+        let mut head_vars: Vec<Var> = Vec::new();
+        for t in &r.head.terms {
+            if let Term::Var(v) = t {
+                if !head_vars.contains(v) {
+                    head_vars.push(v.clone());
+                }
+            }
+        }
+        let mut body_rule = r.clone();
+        body_rule.agg = None;
+        body_rule.head = Atom::new(
+            Program::goal_pred(),
+            head_vars.iter().cloned().map(Term::Var).collect(),
+        );
+        let sub = Program {
+            rules: vec![body_rule],
+            facts: Vec::new(),
+        };
+        let out = self
+            .sub_engine(sub, db, self.remaining_budget(started, spent))
+            .with_trace(false)
+            .evaluate_direct()?;
+
+        let agg_idx = head_vars
+            .iter()
+            .position(|v| *v == agg.var)
+            .expect("the fold variable appears at the aggregate position");
+        let group: Vec<usize> = (0..head_vars.len()).filter(|&i| i != agg_idx).collect();
+        let folded = mp_storage::ops::aggregate(&out.answers, &group, agg_idx, agg.func)?;
+
+        let group_vars: Vec<&Var> = group.iter().map(|&i| &head_vars[i]).collect();
+        let mut tuples = Vec::with_capacity(folded.len());
+        for row in folded.iter() {
+            let tuple: Tuple = r
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    Term::Var(v) if *v == agg.var => row[group_vars.len()],
+                    Term::Var(v) => {
+                        row[group_vars
+                            .iter()
+                            .position(|g| *g == v)
+                            .expect("grouping variables index the fold output")]
+                    }
+                })
+                .collect();
+            tuples.push(tuple);
+        }
+        Ok((out.stats, tuples))
     }
 
     /// Deterministically re-execute a recorded run in the simulator,

@@ -96,6 +96,24 @@ pub enum HeadSource {
     Var(usize),
 }
 
+/// A negated subgoal compiled into an antijoin filter. Stratified
+/// staging guarantees the negated predicate is fully materialized — an
+/// EDB relation within this run — before any rule above it fires, so
+/// the complement check is a plain probe into a frozen set at head
+/// emission time.
+#[derive(Clone, Debug)]
+pub struct NegFilter {
+    /// Bindings that block emission: the negated relation projected onto
+    /// its variable positions (first occurrence per variable, in term
+    /// order), with constant and repeated-variable filters pre-applied.
+    pub blocked: FastSet<Tuple>,
+    /// Final-stage-schema columns supplying the probe values, aligned
+    /// with the projection above.
+    pub probe_cols: Vec<usize>,
+    /// A ground negated subgoal matched a fact: the rule never fires.
+    pub always_block: bool,
+}
+
 /// One pipeline stage: joining the next subgoal's answers into the
 /// accumulated bindings.
 #[derive(Clone, Debug)]
@@ -153,6 +171,9 @@ pub struct RuleCfg {
     /// the shard that owns the binding it responds to. Empty when the
     /// parent is single-instance.
     pub head_hash_cols: Vec<usize>,
+    /// Antijoin filters, one per negated subgoal, applied at head
+    /// emission. Empty for purely positive rules.
+    pub neg_filters: Vec<NegFilter>,
 }
 
 /// Per-rule-node mutable state.
@@ -552,7 +573,7 @@ impl Network {
                         head_label,
                         ..
                     } => {
-                        let (mut cfg, st) = compile_rule(rule, sip, head_label);
+                        let (mut cfg, st) = compile_rule(rule, sip, head_label, db);
                         debug_assert_eq!(k, 1, "rule nodes are never sharded");
                         for (i, stage) in cfg.stages.iter_mut().enumerate() {
                             stage.arcs = feeder_arcs[i].clone();
@@ -702,11 +723,14 @@ fn compile_edb(label: &mp_rulegoal::GoalLabel, db: &Database) -> EdbCfg {
     }
 }
 
-/// Compile a rule node's staged pipeline.
+/// Compile a rule node's staged pipeline. `db` supplies the extensions
+/// of the rule's negated subgoals — within a stratified run those are
+/// EDB relations (lower strata have already been materialized).
 fn compile_rule(
     rule: &mp_datalog::Rule,
     plan: &mp_rulegoal::SipPlan,
     head_label: &mp_rulegoal::GoalLabel,
+    db: &Database,
 ) -> (RuleCfg, RuleState) {
     let head_ad = head_label.adornment();
     let head_d = head_ad.d_positions();
@@ -722,11 +746,16 @@ fn compile_rule(
         }
     }
 
-    // Head transmitted variables are live through every stage.
-    let head_live: BTreeSet<Var> = head_t
+    // Head transmitted variables are live through every stage; negated
+    // subgoal variables must also survive to the final stage, where the
+    // antijoin probe reads them.
+    let mut head_live: BTreeSet<Var> = head_t
         .iter()
         .filter_map(|&p| rule.head.terms[p].as_var().cloned())
         .collect();
+    for n in &rule.neg {
+        head_live.extend(n.vars());
+    }
 
     let k = plan.order.len();
     let mut stages = Vec::with_capacity(k);
@@ -833,6 +862,58 @@ fn compile_rule(
         })
         .collect();
 
+    // Antijoin filters: project each negated subgoal's extension onto
+    // its variable positions (after applying constant and repeated-
+    // variable filters) and resolve those variables in the final stage
+    // schema — `head_live` above keeps them alive through every stage.
+    let neg_filters: Vec<NegFilter> = rule
+        .neg
+        .iter()
+        .map(|atom| {
+            let empty = Relation::new(atom.terms.len());
+            let base: &Relation = db.relation(&atom.pred).unwrap_or(&empty);
+            let mut const_checks: Vec<(usize, Value)> = Vec::new();
+            let mut var_cols: Vec<usize> = Vec::new();
+            let mut var_order: Vec<&Var> = Vec::new();
+            let mut eq_checks: Vec<(usize, usize)> = Vec::new();
+            for (i, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(v) => const_checks.push((i, *v)),
+                    Term::Var(v) => match var_order.iter().position(|w| *w == v) {
+                        Some(first) => eq_checks.push((var_cols[first], i)),
+                        None => {
+                            var_order.push(v);
+                            var_cols.push(i);
+                        }
+                    },
+                }
+            }
+            let mut blocked = FastSet::default();
+            for t in base.iter() {
+                let consts_ok = const_checks.iter().all(|(i, v)| &t[*i] == v);
+                let eq_ok = eq_checks.iter().all(|&(a, b)| t[a] == t[b]);
+                if consts_ok && eq_ok {
+                    blocked.insert(t.project(&var_cols));
+                }
+            }
+            let always_block = var_cols.is_empty() && !blocked.is_empty();
+            let probe_cols = var_order
+                .iter()
+                .map(|v| {
+                    prev_schema
+                        .iter()
+                        .position(|pv| pv == *v)
+                        .expect("negated variables are bound by positive subgoals (MP011)")
+                })
+                .collect();
+            NegFilter {
+                blocked,
+                probe_cols,
+                always_block,
+            }
+        })
+        .collect();
+
     // Mutable state with indexes prepared.
     let mut stage_bindings = Vec::with_capacity(k + 1);
     let mut first = IndexedRelation::new(stage0_schema.len());
@@ -870,6 +951,7 @@ fn compile_rule(
             head_out,
             head_arcs: vec![0],
             head_hash_cols: Vec::new(),
+            neg_filters,
         },
         st,
     )

@@ -1111,6 +1111,17 @@ fn rule_on_answer(
 }
 
 fn emit_head(cfg: &RuleCfg, common: &mut Common, final_tuple: &Tuple, ctx: &mut Ctx<'_>) {
+    // Antijoin: a final-stage tuple matching any negated subgoal's
+    // materialized extension is suppressed (stratified negation).
+    for nf in &cfg.neg_filters {
+        if nf.always_block {
+            return;
+        }
+        let probe: Tuple = nf.probe_cols.iter().map(|&c| final_tuple[c]).collect();
+        if nf.blocked.contains(&probe) {
+            return;
+        }
+    }
     let answer: Tuple = cfg
         .head_out
         .iter()

@@ -128,6 +128,12 @@ pub struct Stats {
     /// worst hash skew observed (perfectly balanced traffic keeps this
     /// near `shard_routed_frames / K`).
     pub shard_max_skew: u64,
+
+    // ---- stratified evaluation (set by Engine, not by nodes) ----
+    /// Engine runs the staged driver executed for this query: 1 for a
+    /// flat (negation/aggregation-free) program, the number of pipeline
+    /// stages — strata plus aggregate materializations — otherwise.
+    pub strata_evaluated: u64,
 }
 
 impl Stats {
@@ -225,6 +231,7 @@ impl Stats {
             credits_stalled,
             shard_routed_frames,
             shard_max_skew,
+            strata_evaluated,
         } = other;
         self.relation_requests += relation_requests;
         self.tuple_requests += tuple_requests;
@@ -271,6 +278,7 @@ impl Stats {
         self.credits_stalled += credits_stalled;
         self.shard_routed_frames += shard_routed_frames;
         self.shard_max_skew = self.shard_max_skew.max(*shard_max_skew);
+        self.strata_evaluated += strata_evaluated;
     }
 
     /// Total fault events injected by the active plan.
@@ -382,6 +390,7 @@ impl std::fmt::Display for Stats {
             credits_stalled,
             shard_routed_frames,
             shard_max_skew,
+            strata_evaluated,
         } = self;
         writeln!(f, "-- messages           : {}", self.total_messages())?;
         writeln!(f, "--   relation requests: {relation_requests}")?;
@@ -431,6 +440,7 @@ impl std::fmt::Display for Stats {
         writeln!(f, "-- credits stalled    : {credits_stalled}")?;
         writeln!(f, "-- shard routed frames: {shard_routed_frames}")?;
         writeln!(f, "-- shard max skew     : {shard_max_skew}")?;
+        writeln!(f, "-- strata evaluated   : {strata_evaluated}")?;
         writeln!(
             f,
             "-- retransmit overhead: {:.1}%",
@@ -555,6 +565,7 @@ mod tests {
             credits_stalled: v,
             shard_routed_frames: v,
             shard_max_skew: v,
+            strata_evaluated: v,
         }
     }
 
@@ -630,11 +641,12 @@ mod tests {
                 credits_stalled,
                 shard_routed_frames,
                 shard_max_skew,
+                strata_evaluated,
             );
             let _ = v;
             s.to_string()
         };
-        for v in 1000..1045 {
+        for v in 1000..1046 {
             assert!(
                 text.contains(&format!(": {v}")),
                 "counter value {v} missing from Display output:\n{text}"

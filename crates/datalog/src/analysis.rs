@@ -35,7 +35,10 @@ impl DependencyAnalysis {
         for r in &program.rules {
             preds.insert(r.head.pred.clone());
             let entry = depends.entry(r.head.pred.clone()).or_default();
-            for b in &r.body {
+            // Negated subgoals are dependencies too: relevance and SCC
+            // structure must see them (stratification adds polarity labels
+            // on its own graph in `mp-analyze`).
+            for b in r.body.iter().chain(r.neg.iter()) {
                 preds.insert(b.pred.clone());
                 entry.insert(b.pred.clone());
             }
@@ -354,6 +357,25 @@ mod tests {
         let pos = |pred: &Predicate| a.sccs.iter().position(|c| c.contains(pred)).unwrap();
         assert!(pos(&s) < pos(&pp), "callee component first");
         assert_eq!(pos(&pp), pos(&pq));
+    }
+
+    #[test]
+    fn negated_subgoals_are_dependencies() {
+        let (_, a) = analyse(
+            "moved(X) :- move(X, Y).
+             stuck(X) :- pos(X), !moved(X).
+             ?- stuck(X).",
+        );
+        let rel = a.relevant_to_goal();
+        assert!(rel.contains(&Predicate::new("moved")));
+        assert!(rel.contains(&Predicate::new("move")));
+        assert!(a
+            .depends
+            .get(&Predicate::new("stuck"))
+            .is_some_and(|d| d.contains(&Predicate::new("moved"))));
+        // Negation-through-recursion still forms a cycle structurally.
+        let (_, a) = analyse("win(X) :- move(X, Y), !win(Y). ?- win(1).");
+        assert!(a.recursive.contains(&Predicate::new("win")));
     }
 
     #[test]

@@ -1,8 +1,11 @@
-//! AST for function-free Horn clauses.
+//! AST for function-free Horn clauses, extended with stratified negation
+//! (`!subgoal`) and head aggregates (`count/sum/min/max<Var>`).
 
 use mp_storage::Value;
 use std::fmt;
 use std::sync::Arc;
+
+pub use mp_storage::AggFunc;
 
 /// A predicate symbol. Predicates are identified by name; arity is checked
 /// separately during validation (one arity per name).
@@ -202,20 +205,53 @@ impl fmt::Display for Atom {
     }
 }
 
-/// A Horn clause: `head :- body`. An empty body makes the rule a fact
-/// (which must then be ground).
+/// A head aggregate: one head position holds `func<Var>` instead of a
+/// plain term. The remaining head positions are the grouping key; the
+/// aggregate folds the distinct bindings of `var` per group (set
+/// semantics, like the rest of the data plane).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    /// The fold function.
+    pub func: AggFunc,
+    /// The aggregated body variable.
+    pub var: Var,
+    /// Which head position carries the aggregate output.
+    pub position: usize,
+}
+
+impl fmt::Debug for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}<{}>", self.func.name(), self.var)
+    }
+}
+
+/// A Horn clause: `head :- body`, extended with negated subgoals and an
+/// optional head aggregate. An empty rule (no subgoals at all) makes the
+/// rule a fact (which must then be ground).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Rule {
-    /// The positive literal (the rule's head, §1).
+    /// The positive literal (the rule's head, §1). When the rule
+    /// aggregates, the aggregate position holds `Term::Var(agg.var)` so
+    /// arity/range-restriction machinery sees an ordinary head variable.
     pub head: Atom,
-    /// The negative literals (the rule's subgoals, §1).
+    /// The positive subgoals (the rule's body literals, §1).
     pub body: Vec<Atom>,
+    /// Negated subgoals (`!p(..)`): satisfied when no matching tuple
+    /// exists. Every variable must be bound by a positive subgoal.
+    pub neg: Vec<Atom>,
+    /// Head aggregate, when present.
+    pub agg: Option<AggSpec>,
 }
 
 impl Rule {
-    /// Create a rule.
+    /// Create a rule (positive subgoals only).
     pub fn new(head: Atom, body: Vec<Atom>) -> Self {
-        Rule { head, body }
+        Rule {
+            head,
+            body,
+            neg: Vec::new(),
+            agg: None,
+        }
     }
 
     /// Create a fact (empty body).
@@ -223,19 +259,36 @@ impl Rule {
         Rule {
             head,
             body: Vec::new(),
+            neg: Vec::new(),
+            agg: None,
         }
     }
 
-    /// True if the rule has an empty body.
-    pub fn is_fact(&self) -> bool {
-        self.body.is_empty()
+    /// Attach negated subgoals (builder form).
+    pub fn with_neg(mut self, neg: Vec<Atom>) -> Self {
+        self.neg = neg;
+        self
     }
 
-    /// All variables of the rule (head first, then body), in order of
-    /// first occurrence, deduplicated.
+    /// Attach a head aggregate (builder form).
+    pub fn with_agg(mut self, agg: AggSpec) -> Self {
+        self.agg = Some(agg);
+        self
+    }
+
+    /// True if the rule has no subgoals of any polarity and no aggregate.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty() && self.neg.is_empty() && self.agg.is_none()
+    }
+
+    /// All variables of the rule (head first, then positive body, then
+    /// negated subgoals), in order of first occurrence, deduplicated.
     pub fn vars(&self) -> Vec<Var> {
         let mut out = Vec::new();
-        for atom in std::iter::once(&self.head).chain(self.body.iter()) {
+        for atom in std::iter::once(&self.head)
+            .chain(self.body.iter())
+            .chain(self.neg.iter())
+        {
             for v in atom.vars() {
                 if !out.contains(&v) {
                     out.push(v);
@@ -245,8 +298,9 @@ impl Rule {
         out
     }
 
-    /// Check range restriction: every head variable occurs in the body.
-    /// Returns the first offending variable, if any.
+    /// Check range restriction: every head variable occurs in the
+    /// positive body. Returns the first offending variable, if any.
+    /// (Negated-subgoal binding is checked separately — MP011.)
     pub fn unsafe_var(&self) -> Option<Var> {
         let body_vars: Vec<Var> = self.body.iter().flat_map(|a| a.vars()).collect();
         self.head
@@ -258,15 +312,45 @@ impl Rule {
 
 impl fmt::Debug for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.body.is_empty() {
-            return write!(f, "{}.", self.head);
+        let head = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            match &self.agg {
+                None => write!(f, "{}", self.head),
+                Some(agg) => {
+                    write!(f, "{}(", self.head.pred)?;
+                    for (i, t) in self.head.terms.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        if i == agg.position {
+                            write!(f, "{agg:?}")?;
+                        } else {
+                            write!(f, "{t}")?;
+                        }
+                    }
+                    write!(f, ")")
+                }
+            }
+        };
+        if self.is_fact() {
+            head(f)?;
+            return write!(f, ".");
         }
-        write!(f, "{} :- ", self.head)?;
-        for (i, a) in self.body.iter().enumerate() {
-            if i > 0 {
+        head(f)?;
+        write!(f, " :- ")?;
+        let mut first = true;
+        for a in &self.body {
+            if !first {
                 write!(f, ", ")?;
             }
+            first = false;
             write!(f, "{a}")?;
+        }
+        for a in &self.neg {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "!{a}")?;
         }
         write!(f, ".")
     }

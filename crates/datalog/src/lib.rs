@@ -30,7 +30,7 @@ mod program;
 mod span;
 pub mod unify;
 
-pub use ast::{Atom, Predicate, Rule, Term, Var};
+pub use ast::{AggFunc, AggSpec, Atom, Predicate, Rule, Term, Var};
 pub use database::Database;
 pub use dbstats::{DbStats, RelationStats};
 pub use program::Program;
@@ -82,6 +82,13 @@ pub enum DatalogError {
         /// Rendered atom.
         atom: String,
     },
+    /// The program admits no stratification: a negated or aggregate
+    /// dependency occurs inside a recursive cycle, so no perfect model
+    /// exists.
+    Unstratifiable {
+        /// A predicate on the offending cycle.
+        pred: String,
+    },
 }
 
 impl std::fmt::Display for DatalogError {
@@ -103,6 +110,9 @@ impl std::fmt::Display for DatalogError {
             }
             DatalogError::NonGroundFact { atom } => {
                 write!(f, "fact contains a variable: {atom}")
+            }
+            DatalogError::Unstratifiable { pred } => {
+                write!(f, "program is not stratifiable (cycle through {pred})")
             }
         }
     }

@@ -4,9 +4,12 @@
 //!
 //! ```text
 //! program   := clause*
-//! clause    := atom ( (":-" | "<-") atom ("," atom)* )? "."
-//!            | "?-" atom ("," atom)* "."
+//! clause    := head ( (":-" | "<-") literal ("," literal)* )? "."
+//!            | "?-" literal ("," literal)* "."
+//! head      := ident ( "(" (term | AGG) ("," (term | AGG))* ")" )?
+//! literal   := "!"? atom
 //! atom      := ident ( "(" term ("," term)* ")" )?
+//! AGG       := ("count" | "sum" | "min" | "max") "<" VARIABLE ">"
 //! term      := VARIABLE | ident | INTEGER | STRING
 //! VARIABLE  := [A-Z_][A-Za-z0-9_]*
 //! ident     := [a-z][A-Za-z0-9_]*          (lower-case: constant or predicate)
@@ -16,9 +19,16 @@
 //!
 //! A `?- q1, ..., qk.` query clause is desugared into the paper's §1 form:
 //! a rule `goal(V1, ..., Vn) :- q1, ..., qk.` where `V1..Vn` are the
-//! distinct variables of the query atoms in order of first occurrence.
+//! distinct variables of the *positive* query atoms in order of first
+//! occurrence (negated subgoals only filter, so their variables are
+//! bound elsewhere or the clause is unsafe — MP011).
+//!
+//! `!` marks a negated subgoal and is only legal in bodies; an aggregate
+//! term `func<Var>` is only legal in a rule head, at most once per head,
+//! and requires a body to aggregate over. All violations are reported as
+//! typed [`DatalogError::Parse`] errors carrying line/column spans.
 
-use crate::{Atom, DatalogError, Program, Rule, SourceMap, Span, Term, GOAL};
+use crate::{AggFunc, AggSpec, Atom, DatalogError, Program, Rule, SourceMap, Span, Term, GOAL};
 use mp_storage::Value;
 
 /// Parse a program from source text.
@@ -248,12 +258,88 @@ impl<'a> Parser<'a> {
         Ok(Atom::new(name.as_str(), terms))
     }
 
-    fn body(&mut self) -> Result<Vec<Atom>, DatalogError> {
-        let mut atoms = vec![self.atom()?];
-        while self.eat(",") {
-            atoms.push(self.atom()?);
+    /// Parse a rule head: an atom whose argument positions may also hold a
+    /// single aggregate term `func<Var>`.
+    fn head_atom(&mut self) -> Result<(Atom, Option<AggSpec>), DatalogError> {
+        self.skip_ws();
+        let name = self
+            .ident()
+            .ok_or_else(|| self.err("expected predicate name"))?;
+        if name.as_bytes()[0].is_ascii_uppercase() {
+            return Err(self.err("predicate names must start lower-case"));
         }
-        Ok(atoms)
+        let mut terms = Vec::new();
+        let mut agg: Option<AggSpec> = None;
+        if self.eat("(") {
+            loop {
+                if let Some(spec) = self.agg_term(terms.len())? {
+                    if agg.is_some() {
+                        return Err(self.err("at most one aggregate term per rule head"));
+                    }
+                    terms.push(Term::Var(spec.var.clone()));
+                    agg = Some(spec);
+                } else {
+                    terms.push(self.term()?);
+                }
+                if self.eat(",") {
+                    continue;
+                }
+                self.expect(")")?;
+                break;
+            }
+        }
+        Ok((Atom::new(name.as_str(), terms), agg))
+    }
+
+    /// Try to parse an aggregate head term `count/sum/min/max<Var>` at the
+    /// given head position. Backtracks (returning `None`) when the next
+    /// token is not an aggregate function name followed by `<`, so plain
+    /// constants named `count` etc. keep parsing as before.
+    fn agg_term(&mut self, position: usize) -> Result<Option<AggSpec>, DatalogError> {
+        self.skip_ws();
+        let start = (self.pos, self.line, self.line_start);
+        let Some(name) = self.ident() else {
+            return Ok(None);
+        };
+        let func = match AggFunc::parse(&name) {
+            Some(f) if self.eat("<") => f,
+            _ => {
+                (self.pos, self.line, self.line_start) = start;
+                return Ok(None);
+            }
+        };
+        let var = self
+            .ident()
+            .ok_or_else(|| self.err(format!("expected a variable inside `{name}<...>`")))?;
+        if !(var.as_bytes()[0].is_ascii_uppercase() || var.as_bytes()[0] == b'_') {
+            return Err(self.err(format!(
+                "aggregate `{name}<{var}>` must name a variable (upper-case)"
+            )));
+        }
+        self.expect(">")?;
+        Ok(Some(AggSpec {
+            func,
+            var: crate::Var::new(var),
+            position,
+        }))
+    }
+
+    /// Parse a body: positive subgoals and `!`-prefixed negated subgoals,
+    /// each kept in source order within its polarity.
+    fn body(&mut self) -> Result<(Vec<Atom>, Vec<Atom>), DatalogError> {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        loop {
+            if self.eat("!") {
+                neg.push(self.atom()?);
+            } else {
+                pos.push(self.atom()?);
+            }
+            if !self.eat(",") {
+                break;
+            }
+        }
+        Ok((pos, neg))
     }
 
     /// Parse one clause; `None` at end of input.
@@ -263,10 +349,11 @@ impl<'a> Parser<'a> {
             return Ok(None);
         }
         if self.eat("?-") {
-            let body = self.body()?;
+            let (body, neg) = self.body()?;
             self.expect(".")?;
-            // Desugar: goal(V1..Vn) :- body, over distinct body variables
-            // in order of first occurrence.
+            // Desugar: goal(V1..Vn) :- body, over distinct positive-body
+            // variables in order of first occurrence. Negated subgoals
+            // filter; they never introduce head variables.
             let mut vars = Vec::new();
             for a in &body {
                 for v in a.vars() {
@@ -276,15 +363,22 @@ impl<'a> Parser<'a> {
                 }
             }
             let head = Atom::new(GOAL, vars.into_iter().map(Term::Var).collect());
-            return Ok(Some(Rule::new(head, body)));
+            return Ok(Some(Rule::new(head, body).with_neg(neg)));
         }
-        let head = self.atom()?;
+        let (head, agg) = self.head_atom()?;
         if self.eat(":-") || self.eat("<-") {
-            let body = self.body()?;
+            let (body, neg) = self.body()?;
             self.expect(".")?;
-            Ok(Some(Rule::new(head, body)))
+            let mut rule = Rule::new(head, body).with_neg(neg);
+            if let Some(spec) = agg {
+                rule = rule.with_agg(spec);
+            }
+            Ok(Some(rule))
         } else {
             self.expect(".")?;
+            if agg.is_some() {
+                return Err(self.err("an aggregate head requires a rule body"));
+            }
             Ok(Some(Rule::fact(head)))
         }
     }
@@ -414,5 +508,87 @@ mod tests {
         let r = parse_rule(src).unwrap();
         let r2 = parse_rule(&r.to_string()).unwrap();
         assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn parses_negated_subgoals() {
+        let r = parse_rule("win(X) :- move(X, Y), !win(Y).").unwrap();
+        assert_eq!(r.body, vec![atom!("move"; var "X", var "Y")]);
+        assert_eq!(r.neg, vec![atom!("win"; var "Y")]);
+        assert!(!r.is_fact());
+        // A body of only negated subgoals still parses (safety is MP011's
+        // job, not the parser's) and is not a fact.
+        let r = parse_rule("odd(X) :- !even(X).").unwrap();
+        assert!(r.body.is_empty());
+        assert_eq!(r.neg.len(), 1);
+        assert!(!r.is_fact());
+    }
+
+    #[test]
+    fn parses_aggregate_heads() {
+        let r = parse_rule("total(D, sum<S>) :- pay(D, E, S).").unwrap();
+        let agg = r.agg.as_ref().unwrap();
+        assert_eq!(agg.func, crate::AggFunc::Sum);
+        assert_eq!(agg.var, Var::new("S"));
+        assert_eq!(agg.position, 1);
+        // The aggregate position holds the variable as an ordinary term.
+        assert_eq!(r.head, atom!("total"; var "D", var "S"));
+        for func in ["count", "min", "max"] {
+            let r = parse_rule(&format!("a({func}<X>) :- e(X).")).unwrap();
+            assert_eq!(r.agg.as_ref().unwrap().func.name(), func);
+        }
+    }
+
+    #[test]
+    fn aggregate_name_without_bracket_is_a_constant() {
+        let r = parse_rule("p(count) :- e(count).").unwrap();
+        assert!(r.agg.is_none());
+        assert_eq!(r.head.terms[0], Term::val(Value::str("count")));
+    }
+
+    #[test]
+    fn neg_and_agg_round_trip_display_parse() {
+        for src in [
+            "win(X) :- move(X, Y), !win(Y).",
+            "total(D, sum<S>) :- pay(D, E, S).",
+            "rcount(X, count<Y>) :- reach(X, Y), !blocked(X).",
+        ] {
+            let r = parse_rule(src).unwrap();
+            let r2 = parse_rule(&r.to_string()).unwrap();
+            assert_eq!(r, r2, "round-tripping {src}");
+        }
+    }
+
+    #[test]
+    fn query_head_vars_ignore_negated_subgoals() {
+        let p = parse_program("?- p(X), !q(X, Y).").unwrap();
+        let q = p.query_rules().next().unwrap();
+        assert_eq!(q.head.vars(), vec![Var::new("X")]);
+        assert_eq!(q.neg, vec![atom!("q"; var "X", var "Y")]);
+    }
+
+    #[test]
+    fn aggregate_misuse_is_a_typed_parse_error() {
+        for src in [
+            "total(sum<S>).",                  // fact head
+            "p(sum<S>, count<T>) :- e(S, T).", // two aggregates
+            "p(sum<s>) :- e(X).",              // lower-case "variable"
+            "p(sum<>) :- e(X).",               // missing variable
+            "p(sum<S) :- e(S).",               // missing close
+            "p(X) :- q(sum<S>).",              // aggregate in body
+        ] {
+            match parse_program(src) {
+                Err(DatalogError::Parse { line, col, .. }) => {
+                    assert!(line >= 1 && col >= 1, "span for {src}");
+                }
+                other => panic!("expected parse error for {src:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bang_outside_body_is_an_error() {
+        assert!(parse_program("!p(1).").is_err());
+        assert!(parse_program("?- !!p(X).").is_err());
     }
 }

@@ -99,7 +99,7 @@ impl Program {
         let mut has_query = false;
         for r in &self.rules {
             check_arity(&r.head)?;
-            for b in &r.body {
+            for b in r.body.iter().chain(r.neg.iter()) {
                 check_arity(b)?;
                 if b.pred.name() == GOAL {
                     return Err(DatalogError::GoalInBody);
@@ -222,6 +222,27 @@ mod tests {
             p.validate(&edb()),
             Err(DatalogError::UnsafeRule { .. })
         ));
+    }
+
+    #[test]
+    fn negated_subgoals_are_validated_too() {
+        // Arity conflicts and goal-in-body apply to negated subgoals.
+        let mut p = tc_program();
+        p.rules.push(
+            Rule::new(atom!("q"; var "X"), vec![atom!("path"; var "X", var "X")])
+                .with_neg(vec![atom!("path"; var "X")]),
+        );
+        assert!(matches!(
+            p.validate(&edb()),
+            Err(DatalogError::ArityConflict { .. })
+        ));
+
+        let mut p = tc_program();
+        p.rules.push(
+            Rule::new(atom!("q"; var "X"), vec![atom!("path"; var "X", var "X")])
+                .with_neg(vec![atom!("goal"; var "X")]),
+        );
+        assert_eq!(p.validate(&edb()), Err(DatalogError::GoalInBody));
     }
 
     #[test]

@@ -75,11 +75,28 @@ impl Subst {
         }
     }
 
-    /// Apply to a rule.
+    /// Apply to a rule (all polarities, and the aggregate's fold variable
+    /// when the rule has one).
     pub fn apply_rule(&self, r: &Rule) -> Rule {
+        let agg = r.agg.as_ref().map(|a| {
+            let var = match self.apply_term(&Term::Var(a.var.clone())) {
+                Term::Var(v) => v,
+                // An aggregate variable bound to a constant has no
+                // meaningful fold; keep the original name so the rule
+                // stays well-formed and safety checks can reject it.
+                Term::Const(_) => a.var.clone(),
+            };
+            crate::AggSpec {
+                func: a.func,
+                var,
+                position: a.position,
+            }
+        });
         Rule {
             head: self.apply_atom(&r.head),
             body: r.body.iter().map(|a| self.apply_atom(a)).collect(),
+            neg: r.neg.iter().map(|a| self.apply_atom(a)).collect(),
+            agg,
         }
     }
 }
@@ -245,6 +262,21 @@ mod tests {
             &atom!("p"; val 1, var "X"),
             &atom!("p"; val 1, var "Q")
         ));
+    }
+
+    #[test]
+    fn rename_apart_covers_neg_and_agg() {
+        use crate::parser::parse_rule;
+        let r =
+            parse_rule("rcount(X, count<Y>) :- reach(X, Y), !blocked(X, Z), near(X, Z).").unwrap();
+        let mut c = 7;
+        let r1 = rename_apart(&r, &mut c);
+        // Negated subgoals are renamed consistently with the positives.
+        assert_eq!(r1.neg[0], crate::atom!("blocked"; var "X~7", var "Z~7"));
+        // The aggregate's fold variable follows the head rename.
+        let agg = r1.agg.as_ref().unwrap();
+        assert_eq!(agg.var, Var::new("Y~7"));
+        assert_eq!(r1.head.terms[agg.position], Term::var("Y~7"));
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! diagnostics. The paper's guarantees are conditional on static
 //! properties, so checking them statically is checking the paper:
 //!
-//! * **Program lints** (`MP001`–`MP008`, [`program::lint_program`]) check
+//! * **Program lints** (`MP001`–`MP012`, [`program::lint_program`]) check
 //!   the §1 well-formedness conditions over the Datalog AST — rule
 //!   safety/range restriction, arity consistency, EDB/IDB separation,
-//!   reachability from the query, singleton variables, ground facts.
+//!   reachability from the query, singleton variables, ground facts —
+//!   plus negation/aggregate safety (`MP011`/`MP012`). The stratum
+//!   inference itself (`MP009`/`MP010`) runs in `mp-analyze`'s
+//!   `stratify` pass, which reports through this registry.
 //! * **Graph lints** (`MP101`–`MP108`, [`graph::lint_graph`]) check
 //!   compiled rule/goal artifacts — argument-class soundness under the
 //!   chosen SIP, a supplier for every `d` position (Def 2.4), variant
@@ -80,6 +83,23 @@ pub enum Code {
     SingletonVariable,
     /// A fact contains a variable.
     NonGroundFact,
+    /// A negated subgoal lies on a dependency cycle: the predicate depends
+    /// on its own negation, so no stratification exists and the perfect
+    /// model is undefined (stratified-negation condition; `mp-stratify`).
+    UnstratifiableNegation,
+    /// An aggregate rule lies on a dependency cycle: the predicate's
+    /// aggregate depends (transitively) on the predicate itself, so the
+    /// fold has no well-defined fixpoint (`mp-stratify`).
+    AggregateInRecursion,
+    /// A negated subgoal uses a variable not bound by any positive
+    /// subgoal, or a rule has no positive subgoals at all: the negation
+    /// ranges over an infinite complement (safety/range restriction for
+    /// negation).
+    UnsafeNegation,
+    /// An aggregate is ill-formed: its fold variable is unbound by the
+    /// positive body, also appears in the grouping key, or the aggregate
+    /// predicate has more than one defining rule (ambiguous fold).
+    UnsafeAggregate,
 
     /// An argument-class assignment is inconsistent with the atom or the
     /// SIP plan (§1.2, §2.2).
@@ -198,6 +218,10 @@ impl Code {
             Code::UnreachablePredicate => "MP006",
             Code::SingletonVariable => "MP007",
             Code::NonGroundFact => "MP008",
+            Code::UnstratifiableNegation => "MP009",
+            Code::AggregateInRecursion => "MP010",
+            Code::UnsafeNegation => "MP011",
+            Code::UnsafeAggregate => "MP012",
             Code::ClassMismatch => "MP101",
             Code::MissingDSupplier => "MP102",
             Code::VariantClosure => "MP103",
@@ -452,6 +476,10 @@ mod tests {
             Code::UnreachablePredicate,
             Code::SingletonVariable,
             Code::NonGroundFact,
+            Code::UnstratifiableNegation,
+            Code::AggregateInRecursion,
+            Code::UnsafeNegation,
+            Code::UnsafeAggregate,
             Code::ClassMismatch,
             Code::MissingDSupplier,
             Code::VariantClosure,

@@ -1,10 +1,14 @@
-//! Program lints (`MP001`–`MP008`): the §1 well-formedness conditions,
+//! Program lints (`MP001`–`MP012`): the §1 well-formedness conditions,
 //! checked over the Datalog AST with per-clause spans.
 //!
 //! These subsume `Program::validate` — every condition `validate` rejects
 //! maps to a deny-level code here — and add advisory lints (`MP006`
 //! unreachable predicates, `MP007` singleton variables) that `validate`
-//! has no channel for.
+//! has no channel for, plus the rule-local safety half of the
+//! stratification story: `MP011` (negated subgoals must range over
+//! positively-bound variables) and `MP012` (aggregate well-formedness).
+//! The global half — stratum inference, `MP009`/`MP010` — needs the
+//! dependency graph and lives in `mp-analyze`'s `stratify` pass.
 
 use crate::{Code, Diagnostic};
 use mp_datalog::analysis::DependencyAnalysis;
@@ -68,9 +72,9 @@ pub fn lint_program(
     for (i, r) in program.rules.iter().enumerate() {
         let span = rule_span(i);
         check_arity(&r.head, format!("rule `{r}`"), span, &mut diags);
-        for b in &r.body {
+        for b in r.body.iter().chain(r.neg.iter()) {
             check_arity(b, format!("rule `{r}`"), span, &mut diags);
-            // MP004: `goal` may not be a subgoal.
+            // MP004: `goal` may not be a subgoal (of either polarity).
             if b.pred.name() == GOAL {
                 diags.push(
                     Diagnostic::new(
@@ -126,6 +130,127 @@ pub fn lint_program(
             );
         }
 
+        // MP011: safety of negation. Every variable in a negated subgoal
+        // must be bound by a positive subgoal, and there must be at least
+        // one positive subgoal for the negation to filter.
+        let pos_vars: std::collections::BTreeSet<&str> = r
+            .body
+            .iter()
+            .flat_map(|a| a.terms.iter())
+            .filter_map(|t| t.as_var().map(|v| v.name()))
+            .collect();
+        if !r.neg.is_empty() && r.body.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::UnsafeNegation,
+                    format!("rule `{r}` has negated subgoals but no positive subgoal"),
+                )
+                .with_span(span)
+                .with_note(
+                    "negation filters positive bindings; with no positive subgoal it would \
+                     range over the infinite complement",
+                ),
+            );
+        }
+        for n in &r.neg {
+            for v in n.vars() {
+                if !pos_vars.contains(v.name()) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::UnsafeNegation,
+                            format!(
+                                "negated subgoal `!{n}` in rule `{r}` uses variable `{}` \
+                                 not bound by any positive subgoal",
+                                v.name()
+                            ),
+                        )
+                        .with_span(span)
+                        .with_note(
+                            "bind the variable positively, or project it away through a \
+                             helper predicate before negating",
+                        ),
+                    );
+                }
+            }
+        }
+
+        // MP012: aggregate well-formedness.
+        if let Some(agg) = &r.agg {
+            if !pos_vars.contains(agg.var.name()) {
+                diags.push(
+                    Diagnostic::new(
+                        Code::UnsafeAggregate,
+                        format!(
+                            "aggregate `{}<{}>` in rule `{r}` folds a variable not bound \
+                             by any positive subgoal",
+                            agg.func.name(),
+                            agg.var.name()
+                        ),
+                    )
+                    .with_span(span)
+                    .with_note("the fold variable must range over positive body bindings"),
+                );
+            }
+            let in_grouping = r
+                .head
+                .terms
+                .iter()
+                .enumerate()
+                .any(|(pos, t)| pos != agg.position && t.as_var() == Some(&agg.var));
+            if in_grouping {
+                diags.push(
+                    Diagnostic::new(
+                        Code::UnsafeAggregate,
+                        format!(
+                            "aggregate variable `{}` in rule `{r}` also appears in the \
+                             grouping key",
+                            agg.var.name()
+                        ),
+                    )
+                    .with_span(span)
+                    .with_note(
+                        "grouping by the fold variable makes every group a singleton; \
+                         use a distinct variable",
+                    ),
+                );
+            }
+            if r.head.pred.name() == GOAL {
+                diags.push(
+                    Diagnostic::new(
+                        Code::UnsafeAggregate,
+                        format!("the query head in `{r}` carries an aggregate"),
+                    )
+                    .with_span(span)
+                    .with_note(
+                        "name the aggregate as its own predicate and query that: \
+                         `total(D, sum<S>) :- ... .  ?- total(D, C).`",
+                    ),
+                );
+            }
+            if program
+                .rules
+                .iter()
+                .filter(|o| o.head.pred == r.head.pred)
+                .count()
+                > 1
+            {
+                diags.push(
+                    Diagnostic::new(
+                        Code::UnsafeAggregate,
+                        format!(
+                            "aggregate predicate `{}` has more than one defining rule",
+                            r.head.pred.name()
+                        ),
+                    )
+                    .with_span(span)
+                    .with_note(
+                        "an aggregate folds the full extension of its one rule body; \
+                         multiple rules would make the fold ambiguous",
+                    ),
+                );
+            }
+        }
+
         // MP007: singleton variables (underscore-prefixed are deliberate).
         let mut occurrences: BTreeMap<&str, usize> = BTreeMap::new();
         for t in r
@@ -133,6 +258,7 @@ pub fn lint_program(
             .terms
             .iter()
             .chain(r.body.iter().flat_map(|a| a.terms.iter()))
+            .chain(r.neg.iter().flat_map(|a| a.terms.iter()))
         {
             if let Some(v) = t.as_var() {
                 *occurrences.entry(v.name()).or_insert(0) += 1;
@@ -325,6 +451,76 @@ mod tests {
     fn non_ground_fact_fires_mp008() {
         let src = "e(1, X). p(Y) :- e(1, Y). ?- p(Z).";
         assert!(codes(src).contains(&Code::NonGroundFact));
+    }
+
+    #[test]
+    fn safe_negation_and_aggregate_are_clean() {
+        let src = "
+            move(1, 2). move(2, 3).
+            moved(X) :- move(X, _Y).
+            stuck(X) :- move(X, Y), !moved(Y).
+            ?- stuck(X).
+        ";
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+        let src = "
+            pay(hw, 1, 10). pay(hw, 2, 20).
+            total(D, sum<S>) :- pay(D, _E, S).
+            ?- total(D, C).
+        ";
+        assert!(codes(src).is_empty(), "{:?}", codes(src));
+    }
+
+    #[test]
+    fn unbound_negation_variable_fires_mp011() {
+        let src = "p(X) :- e(X), !q(X, Y), r(Y). e(1). r(1). ?- p(X).";
+        assert!(!codes(src).contains(&Code::UnsafeNegation));
+        let src = "p(X) :- e(X), !q(X, Y). e(1). ?- p(X).";
+        assert!(codes(src).contains(&Code::UnsafeNegation));
+    }
+
+    #[test]
+    fn negation_without_positive_body_fires_mp011() {
+        let src = "p(1) :- !q(1). q(2). ?- p(X).";
+        assert!(codes(src).contains(&Code::UnsafeNegation));
+    }
+
+    #[test]
+    fn aggregate_misuse_fires_mp012() {
+        // Fold variable in the grouping key.
+        let src = "t(S, sum<S>) :- pay(S). pay(1). ?- t(A, B).";
+        assert!(codes(src).contains(&Code::UnsafeAggregate));
+        // Fold variable unbound by the positive body (MP001 fires too —
+        // the aggregate position is an ordinary head variable — but the
+        // dedicated MP012 names the fold).
+        let src = "t(D, sum<S>) :- pay(D), !q(D, S). pay(1). ?- t(A, B).";
+        assert!(codes(src).contains(&Code::UnsafeAggregate));
+        // Multiple defining rules for an aggregate predicate.
+        let src = "
+            t(D, sum<S>) :- pay(D, S).
+            t(D, S) :- extra(D, S).
+            pay(1, 2). extra(1, 3).
+            ?- t(A, B).
+        ";
+        assert!(codes(src).contains(&Code::UnsafeAggregate));
+    }
+
+    #[test]
+    fn aggregate_on_query_head_fires_mp012() {
+        let program = mp_datalog::Program::new(vec![
+            mp_datalog::parser::parse_rule("goal(D, count<S>) :- pay(D, S).").unwrap(),
+            mp_datalog::parser::parse_rule("pay(1, 2).").unwrap(),
+        ]);
+        let ds = lint_program(&program, None, None);
+        assert!(ds.iter().any(|d| d.code == Code::UnsafeAggregate));
+    }
+
+    #[test]
+    fn negated_subgoal_vars_count_for_mp007() {
+        // `Y` occurs once (in the negated subgoal) — singleton; `X` twice.
+        let src = "p(X) :- e(X), !q(X). e(1). ?- p(X).";
+        let program = parse_program(src).unwrap();
+        let ds = lint_program(&program, None, None);
+        assert!(!ds.iter().any(|d| d.code == Code::SingletonVariable));
     }
 
     #[test]

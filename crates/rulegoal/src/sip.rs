@@ -148,8 +148,11 @@ pub fn plan_with_stats(
     let monotone = monotone_flow(rule, &bound_head).is_monotone();
 
     // How many subgoals contain each variable (for the `e` rule).
+    // Negated subgoals count too: their variables feed the final-stage
+    // antijoin probe, so a variable shared with a negated subgoal must
+    // be transmitted even when only one positive subgoal mentions it.
     let mut subgoal_count: BTreeMap<Var, usize> = BTreeMap::new();
-    for sg in &rule.body {
+    for sg in rule.body.iter().chain(rule.neg.iter()) {
         for v in sg.vars() {
             *subgoal_count.entry(v).or_insert(0) += 1;
         }

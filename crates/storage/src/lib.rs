@@ -34,6 +34,7 @@ mod value;
 
 pub use fast_hash::{FastHasher, FastMap, FastSet};
 pub use interner::{reserve_symbols, symbol_bytes, symbol_count};
+pub use ops::{AggError, AggFunc};
 pub use relation::{IndexedRelation, KeyIndex, Relation};
 pub use tuple::Tuple;
 pub use value::{Sym, Value};

@@ -21,8 +21,91 @@
 //! All operators preserve determinism: outputs are produced in the
 //! insertion order induced by scanning the left operand.
 
-use crate::{KeyIndex, Relation, StorageError, Tuple, Value};
+use crate::{FastMap, FastSet, KeyIndex, Relation, StorageError, Tuple, Value};
 use std::borrow::Cow;
+
+/// An aggregate fold function over one column (set semantics: the fold
+/// ranges over the *distinct* aggregated values per group, matching the
+/// duplicate-free data plane).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AggFunc {
+    /// Number of distinct aggregated values per group.
+    Count,
+    /// Sum of the distinct integer values per group.
+    Sum,
+    /// Minimum integer value per group.
+    Min,
+    /// Maximum integer value per group.
+    Max,
+}
+
+impl AggFunc {
+    /// The surface-syntax keyword (`count<X>`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+
+    /// Parse a surface keyword.
+    pub fn parse(s: &str) -> Option<AggFunc> {
+        match s {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors from the aggregate kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggError {
+    /// `sum`/`min`/`max` met a non-integer value (symbol ordering is
+    /// interner-id order, which is not a semantic order, so only `count`
+    /// accepts symbols).
+    NonInt {
+        /// The fold that rejected the value.
+        func: AggFunc,
+        /// The offending value.
+        value: Value,
+    },
+    /// A `sum` overflowed the 64-bit integer domain.
+    Overflow,
+    /// Column bookkeeping failed (out-of-bounds group or aggregate
+    /// column).
+    Storage(StorageError),
+}
+
+impl std::fmt::Display for AggError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AggError::NonInt { func, value } => {
+                write!(f, "{func} aggregate over non-integer value {value}")
+            }
+            AggError::Overflow => write!(f, "sum aggregate overflowed i64"),
+            AggError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AggError {}
+
+impl From<StorageError> for AggError {
+    fn from(e: StorageError) -> Self {
+        AggError::Storage(e)
+    }
+}
 
 /// The probe side of a join-like operator: the operand's own prepared
 /// index on exactly `cols` when present, else a transient one built for
@@ -237,6 +320,66 @@ pub fn difference(left: &Relation, right: &Relation) -> Result<Relation, Storage
     Ok(out)
 }
 
+/// Group-and-fold: group `rel` by `group` columns and fold the distinct
+/// values of column `agg_col` in each group with `func`. Output schema is
+/// the group columns followed by one aggregate column; groups appear in
+/// the insertion order of their first contributing row (deterministic,
+/// like every other operator here). Empty input yields the empty relation
+/// — in stratified Datalog a group only exists once some body tuple
+/// witnesses it.
+pub fn aggregate(
+    rel: &Relation,
+    group: &[usize],
+    agg_col: usize,
+    func: AggFunc,
+) -> Result<Relation, AggError> {
+    check_cols(rel, group)?;
+    check_cols(rel, &[agg_col])?;
+    // Group order = first-occurrence order; per-group distinct values.
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut seen: FastMap<Tuple, FastSet<Value>> = FastMap::default();
+    for t in rel.iter() {
+        let key = t.project(group);
+        let set = seen.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            FastSet::default()
+        });
+        set.insert(t[agg_col]);
+    }
+    let mut out = Relation::new(group.len() + 1);
+    for key in order {
+        let vals = &seen[&key];
+        let folded = match func {
+            AggFunc::Count => Value::int(vals.len() as i64),
+            AggFunc::Sum => {
+                let mut acc = 0i64;
+                for v in vals.iter() {
+                    let i = v.as_int().ok_or(AggError::NonInt { func, value: *v })?;
+                    acc = acc.checked_add(i).ok_or(AggError::Overflow)?;
+                }
+                Value::int(acc)
+            }
+            AggFunc::Min | AggFunc::Max => {
+                let mut acc: Option<i64> = None;
+                for v in vals.iter() {
+                    let i = v.as_int().ok_or(AggError::NonInt { func, value: *v })?;
+                    acc = Some(match acc {
+                        None => i,
+                        Some(a) if func == AggFunc::Min => a.min(i),
+                        Some(a) => a.max(i),
+                    });
+                }
+                // A group exists only because at least one row fed it.
+                Value::int(acc.unwrap_or(0))
+            }
+        };
+        let mut row: Vec<Value> = key.values().to_vec();
+        row.push(folded);
+        out.insert(Tuple::new(row))?;
+    }
+    Ok(out)
+}
+
 /// Cartesian product.
 pub fn cross(left: &Relation, right: &Relation) -> Relation {
     let mut out = Relation::new(left.arity() + right.arity());
@@ -381,5 +524,74 @@ mod tests {
         let a = r(vec![tuple![1], tuple![2], tuple![3]]);
         let b = r(vec![tuple![2]]);
         assert_eq!(difference(&a, &b).unwrap().rows(), &[tuple![1], tuple![3]]);
+    }
+
+    #[test]
+    fn aggregate_count_and_sum_group_in_first_occurrence_order() {
+        let rel = r(vec![
+            tuple![1, 10],
+            tuple![2, 5],
+            tuple![1, 20],
+            tuple![2, 5], // dedup'd by the relation already
+            tuple![1, 10],
+        ]);
+        let cnt = aggregate(&rel, &[0], 1, AggFunc::Count).unwrap();
+        assert_eq!(cnt.rows(), &[tuple![1, 2], tuple![2, 1]]);
+        let sum = aggregate(&rel, &[0], 1, AggFunc::Sum).unwrap();
+        assert_eq!(sum.rows(), &[tuple![1, 30], tuple![2, 5]]);
+    }
+
+    #[test]
+    fn aggregate_min_max() {
+        let rel = r(vec![tuple![1, 7], tuple![1, 3], tuple![2, 9]]);
+        let mn = aggregate(&rel, &[0], 1, AggFunc::Min).unwrap();
+        assert_eq!(mn.rows(), &[tuple![1, 3], tuple![2, 9]]);
+        let mx = aggregate(&rel, &[0], 1, AggFunc::Max).unwrap();
+        assert_eq!(mx.rows(), &[tuple![1, 7], tuple![2, 9]]);
+    }
+
+    #[test]
+    fn aggregate_empty_group_key_is_global() {
+        let rel = r(vec![tuple![4], tuple![7], tuple![1]]);
+        let out = aggregate(&rel, &[], 0, AggFunc::Max).unwrap();
+        assert_eq!(out.rows(), &[tuple![7]]);
+        assert!(aggregate(&Relation::new(1), &[], 0, AggFunc::Count)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn aggregate_rejects_symbols_except_count() {
+        let rel = r(vec![tuple![1, "a"], tuple![1, "b"]]);
+        assert_eq!(
+            aggregate(&rel, &[0], 1, AggFunc::Count).unwrap().rows(),
+            &[tuple![1, 2]]
+        );
+        assert!(matches!(
+            aggregate(&rel, &[0], 1, AggFunc::Sum),
+            Err(AggError::NonInt { .. })
+        ));
+        assert!(matches!(
+            aggregate(&rel, &[0], 1, AggFunc::Min),
+            Err(AggError::NonInt { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_sum_overflow_is_typed() {
+        let rel = r(vec![tuple![1, i64::MAX], tuple![1, 1]]);
+        assert_eq!(
+            aggregate(&rel, &[0], 1, AggFunc::Sum),
+            Err(AggError::Overflow)
+        );
+    }
+
+    #[test]
+    fn aggregate_checks_columns() {
+        let rel = r(vec![tuple![1, 2]]);
+        assert!(matches!(
+            aggregate(&rel, &[5], 1, AggFunc::Count),
+            Err(AggError::Storage(_))
+        ));
     }
 }

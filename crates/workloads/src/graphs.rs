@@ -133,6 +133,57 @@ pub fn bom(db: &mut Database, parts: usize, max_uses: usize, seed: u64) {
     }
 }
 
+/// A win-move board: `pos(0..n)` and `m` distinct random `move` edges
+/// (no self-moves), seeded. Sinks arise naturally when `m` is sparse.
+pub fn win_move_board(db: &mut Database, n: usize, m: usize, seed: u64) {
+    db.declare("pos", 1).expect("fresh");
+    db.declare("move", 2).expect("fresh");
+    for i in 0..n {
+        db.insert("pos", tuple![i]).expect("arity 1");
+    }
+    random_graph(db, "move", n, m, seed);
+}
+
+/// Share holdings for the company-control workload: `companies`
+/// companies, each holding 1–3 lots (`shares(owner, company, pct)`, in
+/// tenths of a percent, 100–402 per lot) in a few higher-numbered
+/// companies, plus the EDB comparison table `majority(t)` for every
+/// total that clears 50% (500 tenths). Ownership points strictly upward
+/// in company number, so `dominates` chains but never cycles.
+pub fn shareholdings(db: &mut Database, companies: usize, seed: u64) {
+    assert!(companies >= 2, "need at least two companies");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    db.declare("shares", 3).expect("fresh");
+    db.declare("majority", 1).expect("fresh");
+    for owner in 0..companies - 1 {
+        let targets = rng.gen_range(1..=2.min(companies - owner - 1));
+        let mut pool: Vec<usize> = (owner + 1..companies).collect();
+        pool.shuffle(&mut rng);
+        for &held in pool.iter().take(targets) {
+            let lots = rng.gen_range(1..=3);
+            for lot in 0..lots {
+                // Distinct percentages per lot: relations are sets, and
+                // the sum must fold every lot exactly once.
+                let pct = rng.gen_range(10..=40) * 10 + lot;
+                db.insert("shares", tuple![owner, held, pct])
+                    .expect("arity 3");
+            }
+        }
+    }
+    // Totals range over sums of up to 3 lots of at most 40*10+2.
+    for t in 501..=1210i64 {
+        db.insert("majority", tuple![t]).expect("arity 1");
+    }
+}
+
+/// Sources for per-source reachability workloads: `src(0..k)`.
+pub fn sources(db: &mut Database, k: usize) {
+    db.declare("src", 1).expect("fresh");
+    for s in 0..k {
+        db.insert("src", tuple![s]).expect("arity 1");
+    }
+}
+
 /// Relations for the paper's Example 4.1 rules (experiment E3): `a/3`,
 /// `b/2`, `c/3` (for R3), `c2/2` (for R2), `d/1`, `e/2`.
 ///

@@ -112,6 +112,48 @@ pub fn odd_even(start: i64) -> Program {
     ))
 }
 
+/// The stratifiable fragment of the win-move game: a position with no
+/// outgoing move is lost, a position that can move to a lost position is
+/// won, and the query asks for positions the fragment leaves unresolved
+/// (neither immediately won nor lost). Three strata: `moved` at 0,
+/// `lose`/`win` at 1, `unresolved` at 2.
+pub fn win_move() -> Program {
+    parse(
+        "moved(X) :- move(X, _Y).
+         lose(X) :- pos(X), !moved(X).
+         win(X) :- move(X, Y), lose(Y).
+         unresolved(X) :- pos(X), !win(X), !lose(X).
+         ?- unresolved(X).",
+    )
+}
+
+/// Company control: `dtot` sums the share lots a company holds in
+/// another, `controls` holds when the total clears the EDB `majority`
+/// table, and `dominates` is the transitive closure of control. The
+/// aggregate sits strictly below the recursion — the stratified shape
+/// MP010 licenses.
+pub fn company_control() -> Program {
+    parse(
+        "dtot(A, B, sum<S>) :- shares(A, B, S).
+         controls(A, B) :- dtot(A, B, T), majority(T).
+         dominates(A, B) :- controls(A, B).
+         dominates(A, C) :- dominates(A, B), controls(B, C).
+         ?- dominates(A, C).",
+    )
+}
+
+/// Aggregate over recursion: count the nodes each source reaches via
+/// transitive closure. `reach` is a recursive stratum-0 predicate;
+/// `rcount` folds its sealed extension one stratum up.
+pub fn agg_reachability() -> Program {
+    parse(
+        "reach(S, Y) :- src(S), edge(S, Y).
+         reach(S, Z) :- reach(S, Y), edge(Y, Z).
+         rcount(S, count<Y>) :- reach(S, Y).
+         ?- rcount(S, N).",
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,11 +172,21 @@ mod tests {
             r2_query(0),
             r3_query(0),
             odd_even(0),
+            win_move(),
+            company_control(),
+            agg_reachability(),
         ];
         for p in &programs {
             assert_eq!(p.query_rules().count(), 1);
             assert!(!p.rules.is_empty());
         }
+    }
+
+    #[test]
+    fn stratified_programs_use_negation_or_aggregates() {
+        assert!(win_move().rules.iter().any(|r| !r.neg.is_empty()));
+        assert!(company_control().rules.iter().any(|r| r.agg.is_some()));
+        assert!(agg_reachability().rules.iter().any(|r| r.agg.is_some()));
     }
 
     #[test]

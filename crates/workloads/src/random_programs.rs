@@ -53,11 +53,14 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> (Program, Database) {
     let edb_arity: Vec<usize> = (0..spec.edb_preds).map(|_| rng.gen_range(1..=2)).collect();
     let idb_arity: Vec<usize> = (0..spec.idb_preds).map(|_| rng.gen_range(1..=2)).collect();
 
+    let all_idb: Vec<usize> = (0..spec.idb_preds).collect();
     let mut rules: Vec<Rule> = Vec::new();
     for p in 0..spec.idb_preds {
         let n_rules = rng.gen_range(1..=spec.max_rules_per_pred);
         for _ in 0..n_rules {
-            rules.push(random_rule(&mut rng, spec, p, &edb_arity, &idb_arity));
+            rules.push(random_rule(
+                &mut rng, spec, p, &edb_arity, &idb_arity, &all_idb,
+            ));
         }
     }
     // Query: goal over one IDB predicate, possibly with a constant.
@@ -95,22 +98,25 @@ pub fn generate(spec: &ProgramSpec, seed: u64) -> (Program, Database) {
     (Program::new(rules), db)
 }
 
-/// One random safe rule for `p{head_idx}`.
+/// One random safe rule for `p{head_idx}`. Body IDB atoms are drawn
+/// from `idb_allowed` only (the stratified generator restricts this to
+/// the head's layer and below).
 fn random_rule(
     rng: &mut ChaCha8Rng,
     spec: &ProgramSpec,
     head_idx: usize,
     edb_arity: &[usize],
     idb_arity: &[usize],
+    idb_allowed: &[usize],
 ) -> Rule {
     let body_len = rng.gen_range(1..=spec.max_body);
     let var_pool = 1 + body_len; // enough variables to share and to leave loose
 
     let mut body: Vec<Atom> = Vec::new();
     for _ in 0..body_len {
-        let is_idb = rng.gen_bool(spec.idb_probability) && !idb_arity.is_empty();
+        let is_idb = rng.gen_bool(spec.idb_probability) && !idb_allowed.is_empty();
         let (name, arity) = if is_idb {
-            let p = rng.gen_range(0..idb_arity.len());
+            let p = idb_allowed[rng.gen_range(0..idb_allowed.len())];
             (format!("p{p}"), idb_arity[p])
         } else {
             let e = rng.gen_range(0..edb_arity.len());
@@ -153,6 +159,147 @@ fn random_rule(
         })
         .collect();
     Rule::new(Atom::new(format!("p{head_idx}").as_str(), head_terms), body)
+}
+
+/// Knobs for the stratified-negation generator, layered on
+/// [`ProgramSpec`].
+#[derive(Clone, Debug)]
+pub struct StratifiedSpec {
+    /// The positive-program knobs.
+    pub base: ProgramSpec,
+    /// Number of negation layers. IDB predicates are assigned
+    /// round-robin; a rule's positive body draws from its head's layer
+    /// and below, negation only from strictly lower layers (or EDB) —
+    /// so generated programs are stratifiable by construction.
+    pub layers: usize,
+    /// Probability a rule carries one negated subgoal (when its
+    /// positive body binds at least one variable).
+    pub neg_probability: f64,
+}
+
+impl Default for StratifiedSpec {
+    fn default() -> Self {
+        StratifiedSpec {
+            base: ProgramSpec::default(),
+            layers: 2,
+            neg_probability: 0.6,
+        }
+    }
+}
+
+/// Generate a stratified program with negation, plus a database, from a
+/// seed. Negated subgoals reference only EDB predicates or IDB
+/// predicates in strictly lower layers, and every negated variable is
+/// bound by the positive body — the result always passes the engine's
+/// MP009/MP011 gates (warnings like singletons may remain).
+pub fn generate_stratified(spec: &StratifiedSpec, seed: u64) -> (Program, Database) {
+    let base = &spec.base;
+    let layers = spec.layers.max(1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    let edb_arity: Vec<usize> = (0..base.edb_preds).map(|_| rng.gen_range(1..=2)).collect();
+    let idb_arity: Vec<usize> = (0..base.idb_preds).map(|_| rng.gen_range(1..=2)).collect();
+    let layer: Vec<usize> = (0..base.idb_preds).map(|p| p % layers).collect();
+
+    let mut rules: Vec<Rule> = Vec::new();
+    for p in 0..base.idb_preds {
+        let allowed: Vec<usize> = (0..base.idb_preds)
+            .filter(|&q| layer[q] <= layer[p])
+            .collect();
+        let n_rules = rng.gen_range(1..=base.max_rules_per_pred);
+        for _ in 0..n_rules {
+            let mut rule = random_rule(&mut rng, base, p, &edb_arity, &idb_arity, &allowed);
+            maybe_negate(
+                &mut rng, spec, &mut rule, layer[p], &edb_arity, &idb_arity, &layer,
+            );
+            rules.push(rule);
+        }
+    }
+
+    // Query one predicate from the top layer, so the staged pipeline is
+    // actually exercised; same head-shape logic as the base generator.
+    let top = layer.iter().copied().max().unwrap_or(0);
+    let top_preds: Vec<usize> = (0..base.idb_preds).filter(|&p| layer[p] == top).collect();
+    let qp = top_preds[rng.gen_range(0..top_preds.len())];
+    let arity = idb_arity[qp];
+    let mut terms: Vec<Term> = Vec::new();
+    let mut head_vars: Vec<Term> = Vec::new();
+    for i in 0..arity {
+        if arity > 1 && i == 0 && rng.gen_bool(0.5) {
+            terms.push(Term::val(rng.gen_range(0..base.domain)));
+        } else {
+            let v = Term::var(format!("Q{i}"));
+            terms.push(v.clone());
+            head_vars.push(v);
+        }
+    }
+    rules.push(Rule::new(
+        Atom::new("goal", head_vars),
+        vec![Atom::new(format!("p{qp}").as_str(), terms)],
+    ));
+
+    let mut db = Database::new();
+    for (e, &arity) in edb_arity.iter().enumerate() {
+        let pred = format!("e{e}");
+        db.declare(pred.as_str(), arity).expect("fresh");
+        for _ in 0..base.facts_per_relation {
+            let t = match arity {
+                1 => tuple![rng.gen_range(0..base.domain)],
+                _ => tuple![rng.gen_range(0..base.domain), rng.gen_range(0..base.domain)],
+            };
+            let _ = db.insert(pred.as_str(), t);
+        }
+    }
+
+    (Program::new(rules), db)
+}
+
+/// Maybe attach one negated subgoal to `rule`: a random EDB predicate
+/// or IDB predicate from a strictly lower layer, every variable drawn
+/// from the positive body (the MP011 safety condition).
+fn maybe_negate(
+    rng: &mut ChaCha8Rng,
+    spec: &StratifiedSpec,
+    rule: &mut Rule,
+    head_layer: usize,
+    edb_arity: &[usize],
+    idb_arity: &[usize],
+    layer: &[usize],
+) {
+    if !rng.gen_bool(spec.neg_probability) {
+        return;
+    }
+    let mut bound: Vec<Term> = Vec::new();
+    for a in &rule.body {
+        for v in a.vars() {
+            let t = Term::Var(v);
+            if !bound.contains(&t) {
+                bound.push(t);
+            }
+        }
+    }
+    if bound.is_empty() {
+        return;
+    }
+    let mut targets: Vec<(String, usize)> = (0..edb_arity.len())
+        .map(|e| (format!("e{e}"), edb_arity[e]))
+        .collect();
+    for (p, &a) in idb_arity.iter().enumerate() {
+        if layer[p] < head_layer {
+            targets.push((format!("p{p}"), a));
+        }
+    }
+    let (name, arity) = targets[rng.gen_range(0..targets.len())].clone();
+    let terms: Vec<Term> = (0..arity)
+        .map(|_| {
+            if rng.gen_bool(0.2) {
+                Term::val(rng.gen_range(0..spec.base.domain))
+            } else {
+                bound[rng.gen_range(0..bound.len())].clone()
+            }
+        })
+        .collect();
+    rule.neg.push(Atom::new(name.as_str(), terms));
 }
 
 /// True if at least one IDB predicate reachable from `goal` is defined —
@@ -201,6 +348,45 @@ mod tests {
             }
         }
         assert!(recursive_seen > 10, "only {recursive_seen}/50 recursive");
+    }
+
+    #[test]
+    fn stratified_programs_validate_and_negate() {
+        let spec = StratifiedSpec::default();
+        let mut with_neg = 0;
+        for seed in 0..100 {
+            let (program, db) = generate_stratified(&spec, seed);
+            program
+                .validate(&db)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{program}"));
+            if program.rules.iter().any(|r| !r.neg.is_empty()) {
+                with_neg += 1;
+            }
+        }
+        assert!(with_neg > 40, "only {with_neg}/100 programs use negation");
+    }
+
+    #[test]
+    fn stratified_generation_is_deterministic() {
+        let spec = StratifiedSpec::default();
+        let (p1, d1) = generate_stratified(&spec, 7);
+        let (p2, d2) = generate_stratified(&spec, 7);
+        assert_eq!(format!("{p1}"), format!("{p2}"));
+        assert_eq!(d1.fact_count(), d2.fact_count());
+    }
+
+    #[test]
+    fn stratified_programs_pass_the_stratifier() {
+        let spec = StratifiedSpec::default();
+        for seed in 0..50 {
+            let (program, _) = generate_stratified(&spec, seed);
+            let (plan, diags) = mp_analyze::stratify(&program, None);
+            assert!(
+                diags.iter().all(|d| !d.is_deny()),
+                "seed {seed}: {diags:?}\n{program}"
+            );
+            assert!(plan.count() >= 1, "seed {seed} has an empty plan");
+        }
     }
 
     #[test]

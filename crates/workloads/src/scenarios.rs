@@ -132,6 +132,43 @@ pub fn odd_even_chain(n: usize) -> Workload {
     Workload::new(format!("odd-even-chain-{n}"), programs::odd_even(0), db)
 }
 
+/// The stratified win-move fragment over a seeded random board:
+/// negation across two strata.
+pub fn win_move(n: usize, m: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    graphs::win_move_board(&mut db, n, m, seed);
+    Workload::new(
+        format!("win-move-{n}x{m}-s{seed}"),
+        programs::win_move(),
+        db,
+    )
+}
+
+/// Company control over seeded shareholdings: a sum aggregate feeding a
+/// recursive transitive closure one stratum up.
+pub fn company_control(companies: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    graphs::shareholdings(&mut db, companies, seed);
+    Workload::new(
+        format!("company-control-{companies}-s{seed}"),
+        programs::company_control(),
+        db,
+    )
+}
+
+/// Per-source reachability counts over a seeded random graph: a count
+/// aggregate over a sealed recursive stratum.
+pub fn agg_reachability(n: usize, m: usize, srcs: usize, seed: u64) -> Workload {
+    let mut db = Database::new();
+    graphs::random_graph(&mut db, "edge", n, m, seed);
+    graphs::sources(&mut db, srcs);
+    Workload::new(
+        format!("agg-reach-{n}x{m}-k{srcs}-s{seed}"),
+        programs::agg_reachability(),
+        db,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +186,9 @@ mod tests {
             r2(10, 2, 1),
             r3(10, 2, 0.5, 1),
             odd_even_chain(10),
+            win_move(16, 20, 1),
+            company_control(8, 1),
+            agg_reachability(16, 32, 4, 1),
         ] {
             assert!(!w.name.is_empty());
             assert!(w.db.fact_count() > 0, "{} has facts", w.name);

@@ -83,7 +83,7 @@ fn engine_compile_rejects_deny_fixtures_without_panicking() {
 
 #[test]
 fn canonical_programs_are_lint_clean() {
-    let catalog: [(&str, mp_datalog::Program); 11] = [
+    let catalog: [(&str, mp_datalog::Program); 14] = [
         ("p1", programs::p1(1)),
         ("tc_linear", programs::tc_linear(0)),
         ("tc_right_linear", programs::tc_right_linear(0)),
@@ -95,6 +95,9 @@ fn canonical_programs_are_lint_clean() {
         ("r2_query", programs::r2_query(0)),
         ("r3_query", programs::r3_query(0)),
         ("odd_even", programs::odd_even(0)),
+        ("win_move", programs::win_move()),
+        ("company_control", programs::company_control()),
+        ("agg_reachability", programs::agg_reachability()),
     ];
     for (name, program) in &catalog {
         let diags = lint_program(program, None, None);
@@ -118,6 +121,28 @@ fn random_programs_have_no_deny_diagnostics() {
         assert!(
             denies.is_empty(),
             "seed {seed}: deny diagnostics {denies:?}"
+        );
+    }
+}
+
+#[test]
+fn stratified_random_programs_pass_every_gate() {
+    // The stratified generator must clear both gates the engine compiles
+    // through: the program lints (incl. MP011 negation safety) and the
+    // stratification pass (MP009/MP010).
+    let spec = mp_workloads::random_programs::StratifiedSpec::default();
+    for seed in 0..8u64 {
+        let (program, db) = mp_workloads::random_programs::generate_stratified(&spec, seed);
+        let diags = lint_program(&program, Some(&db), None);
+        let denies: Vec<_> = diags.iter().filter(|d| d.is_deny()).collect();
+        assert!(
+            denies.is_empty(),
+            "seed {seed}: deny lints {denies:?}\n{program}"
+        );
+        let (_, strat) = mp_analyze::stratify(&program, None);
+        assert!(
+            strat.iter().all(|d| !d.is_deny()),
+            "seed {seed}: stratify denies {strat:?}\n{program}"
         );
     }
 }
